@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension experiment: communication-pattern analysis.  Records the
+ * per-rank-pair message matrix of one iteration of NAS CG, NAS FT,
+ * and POP on Longs (8 tasks, one per socket) and projects it onto
+ * the HT-hop histogram -- quantifying the topology pressure the
+ * paper reads off its Ring/PingPong and PTRANS results.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/pop/pop.hh"
+#include "bench_util.hh"
+#include "core/registry.hh"
+#include "simmpi/comm_matrix.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+namespace {
+
+void
+analyze(const char *name)
+{
+    MachineConfig cfg = longsConfig();
+    const int ranks = 8;
+    Machine machine(cfg);
+    auto placement = Placement::create(
+        cfg, machine.topology(), table5Options()[1], ranks);
+    MpiRuntime rt(machine, *placement);
+    CommMatrix matrix(ranks);
+    rt.setCommMatrix(&matrix);
+
+    auto workload = makeWorkload(name);
+    workload->buildTasks(machine, rt);
+
+    std::printf("%s (one iteration, 8 tasks one-per-socket):\n", name);
+    std::printf("  messages: %llu, volume: %s\n",
+                static_cast<unsigned long long>(
+                    matrix.totalMessages()),
+                formatBytes(matrix.totalBytes()).c_str());
+    std::vector<double> hist = matrix.bytesByHops(rt);
+    double total = matrix.totalBytes();
+    std::printf("  bytes by HT hop distance:");
+    for (size_t h = 0; h < hist.size(); ++h) {
+        std::printf("  %zu:%4.1f%%", h,
+                    total > 0.0 ? hist[h] / total * 100.0 : 0.0);
+    }
+    std::printf("\n\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension (communication matrices)",
+           "Per-pair traffic of CG / FT / POP projected onto the HT "
+           "ladder's hop distances",
+           "CG concentrates on one far partner; FT spreads all-to-all "
+           "across every distance; POP stays nearest-neighbor");
+
+    analyze("nas-cg-b");
+    analyze("nas-ft-b");
+    analyze("pop-x1");
+
+    std::printf("Multi-hop traffic shares explain the ladder "
+                "sensitivity ordering the paper\nobserves: all-to-all "
+                "(FT, PTRANS) > partner exchange (CG) > halo (POP).\n");
+    return 0;
+}

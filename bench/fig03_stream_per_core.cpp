@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 3: STREAM-triad memory bandwidth *per core* vs. number of
+ * active cores.  Per-core bandwidth holds while sockets fill, then
+ * halves (or worse) once second cores activate.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernels/stream.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Figure 3 (memory bandwidth per core)",
+           "STREAM-triad per-core bandwidth vs active cores",
+           "flat plateau while first cores activate, then a cliff as "
+           "second cores share each socket's memory link");
+
+    StreamWorkload stream(4u << 20, 10);
+    for (auto cfg_fn : {tigerConfig, dmzConfig, longsConfig}) {
+        MachineConfig cfg = cfg_fn();
+        std::printf("%-7s socket-first:", cfg.name.c_str());
+        double first = 0.0, last = 0.0;
+        for (int ranks = 1; ranks <= cfg.totalCores(); ranks *= 2) {
+            RunResult r = run(cfg, pinnedSpread(), ranks, stream);
+            double per_core = stream.bytesPerIteration() * 10.0 /
+                              r.seconds / 1e9;
+            if (ranks == 1)
+                first = per_core;
+            last = per_core;
+            std::printf("  %2d:%5.2f", ranks, per_core);
+        }
+        std::printf("   (GB/s per core)\n");
+        observe(cfg.name + " per-core retention at full load",
+                formatFixed(last / first, 2) +
+                    "x of single-core bandwidth");
+    }
+    return 0;
+}

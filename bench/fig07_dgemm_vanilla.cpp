@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 7: vanilla (unblocked) DGEMM per-core performance on DMZ,
+ * one vs. two MPI tasks per socket.  Without blocking the kernel
+ * leaks traffic to memory and the second core starts to hurt.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernels/blas3.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Figure 7 (DGEMM, vanilla, per core)",
+           "Unblocked DGEMM per-core GFlop/s: 1 vs 2 tasks per socket "
+           "on DMZ",
+           "an order of magnitude below ACML; the two-tasks-per-"
+           "socket per-core rate sags further once B no longer "
+           "caches");
+
+    MachineConfig dmz = dmzConfig();
+    std::printf("%-8s  %-16s  %-16s\n", "n", "1 task/socket",
+                "2 tasks/socket");
+    for (size_t n : {size_t(300), size_t(700), size_t(1500)}) {
+        DgemmWorkload dgemm(n, 2, BlasVariant::Vanilla);
+        RunResult one = run(dmz, pinnedSpread(), 2, dgemm);
+        RunResult two = run(dmz, pinnedPacked(), 4, dgemm);
+        double g_one =
+            dgemm.flopsPerIteration() * 2 / one.seconds / 1e9;
+        double g_two =
+            dgemm.flopsPerIteration() * 2 / two.seconds / 1e9;
+        std::printf("%-8zu  %-16.3f  %-16.3f  [GFlop/s per core]\n", n,
+                    g_one, g_two);
+    }
+
+    DgemmWorkload vanilla(1500, 2, BlasVariant::Vanilla);
+    DgemmWorkload acml(1500, 2, BlasVariant::Acml);
+    double tv = run(dmz, pinnedSpread(), 2, vanilla).seconds;
+    double ta = run(dmz, pinnedSpread(), 2, acml).seconds;
+    std::printf("\n");
+    observe("ACML over vanilla at n=1500",
+            formatFixed(tv / ta, 1) + "x");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9: HPCC Single vs Star DGEMM and FFT GFlop/s on Longs
+ * across runtime options.  Cache-friendly kernels barely notice the
+ * second core or the placement policy: Star DGEMM ~= Single DGEMM
+ * per core, FFT shows slightly more impact.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernels/blas3.hh"
+#include "kernels/fft.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+namespace {
+
+struct Combo
+{
+    const char *label;
+    NumactlOption option;
+    SubLayer sublayer;
+};
+
+const Combo kCombos[] = {
+    {"default",
+     {"default", TaskScheme::OsDefault, MemPolicy::Default},
+     SubLayer::SysV},
+    {"usysv",
+     {"usysv", TaskScheme::OsDefault, MemPolicy::Default},
+     SubLayer::USysV},
+    {"localalloc",
+     {"localalloc", TaskScheme::TwoTasksPerSocket,
+      MemPolicy::LocalAlloc},
+     SubLayer::SysV},
+    {"localalloc+usysv",
+     {"localalloc+usysv", TaskScheme::TwoTasksPerSocket,
+      MemPolicy::LocalAlloc},
+     SubLayer::USysV},
+    {"interleave",
+     {"interleave", TaskScheme::OsDefault, MemPolicy::Interleave},
+     SubLayer::SysV},
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 9 (Single/Star DGEMM and FFT)",
+           "Per-core GFlop/s, Single (1 rank) vs Star (16 ranks, no "
+           "communication) on Longs, across runtime options",
+           "Star DGEMM ~= Single DGEMM (second core doubles the "
+           "socket); FFT slips a little more");
+
+    MachineConfig longs = longsConfig();
+    DgemmWorkload dgemm(1000, 2, BlasVariant::Acml);
+    FftWorkload fft(1u << 22, 6);
+
+    std::printf("%-18s  %-12s %-12s %-12s %-12s\n", "option",
+                "S-DGEMM", "*-DGEMM", "S-FFT", "*-FFT");
+    for (const Combo &c : kCombos) {
+        NumactlOption single_opt = c.option;
+        if (single_opt.scheme == TaskScheme::TwoTasksPerSocket)
+            single_opt.scheme = TaskScheme::Packed;
+        RunResult sd = run(longs, single_opt, 1, dgemm,
+                           MpiImpl::Lam, c.sublayer);
+        RunResult xd = run(longs, c.option, 16, dgemm, MpiImpl::Lam,
+                           c.sublayer);
+        RunResult sf = run(longs, single_opt, 1, fft, MpiImpl::Lam,
+                           c.sublayer);
+        RunResult xf = run(longs, c.option, 16, fft, MpiImpl::Lam,
+                           c.sublayer);
+        double gd = dgemm.flopsPerIteration() * 2 / sd.seconds / 1e9;
+        double gxd =
+            dgemm.flopsPerIteration() * 2 / xd.seconds / 1e9;
+        double gf = fft.flopsPerIteration() * 6 / sf.seconds / 1e9;
+        double gxf = fft.flopsPerIteration() * 6 / xf.seconds / 1e9;
+        std::printf("%-18s  %-12.2f %-12.2f %-12.3f %-12.3f\n",
+                    c.label, gd, gxd, gf, gxf);
+    }
+
+    RunResult s = run(longs, pinnedPacked(), 1, dgemm);
+    RunResult x = run(longs, pinnedPacked(), 16, dgemm);
+    std::printf("\n");
+    observe("Star:Single DGEMM per-core ratio (paper: ~1)",
+            formatFixed(x.seconds / s.seconds, 3));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 11: HPCC RandomAccess (GUPS) on Longs -- Single, Star, and
+ * MPI variants across runtime options.  Latency-bound updates leave
+ * bandwidth unused, so the second core is a net gain (ratio < 2:1);
+ * the MPI variant's small messages expose the SysV semaphore cost.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernels/randomaccess.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Figure 11 (RandomAccess)",
+           "GUPS: Single (1 rank), Star (16 ranks), MPI (16 ranks) on "
+           "Longs across options",
+           "Single:Star below 2:1 (second core is a net gain); MPI "
+           "RandomAccess collapses under SysV");
+
+    MachineConfig longs = longsConfig();
+    RandomAccessWorkload local_ra(128.0e6, 1.0e6, 2);
+    MpiRandomAccessWorkload mpi_ra(128.0e6, 1.0e6, 2);
+
+    struct Combo
+    {
+        const char *label;
+        MemPolicy policy;
+        SubLayer sublayer;
+    };
+    const Combo combos[] = {
+        {"default", MemPolicy::Default, SubLayer::SysV},
+        {"sysv", MemPolicy::Default, SubLayer::SysV},
+        {"usysv", MemPolicy::Default, SubLayer::USysV},
+        {"localalloc", MemPolicy::LocalAlloc, SubLayer::SysV},
+        {"localalloc+usysv", MemPolicy::LocalAlloc, SubLayer::USysV},
+        {"interleave", MemPolicy::Interleave, SubLayer::SysV},
+    };
+
+    std::printf("%-18s  %-10s %-10s %-10s\n", "option", "Single",
+                "Star", "MPI");
+    for (const Combo &c : combos) {
+        NumactlOption star = {"star",
+                              c.policy == MemPolicy::LocalAlloc
+                                  ? TaskScheme::TwoTasksPerSocket
+                                  : TaskScheme::OsDefault,
+                              c.policy};
+        NumactlOption single = {"single",
+                                c.policy == MemPolicy::LocalAlloc
+                                    ? TaskScheme::Packed
+                                    : TaskScheme::OsDefault,
+                                c.policy};
+        RunResult s =
+            run(longs, single, 1, local_ra, MpiImpl::Lam, c.sublayer);
+        RunResult x =
+            run(longs, star, 16, local_ra, MpiImpl::Lam, c.sublayer);
+        RunResult m =
+            run(longs, star, 16, mpi_ra, MpiImpl::Lam, c.sublayer);
+        double g_s = 2.0e6 / s.seconds / 1e9;
+        double g_x = 16 * 2.0e6 / x.seconds / 1e9;
+        double g_m = 16 * 2.0e6 / m.seconds / 1e9;
+        std::printf("%-18s  %-10.4f %-10.4f %-10.4f   [GUPS "
+                    "aggregate]\n",
+                    c.label, g_s, g_x, g_m);
+    }
+
+    RunResult s1 = run(longs, pinnedPacked(), 1, local_ra);
+    RunResult s16 = run(longs, pinnedPacked(), 16, local_ra);
+    RunResult m_fast = run(longs, pinnedPacked(), 16, mpi_ra,
+                           MpiImpl::Lam, SubLayer::USysV);
+    RunResult m_slow = run(longs, pinnedPacked(), 16, mpi_ra,
+                           MpiImpl::Lam, SubLayer::SysV);
+    std::printf("\n");
+    observe("Single:Star ratio (paper: < 2, net per-socket gain)",
+            formatFixed(s16.seconds / s1.seconds, 2));
+    observe("MPI RA SysV/USysV slowdown",
+            formatFixed(m_slow.seconds / m_fast.seconds, 2) + "x");
+    return 0;
+}

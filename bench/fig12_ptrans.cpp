@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 12: HPCC PTRANS on Longs across LAM/NUMA runtime options.
+ * The block exchange's many messages make the sub-layer dominant:
+ * USysV spin locks clearly beat SysV semaphores; localalloc combined
+ * with either sub-layer interacts through buffer placement.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "kernels/ptrans.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Figure 12 (PTRANS)",
+           "Parallel transpose bandwidth on Longs (16 ranks) across "
+           "placement x sub-layer",
+           "USysV's spin locks give a clear advantage; SysV drags "
+           "every placement down");
+
+    MachineConfig longs = longsConfig();
+    PtransWorkload ptrans(8192, 4);
+
+    struct Combo
+    {
+        const char *label;
+        NumactlOption option;
+        SubLayer sublayer;
+    };
+    const Combo combos[] = {
+        {"default (sysv)",
+         {"default", TaskScheme::OsDefault, MemPolicy::Default},
+         SubLayer::SysV},
+        {"usysv",
+         {"usysv", TaskScheme::OsDefault, MemPolicy::Default},
+         SubLayer::USysV},
+        {"localalloc (sysv)",
+         {"localalloc", TaskScheme::TwoTasksPerSocket,
+          MemPolicy::LocalAlloc},
+         SubLayer::SysV},
+        {"localalloc+usysv",
+         {"localalloc+usysv", TaskScheme::TwoTasksPerSocket,
+          MemPolicy::LocalAlloc},
+         SubLayer::USysV},
+        {"interleave (sysv)",
+         {"interleave", TaskScheme::OsDefault, MemPolicy::Interleave},
+         SubLayer::SysV},
+    };
+
+    double t_sysv = 0.0, t_usysv = 0.0;
+    for (const Combo &c : combos) {
+        RunResult r =
+            run(longs, c.option, 16, ptrans, MpiImpl::Lam, c.sublayer);
+        double bw = ptrans.matrixBytes() * 4 / r.seconds / 1e9;
+        std::printf("  %-20s %8.3f GB/s\n", c.label, bw);
+        if (std::string(c.label) == "default (sysv)")
+            t_sysv = r.seconds;
+        if (std::string(c.label) == "usysv")
+            t_usysv = r.seconds;
+    }
+
+    std::printf("\n");
+    observe("USysV advantage over SysV (paper: clear win)",
+            formatFixed(t_sysv / t_usysv, 2) + "x");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation engine itself:
+ * fair-share allocation, event throughput, and end-to-end experiment
+ * cost.  These guard the harness's own performance (a full table
+ * sweep runs hundreds of simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/experiment.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/stream.hh"
+#include "machine/config.hh"
+#include "sim/fairshare.hh"
+#include "sim/task.hh"
+
+namespace mcscope {
+namespace {
+
+void
+BM_FairShare(benchmark::State &state)
+{
+    const int nf = static_cast<int>(state.range(0));
+    std::vector<double> caps(16, 1.0e9);
+    std::vector<FairShareFlow> flows;
+    for (int f = 0; f < nf; ++f) {
+        FairShareFlow fl;
+        fl.path = {static_cast<ResourceId>(f % 16),
+                   static_cast<ResourceId>((f * 7 + 3) % 16)};
+        if (f % 3 == 0)
+            fl.rateCap = 1.0e8;
+        flows.push_back(fl);
+    }
+    for (auto _ : state) {
+        auto rates = fairShareRates(caps, flows);
+        benchmark::DoNotOptimize(rates);
+    }
+}
+BENCHMARK(BM_FairShare)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_EngineEventThroughput(benchmark::State &state)
+{
+    const uint64_t iters = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        Engine e;
+        ResourceId r = e.addResource("r", 1.0e9);
+        Work w;
+        w.amount = 1.0e6;
+        w.path = {r};
+        for (int t = 0; t < 4; ++t) {
+            e.addTask(std::make_unique<LoopTask>(
+                "t" + std::to_string(t), std::vector<Prim>{},
+                std::vector<Prim>{w}, iters));
+        }
+        e.run();
+        benchmark::DoNotOptimize(e.makespan());
+    }
+    state.SetItemsProcessed(state.iterations() * iters * 4);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(100)->Arg(1000);
+
+void
+BM_StreamExperiment(benchmark::State &state)
+{
+    StreamWorkload stream(4u << 20, 10);
+    ExperimentConfig cfg;
+    cfg.machine = longsConfig();
+    cfg.option = table5Options()[0];
+    cfg.ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        RunResult r = runExperiment(cfg, stream);
+        benchmark::DoNotOptimize(r.seconds);
+    }
+}
+BENCHMARK(BM_StreamExperiment)->Arg(1)->Arg(16);
+
+void
+BM_NasCgExperiment(benchmark::State &state)
+{
+    NasCgWorkload cg(nasCgClassB());
+    ExperimentConfig cfg;
+    cfg.machine = longsConfig();
+    cfg.option = table5Options()[0];
+    cfg.ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        RunResult r = runExperiment(cfg, cg);
+        benchmark::DoNotOptimize(r.seconds);
+    }
+}
+BENCHMARK(BM_NasCgExperiment)->Arg(16);
+
+} // namespace
+} // namespace mcscope
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 2: effect of numactl options on NAS CG and FT (class B) on
+ * the Longs system, for 2/4/8/16 MPI tasks.  One MPI task per socket
+ * is infeasible at 16 tasks (the paper's "-" cells).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/nas_ft.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Table 2 (NAS CG/FT x numactl on Longs)",
+           "Class B runtimes in seconds across the Table 5 option set",
+           "one-task-per-socket localalloc best; membind ~2x worse at "
+           "8-16 tasks; interleave worst at scale; '-' where one-per-"
+           "socket cannot host the job");
+
+    MachineConfig longs = longsConfig();
+    std::vector<int> ranks = {2, 4, 8, 16};
+
+    NasCgWorkload cg(nasCgClassB());
+    NasFtWorkload ft(nasFtClassB());
+
+    TextTable t(optionSweepHeader("Kernel"));
+    OptionSweepResult cg_sweep = sweepOptions(longs, ranks, cg);
+    appendOptionSweepRows(t, cg_sweep, "CG");
+    t.addSeparator();
+    OptionSweepResult ft_sweep = sweepOptions(longs, ranks, ft);
+    appendOptionSweepRows(t, ft_sweep, "FFT");
+    t.print(std::cout);
+
+    std::cout << "\n";
+    observe("CG 8-task membind/localalloc (paper: 109.11/51.15 = "
+            "2.13)",
+            formatFixed(cg_sweep.seconds[2][2] /
+                            cg_sweep.seconds[2][1],
+                        2));
+    observe("CG 16-task interleave/default (paper: 72.62/54.17 = "
+            "1.34)",
+            formatFixed(cg_sweep.seconds[3][5] /
+                            cg_sweep.seconds[3][0],
+                        2));
+    observe("FT 8-task membind(two)/localalloc(two) (paper: "
+            "81.95/62.80 = 1.30)",
+            formatFixed(ft_sweep.seconds[2][4] /
+                            ft_sweep.seconds[2][3],
+                        2));
+    return 0;
+}

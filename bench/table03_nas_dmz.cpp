@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 3: effect of numactl options on NAS CG and FT (class B) on
+ * the DMZ system, for 2 and 4 MPI tasks.  With only two sockets the
+ * NUMA option space barely matters -- the default is near-optimal.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/nas_ft.hh"
+
+using namespace mcscope;
+using namespace mcscope::bench;
+
+int
+main()
+{
+    banner("Table 3 (NAS CG/FT x numactl on DMZ)",
+           "Class B runtimes in seconds on the 2-socket DMZ",
+           "default is near-optimal on the simple 2-socket topology; "
+           "'-' for one-per-socket at 4 tasks");
+
+    MachineConfig dmz = dmzConfig();
+    std::vector<int> ranks = {2, 4};
+
+    NasCgWorkload cg(nasCgClassB());
+    NasFtWorkload ft(nasFtClassB());
+
+    TextTable t(optionSweepHeader("Kernel"));
+    OptionSweepResult cg_sweep = sweepOptions(dmz, ranks, cg);
+    appendOptionSweepRows(t, cg_sweep, "CG");
+    t.addSeparator();
+    OptionSweepResult ft_sweep = sweepOptions(dmz, ranks, ft);
+    appendOptionSweepRows(t, ft_sweep, "FFT");
+    t.print(std::cout);
+
+    std::cout << "\n";
+    double best_cg2 = 1e300;
+    for (double v : cg_sweep.seconds[0]) {
+        if (!std::isnan(v))
+            best_cg2 = std::min(best_cg2, v);
+    }
+    observe("CG 2-task default vs best option (paper: within ~1%)",
+            formatFixed(cg_sweep.seconds[0][0] / best_cg2, 2));
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Custom-machine example: define a hypothetical next-generation
+ * system (the paper's closing speculation -- more sockets, better
+ * coherence, faster links) and ask which of the 2006 bottlenecks
+ * survive.  Shows how to build MachineConfig objects beyond the
+ * Table 1 presets.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/stream.hh"
+#include "machine/config.hh"
+
+using namespace mcscope;
+
+namespace {
+
+/** A 4-socket quad-core Opteron as 2008 would build it. */
+MachineConfig
+nextGenConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "NextGen";
+    cfg.sockets = 4;
+    cfg.coresPerSocket = 4;
+    cfg.coreGHz = 2.3;
+    cfg.memBandwidthPerSocket = 10.6e9; // DDR2-667 dual channel
+    cfg.memLatency = 75.0e-9;
+    cfg.htLinkBandwidth = 4.0e9;        // HT 2.0
+    cfg.htHopLatency = 55.0e-9;
+    cfg.coherenceAlpha = 0.06;          // HT-assist style filtering
+    cfg.htLinks = {{0, 1}, {1, 2}, {2, 3}, {3, 0}}; // ring
+    cfg.validate();
+    return cfg;
+}
+
+void
+compare(const MachineConfig &a, const MachineConfig &b)
+{
+    StreamWorkload stream(4u << 20, 10);
+    NasCgWorkload cg(nasCgClassB());
+    NumactlOption spread = {"spread", TaskScheme::Spread,
+                            MemPolicy::LocalAlloc};
+    NumactlOption packed = {"packed", TaskScheme::Packed,
+                            MemPolicy::LocalAlloc};
+
+    for (const MachineConfig *cfg : {&a, &b}) {
+        ExperimentConfig e;
+        e.machine = *cfg;
+        e.option = spread;
+        e.ranks = 1;
+        RunResult r1 = runExperiment(e, stream);
+        double bw1 =
+            stream.bytesPerIteration() * 10 / r1.seconds / 1e9;
+
+        e.ranks = cfg->totalCores();
+        e.option = packed;
+        RunResult rf = runExperiment(e, stream);
+        double bwf = stream.bytesPerIteration() * 10 *
+                     cfg->totalCores() / rf.seconds / 1e9;
+
+        e.option = table5Options()[0];
+        e.ranks = 1;
+        double t1 = runExperiment(e, cg).seconds;
+        e.ranks = cfg->totalCores();
+        double tf = runExperiment(e, cg).seconds;
+
+        std::printf("  %-8s %2d cores: STREAM %5.2f GB/s (1 core) "
+                    "-> %6.2f GB/s (all), CG speedup %5.2f\n",
+                    cfg->name.c_str(), cfg->totalCores(), bw1, bwf,
+                    t1 / tf);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("mcscope custom-machine example\n\n");
+    std::printf("2006 Longs vs a hypothetical 2008-class 4x4 system "
+                "(lower coherence tax,\nDDR2, HT 2.0):\n\n");
+    compare(longsConfig(), nextGenConfig());
+    std::printf("\nThe next-generation parameters recover most of the "
+                "coherence-tax loss and\nlet CG keep scaling past the "
+                "2006 ceiling -- the improvement the paper's\n"
+                "conclusion anticipates from 'improvements in future "
+                "Opteron products'.\n");
+    return 0;
+}

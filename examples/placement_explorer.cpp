@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Placement explorer: sweep any registered workload across the
+ * Table 5 numactl options and rank counts on any preset machine, and
+ * report the best configuration -- the tool a performance engineer
+ * would actually use from this library.
+ *
+ * Usage: placement_explorer [workload] [machine]
+ *   workload: any name from the registry (default: nas-cg-b)
+ *   machine:  tiger | dmz | longs     (default: longs)
+ */
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "machine/config.hh"
+#include "util/str.hh"
+
+using namespace mcscope;
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name = argc > 1 ? argv[1] : "nas-cg-b";
+    std::string machine_name = argc > 2 ? argv[2] : "longs";
+
+    auto workload = makeWorkload(workload_name);
+    MachineConfig machine = configByName(machine_name);
+
+    std::cout << "Placement exploration: " << workload->name() << " on "
+              << machine.name << "\n\n";
+
+    std::vector<int> ranks;
+    for (int r = 2; r <= machine.totalCores(); r *= 2)
+        ranks.push_back(r);
+
+    OptionSweepResult sweep = sweepOptions(machine, ranks, *workload);
+    TextTable t(optionSweepHeader("Workload"));
+    appendOptionSweepRows(t, sweep, workload_name);
+    t.print(std::cout);
+
+    // Find the global best configuration.
+    double best = 1e300;
+    int best_rank = 0;
+    std::string best_option;
+    for (size_t i = 0; i < sweep.rankCounts.size(); ++i) {
+        for (size_t j = 0; j < sweep.options.size(); ++j) {
+            double v = sweep.seconds[i][j];
+            if (!std::isnan(v) && v < best) {
+                best = v;
+                best_rank = sweep.rankCounts[i];
+                best_option = sweep.options[j].label;
+            }
+        }
+    }
+    std::cout << "\nBest configuration: " << best_rank << " tasks, '"
+              << best_option << "' (" << formatFixed(best, 2)
+              << " s)\n";
+
+    for (size_t i = 0; i < sweep.rankCounts.size(); ++i) {
+        double gain = placementGain(sweep.seconds[i]);
+        std::cout << "  at " << sweep.rankCounts[i]
+                  << " tasks, best option beats Default by "
+                  << formatFixed(gain * 100.0, 1) << "%\n";
+    }
+    return 0;
+}

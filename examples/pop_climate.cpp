@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ocean-model example: solve a real (small) barotropic system with
+ * the functional solver, then project POP x1 across machines and
+ * placements with the phase breakdown of Section 4.2.
+ */
+
+#include <cstdio>
+
+#include "apps/pop/pop.hh"
+#include "apps/pop/solver.hh"
+#include "core/experiment.hh"
+#include "machine/config.hh"
+#include "util/rng.hh"
+
+using namespace mcscope;
+
+namespace {
+
+void
+functionalSolve()
+{
+    std::printf("Functional barotropic solve (64x48 grid):\n");
+    Rng rng(7);
+    Field2d forcing(64, 48);
+    for (double &v : forcing.data)
+        v = rng.uniform(-1.0, 1.0);
+    BarotropicResult res = solveBarotropic(forcing, 0.4, 1000, 1e-9);
+    std::printf("  converged in %d CG iterations, residual %.2e\n\n",
+                res.iterations, res.residual);
+}
+
+void
+projection()
+{
+    PopWorkload pop(popX1Config());
+    std::printf("POP x1 (320x384x40, 50 steps) phase times:\n");
+    std::printf("  %-7s %-6s %-12s %-12s %-10s\n", "system", "cores",
+                "baroclinic", "barotropic", "total");
+    for (auto cfg_fn : {dmzConfig, longsConfig}) {
+        MachineConfig cfg = cfg_fn();
+        for (int ranks = 1; ranks <= cfg.totalCores(); ranks *= 2) {
+            ExperimentConfig ec;
+            ec.machine = cfg;
+            ec.option = table5Options()[0];
+            ec.ranks = ranks;
+            RunResult r = runExperiment(ec, pop);
+            std::printf("  %-7s %-6d %-12.2f %-12.2f %-10.2f\n",
+                        cfg.name.c_str(), ranks,
+                        r.tagged(tags::kBaroclinic),
+                        r.tagged(tags::kBarotropic), r.seconds);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("mcscope POP climate example\n\n");
+    functionalSolve();
+    projection();
+    std::printf("\nBoth phases scale near-linearly at x1 resolution "
+                "(paper Table 12); the\nbarotropic CG solver is the "
+                "latency-sensitive slice (Tables 13-14).\n");
+    return 0;
+}

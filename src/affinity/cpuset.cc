@@ -1,0 +1,80 @@
+#include "affinity/cpuset.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+CpuSet
+CpuSet::single(int core)
+{
+    CpuSet s;
+    s.add(core);
+    return s;
+}
+
+CpuSet
+CpuSet::range(int n)
+{
+    MCSCOPE_ASSERT(n >= 0 && n <= 64, "CpuSet supports up to 64 cores");
+    CpuSet s;
+    for (int i = 0; i < n; ++i)
+        s.add(i);
+    return s;
+}
+
+void
+CpuSet::add(int core)
+{
+    MCSCOPE_ASSERT(core >= 0 && core < 64, "core id out of range: ",
+                   core);
+    bits_ |= (1ULL << core);
+}
+
+bool
+CpuSet::contains(int core) const
+{
+    if (core < 0 || core >= 64)
+        return false;
+    return (bits_ >> core) & 1ULL;
+}
+
+int
+CpuSet::count() const
+{
+    return std::popcount(bits_);
+}
+
+std::vector<int>
+CpuSet::toVector() const
+{
+    std::vector<int> out;
+    for (int i = 0; i < 64; ++i) {
+        if (contains(i))
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::string
+CpuSet::str() const
+{
+    std::vector<int> v = toVector();
+    std::string out;
+    size_t i = 0;
+    while (i < v.size()) {
+        size_t j = i;
+        while (j + 1 < v.size() && v[j + 1] == v[j] + 1)
+            ++j;
+        if (!out.empty())
+            out += ",";
+        out += std::to_string(v[i]);
+        if (j > i)
+            out += "-" + std::to_string(v[j]);
+        i = j + 1;
+    }
+    return out;
+}
+
+} // namespace mcscope

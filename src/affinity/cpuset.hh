@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A small set-of-cores abstraction mirroring Linux cpusets, used to
+ * express processor-affinity bindings.
+ */
+
+#ifndef MCSCOPE_AFFINITY_CPUSET_HH
+#define MCSCOPE_AFFINITY_CPUSET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+/**
+ * An ordered set of core ids (bounded by 64 cores, ample for the
+ * systems under study).
+ */
+class CpuSet
+{
+  public:
+    CpuSet() = default;
+
+    /** Singleton set. */
+    static CpuSet single(int core);
+
+    /** All cores in [0, n). */
+    static CpuSet range(int n);
+
+    /** Add a core id. */
+    void add(int core);
+
+    /** Membership test. */
+    bool contains(int core) const;
+
+    /** Number of cores in the set. */
+    int count() const;
+
+    /** True when empty. */
+    bool empty() const { return bits_ == 0; }
+
+    /** Ascending list of members. */
+    std::vector<int> toVector() const;
+
+    /** Render like "0,2-3". */
+    std::string str() const;
+
+    bool operator==(const CpuSet &other) const = default;
+
+  private:
+    uint64_t bits_ = 0;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_AFFINITY_CPUSET_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * MPI task and memory placement: the numactl option set of Table 5.
+ *
+ * A Placement maps MPI ranks onto cores and decides where each rank's
+ * memory pages and communication buffers live.  It reproduces the six
+ * configurations the paper sweeps:
+ *
+ *   Default               no numactl; OS scheduling + first touch
+ *   One MPI + Local Alloc one task per socket, --localalloc
+ *   One MPI + Membind     one task per socket, explicit --membind
+ *   Two MPI + Local Alloc two tasks per socket, --localalloc
+ *   Two MPI + Membind     two tasks per socket, explicit --membind
+ *   Interleave            --interleave=all
+ *
+ * Membind reproduces the paper's pathology mechanically: memory is
+ * bound to the *logical* node enumeration (0, 1, 2, ...) while tasks
+ * are pinned along the hop-minimizing socket order the experimenters
+ * used ("we have used nodes 2, 3, 4, and 5..."), so bindings and
+ * running locations diverge as the task count grows.  Shared
+ * communication buffers under membind land on the first node of the
+ * bind list, congesting that socket's controller.
+ */
+
+#ifndef MCSCOPE_AFFINITY_PLACEMENT_HH
+#define MCSCOPE_AFFINITY_PLACEMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "affinity/policy.hh"
+#include "machine/config.hh"
+#include "machine/machine.hh"
+#include "machine/topology.hh"
+
+namespace mcscope {
+
+/** How ranks map onto cores. */
+enum class TaskScheme
+{
+    /** OS default: spread one-per-socket then fill, unpinned. */
+    OsDefault,
+
+    /** Strictly one task per socket, pinned; invalid beyond sockets. */
+    OneTaskPerSocket,
+
+    /** Two tasks per socket, pinned; needs dual-core sockets. */
+    TwoTasksPerSocket,
+
+    /** One task per socket then wrap onto second cores, pinned. */
+    Spread,
+
+    /** Fill every core of a socket before the next socket, pinned. */
+    Packed,
+};
+
+/** Scheme display name. */
+std::string taskSchemeName(TaskScheme scheme);
+
+/** One numactl configuration (a Table 5 row). */
+struct NumactlOption
+{
+    std::string label;
+    TaskScheme scheme = TaskScheme::OsDefault;
+    MemPolicy policy = MemPolicy::Default;
+};
+
+/** The six Table 5 configurations, in paper column order. */
+std::vector<NumactlOption> table5Options();
+
+/**
+ * Hop-minimizing socket enumeration: greedy selection that starts at
+ * a most-central socket and repeatedly adds the socket closest to the
+ * chosen set.  This is the order in which experimenters (and sane MPI
+ * launchers) assign sockets, and the order the paper describes for
+ * Longs runs.
+ */
+std::vector<int> preferredSocketOrder(const Topology &topo);
+
+/** Where one rank lives and how its memory behaves. */
+struct RankBinding
+{
+    int core = 0;
+    bool pinned = false;
+    MemPolicy policy = MemPolicy::Default;
+
+    /** Node its pages are bound to (Membind only). */
+    int membindNode = 0;
+};
+
+/**
+ * A complete placement of `ranks` MPI tasks on a machine.
+ */
+class Placement
+{
+  public:
+    /**
+     * Build a placement; returns std::nullopt when the option cannot
+     * host `ranks` tasks (e.g. one-per-socket with more ranks than
+     * sockets) -- the "-" cells of the paper's tables.
+     */
+    static std::optional<Placement>
+    create(const MachineConfig &cfg, const Topology &topo,
+           const NumactlOption &option, int ranks);
+
+    /** Number of ranks placed. */
+    int ranks() const { return static_cast<int>(bindings_.size()); }
+
+    /** Binding of rank `r`. */
+    const RankBinding &binding(int r) const;
+
+    /** The option this placement realizes. */
+    const NumactlOption &option() const { return option_; }
+
+    /**
+     * NUMA spread of rank `r`'s private memory traffic, as fractions
+     * per node (sums to 1).
+     */
+    std::vector<NodeFraction> memorySpread(int rank) const;
+
+    /**
+     * Node hosting the shared-memory communication buffer for
+     * messages sent by `rank`.
+     */
+    int commBufferNode(int rank) const;
+
+    /** Average memory latency rank `r` sees, for diagnostics. */
+    SimTime averageMemoryLatency(const Machine &m, int rank) const;
+
+    /**
+     * Scheduler-drift fraction of this placement (0 when pinned or
+     * fully loaded).  Cost models charge a compute-side migration
+     * cost proportional to it.
+     */
+    double driftFraction() const { return driftFraction_; }
+
+  private:
+    Placement(const MachineConfig &cfg, NumactlOption option);
+
+    MachineConfig cfg_;
+    NumactlOption option_;
+    std::vector<RankBinding> bindings_;
+    std::vector<int> socketOrder_;
+    double driftFraction_ = 0.0;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_AFFINITY_PLACEMENT_HH

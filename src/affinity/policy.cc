@@ -1,0 +1,46 @@
+#include "affinity/policy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::string
+memPolicyName(MemPolicy policy)
+{
+    switch (policy) {
+      case MemPolicy::Default:
+        return "default";
+      case MemPolicy::LocalAlloc:
+        return "localalloc";
+      case MemPolicy::Membind:
+        return "membind";
+      case MemPolicy::Interleave:
+        return "interleave";
+    }
+    MCSCOPE_PANIC("bad MemPolicy");
+}
+
+double
+schedulerDriftFraction(int ranks, int total_cores, int sockets)
+{
+    MCSCOPE_ASSERT(total_cores > 0 && ranks > 0, "bad drift query");
+    if (sockets <= 1)
+        return 0.0;
+    // The scheduler migrates tasks toward idle *sockets*; once every
+    // socket has work, pages stay warm where they were first touched.
+    // This matches the paper's tables: Default trails LocalAlloc at
+    // partial load (4 tasks on Longs) but matches it when the machine
+    // is full (8 and 16 tasks on Longs, and everything on DMZ).
+    (void)total_cores;
+    // A lone task never gets rebalanced -- there is no competing load
+    // to even out -- so single-rank baselines run clean.
+    if (ranks <= 1)
+        return 0.0;
+    double idle_sockets =
+        std::max(0, sockets - std::min(ranks, sockets));
+    return 0.12 * idle_sockets / sockets;
+}
+
+} // namespace mcscope

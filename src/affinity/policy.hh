@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Memory placement policies: the decision space of Linux numactl as
+ * used in the paper (Section 2.1 and Table 5).
+ */
+
+#ifndef MCSCOPE_AFFINITY_POLICY_HH
+#define MCSCOPE_AFFINITY_POLICY_HH
+
+#include <string>
+
+namespace mcscope {
+
+/**
+ * Where a task's memory pages land.
+ *
+ * - Default:    first-touch where the task starts, but without a CPU
+ *               binding the scheduler may migrate the task away from
+ *               its pages ("scheduler drift").
+ * - LocalAlloc: numactl --localalloc; pages on the task's own socket.
+ * - Membind:    numactl --membind; pages forced onto an explicitly
+ *               enumerated node which may not match where the task
+ *               actually runs (the pathology the paper observed).
+ * - Interleave: numactl --interleave=all; pages round-robin across
+ *               every node.
+ */
+enum class MemPolicy
+{
+    Default,
+    LocalAlloc,
+    Membind,
+    Interleave,
+};
+
+/** Human-readable policy name. */
+std::string memPolicyName(MemPolicy policy);
+
+/**
+ * Scheduler-drift fraction for unpinned tasks: the fraction of a
+ * task's accesses that effectively become remote because the scheduler
+ * moved it away from its first-touch pages.  Highest when the machine
+ * is partially loaded (idle cores invite migration), near zero when
+ * every core is busy.
+ *
+ * @param ranks        number of runnable tasks.
+ * @param total_cores  cores in the machine.
+ * @param sockets      sockets in the machine.
+ */
+double schedulerDriftFraction(int ranks, int total_cores, int sockets);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_AFFINITY_POLICY_HH

@@ -1,0 +1,128 @@
+#include "apps/md/amber.hh"
+
+#include <cmath>
+
+#include "kernels/fft.hh"
+#include "machine/cache.hh"
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::string
+mdTechniqueName(MdTechnique technique)
+{
+    switch (technique) {
+      case MdTechnique::Pme:
+        return "PME";
+      case MdTechnique::Gb:
+        return "GB";
+    }
+    MCSCOPE_PANIC("bad MdTechnique");
+}
+
+std::vector<AmberBenchmark>
+amberBenchmarks()
+{
+    // Table 6 of the paper.
+    return {
+        {"dhfr", 22930, MdTechnique::Pme, 64, 100},
+        {"factor_ix", 90906, MdTechnique::Pme, 128, 100},
+        {"gb_cox2", 18056, MdTechnique::Gb, 0, 100},
+        {"gb_mb", 2492, MdTechnique::Gb, 0, 100},
+        {"JAC", 23558, MdTechnique::Pme, 64, 100},
+    };
+}
+
+AmberBenchmark
+amberBenchmarkByName(const std::string &name)
+{
+    for (const AmberBenchmark &b : amberBenchmarks()) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("unknown AMBER benchmark '", name, "'");
+}
+
+AmberWorkload::AmberWorkload(AmberBenchmark bench)
+    : bench_(std::move(bench))
+{
+    MCSCOPE_ASSERT(bench_.atoms > 0 && bench_.steps > 0,
+                   "bad AMBER benchmark");
+}
+
+uint64_t
+AmberWorkload::iterations() const
+{
+    return static_cast<uint64_t>(bench_.steps);
+}
+
+std::vector<Prim>
+AmberWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                    int rank) const
+{
+    const int p = rt.ranks();
+    const double atoms = bench_.atoms;
+    const double l2 = machine.config().l2Bytes;
+    RankProgram prog(machine, rt, rank);
+
+    if (bench_.technique == MdTechnique::Pme) {
+        // --- Direct space: ~450 neighbors within the 9 A cutoff. ---
+        const double half_pairs = atoms * 225.0 / p;
+        const double ws = atoms / p * 380.0; // coords + neighbor lists
+        const double boost = cacheResidencyBoost(ws, l2, 0.10);
+        prog.compute(half_pairs * 60.0, std::min(1.0, 0.45 * boost));
+        // Neighbor-list coordinate gathers are dependent loads with
+        // limited miss concurrency, like NAS CG's SpMV gather.
+        prog.memoryCapped(half_pairs * 2.0 * 8.0 * 0.6, 0.4);
+        prog.memory(atoms / p * 200.0);
+
+        // --- Pairlist building, bonded terms + integration. ---
+        // sander 8 is a replicated-data code: every rank walks the
+        // full coordinate/force arrays for list building, bonded
+        // terms, and integration.  This O(N)-per-rank slice is the
+        // Amdahl term that saturates PME speedup near 8x at 16 cores
+        // (Table 8).
+        prog.compute(atoms * 400.0, 0.50);
+        prog.memory(atoms * 400.0);
+
+        // --- PME reciprocal space (the Table 7 "FFT" phase). ---
+        const double g3 = std::pow(static_cast<double>(bench_.pmeGrid),
+                                   3.0);
+        const double fft_flops = 2.0 * 3.0 * fftFlops(g3) / 3.0 / p;
+        const double spread_gather = atoms * 64.0 * 10.0 * 2.0 / p;
+        prog.compute(fft_flops + spread_gather, 0.50, tags::kFft);
+        prog.memory((g3 * 16.0 * 6.0 + atoms * 64.0 * 8.0 * 2.0) / p,
+                    tags::kFft);
+        if (p > 1) {
+            // Grid transpose, forward + inverse.
+            appendAllToAll(rt, prog.prims(), rank, 2.0 * g3 * 16.0 / p / p,
+                           0x900000ULL, tags::kFft);
+        }
+    } else {
+        // --- Generalized Born: O(N^2/2) pairwise, compute-bound. ---
+        const double ws = atoms / p * 120.0;
+        const double boost = cacheResidencyBoost(ws, l2, 0.12);
+        prog.compute(atoms * atoms / 2.0 * 35.0 / p,
+                     std::min(1.0, 0.62 * boost));
+        prog.memory(atoms * 64.0 * 3.0 / p);
+        // Replicated-data O(N) integration -- negligible next to the
+        // O(N^2) force work, which is why GB keeps scaling where PME
+        // stalls.
+        prog.compute(atoms * 80.0, 0.50);
+    }
+
+    if (p > 1) {
+        // Coordinate/force exchange with spatial neighbors plus the
+        // per-step energy reduction.
+        appendRingShift(rt, prog.prims(), rank, atoms / p * 24.0 * 0.2,
+                        0xA00000ULL, tags::kComm);
+        // Replicated-data force allreduce of the full force array
+        // every step -- the communication wall of sander 8.
+        appendAllReduce(rt, prog.prims(), rank, atoms * 24.0,
+                        0xB00000ULL, tags::kComm);
+    }
+    return prog.take();
+}
+
+} // namespace mcscope

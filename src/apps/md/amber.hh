@@ -1,0 +1,68 @@
+/**
+ * @file
+ * AMBER sander benchmark models: the five Table 6 benchmarks (dhfr,
+ * factor_ix, gb_cox2, gb_mb, JAC) with Particle-Mesh-Ewald or
+ * Generalized-Born dynamics, behind Tables 7-9 of the paper.
+ */
+
+#ifndef MCSCOPE_APPS_MD_AMBER_HH
+#define MCSCOPE_APPS_MD_AMBER_HH
+
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** MD technique of an AMBER benchmark. */
+enum class MdTechnique
+{
+    Pme, ///< explicit solvent, FFT-based reciprocal space
+    Gb,  ///< implicit solvent, O(N^2) pairwise
+};
+
+/** Technique display name. */
+std::string mdTechniqueName(MdTechnique technique);
+
+/** One AMBER benchmark (a Table 6 column). */
+struct AmberBenchmark
+{
+    std::string name;
+    int atoms = 0;
+    MdTechnique technique = MdTechnique::Pme;
+    int pmeGrid = 64; ///< PME mesh edge (power of two)
+    int steps = 100;  ///< MD steps per run
+};
+
+/** The Table 6 benchmark set in paper order. */
+std::vector<AmberBenchmark> amberBenchmarks();
+
+/** Look up a Table 6 benchmark by name (fatal if unknown). */
+AmberBenchmark amberBenchmarkByName(const std::string &name);
+
+/**
+ * sander cost model: per MD step, a cutoff direct-space pass, bonded
+ * terms + integration, the PME reciprocal pass (tagged tags::kFft so
+ * the harness can report the Table 7 FFT-phase time), or the GB
+ * pairwise pass; plus coordinate/force exchange.
+ */
+class AmberWorkload : public LoopWorkload
+{
+  public:
+    explicit AmberWorkload(AmberBenchmark bench);
+
+    std::string name() const override { return "amber." + bench_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    const AmberBenchmark &benchmark() const { return bench_; }
+
+  private:
+    AmberBenchmark bench_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_AMBER_HH

@@ -1,0 +1,120 @@
+#include "apps/md/cells.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+CellList::CellList(double box_length, double cutoff)
+    : box_(box_length), cutoff_(cutoff)
+{
+    MCSCOPE_ASSERT(box_length > 0.0 && cutoff > 0.0,
+                   "bad cell list geometry");
+    MCSCOPE_ASSERT(cutoff <= box_length / 2.0,
+                   "cutoff exceeds half the box");
+    edge_ = std::max(1, static_cast<int>(std::floor(box_ / cutoff_)));
+    cells_.resize(static_cast<size_t>(edge_) * edge_ * edge_);
+}
+
+Vec3
+CellList::minimumImage(const Vec3 &a, const Vec3 &b) const
+{
+    Vec3 d = vecSub(a, b);
+    for (int k = 0; k < 3; ++k) {
+        d[k] -= box_ * std::round(d[k] / box_);
+    }
+    return d;
+}
+
+int
+CellList::cellIndexOf(const Vec3 &p) const
+{
+    int idx[3];
+    for (int k = 0; k < 3; ++k) {
+        double w = p[k] - box_ * std::floor(p[k] / box_);
+        int c = static_cast<int>(w / box_ * edge_);
+        if (c >= edge_)
+            c = edge_ - 1;
+        if (c < 0)
+            c = 0;
+        idx[k] = c;
+    }
+    return (idx[2] * edge_ + idx[1]) * edge_ + idx[0];
+}
+
+void
+CellList::build(const std::vector<Vec3> &positions)
+{
+    for (auto &c : cells_)
+        c.clear();
+    for (size_t i = 0; i < positions.size(); ++i)
+        cells_[cellIndexOf(positions[i])].push_back(i);
+}
+
+void
+CellList::forEachPair(
+    const std::vector<Vec3> &positions,
+    const std::function<void(size_t, size_t, const Vec3 &, double)> &fn)
+    const
+{
+    const double rc2 = cutoff_ * cutoff_;
+    const int e = edge_;
+    auto wrap = [e](int v) { return ((v % e) + e) % e; };
+    auto index_at = [&](int x, int y, int z) {
+        return (static_cast<size_t>(wrap(z)) * e + wrap(y)) * e + wrap(x);
+    };
+
+    // Pairs within one cell: ordered index rule.  Pairs across cells:
+    // visit each unordered cell pair (home < other) exactly once --
+    // wrap-around on small grids can alias several offsets to the
+    // same neighbor, so deduplicate by cell index.
+    std::vector<size_t> seen;
+    for (int z = 0; z < e; ++z) {
+        for (int y = 0; y < e; ++y) {
+            for (int x = 0; x < e; ++x) {
+                size_t hi = index_at(x, y, z);
+                const auto &home = cells_[hi];
+                for (size_t a = 0; a < home.size(); ++a) {
+                    for (size_t b = a + 1; b < home.size(); ++b) {
+                        Vec3 dr = minimumImage(positions[home[a]],
+                                               positions[home[b]]);
+                        double r2 = vecDot(dr, dr);
+                        if (r2 < rc2 && r2 > 0.0)
+                            fn(home[a], home[b], dr, r2);
+                    }
+                }
+                seen.clear();
+                for (int dz = -1; dz <= 1; ++dz) {
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        for (int dx = -1; dx <= 1; ++dx) {
+                            if (dx == 0 && dy == 0 && dz == 0)
+                                continue;
+                            size_t oi = index_at(x + dx, y + dy, z + dz);
+                            if (oi <= hi)
+                                continue; // handled from the other side
+                            bool dup = false;
+                            for (size_t s : seen)
+                                dup = dup || s == oi;
+                            if (dup)
+                                continue;
+                            seen.push_back(oi);
+                            const auto &other = cells_[oi];
+                            for (size_t i : home) {
+                                for (size_t j : other) {
+                                    Vec3 dr = minimumImage(positions[i],
+                                                           positions[j]);
+                                    double r2 = vecDot(dr, dr);
+                                    if (r2 < rc2 && r2 > 0.0)
+                                        fn(i, j, dr, r2);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace mcscope

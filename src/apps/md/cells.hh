@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Periodic cell lists for O(N) short-range neighbor finding, the
+ * spatial-decomposition workhorse of LAMMPS-style MD.
+ */
+
+#ifndef MCSCOPE_APPS_MD_CELLS_HH
+#define MCSCOPE_APPS_MD_CELLS_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "apps/md/forcefield.hh"
+
+namespace mcscope {
+
+/**
+ * Uniform cell grid over a cubic periodic box.
+ *
+ * Cells are at least `cutoff` wide, so all pairs within the cutoff
+ * are found by scanning each cell's 27-neighborhood.
+ */
+class CellList
+{
+  public:
+    /**
+     * @param box_length cubic box edge.
+     * @param cutoff     interaction range (must be <= box/2).
+     */
+    CellList(double box_length, double cutoff);
+
+    /** Rebuild from particle positions (wrapped into the box). */
+    void build(const std::vector<Vec3> &positions);
+
+    /** Cells per edge. */
+    int cellsPerEdge() const { return edge_; }
+
+    /**
+     * Visit each unordered pair (i, j) with squared distance below
+     * cutoff^2 under the minimum-image convention.  The callback
+     * receives (i, j, dr = r_i - r_j, r2).
+     */
+    void forEachPair(
+        const std::vector<Vec3> &positions,
+        const std::function<void(size_t, size_t, const Vec3 &, double)>
+            &fn) const;
+
+    /** Minimum-image displacement a - b in this box. */
+    Vec3 minimumImage(const Vec3 &a, const Vec3 &b) const;
+
+  private:
+    int cellIndexOf(const Vec3 &p) const;
+
+    double box_;
+    double cutoff_;
+    int edge_;
+    std::vector<std::vector<size_t>> cells_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_CELLS_HH

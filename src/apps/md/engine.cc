@@ -1,0 +1,172 @@
+#include "apps/md/engine.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+
+MdSystem
+makeMdSystem(size_t n, double density, MdStyle style, uint64_t seed,
+             size_t chain_len)
+{
+    MCSCOPE_ASSERT(n > 0 && density > 0.0, "bad MD system shape");
+    MdSystem sys;
+    sys.style = style;
+    sys.box = std::cbrt(static_cast<double>(n) / density);
+
+    // Simple-cubic lattice with jitter keeps particles well separated.
+    size_t per_edge = static_cast<size_t>(
+        std::ceil(std::cbrt(static_cast<double>(n))));
+    double spacing = sys.box / static_cast<double>(per_edge);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+        size_t x = i % per_edge;
+        size_t y = (i / per_edge) % per_edge;
+        size_t z = i / (per_edge * per_edge);
+        Vec3 p = {(x + 0.5) * spacing, (y + 0.5) * spacing,
+                  (z + 0.5) * spacing};
+        for (int k = 0; k < 3; ++k)
+            p[k] += 0.05 * spacing * (rng.uniform() - 0.5);
+        sys.positions.push_back(p);
+        sys.velocities.push_back({0.05 * rng.gaussian(),
+                                  0.05 * rng.gaussian(),
+                                  0.05 * rng.gaussian()});
+    }
+
+    // Remove net momentum so the box does not drift.
+    Vec3 mom = {0.0, 0.0, 0.0};
+    for (const Vec3 &v : sys.velocities)
+        mom = vecAdd(mom, v);
+    mom = vecScale(mom, 1.0 / static_cast<double>(n));
+    for (Vec3 &v : sys.velocities)
+        v = vecSub(v, mom);
+
+    if (style == MdStyle::Chain) {
+        sys.lj.cutoff = std::pow(2.0, 1.0 / 6.0); // repulsive-only LJ
+        for (size_t i = 0; i + 1 < n; ++i) {
+            if ((i + 1) % chain_len != 0)
+                sys.bonds.emplace_back(i, i + 1);
+        }
+        sys.bond.r0 = spacing;
+    }
+    if (style == MdStyle::Metal) {
+        sys.eamR0 = spacing;
+    }
+    return sys;
+}
+
+double
+computeForces(const MdSystem &sys, std::vector<Vec3> &forces)
+{
+    const size_t n = sys.size();
+    forces.assign(n, {0.0, 0.0, 0.0});
+    double potential = 0.0;
+
+    CellList cl(sys.box, sys.lj.cutoff);
+    cl.build(sys.positions);
+
+    if (sys.style == MdStyle::Metal) {
+        // Pass 1: accumulate electron density per atom.
+        std::vector<double> rho(n, 0.0);
+        cl.forEachPair(sys.positions,
+                       [&](size_t i, size_t j, const Vec3 &, double r2) {
+                           double r = std::sqrt(r2);
+                           double d = eamDensity(sys.eamBeta, sys.eamR0,
+                                                 r);
+                           rho[i] += d;
+                           rho[j] += d;
+                       });
+        for (size_t i = 0; i < n; ++i)
+            potential += eamEmbedEnergy(sys.eamC, rho[i] + 1e-12);
+        // Pass 2: embedding forces + LJ-ish core repulsion.
+        cl.forEachPair(
+            sys.positions,
+            [&](size_t i, size_t j, const Vec3 &dr, double r2) {
+                double r = std::sqrt(r2);
+                double dens = eamDensity(sys.eamBeta, sys.eamR0, r);
+                double dfi = eamEmbedDerivative(sys.eamC, rho[i] + 1e-12);
+                double dfj = eamEmbedDerivative(sys.eamC, rho[j] + 1e-12);
+                // d rho / d r = -beta * dens; force along dr.
+                double fmag = -(dfi + dfj) * (-sys.eamBeta * dens) / r;
+                double pair_f = ljForceOverR(sys.lj, r2) * 0.1;
+                potential += 0.1 * ljEnergy(sys.lj, r2);
+                Vec3 f = vecScale(dr, fmag / r + pair_f);
+                forces[i] = vecAdd(forces[i], f);
+                forces[j] = vecSub(forces[j], f);
+            });
+    } else {
+        cl.forEachPair(
+            sys.positions,
+            [&](size_t i, size_t j, const Vec3 &dr, double r2) {
+                potential += ljEnergy(sys.lj, r2);
+                Vec3 f = vecScale(dr, ljForceOverR(sys.lj, r2));
+                forces[i] = vecAdd(forces[i], f);
+                forces[j] = vecSub(forces[j], f);
+            });
+    }
+
+    for (const auto &[i, j] : sys.bonds) {
+        Vec3 dr = cl.minimumImage(sys.positions[i], sys.positions[j]);
+        double r = vecNorm(dr);
+        potential += bondEnergy(sys.bond, r);
+        Vec3 f = vecScale(dr, bondForceOverR(sys.bond, r));
+        forces[i] = vecAdd(forces[i], f);
+        forces[j] = vecSub(forces[j], f);
+    }
+    return potential;
+}
+
+MdEnergies
+measureEnergies(const MdSystem &sys)
+{
+    std::vector<Vec3> forces;
+    MdEnergies e;
+    e.potential = computeForces(sys, forces);
+    for (const Vec3 &v : sys.velocities)
+        e.kinetic += 0.5 * vecDot(v, v);
+    return e;
+}
+
+MdEnergies
+integrate(MdSystem &sys, double dt, int steps)
+{
+    MCSCOPE_ASSERT(dt > 0.0 && steps > 0, "bad integration request");
+    const size_t n = sys.size();
+    std::vector<Vec3> forces;
+    computeForces(sys, forces);
+
+    MdEnergies energies;
+    for (int s = 0; s < steps; ++s) {
+        for (size_t i = 0; i < n; ++i) {
+            sys.velocities[i] =
+                vecAdd(sys.velocities[i], vecScale(forces[i], 0.5 * dt));
+            sys.positions[i] =
+                vecAdd(sys.positions[i], vecScale(sys.velocities[i], dt));
+        }
+        energies.potential = computeForces(sys, forces);
+        energies.kinetic = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            sys.velocities[i] =
+                vecAdd(sys.velocities[i], vecScale(forces[i], 0.5 * dt));
+            energies.kinetic += 0.5 * vecDot(sys.velocities[i],
+                                             sys.velocities[i]);
+        }
+    }
+    return energies;
+}
+
+double
+averageNeighborCount(const MdSystem &sys)
+{
+    CellList cl(sys.box, sys.lj.cutoff);
+    cl.build(sys.positions);
+    size_t pairs = 0;
+    cl.forEachPair(sys.positions,
+                   [&](size_t, size_t, const Vec3 &, double) { ++pairs; });
+    return 2.0 * static_cast<double>(pairs) /
+           static_cast<double>(sys.size());
+}
+
+} // namespace mcscope

@@ -1,0 +1,95 @@
+#include "apps/md/forcefield.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+Vec3
+vecSub(const Vec3 &a, const Vec3 &b)
+{
+    return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+Vec3
+vecAdd(const Vec3 &a, const Vec3 &b)
+{
+    return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+
+Vec3
+vecScale(const Vec3 &a, double s)
+{
+    return {a[0] * s, a[1] * s, a[2] * s};
+}
+
+double
+vecDot(const Vec3 &a, const Vec3 &b)
+{
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+double
+vecNorm(const Vec3 &a)
+{
+    return std::sqrt(vecDot(a, a));
+}
+
+double
+ljEnergy(const LjParams &p, double r2)
+{
+    MCSCOPE_ASSERT(r2 > 0.0, "coincident particles");
+    if (r2 >= p.cutoff * p.cutoff)
+        return 0.0;
+    double s2 = p.sigma * p.sigma / r2;
+    double s6 = s2 * s2 * s2;
+    return 4.0 * p.epsilon * (s6 * s6 - s6);
+}
+
+double
+ljForceOverR(const LjParams &p, double r2)
+{
+    MCSCOPE_ASSERT(r2 > 0.0, "coincident particles");
+    if (r2 >= p.cutoff * p.cutoff)
+        return 0.0;
+    double s2 = p.sigma * p.sigma / r2;
+    double s6 = s2 * s2 * s2;
+    return 24.0 * p.epsilon * (2.0 * s6 * s6 - s6) / r2;
+}
+
+double
+bondEnergy(const BondParams &p, double r)
+{
+    double d = r - p.r0;
+    return 0.5 * p.k * d * d;
+}
+
+double
+bondForceOverR(const BondParams &p, double r)
+{
+    MCSCOPE_ASSERT(r > 0.0, "zero-length bond");
+    return -p.k * (r - p.r0) / r;
+}
+
+double
+eamEmbedEnergy(double c, double rho)
+{
+    MCSCOPE_ASSERT(rho >= 0.0, "negative electron density");
+    return -c * std::sqrt(rho);
+}
+
+double
+eamEmbedDerivative(double c, double rho)
+{
+    MCSCOPE_ASSERT(rho > 0.0, "embedding derivative needs rho > 0");
+    return -0.5 * c / std::sqrt(rho);
+}
+
+double
+eamDensity(double beta, double r0, double r)
+{
+    return std::exp(-beta * (r - r0));
+}
+
+} // namespace mcscope

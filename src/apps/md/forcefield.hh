@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Force-field primitives for the mini molecular-dynamics engine:
+ * Lennard-Jones pairs, harmonic bonds (polymer chains), and an
+ * EAM-style embedding term (metals).
+ */
+
+#ifndef MCSCOPE_APPS_MD_FORCEFIELD_HH
+#define MCSCOPE_APPS_MD_FORCEFIELD_HH
+
+#include <array>
+
+namespace mcscope {
+
+/** A 3-vector. */
+using Vec3 = std::array<double, 3>;
+
+/** Component-wise helpers. */
+Vec3 vecSub(const Vec3 &a, const Vec3 &b);
+Vec3 vecAdd(const Vec3 &a, const Vec3 &b);
+Vec3 vecScale(const Vec3 &a, double s);
+double vecDot(const Vec3 &a, const Vec3 &b);
+double vecNorm(const Vec3 &a);
+
+/** Lennard-Jones 6-12 parameters. */
+struct LjParams
+{
+    double epsilon = 1.0;
+    double sigma = 1.0;
+    double cutoff = 2.5;
+};
+
+/**
+ * LJ pair energy at squared distance r2 (no cutoff shift).
+ * Returns 0 beyond the cutoff.
+ */
+double ljEnergy(const LjParams &p, double r2);
+
+/**
+ * LJ scalar force magnitude divided by r (so force vector =
+ * ljForceOverR * dr).  Zero beyond the cutoff.
+ */
+double ljForceOverR(const LjParams &p, double r2);
+
+/** Harmonic bond parameters. */
+struct BondParams
+{
+    double k = 100.0;
+    double r0 = 1.0;
+};
+
+/** Harmonic bond energy at distance r. */
+double bondEnergy(const BondParams &p, double r);
+
+/** Harmonic bond force magnitude / r. */
+double bondForceOverR(const BondParams &p, double r);
+
+/**
+ * EAM-style embedding energy F(rho) = -C * sqrt(rho), the standard
+ * Finnis-Sinclair form.
+ */
+double eamEmbedEnergy(double c, double rho);
+
+/** d F / d rho for the embedding term. */
+double eamEmbedDerivative(double c, double rho);
+
+/** Pair-density contribution rho(r) = exp(-beta (r - r0)). */
+double eamDensity(double beta, double r0, double r);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_FORCEFIELD_HH

@@ -1,0 +1,34 @@
+#include "apps/md/gb.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+double
+gbEnergy(const GbParams &params, const std::vector<Vec3> &positions,
+         const std::vector<double> &charges)
+{
+    MCSCOPE_ASSERT(positions.size() == charges.size(),
+                   "positions/charges mismatch");
+    const size_t n = positions.size();
+    const double rr = params.bornRadius * params.bornRadius;
+    double energy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        // Self term.
+        energy -= params.dielectricScale * charges[i] * charges[i] /
+                  params.bornRadius;
+        for (size_t j = i + 1; j < n; ++j) {
+            Vec3 d = vecSub(positions[i], positions[j]);
+            double r2 = vecDot(d, d);
+            double fgb =
+                std::sqrt(r2 + rr * std::exp(-r2 / (4.0 * rr)));
+            energy -= 2.0 * params.dielectricScale * charges[i] *
+                      charges[j] / fgb;
+        }
+    }
+    return energy;
+}
+
+} // namespace mcscope

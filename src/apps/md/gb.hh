@@ -1,0 +1,34 @@
+/**
+ * @file
+ * A functional Generalized-Born implicit-solvent energy: the O(N^2)
+ * pairwise computation that makes AMBER's GB benchmarks compute-bound
+ * (and therefore near-linearly scalable in Table 8).
+ */
+
+#ifndef MCSCOPE_APPS_MD_GB_HH
+#define MCSCOPE_APPS_MD_GB_HH
+
+#include <vector>
+
+#include "apps/md/forcefield.hh"
+
+namespace mcscope {
+
+/** GB model constants. */
+struct GbParams
+{
+    double dielectricScale = 0.5; ///< (1/eps_in - 1/eps_out) / 2
+    double bornRadius = 1.5;      ///< uniform effective Born radius
+};
+
+/**
+ * Still-style GB polarization energy:
+ * E = -scale * sum_{i,j} q_i q_j / f_gb(r_ij),
+ * f_gb = sqrt(r^2 + R_i R_j exp(-r^2 / (4 R_i R_j))).
+ */
+double gbEnergy(const GbParams &params, const std::vector<Vec3> &positions,
+                const std::vector<double> &charges);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_GB_HH

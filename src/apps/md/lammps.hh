@@ -1,0 +1,59 @@
+/**
+ * @file
+ * LAMMPS benchmark models: the three 32,000-atom, 100-step benchmarks
+ * of Section 4.1 (Lennard-Jones liquid, polymer chain, EAM metal),
+ * behind Tables 10-11 of the paper.
+ */
+
+#ifndef MCSCOPE_APPS_MD_LAMMPS_HH
+#define MCSCOPE_APPS_MD_LAMMPS_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/md/engine.hh"
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** One LAMMPS benchmark configuration. */
+struct LammpsBenchmark
+{
+    std::string name;
+    MdStyle style = MdStyle::LennardJones;
+    int atoms = 32000;
+    int steps = 100;
+};
+
+/** The paper's LJ / chain / EAM set. */
+std::vector<LammpsBenchmark> lammpsBenchmarks();
+
+/** Look up by name ("lj", "chain", "eam"); fatal if unknown. */
+LammpsBenchmark lammpsBenchmarkByName(const std::string &name);
+
+/**
+ * LAMMPS cost model with spatial decomposition: per step, a
+ * neighbor-based force pass (two passes for EAM), ghost-atom halo
+ * exchange, and the per-step thermodynamic reduction.  The chain
+ * benchmark's per-rank working set collapses into L2 as ranks are
+ * added, reproducing its super-linear speedup (Table 10).
+ */
+class LammpsWorkload : public LoopWorkload
+{
+  public:
+    explicit LammpsWorkload(LammpsBenchmark bench);
+
+    std::string name() const override { return "lammps." + bench_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    const LammpsBenchmark &benchmark() const { return bench_; }
+
+  private:
+    LammpsBenchmark bench_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_LAMMPS_HH

@@ -1,0 +1,74 @@
+#include "apps/md/pme.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::vector<double>
+pmeSpreadCharges(const PmeParams &params, const std::vector<Vec3> &positions,
+                 const std::vector<double> &charges)
+{
+    MCSCOPE_ASSERT(positions.size() == charges.size(),
+                   "positions/charges mismatch");
+    const size_t g = params.grid;
+    MCSCOPE_ASSERT(g > 0 && (g & (g - 1)) == 0,
+                   "PME grid must be a power of two");
+    std::vector<double> mesh(g * g * g, 0.0);
+    for (size_t i = 0; i < positions.size(); ++i) {
+        size_t idx[3];
+        for (int k = 0; k < 3; ++k) {
+            double w = positions[i][k] / params.box;
+            w -= std::floor(w);
+            size_t c = static_cast<size_t>(w * g);
+            if (c >= g)
+                c = g - 1;
+            idx[k] = c;
+        }
+        mesh[(idx[2] * g + idx[1]) * g + idx[0]] += charges[i];
+    }
+    return mesh;
+}
+
+double
+pmeReciprocalEnergy(const PmeParams &params,
+                    const std::vector<Vec3> &positions,
+                    const std::vector<double> &charges)
+{
+    const size_t g = params.grid;
+    std::vector<double> mesh = pmeSpreadCharges(params, positions,
+                                                charges);
+    std::vector<Complex> rho(mesh.begin(), mesh.end());
+    fft3d(rho, g, g, g, /*inverse=*/false);
+
+    // E = (1/2V) sum_{k != 0} 4 pi / k^2 exp(-k^2 / 4 beta^2) |rho_k|^2
+    const double volume = params.box * params.box * params.box;
+    const double two_pi = 2.0 * std::numbers::pi;
+    double energy = 0.0;
+    for (size_t kz = 0; kz < g; ++kz) {
+        for (size_t ky = 0; ky < g; ++ky) {
+            for (size_t kx = 0; kx < g; ++kx) {
+                if (kx == 0 && ky == 0 && kz == 0)
+                    continue;
+                auto freq = [&](size_t k) {
+                    double f = static_cast<double>(k);
+                    if (f > g / 2.0)
+                        f -= static_cast<double>(g);
+                    return two_pi * f / params.box;
+                };
+                double k2 = freq(kx) * freq(kx) + freq(ky) * freq(ky) +
+                            freq(kz) * freq(kz);
+                double green = 4.0 * std::numbers::pi / k2 *
+                               std::exp(-k2 /
+                                        (4.0 * params.beta * params.beta));
+                const Complex &c = rho[(kz * g + ky) * g + kx];
+                energy += green * std::norm(c);
+            }
+        }
+    }
+    return energy / (2.0 * volume);
+}
+
+} // namespace mcscope

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A functional mini Particle-Mesh-Ewald reciprocal-space pass: spread
+ * charges to a regular grid, 3-D FFT, apply the reciprocal-space
+ * Green's function, inverse FFT, gather energies.  This is the
+ * FFT-bearing phase of AMBER's sander that Tables 7 and 9 time.
+ */
+
+#ifndef MCSCOPE_APPS_MD_PME_HH
+#define MCSCOPE_APPS_MD_PME_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/md/forcefield.hh"
+#include "kernels/fft.hh"
+
+namespace mcscope {
+
+/** PME mesh parameters. */
+struct PmeParams
+{
+    size_t grid = 32;    ///< points per edge (power of two)
+    double box = 1.0;    ///< cubic box edge
+    double beta = 3.0;   ///< Ewald splitting parameter
+};
+
+/**
+ * Reciprocal-space energy of a point-charge set (nearest-grid-point
+ * spreading; adequate for validating conservation of total charge and
+ * scaling behaviour).
+ */
+double pmeReciprocalEnergy(const PmeParams &params,
+                           const std::vector<Vec3> &positions,
+                           const std::vector<double> &charges);
+
+/**
+ * Spread charges to the mesh (nearest grid point).  Exposed for
+ * tests: the mesh sum must equal the total charge.
+ */
+std::vector<double> pmeSpreadCharges(const PmeParams &params,
+                                     const std::vector<Vec3> &positions,
+                                     const std::vector<double> &charges);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_MD_PME_HH

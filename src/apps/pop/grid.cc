@@ -1,0 +1,81 @@
+#include "apps/pop/grid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+void
+applyFivePoint(const Field2d &in, Field2d &out, double center, double w)
+{
+    MCSCOPE_ASSERT(in.nx == out.nx && in.ny == out.ny,
+                   "stencil field shape mismatch");
+    const size_t nx = in.nx;
+    const size_t ny = in.ny;
+    for (size_t y = 0; y < ny; ++y) {
+        size_t yn = (y + 1 < ny) ? y + 1 : y;
+        size_t ys = (y > 0) ? y - 1 : y;
+        for (size_t x = 0; x < nx; ++x) {
+            size_t xe = (x + 1) % nx;
+            size_t xw = (x + nx - 1) % nx;
+            out.at(x, y) = center * in.at(x, y) +
+                           w * (in.at(xe, y) + in.at(xw, y) +
+                                in.at(x, yn) + in.at(x, ys));
+        }
+    }
+}
+
+BlockDecomposition
+BlockDecomposition::make(size_t nx, size_t ny, int p)
+{
+    MCSCOPE_ASSERT(p >= 1 && nx > 0 && ny > 0, "bad decomposition");
+    BlockDecomposition d;
+    d.nx = nx;
+    d.ny = ny;
+    // Near-square factorization: largest divisor <= sqrt(p).
+    int best = 1;
+    for (int f = 1; f * f <= p; ++f) {
+        if (p % f == 0)
+            best = f;
+    }
+    d.pr = best;
+    d.pc = p / best;
+    return d;
+}
+
+double
+BlockDecomposition::localPoints() const
+{
+    return static_cast<double>(nx) * static_cast<double>(ny) /
+           (static_cast<double>(pr) * pc);
+}
+
+double
+BlockDecomposition::haloPoints() const
+{
+    double bx = static_cast<double>(nx) / pc;
+    double by = static_cast<double>(ny) / pr;
+    double halo = 0.0;
+    if (pc > 1)
+        halo += 2.0 * by;
+    if (pr > 1)
+        halo += 2.0 * bx;
+    // Periodic x: even a single process column wraps, but that is
+    // local copying, not communication.
+    return halo;
+}
+
+int
+BlockDecomposition::neighborCount() const
+{
+    int n = 0;
+    if (pc > 1)
+        n += 2;
+    if (pr > 1)
+        n += 2;
+    return n;
+}
+
+} // namespace mcscope

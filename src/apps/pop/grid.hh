@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 2-D structured-grid substrate for the ocean model: block
+ * decomposition over ranks and functional stencil application with
+ * periodic east-west boundaries (a shifted polar grid wraps in
+ * longitude).
+ */
+
+#ifndef MCSCOPE_APPS_POP_GRID_HH
+#define MCSCOPE_APPS_POP_GRID_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mcscope {
+
+/** A dense 2-D field, row-major (y outer, x inner). */
+struct Field2d
+{
+    size_t nx = 0;
+    size_t ny = 0;
+    std::vector<double> data;
+
+    Field2d() = default;
+    Field2d(size_t nx_, size_t ny_, double init = 0.0)
+        : nx(nx_), ny(ny_), data(nx_ * ny_, init)
+    {
+    }
+
+    double &at(size_t x, size_t y) { return data[y * nx + x]; }
+    double at(size_t x, size_t y) const { return data[y * nx + x]; }
+};
+
+/**
+ * Apply the 5-point Laplacian-like operator:
+ * out = center*f + w*(E + W + N + S), periodic in x, clamped in y.
+ */
+void applyFivePoint(const Field2d &in, Field2d &out, double center,
+                    double w);
+
+/** Decomposition of a nx x ny grid over p ranks (pr x pc blocks). */
+struct BlockDecomposition
+{
+    int pr = 1; ///< process rows
+    int pc = 1; ///< process cols
+    size_t nx = 0, ny = 0;
+
+    /** Build a near-square factorization of p. */
+    static BlockDecomposition make(size_t nx, size_t ny, int p);
+
+    /** Local interior points of one rank (balanced blocks). */
+    double localPoints() const;
+
+    /** Halo points exchanged per rank per update (4-neighbor). */
+    double haloPoints() const;
+
+    /** Number of neighbors of a typical rank. */
+    int neighborCount() const;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_POP_GRID_HH

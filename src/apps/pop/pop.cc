@@ -1,0 +1,111 @@
+#include "apps/pop/pop.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/cache.hh"
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+PopConfig
+popX1Config()
+{
+    return {"x1", 320, 384, 40, 50, 200};
+}
+
+PopWorkload::PopWorkload(PopConfig cfg) : cfg_(std::move(cfg))
+{
+    MCSCOPE_ASSERT(cfg_.nx > 0 && cfg_.ny > 0 && cfg_.levels > 0 &&
+                       cfg_.steps > 0,
+                   "bad POP configuration");
+}
+
+uint64_t
+PopWorkload::iterations() const
+{
+    return static_cast<uint64_t>(cfg_.steps);
+}
+
+std::vector<Prim>
+PopWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                  int rank) const
+{
+    const int p = rt.ranks();
+    const BlockDecomposition dec =
+        BlockDecomposition::make(cfg_.nx, cfg_.ny, p);
+    const double pts2d = dec.localPoints();
+    const double pts3d = pts2d * cfg_.levels;
+    const double l2 = machine.config().l2Bytes;
+    RankProgram prog(machine, rt, rank);
+
+    // ------------------------- Baroclinic --------------------------
+    // ~500 flops and ~20 variable sweeps per 3-D point per step.
+    {
+        const double ws = pts3d * 48.0;
+        const double boost = cacheResidencyBoost(ws, l2, 0.10);
+        prog.compute(pts3d * 520.0, std::min(1.0, 0.30 * boost),
+                     tags::kBaroclinic);
+        // Short strided segments (k-level sweeps over 2-D slabs)
+        // keep few misses in flight: the per-core stream runs well
+        // below the controller rate, so two ranks per socket do not
+        // contend (Table 12's linear scaling) while remote pages
+        // hurt badly (Tables 13's membind/interleave spread).
+        prog.memoryCapped(pts3d * 160.0 *
+                              cacheMissFraction(ws, l2 * 8.0),
+                          0.14, tags::kBaroclinic);
+        if (p > 1) {
+            // 3-D halo: perimeter columns of all levels exchanged
+            // with the four grid neighbors (periodic east-west).
+            double bx = static_cast<double>(cfg_.nx) / dec.pc;
+            double by = static_cast<double>(cfg_.ny) / dec.pr;
+            appendGridHalo(rt, prog.prims(), rank, dec.pr, dec.pc,
+                           by * cfg_.levels * 8.0 * 3.0 / 2.0,
+                           bx * cfg_.levels * 8.0 * 3.0 / 2.0,
+                           0xE00000ULL, tags::kBaroclinic);
+        }
+    }
+
+    // ------------------------- Barotropic --------------------------
+    // cfg_.solverIters CG iterations on the 2-D grid, fused.
+    {
+        const double iters = cfg_.solverIters;
+        prog.compute(iters * pts2d * 14.0, 0.12, tags::kBarotropic);
+        // The solver is stall-bound, not bandwidth-bound: short
+        // vectors, dependent reductions, and halo waits hold the
+        // core at ~12% of peak while leaving the memory link mostly
+        // idle -- which is exactly why the paper's barotropic phase
+        // keeps scaling with two ranks per socket (Table 12).
+        prog.memory(iters * pts2d * 8.0 * 0.9,
+                    tags::kBarotropic);
+        if (p > 1) {
+            // Two dot-product allreduces per iteration, latency-bound.
+            SimTime lat = iters * 2.0 *
+                          allReduceLatencyEstimate(rt, rank, 16.0);
+            // Plus the 2-D halo's per-iteration message overheads.
+            int right = (rank + 1) % p;
+            lat += iters * 2.0 *
+                   rt.messageOverhead(rank, right,
+                                      dec.haloPoints() * 8.0);
+            Delay d;
+            d.seconds = lat;
+            d.tag = tags::kBarotropic;
+            prog.prims().push_back(d);
+
+            // Halo volume, fused across the solve.
+            double bx = static_cast<double>(cfg_.nx) / dec.pc;
+            double by = static_cast<double>(cfg_.ny) / dec.pr;
+            appendGridHalo(rt, prog.prims(), rank, dec.pr, dec.pc,
+                           iters * by * 8.0 / 2.0,
+                           iters * bx * 8.0 / 2.0, 0xF00000ULL,
+                           tags::kBarotropic);
+            // Synchronizing allreduce once per step.
+            appendAllReduce(rt, prog.prims(), rank, 16.0, 0x1000000ULL,
+                            tags::kBarotropic);
+        }
+    }
+    return prog.take();
+}
+
+} // namespace mcscope

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parallel Ocean Program (POP) cost model: the x1 configuration
+ * (320 x 384 horizontal, 40 vertical levels, 50 time steps) behind
+ * Tables 12-14 of the paper.
+ *
+ * Each time step has two phases:
+ *  - baroclinic: 3-D nearest-neighbor stencil updates over all
+ *    levels; compute/bandwidth bound, scales well (tags::kBaroclinic);
+ *  - barotropic: a 2-D implicit solve by conjugate gradient, ~200
+ *    latency-bound iterations with two dot-product allreduces and a
+ *    4-neighbor halo exchange each (tags::kBarotropic).
+ *
+ * Aggregation: the solver's iterations within a step are fused into
+ * one compute+memory+volume block, with per-iteration collective
+ * latencies charged explicitly and one real allreduce per step for
+ * synchronization (same scheme as the NAS CG model).
+ */
+
+#ifndef MCSCOPE_APPS_POP_POP_HH
+#define MCSCOPE_APPS_POP_POP_HH
+
+#include <string>
+
+#include "apps/pop/grid.hh"
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** POP benchmark configuration. */
+struct PopConfig
+{
+    std::string name;
+    size_t nx = 320;
+    size_t ny = 384;
+    int levels = 40;
+    int steps = 50;
+    int solverIters = 200; ///< CG iterations per barotropic solve
+};
+
+/** The paper's x1 configuration (one-degree, 50 steps / 2 days). */
+PopConfig popX1Config();
+
+/** POP workload over a configuration. */
+class PopWorkload : public LoopWorkload
+{
+  public:
+    explicit PopWorkload(PopConfig cfg);
+
+    std::string name() const override { return "pop." + cfg_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    const PopConfig &config() const { return cfg_; }
+
+  private:
+    PopConfig cfg_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_POP_POP_HH

@@ -1,0 +1,107 @@
+#include "apps/pop/solver.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+void
+barotropicOperator(const Field2d &x, Field2d &y, double k)
+{
+    // (I - k L) x where L is the 5-point Laplacian.
+    applyFivePoint(x, y, 1.0 + 4.0 * k, -k);
+}
+
+namespace {
+
+double
+dot(const Field2d &a, const Field2d &b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < a.data.size(); ++i)
+        acc += a.data[i] * b.data[i];
+    return acc;
+}
+
+} // namespace
+
+BarotropicResult
+solveBarotropicPreconditioned(const Field2d &b, double k, int max_iter,
+                              double tol)
+{
+    MCSCOPE_ASSERT(k > 0.0, "implicitness must be positive");
+    BarotropicResult res;
+    res.solution = Field2d(b.nx, b.ny, 0.0);
+
+    // Diagonal of (I - k L) is constant: 1 + 4k.
+    const double dinv = 1.0 / (1.0 + 4.0 * k);
+
+    Field2d r = b;
+    Field2d z(b.nx, b.ny);
+    Field2d p(b.nx, b.ny);
+    Field2d ap(b.nx, b.ny);
+    for (size_t i = 0; i < r.data.size(); ++i)
+        p.data[i] = z.data[i] = dinv * r.data[i];
+    double rz = dot(r, z);
+    double b_norm = std::sqrt(std::max(dot(b, b), 1e-300));
+
+    for (int it = 0; it < max_iter; ++it) {
+        if (std::sqrt(dot(r, r)) / b_norm <= tol)
+            break;
+        barotropicOperator(p, ap, k);
+        double pap = dot(p, ap);
+        MCSCOPE_ASSERT(pap > 0.0, "barotropic operator lost SPD");
+        double alpha = rz / pap;
+        for (size_t i = 0; i < r.data.size(); ++i) {
+            res.solution.data[i] += alpha * p.data[i];
+            r.data[i] -= alpha * ap.data[i];
+            z.data[i] = dinv * r.data[i];
+        }
+        double rz_new = dot(r, z);
+        double beta = rz_new / rz;
+        for (size_t i = 0; i < p.data.size(); ++i)
+            p.data[i] = z.data[i] + beta * p.data[i];
+        rz = rz_new;
+        res.iterations = it + 1;
+    }
+    res.residual = std::sqrt(dot(r, r)) / b_norm;
+    return res;
+}
+
+BarotropicResult
+solveBarotropic(const Field2d &b, double k, int max_iter, double tol)
+{
+    MCSCOPE_ASSERT(k > 0.0, "implicitness must be positive");
+    BarotropicResult res;
+    res.solution = Field2d(b.nx, b.ny, 0.0);
+
+    Field2d r = b;
+    Field2d p = b;
+    Field2d ap(b.nx, b.ny);
+    double rr = dot(r, r);
+    double b_norm = std::sqrt(std::max(rr, 1e-300));
+
+    for (int it = 0; it < max_iter; ++it) {
+        if (std::sqrt(rr) / b_norm <= tol)
+            break;
+        barotropicOperator(p, ap, k);
+        double pap = dot(p, ap);
+        MCSCOPE_ASSERT(pap > 0.0, "barotropic operator lost SPD");
+        double alpha = rr / pap;
+        for (size_t i = 0; i < r.data.size(); ++i) {
+            res.solution.data[i] += alpha * p.data[i];
+            r.data[i] -= alpha * ap.data[i];
+        }
+        double rr_new = dot(r, r);
+        double beta = rr_new / rr;
+        for (size_t i = 0; i < p.data.size(); ++i)
+            p.data[i] = r.data[i] + beta * p.data[i];
+        rr = rr_new;
+        res.iterations = it + 1;
+    }
+    res.residual = std::sqrt(rr) / b_norm;
+    return res;
+}
+
+} // namespace mcscope

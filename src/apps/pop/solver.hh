@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The barotropic elliptic solver: a matrix-free conjugate-gradient
+ * solve of the 2-D implicit free-surface system, the latency-critical
+ * phase of POP (Section 4.2 of the paper).
+ */
+
+#ifndef MCSCOPE_APPS_POP_SOLVER_HH
+#define MCSCOPE_APPS_POP_SOLVER_HH
+
+#include "apps/pop/grid.hh"
+
+namespace mcscope {
+
+/** Outcome of a barotropic solve. */
+struct BarotropicResult
+{
+    Field2d solution;
+    double residual = 0.0;
+    int iterations = 0;
+};
+
+/**
+ * Solve (I - k * Laplacian) x = b with matrix-free CG (periodic in x).
+ * The operator is SPD for k > 0.
+ *
+ * @param b        right-hand side.
+ * @param k        implicitness coefficient.
+ * @param max_iter iteration cap.
+ * @param tol      relative residual target.
+ */
+BarotropicResult solveBarotropic(const Field2d &b, double k, int max_iter,
+                                 double tol);
+
+/**
+ * The same solve with POP's diagonal (Jacobi) preconditioner -- the
+ * production configuration of the barotropic solver.  Same solution,
+ * fewer iterations on stiff systems.
+ */
+BarotropicResult solveBarotropicPreconditioned(const Field2d &b, double k,
+                                               int max_iter, double tol);
+
+/** Matrix-free operator y = (I - k L) x used by the solver. */
+void barotropicOperator(const Field2d &x, Field2d &y, double k);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_APPS_POP_SOLVER_HH

@@ -1,0 +1,114 @@
+#include "core/analysis.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "machine/machine.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+namespace mcscope {
+
+double
+DetailedResult::meanUtilization(ResourceKind kind) const
+{
+    const std::vector<ResourceReport> *bucket = nullptr;
+    switch (kind) {
+      case ResourceKind::Core:
+        bucket = &cores;
+        break;
+      case ResourceKind::MemoryController:
+        bucket = &controllers;
+        break;
+      case ResourceKind::HtLink:
+        bucket = &links;
+        break;
+    }
+    if (bucket->empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const ResourceReport &r : *bucket)
+        sum += r.utilization;
+    return sum / bucket->size();
+}
+
+const ResourceReport &
+DetailedResult::hottest() const
+{
+    const ResourceReport *best = nullptr;
+    for (const auto *bucket : {&cores, &controllers, &links}) {
+        for (const ResourceReport &r : *bucket) {
+            if (!best || r.utilization > best->utilization)
+                best = &r;
+        }
+    }
+    MCSCOPE_ASSERT(best != nullptr, "no resources in detailed result");
+    return *best;
+}
+
+DetailedResult
+runExperimentDetailed(const ExperimentConfig &config,
+                      const Workload &workload)
+{
+    DetailedResult out;
+    Machine machine(config.machine);
+    out.run = runExperimentOn(machine, config, workload);
+    if (!out.run.valid)
+        return out;
+
+    const Engine &engine = machine.engine();
+    const int cores = machine.totalCores();
+    const int sockets = config.machine.sockets;
+    for (ResourceId r = 0; r < engine.resourceCount(); ++r) {
+        ResourceReport rep;
+        rep.name = engine.resourceName(r);
+        rep.capacity = engine.resourceCapacity(r);
+        rep.unitsMoved = engine.resourceUnitsMoved(r);
+        rep.utilization = engine.resourceUtilization(r);
+        if (r < cores)
+            out.cores.push_back(std::move(rep));
+        else if (r < cores + sockets)
+            out.controllers.push_back(std::move(rep));
+        else
+            out.links.push_back(std::move(rep));
+    }
+    return out;
+}
+
+std::string
+bottleneckReport(const DetailedResult &result)
+{
+    MCSCOPE_ASSERT(result.run.valid, "invalid run has no bottlenecks");
+    std::ostringstream oss;
+    oss << "makespan: " << formatFixed(result.run.seconds, 3) << " s, "
+        << result.run.events << " events\n";
+
+    auto bucketLine = [&oss](const char *label,
+                             const std::vector<ResourceReport> &bucket) {
+        if (bucket.empty())
+            return;
+        double mean = 0.0;
+        const ResourceReport *hot = &bucket.front();
+        for (const ResourceReport &r : bucket) {
+            mean += r.utilization;
+            if (r.utilization > hot->utilization)
+                hot = &r;
+        }
+        mean /= bucket.size();
+        oss << "  " << label << ": mean "
+            << formatFixed(mean * 100.0, 1) << "%, hottest " << hot->name
+            << " at " << formatFixed(hot->utilization * 100.0, 1)
+            << "%\n";
+    };
+    bucketLine("cores      ", result.cores);
+    bucketLine("controllers", result.controllers);
+    bucketLine("ht links   ", result.links);
+
+    const ResourceReport &hot = result.hottest();
+    oss << "bottleneck: " << hot.name << " ("
+        << formatFixed(hot.utilization * 100.0, 1) << "% busy)\n";
+    return oss.str();
+}
+
+} // namespace mcscope

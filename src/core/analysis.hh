@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bottleneck analysis: run an experiment and report where the time
+ * went -- per-resource utilization for cores, memory controllers,
+ * and HyperTransport links, plus the per-phase task breakdown.  This
+ * is the "drill down on the other benchmarks" instrument the paper
+ * applies informally throughout Section 3.
+ */
+
+#ifndef MCSCOPE_CORE_ANALYSIS_HH
+#define MCSCOPE_CORE_ANALYSIS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace mcscope {
+
+/** Usage summary for one engine resource. */
+struct ResourceReport
+{
+    std::string name;
+    double capacity = 0.0;    ///< units/s
+    double unitsMoved = 0.0;  ///< total units over the run
+    double utilization = 0.0; ///< mean busy fraction in [0, 1]
+};
+
+/** Kind buckets for aggregate statistics. */
+enum class ResourceKind
+{
+    Core,
+    MemoryController,
+    HtLink,
+};
+
+/** RunResult plus the full resource usage picture. */
+struct DetailedResult
+{
+    RunResult run;
+    std::vector<ResourceReport> cores;
+    std::vector<ResourceReport> controllers;
+    std::vector<ResourceReport> links;
+
+    /** Mean utilization over one bucket. */
+    double meanUtilization(ResourceKind kind) const;
+
+    /** Highest-utilization resource over all buckets. */
+    const ResourceReport &hottest() const;
+};
+
+/** Run an experiment and collect the resource usage picture. */
+DetailedResult runExperimentDetailed(const ExperimentConfig &config,
+                                     const Workload &workload);
+
+/** Render a bottleneck report as text. */
+std::string bottleneckReport(const DetailedResult &result);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_ANALYSIS_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Calibration record: every model constant that was chosen to match a
+ * specific observation in the paper, with its provenance.  The values
+ * live where they are used (machine configs, sub-layer models, MPI
+ * personalities, workload cost models); this module documents them in
+ * one queryable place so EXPERIMENTS.md and the ablation bench can
+ * cite them.
+ */
+
+#ifndef MCSCOPE_CORE_CALIBRATION_HH
+#define MCSCOPE_CORE_CALIBRATION_HH
+
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+/** One calibrated constant and why it has its value. */
+struct CalibrationEntry
+{
+    std::string name;       ///< where it lives (module.field)
+    double value = 0.0;     ///< current value
+    std::string unit;
+    std::string provenance; ///< the paper observation it encodes
+};
+
+/** The full calibration table. */
+std::vector<CalibrationEntry> calibrationTable();
+
+/** Render the calibration table as text. */
+std::string calibrationReport();
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_CALIBRATION_HH

@@ -1,0 +1,344 @@
+#include "core/cli.hh"
+
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "core/analysis.hh"
+#include "core/calibration.hh"
+#include "util/csv.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "machine/config.hh"
+#include "util/str.hh"
+
+namespace mcscope {
+
+namespace {
+
+const char *kUsage =
+    "usage: mcscope <command> [args]\n"
+    "  list                         workloads, machines, options\n"
+    "  calibration                  calibrated model constants\n"
+    "  run <workload> [flags]       one experiment\n"
+    "  sweep <workload> [flags]     numactl option x rank sweep\n"
+    "  scaling <workload> [flags]   strong-scaling series\n"
+    "flags: --machine M --ranks N[,N..] --option I|label\n"
+    "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n";
+
+struct CliFlags
+{
+    std::string machine = "longs";
+    std::vector<int> ranks;
+    std::string option = "0";
+    MpiImpl impl = MpiImpl::OpenMpi;
+    SubLayer sublayer = SubLayer::USysV;
+    bool detail = false;
+    bool csv = false;
+    std::string error;
+};
+
+CliFlags
+parseFlags(const std::vector<std::string> &args, size_t start)
+{
+    CliFlags f;
+    for (size_t i = start; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                return "";
+            return args[++i];
+        };
+        if (a == "--machine") {
+            f.machine = next();
+        } else if (a == "--ranks") {
+            f.ranks = parseRankList(next());
+            if (f.ranks.empty()) {
+                f.error = "bad --ranks list";
+                return f;
+            }
+        } else if (a == "--option") {
+            f.option = next();
+        } else if (a == "--impl") {
+            std::string v = toLower(next());
+            if (v == "mpich2")
+                f.impl = MpiImpl::Mpich2;
+            else if (v == "lam")
+                f.impl = MpiImpl::Lam;
+            else if (v == "openmpi")
+                f.impl = MpiImpl::OpenMpi;
+            else {
+                f.error = "unknown --impl '" + v + "'";
+                return f;
+            }
+        } else if (a == "--sublayer") {
+            std::string v = toLower(next());
+            if (v == "sysv")
+                f.sublayer = SubLayer::SysV;
+            else if (v == "usysv")
+                f.sublayer = SubLayer::USysV;
+            else {
+                f.error = "unknown --sublayer '" + v + "'";
+                return f;
+            }
+        } else if (a == "--detail") {
+            f.detail = true;
+        } else if (a == "--csv") {
+            f.csv = true;
+        } else {
+            f.error = "unknown flag '" + a + "'";
+            return f;
+        }
+    }
+    return f;
+}
+
+/** Resolve --option into a Table 5 entry; nullopt on failure. */
+std::optional<NumactlOption>
+resolveOption(const std::string &spec)
+{
+    auto options = table5Options();
+    // Numeric index?
+    bool numeric = !spec.empty();
+    for (char c : spec)
+        numeric = numeric && std::isdigit(static_cast<unsigned char>(c));
+    if (numeric) {
+        size_t idx = std::stoul(spec);
+        if (idx < options.size())
+            return options[idx];
+        return std::nullopt;
+    }
+    // Case-insensitive label substring, ignoring spaces and '+' so
+    // "localalloc" matches "One MPI + Local Alloc".
+    auto canon = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out.push_back(static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c))));
+        }
+        return out;
+    };
+    std::string want = canon(spec);
+    if (want.empty())
+        return std::nullopt;
+    for (const NumactlOption &o : options) {
+        if (canon(o.label).find(want) != std::string::npos)
+            return o;
+    }
+    return std::nullopt;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const std::string &w : registeredWorkloads()) {
+        if (w == name)
+            return true;
+    }
+    return false;
+}
+
+int
+cmdList(std::ostream &out)
+{
+    out << "workloads:\n";
+    for (const std::string &w : registeredWorkloads())
+        out << "  " << w << "\n";
+    out << "machines:\n";
+    for (const std::string &m : presetNames()) {
+        MachineConfig c = configByName(m);
+        out << "  " << toLower(m) << " (" << c.sockets << " sockets x "
+            << c.coresPerSocket << " cores, Opteron " << c.opteronModel
+            << ")\n";
+    }
+    out << "options:\n";
+    auto options = table5Options();
+    for (size_t i = 0; i < options.size(); ++i)
+        out << "  " << i << ": " << options[i].label << "\n";
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() < 2 || !knownWorkload(args[1])) {
+        out << "run: unknown workload\n" << kUsage;
+        return 2;
+    }
+    CliFlags f = parseFlags(args, 2);
+    if (!f.error.empty()) {
+        out << "run: " << f.error << "\n";
+        return 2;
+    }
+    auto option = resolveOption(f.option);
+    if (!option) {
+        out << "run: unknown --option '" << f.option << "'\n";
+        return 2;
+    }
+    MachineConfig machine = configByName(f.machine);
+    int ranks = f.ranks.empty() ? machine.totalCores() : f.ranks[0];
+
+    auto workload = makeWorkload(args[1]);
+    ExperimentConfig cfg;
+    cfg.machine = machine;
+    cfg.option = *option;
+    cfg.ranks = ranks;
+    cfg.impl = f.impl;
+    cfg.sublayer = f.sublayer;
+
+    if (f.detail) {
+        DetailedResult res = runExperimentDetailed(cfg, *workload);
+        if (!res.run.valid) {
+            out << "infeasible: '" << option->label << "' cannot host "
+                << ranks << " ranks on " << machine.name << "\n";
+            return 1;
+        }
+        out << workload->name() << " on " << machine.name << ", "
+            << ranks << " ranks, '" << option->label << "':\n";
+        out << bottleneckReport(res);
+        return 0;
+    }
+    RunResult res = runExperiment(cfg, *workload);
+    if (!res.valid) {
+        out << "infeasible: '" << option->label << "' cannot host "
+            << ranks << " ranks on " << machine.name << "\n";
+        return 1;
+    }
+    out << workload->name() << " on " << machine.name << ", " << ranks
+        << " ranks, '" << option->label
+        << "': " << formatFixed(res.seconds, 3) << " s\n";
+    return 0;
+}
+
+int
+cmdSweep(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() < 2 || !knownWorkload(args[1])) {
+        out << "sweep: unknown workload\n" << kUsage;
+        return 2;
+    }
+    CliFlags f = parseFlags(args, 2);
+    if (!f.error.empty()) {
+        out << "sweep: " << f.error << "\n";
+        return 2;
+    }
+    MachineConfig machine = configByName(f.machine);
+    std::vector<int> ranks = f.ranks;
+    if (ranks.empty()) {
+        for (int r = 2; r <= machine.totalCores(); r *= 2)
+            ranks.push_back(r);
+    }
+    auto workload = makeWorkload(args[1]);
+    OptionSweepResult sweep =
+        sweepOptions(machine, ranks, *workload, f.impl, f.sublayer);
+    if (f.csv) {
+        CsvWriter csv(out);
+        std::vector<std::string> header = {"ranks"};
+        for (const NumactlOption &o : sweep.options)
+            header.push_back(o.label);
+        csv.writeRow(header);
+        for (size_t i = 0; i < ranks.size(); ++i) {
+            std::vector<std::string> row = {
+                std::to_string(ranks[i])};
+            for (double v : sweep.seconds[i])
+                row.push_back(std::isnan(v) ? "" : formatFixed(v, 6));
+            csv.writeRow(row);
+        }
+        return 0;
+    }
+    TextTable t(optionSweepHeader("Workload"));
+    appendOptionSweepRows(t, sweep, args[1]);
+    t.print(out);
+    for (size_t i = 0; i < ranks.size(); ++i) {
+        out << "placement gain at " << ranks[i] << " ranks: "
+            << formatFixed(placementGain(sweep.seconds[i]) * 100.0, 1)
+            << "%\n";
+    }
+    return 0;
+}
+
+int
+cmdScaling(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() < 2 || !knownWorkload(args[1])) {
+        out << "scaling: unknown workload\n" << kUsage;
+        return 2;
+    }
+    CliFlags f = parseFlags(args, 2);
+    if (!f.error.empty()) {
+        out << "scaling: " << f.error << "\n";
+        return 2;
+    }
+    MachineConfig machine = configByName(f.machine);
+    std::vector<int> ranks = f.ranks;
+    if (ranks.empty()) {
+        ranks.push_back(1);
+        for (int r = 2; r <= machine.totalCores(); r *= 2)
+            ranks.push_back(r);
+    }
+    auto workload = makeWorkload(args[1]);
+    std::vector<double> t =
+        defaultScalingTimes(machine, ranks, *workload);
+    std::vector<double> s = speedups(t);
+    TextTable table({"ranks", "seconds", "speedup", "efficiency"});
+    for (size_t i = 0; i < ranks.size(); ++i) {
+        table.addRow({std::to_string(ranks[i]), cell(t[i], 3),
+                      cell(s[i], 2),
+                      cell(s[i] / (static_cast<double>(ranks[i]) /
+                                   ranks[0]),
+                           2)});
+    }
+    table.print(out);
+    return 0;
+}
+
+} // namespace
+
+std::vector<int>
+parseRankList(const std::string &arg)
+{
+    std::vector<int> out;
+    for (const std::string &part : split(arg, ',')) {
+        std::string p = trim(part);
+        if (p.empty())
+            return {};
+        for (char c : p) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return {};
+        }
+        int v = std::stoi(p);
+        if (v <= 0)
+            return {};
+        out.push_back(v);
+    }
+    return out;
+}
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.empty()) {
+        out << kUsage;
+        return 2;
+    }
+    const std::string &cmd = args[0];
+    if (cmd == "list")
+        return cmdList(out);
+    if (cmd == "calibration") {
+        out << calibrationReport();
+        return 0;
+    }
+    if (cmd == "run")
+        return cmdRun(args, out);
+    if (cmd == "sweep")
+        return cmdSweep(args, out);
+    if (cmd == "scaling")
+        return cmdScaling(args, out);
+    out << "unknown command '" << cmd << "'\n" << kUsage;
+    return 2;
+}
+
+} // namespace mcscope

@@ -1,0 +1,109 @@
+#include "core/experiment.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "machine/machine.hh"
+#include "simmpi/comm.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+SimTime
+RunResult::tagged(int tag) const
+{
+    auto it = taggedSeconds.find(tag);
+    return it == taggedSeconds.end() ? 0.0 : it->second;
+}
+
+RunResult
+runExperiment(const ExperimentConfig &config, const Workload &workload)
+{
+    Machine machine(config.machine);
+    return runExperimentOn(machine, config, workload);
+}
+
+RunResult
+runExperimentOn(Machine &machine, const ExperimentConfig &config,
+                const Workload &workload)
+{
+    RunResult res;
+
+    auto placement = Placement::create(config.machine, machine.topology(),
+                                       config.option, config.ranks);
+    if (!placement)
+        return res; // invalid combination: a "-" table cell
+
+    MpiRuntime rt(machine, *placement, config.impl, config.sublayer);
+    if (config.latencyNoise != 1.0)
+        rt.setLatencyNoiseFactor(config.latencyNoise);
+
+    workload.buildTasks(machine, rt);
+    Engine &engine = machine.engine();
+    MCSCOPE_ASSERT(engine.taskCount() == config.ranks,
+                   "workload '", workload.name(), "' built ",
+                   engine.taskCount(), " tasks for ", config.ranks,
+                   " ranks");
+    engine.run();
+
+    res.valid = true;
+    res.seconds = engine.makespan();
+    for (int tag = 0; tag <= 8; ++tag) {
+        SimTime t = engine.maxTaggedTime(tag);
+        if (t > 0.0)
+            res.taggedSeconds[tag] = t;
+    }
+    res.events = engine.eventCount();
+    return res;
+}
+
+OptionSweepResult
+sweepOptions(const MachineConfig &machine,
+             const std::vector<int> &rank_counts, const Workload &workload,
+             MpiImpl impl, SubLayer sublayer, int tag)
+{
+    OptionSweepResult out;
+    out.rankCounts = rank_counts;
+    out.options = table5Options();
+
+    for (int ranks : rank_counts) {
+        std::vector<double> row;
+        for (const NumactlOption &opt : out.options) {
+            ExperimentConfig cfg;
+            cfg.machine = machine;
+            cfg.option = opt;
+            cfg.ranks = ranks;
+            cfg.impl = impl;
+            cfg.sublayer = sublayer;
+            RunResult r = runExperiment(cfg, workload);
+            if (!r.valid) {
+                row.push_back(std::numeric_limits<double>::quiet_NaN());
+            } else {
+                row.push_back(tag < 0 ? r.seconds : r.tagged(tag));
+            }
+        }
+        out.seconds.push_back(std::move(row));
+    }
+    return out;
+}
+
+std::vector<double>
+defaultScalingTimes(const MachineConfig &machine,
+                    const std::vector<int> &rank_counts,
+                    const Workload &workload, int tag)
+{
+    std::vector<double> out;
+    for (int ranks : rank_counts) {
+        ExperimentConfig cfg;
+        cfg.machine = machine;
+        cfg.option = table5Options().front(); // Default
+        cfg.ranks = ranks;
+        RunResult r = runExperiment(cfg, workload);
+        MCSCOPE_ASSERT(r.valid, "default placement rejected ", ranks,
+                       " ranks on ", machine.name);
+        out.push_back(tag < 0 ? r.seconds : r.tagged(tag));
+    }
+    return out;
+}
+
+} // namespace mcscope

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment orchestration: the paper's measurement methodology as a
+ * library.  One experiment = (machine, numactl option, rank count,
+ * MPI implementation, sub-layer, workload) -> simulated time and
+ * per-phase breakdown.
+ */
+
+#ifndef MCSCOPE_CORE_EXPERIMENT_HH
+#define MCSCOPE_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "affinity/placement.hh"
+#include "kernels/workload.hh"
+#include "machine/config.hh"
+#include "simmpi/implementation.hh"
+#include "simmpi/sublayer.hh"
+
+namespace mcscope {
+
+/** Everything that identifies one run. */
+struct ExperimentConfig
+{
+    MachineConfig machine;
+    NumactlOption option;
+    int ranks = 1;
+    MpiImpl impl = MpiImpl::OpenMpi;
+    SubLayer sublayer = SubLayer::USysV;
+
+    /** Latency-noise multiplier (unbound/parked studies). */
+    double latencyNoise = 1.0;
+};
+
+/** Result of one run. */
+struct RunResult
+{
+    /** False when the option cannot host the rank count ("-"). */
+    bool valid = false;
+
+    /** Simulated wall time (makespan across ranks). */
+    SimTime seconds = 0.0;
+
+    /** Max-over-ranks time per phase tag. */
+    std::map<int, SimTime> taggedSeconds;
+
+    /** Engine events processed (diagnostics). */
+    uint64_t events = 0;
+
+    /** Time for one tag, 0 when absent. */
+    SimTime tagged(int tag) const;
+};
+
+/** Execute one experiment. */
+RunResult runExperiment(const ExperimentConfig &config,
+                        const Workload &workload);
+
+class Machine;
+
+/**
+ * Low-level variant: run on a caller-owned Machine built from
+ * config.machine, so resource statistics remain readable afterwards
+ * (see core/analysis.hh).  The machine must be freshly constructed.
+ */
+RunResult runExperimentOn(Machine &machine,
+                          const ExperimentConfig &config,
+                          const Workload &workload);
+
+/**
+ * A (rank count x Table 5 option) sweep on one machine -- the shape
+ * of Tables 2, 3, 7, 9, 11, 13 and 14.
+ */
+struct OptionSweepResult
+{
+    std::vector<int> rankCounts;
+    std::vector<NumactlOption> options;
+
+    /** seconds[rank_index][option_index]; NaN for invalid cells. */
+    std::vector<std::vector<double>> seconds;
+};
+
+/**
+ * Run the full option sweep.
+ *
+ * @param tag  -1 reports makespan; otherwise the tagged phase time
+ *             (e.g. tags::kFft for the Table 7 FFT phase).
+ */
+OptionSweepResult sweepOptions(const MachineConfig &machine,
+                               const std::vector<int> &rank_counts,
+                               const Workload &workload,
+                               MpiImpl impl = MpiImpl::OpenMpi,
+                               SubLayer sublayer = SubLayer::USysV,
+                               int tag = -1);
+
+/**
+ * Strong-scaling run times with the Default option (no numactl), the
+ * shape of the speedup tables (4, 8, 10, 12).
+ */
+std::vector<double> defaultScalingTimes(const MachineConfig &machine,
+                                        const std::vector<int> &rank_counts,
+                                        const Workload &workload,
+                                        int tag = -1);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_EXPERIMENT_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The hybrid programming model the paper proposes in Section 3.4:
+ * "A programming model using OpenMP only within each multi-core
+ * processor, and MPI for communication both between processor
+ * sockets and between system nodes might be a high-performance
+ * alternative."
+ *
+ * HybridWorkload adapts any LoopWorkload: MPI tasks land one per
+ * socket, each task fans its compute and memory phases out across
+ * the socket's cores (OpenMP-style threads with a per-iteration join
+ * barrier), and only the task leader communicates.  Comparing a
+ * pure-MPI run on all cores against the hybrid run on the same cores
+ * tests the paper's hypothesis.
+ */
+
+#ifndef MCSCOPE_CORE_HYBRID_HH
+#define MCSCOPE_CORE_HYBRID_HH
+
+#include <memory>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/**
+ * OpenMP-within-the-socket adapter.
+ *
+ * Run it through runExperiment with ranks = tasks x threads and a
+ * pinned one-per-socket-compatible option; buildTasks() regroups the
+ * rank budget into `ranks / threadsPerTask` MPI tasks of
+ * `threadsPerTask` threads each.
+ */
+class HybridWorkload : public Workload
+{
+  public:
+    /**
+     * @param base             the MPI workload to adapt.
+     * @param threads_per_task OpenMP threads per MPI task (at most
+     *                         the machine's cores per socket).
+     */
+    HybridWorkload(std::shared_ptr<const LoopWorkload> base,
+                   int threads_per_task);
+
+    std::string name() const override;
+    void buildTasks(Machine &machine,
+                    const MpiRuntime &rt) const override;
+
+    int threadsPerTask() const { return threads_; }
+
+  private:
+    std::shared_ptr<const LoopWorkload> base_;
+    int threads_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_HYBRID_HH

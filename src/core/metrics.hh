@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Derived performance metrics: speedups, parallel efficiencies, and
+ * the Single/Star ratios the paper builds its arguments on.
+ */
+
+#ifndef MCSCOPE_CORE_METRICS_HH
+#define MCSCOPE_CORE_METRICS_HH
+
+#include <vector>
+
+namespace mcscope {
+
+/**
+ * Speedups relative to the first entry's rank count.
+ * speedup[i] = t[0] * ranks[0] ... no scaling assumptions: plain
+ * t_base / t_i where t_base is the time at the base index.
+ */
+std::vector<double> speedups(const std::vector<double> &times,
+                             int base_index = 0);
+
+/**
+ * Parallel efficiency: speedup / (ranks / base_ranks).
+ */
+std::vector<double> efficiencies(const std::vector<double> &times,
+                                 const std::vector<int> &ranks,
+                                 int base_index = 0);
+
+/**
+ * HPCC Single:Star ratio.  Star-mode per-rank time divided by
+ * single-mode time: > 1 means concurrent copies slow each other, and
+ * a ratio above the per-socket core count means engaging extra cores
+ * is a net per-socket loss (the paper's STREAM observation).
+ */
+double singleToStarRatio(double single_seconds, double star_seconds);
+
+/**
+ * Best-over-options improvement versus the default option, as a
+ * fraction (0.25 = best option is 25% faster than default).
+ */
+double placementGain(const std::vector<double> &option_times);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_METRICS_HH

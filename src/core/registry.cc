@@ -1,0 +1,104 @@
+#include "core/registry.hh"
+
+#include "apps/md/amber.hh"
+#include "apps/md/lammps.hh"
+#include "apps/pop/pop.hh"
+#include "kernels/blas1.hh"
+#include "kernels/blas3.hh"
+#include "kernels/fft.hh"
+#include "kernels/hpl.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/nas_ep.hh"
+#include "kernels/nas_is.hh"
+#include "kernels/nas_mg.hh"
+#include "kernels/nas_ft.hh"
+#include "kernels/ptrans.hh"
+#include "kernels/randomaccess.hh"
+#include "kernels/stream.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::vector<std::string>
+registeredWorkloads()
+{
+    return {
+        "stream",        "daxpy-acml",      "daxpy-vanilla",
+        "dgemm-acml",    "dgemm-vanilla",   "hpcc-fft",
+        "randomaccess",  "mpi-randomaccess", "ptrans",
+        "hpl",           "nas-cg-b",        "nas-ft-b",
+        "nas-ep-b",      "nas-mg-b",        "nas-is-b",
+        "amber-jac",     "amber-dhfr",      "amber-factor_ix",
+        "amber-gb_cox2", "amber-gb_mb",     "lammps-lj",
+        "lammps-chain",  "lammps-eam",      "pop-x1",
+    };
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    if (name == "stream")
+        return std::make_unique<StreamWorkload>(8u << 20, 20);
+    if (name == "daxpy-acml")
+        return std::make_unique<DaxpyWorkload>(4u << 20, 50,
+                                               BlasVariant::Acml);
+    if (name == "daxpy-vanilla")
+        return std::make_unique<DaxpyWorkload>(4u << 20, 50,
+                                               BlasVariant::Vanilla);
+    if (name == "dgemm-acml")
+        return std::make_unique<DgemmWorkload>(1500, 4,
+                                               BlasVariant::Acml);
+    if (name == "dgemm-vanilla")
+        return std::make_unique<DgemmWorkload>(1500, 4,
+                                               BlasVariant::Vanilla);
+    if (name == "hpcc-fft")
+        return std::make_unique<FftWorkload>(1u << 22, 10);
+    if (name == "randomaccess")
+        return std::make_unique<RandomAccessWorkload>(256.0e6, 4.0e6, 4);
+    if (name == "mpi-randomaccess")
+        return std::make_unique<MpiRandomAccessWorkload>(256.0e6, 4.0e6,
+                                                         4);
+    if (name == "ptrans")
+        return std::make_unique<PtransWorkload>(8192, 4);
+    if (name == "hpl")
+        return std::make_unique<HplWorkload>(20000, 200);
+    if (name == "nas-cg-b")
+        return std::make_unique<NasCgWorkload>(nasCgClassB());
+    if (name == "nas-ft-b")
+        return std::make_unique<NasFtWorkload>(nasFtClassB());
+    if (name == "nas-ep-b")
+        return std::make_unique<NasEpWorkload>(nasEpClassB());
+    if (name == "nas-mg-b")
+        return std::make_unique<NasMgWorkload>(nasMgClassB());
+    if (name == "nas-is-b")
+        return std::make_unique<NasIsWorkload>(nasIsClassB());
+    if (name == "amber-jac")
+        return std::make_unique<AmberWorkload>(
+            amberBenchmarkByName("JAC"));
+    if (name == "amber-dhfr")
+        return std::make_unique<AmberWorkload>(
+            amberBenchmarkByName("dhfr"));
+    if (name == "amber-factor_ix")
+        return std::make_unique<AmberWorkload>(
+            amberBenchmarkByName("factor_ix"));
+    if (name == "amber-gb_cox2")
+        return std::make_unique<AmberWorkload>(
+            amberBenchmarkByName("gb_cox2"));
+    if (name == "amber-gb_mb")
+        return std::make_unique<AmberWorkload>(
+            amberBenchmarkByName("gb_mb"));
+    if (name == "lammps-lj")
+        return std::make_unique<LammpsWorkload>(
+            lammpsBenchmarkByName("lj"));
+    if (name == "lammps-chain")
+        return std::make_unique<LammpsWorkload>(
+            lammpsBenchmarkByName("chain"));
+    if (name == "lammps-eam")
+        return std::make_unique<LammpsWorkload>(
+            lammpsBenchmarkByName("eam"));
+    if (name == "pop-x1")
+        return std::make_unique<PopWorkload>(popX1Config());
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace mcscope

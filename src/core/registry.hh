@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Workload registry: name -> factory, so examples and command-line
+ * tools can instantiate any modeled benchmark by name.
+ */
+
+#ifndef MCSCOPE_CORE_REGISTRY_HH
+#define MCSCOPE_CORE_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** Names of all registered workloads. */
+std::vector<std::string> registeredWorkloads();
+
+/**
+ * Instantiate a workload by name with its paper-default parameters.
+ * Known names include: stream, daxpy-acml, daxpy-vanilla, dgemm-acml,
+ * dgemm-vanilla, hpcc-fft, randomaccess, mpi-randomaccess, ptrans,
+ * hpl, nas-cg-b, nas-ft-b, amber-jac, amber-dhfr, amber-factor_ix,
+ * amber-gb_cox2, amber-gb_mb, lammps-lj, lammps-chain, lammps-eam,
+ * pop-x1.  fatal() on unknown names.
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_REGISTRY_HH

@@ -1,0 +1,63 @@
+#include "core/report.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::vector<std::string>
+optionSweepHeader(const std::string &row_label)
+{
+    std::vector<std::string> header = {"MPI tasks", row_label};
+    for (const NumactlOption &opt : table5Options())
+        header.push_back(opt.label);
+    return header;
+}
+
+void
+appendOptionSweepRows(TextTable &table, const OptionSweepResult &sweep,
+                      const std::string &row_label, int precision)
+{
+    for (size_t i = 0; i < sweep.rankCounts.size(); ++i) {
+        std::vector<std::string> row = {
+            std::to_string(sweep.rankCounts[i]), row_label};
+        for (double v : sweep.seconds[i])
+            row.push_back(cell(v, precision));
+        table.addRow(std::move(row));
+    }
+}
+
+TextTable
+optionSweepTable(const OptionSweepResult &sweep, const std::string &row_label,
+                 int precision)
+{
+    TextTable table(optionSweepHeader("Label"));
+    appendOptionSweepRows(table, sweep, row_label, precision);
+    return table;
+}
+
+TextTable
+speedupTable(const std::vector<int> &rank_counts,
+             const std::vector<std::string> &series_names,
+             const std::vector<std::vector<double>> &speedup_rows,
+             int precision)
+{
+    MCSCOPE_ASSERT(speedup_rows.size() == rank_counts.size(),
+                   "speedup table shape mismatch");
+    std::vector<std::string> header = {"Number of cores"};
+    for (const std::string &s : series_names)
+        header.push_back(s);
+    TextTable table(header);
+    for (size_t i = 0; i < rank_counts.size(); ++i) {
+        MCSCOPE_ASSERT(speedup_rows[i].size() == series_names.size(),
+                       "speedup row width mismatch");
+        std::vector<std::string> row = {std::to_string(rank_counts[i])};
+        for (double v : speedup_rows[i])
+            row.push_back(cell(v, precision));
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+} // namespace mcscope

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BLAS Level 1: DAXPY (y = alpha * x + y), functional kernel and cost
+ * model with vendor-optimized (ACML) and "vanilla" compiler-built
+ * variants (Figures 4-5 of the paper).
+ */
+
+#ifndef MCSCOPE_KERNELS_BLAS1_HH
+#define MCSCOPE_KERNELS_BLAS1_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** Functional daxpy; returns sum(y) as a checksum. */
+double daxpyFunctional(double alpha, const std::vector<double> &x,
+                       std::vector<double> &y);
+
+/** Which library implementation a BLAS cost model mimics. */
+enum class BlasVariant
+{
+    /** AMD Core Math Library: hand-tuned, software prefetch. */
+    Acml,
+
+    /** Straightforward Fortran/C compiled with GNU: no prefetch. */
+    Vanilla,
+};
+
+/** Variant display name. */
+std::string blasVariantName(BlasVariant v);
+
+/**
+ * DAXPY cost model.  Traffic per element: read x, read y, write y
+ * (24 bytes logical); the cache model decides how much of it reaches
+ * memory at a given vector length.  The ACML variant sustains higher
+ * in-cache flop rates and deeper miss concurrency than vanilla.
+ */
+class DaxpyWorkload : public LoopWorkload
+{
+  public:
+    DaxpyWorkload(size_t n_per_rank, int iterations, BlasVariant variant);
+
+    std::string name() const override;
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Useful flops per rank per iteration (2n). */
+    double flopsPerIteration() const { return 2.0 * n_; }
+
+    /**
+     * Aggregate GFlop/s of a finished run across `ranks` ranks.
+     */
+    double aggregateGflops(const Machine &machine, int ranks) const;
+
+  private:
+    size_t n_;
+    uint64_t iterations_;
+    BlasVariant variant_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_BLAS1_HH

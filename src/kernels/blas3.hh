@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BLAS Level 3: DGEMM (C = alpha*A*B + beta*C), functional kernel and
+ * cost model (Figures 6-7, and the HPCC Single/Star DGEMM of
+ * Figure 9).
+ *
+ * DGEMM is the paper's exemplar of a cache-friendly kernel: a blocked
+ * implementation re-uses each loaded element O(block) times, so its
+ * memory traffic is a sliver of its flop volume and the second core
+ * of a socket nearly doubles per-socket throughput.
+ */
+
+#ifndef MCSCOPE_KERNELS_BLAS3_HH
+#define MCSCOPE_KERNELS_BLAS3_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/blas1.hh"
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/**
+ * Functional dgemm on row-major dense matrices (blocked i-k-j loop).
+ * C must be m x n, A m x k, B k x n.
+ */
+void dgemmFunctional(size_t m, size_t n, size_t k, double alpha,
+                     const std::vector<double> &a,
+                     const std::vector<double> &b, double beta,
+                     std::vector<double> &c);
+
+/** Reference naive dgemm for validation. */
+void dgemmNaive(size_t m, size_t n, size_t k, double alpha,
+                const std::vector<double> &a,
+                const std::vector<double> &b, double beta,
+                std::vector<double> &c);
+
+/**
+ * DGEMM cost model: each rank multiplies its private n x n matrices
+ * once per iteration.
+ */
+class DgemmWorkload : public LoopWorkload
+{
+  public:
+    DgemmWorkload(size_t n_per_rank, int iterations, BlasVariant variant);
+
+    std::string name() const override;
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Useful flops per rank per iteration (2n^3). */
+    double flopsPerIteration() const;
+
+    /** Aggregate GFlop/s of a finished run. */
+    double aggregateGflops(const Machine &machine, int ranks) const;
+
+  private:
+    size_t n_;
+    uint64_t iterations_;
+    BlasVariant variant_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_BLAS3_HH

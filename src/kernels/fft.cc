@@ -1,0 +1,170 @@
+#include "kernels/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "machine/cache.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+bool
+isPow2(size_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
+void
+fft1d(std::vector<Complex> &data, bool inverse)
+{
+    const size_t n = data.size();
+    MCSCOPE_ASSERT(isPow2(n), "fft1d length must be a power of two, got ",
+                   n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; ++i) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    const double sign = inverse ? 1.0 : -1.0;
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double ang = sign * 2.0 * std::numbers::pi / len;
+        Complex wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; ++k) {
+                Complex u = data[i + k];
+                Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+    if (inverse) {
+        for (Complex &x : data)
+            x /= static_cast<double>(n);
+    }
+}
+
+std::vector<Complex>
+dftReference(const std::vector<Complex> &data, bool inverse)
+{
+    const size_t n = data.size();
+    const double sign = inverse ? 1.0 : -1.0;
+    std::vector<Complex> out(n);
+    for (size_t k = 0; k < n; ++k) {
+        Complex acc(0.0, 0.0);
+        for (size_t j = 0; j < n; ++j) {
+            double ang = sign * 2.0 * std::numbers::pi *
+                         static_cast<double>(k * j) / n;
+            acc += data[j] * Complex(std::cos(ang), std::sin(ang));
+        }
+        out[k] = inverse ? acc / static_cast<double>(n) : acc;
+    }
+    return out;
+}
+
+void
+fft3d(std::vector<Complex> &data, size_t nx, size_t ny, size_t nz,
+      bool inverse)
+{
+    MCSCOPE_ASSERT(data.size() == nx * ny * nz, "fft3d size mismatch");
+    std::vector<Complex> line;
+
+    // X lines (contiguous).
+    line.resize(nx);
+    for (size_t z = 0; z < nz; ++z) {
+        for (size_t y = 0; y < ny; ++y) {
+            size_t base = (z * ny + y) * nx;
+            for (size_t x = 0; x < nx; ++x)
+                line[x] = data[base + x];
+            fft1d(line, inverse);
+            for (size_t x = 0; x < nx; ++x)
+                data[base + x] = line[x];
+        }
+    }
+    // Y lines.
+    line.resize(ny);
+    for (size_t z = 0; z < nz; ++z) {
+        for (size_t x = 0; x < nx; ++x) {
+            for (size_t y = 0; y < ny; ++y)
+                line[y] = data[(z * ny + y) * nx + x];
+            fft1d(line, inverse);
+            for (size_t y = 0; y < ny; ++y)
+                data[(z * ny + y) * nx + x] = line[y];
+        }
+    }
+    // Z lines.
+    line.resize(nz);
+    for (size_t y = 0; y < ny; ++y) {
+        for (size_t x = 0; x < nx; ++x) {
+            for (size_t z = 0; z < nz; ++z)
+                line[z] = data[(z * ny + y) * nx + x];
+            fft1d(line, inverse);
+            for (size_t z = 0; z < nz; ++z)
+                data[(z * ny + y) * nx + x] = line[z];
+        }
+    }
+}
+
+double
+fftFlops(double n)
+{
+    if (n <= 1.0)
+        return 0.0;
+    return 5.0 * n * std::log2(n);
+}
+
+FftWorkload::FftWorkload(size_t n_per_rank, int iterations)
+    : n_(n_per_rank), iterations_(static_cast<uint64_t>(iterations))
+{
+    MCSCOPE_ASSERT(n_per_rank > 1 && iterations > 0,
+                   "fft needs size > 1 and positive iterations");
+}
+
+double
+FftWorkload::flopsPerIteration() const
+{
+    return fftFlops(static_cast<double>(n_));
+}
+
+std::vector<Prim>
+FftWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                  int rank) const
+{
+    const double n = static_cast<double>(n_);
+    const double l2 = machine.config().l2Bytes;
+    const double bytes = 16.0 * n;
+    // A cache-blocked FFT streams the vector a handful of times
+    // regardless of depth; out-of-cache working sets pay ~4 passes.
+    const double passes = 1.0 + 3.0 * cacheMissFraction(bytes, l2);
+
+    RankProgram prog(machine, rt, rank);
+    prog.compute(flopsPerIteration(), 0.55, tags::kFft);
+    prog.memory(bytes * passes, tags::kFft);
+    return prog.take();
+}
+
+double
+FftWorkload::aggregateGflops(const Machine &machine, int ranks) const
+{
+    double flops = flopsPerIteration() *
+                   static_cast<double>(iterations_) * ranks;
+    SimTime t = machine.engine().makespan();
+    MCSCOPE_ASSERT(t > 0.0, "run the workload before reading GFlop/s");
+    return flops / t / 1.0e9;
+}
+
+} // namespace mcscope

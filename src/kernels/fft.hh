@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fast Fourier Transform: functional radix-2 implementation (1-D and
+ * 3-D) plus the HPCC FFT cost model (Figure 9 Single/Star FFT, and
+ * the building block for NAS FT and AMBER PME).
+ */
+
+#ifndef MCSCOPE_KERNELS_FFT_HH
+#define MCSCOPE_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+using Complex = std::complex<double>;
+
+/** In-place iterative radix-2 FFT; length must be a power of two. */
+void fft1d(std::vector<Complex> &data, bool inverse = false);
+
+/** O(n^2) reference DFT for validation. */
+std::vector<Complex> dftReference(const std::vector<Complex> &data,
+                                  bool inverse = false);
+
+/**
+ * In-place 3-D FFT over a dense nx x ny x nz volume (x fastest);
+ * every dimension must be a power of two.
+ */
+void fft3d(std::vector<Complex> &data, size_t nx, size_t ny, size_t nz,
+           bool inverse = false);
+
+/** Useful flops of a radix-2 FFT of length n (5 n log2 n). */
+double fftFlops(double n);
+
+/**
+ * HPCC-style 1-D FFT cost model: each rank transforms a private
+ * vector per iteration.  FFT is cache-friendlier than STREAM (log n
+ * passes with blocked twiddle stages) but not as clean as DGEMM,
+ * matching its intermediate placement sensitivity in the paper.
+ */
+class FftWorkload : public LoopWorkload
+{
+  public:
+    FftWorkload(size_t n_per_rank, int iterations);
+
+    std::string name() const override { return "hpcc-fft"; }
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Useful flops per rank per iteration. */
+    double flopsPerIteration() const;
+
+    /** Aggregate GFlop/s of a finished run. */
+    double aggregateGflops(const Machine &machine, int ranks) const;
+
+  private:
+    size_t n_;
+    uint64_t iterations_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_FFT_HH

@@ -1,0 +1,163 @@
+#include "kernels/hpl.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/cache.hh"
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::vector<size_t>
+luFactorFunctional(std::vector<double> &a, size_t n)
+{
+    MCSCOPE_ASSERT(a.size() == n * n, "LU size mismatch");
+    std::vector<size_t> pivots(n);
+    for (size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at/below k.
+        size_t piv = k;
+        double best = std::abs(a[k * n + k]);
+        for (size_t i = k + 1; i < n; ++i) {
+            double v = std::abs(a[i * n + k]);
+            if (v > best) {
+                best = v;
+                piv = i;
+            }
+        }
+        pivots[k] = piv;
+        if (piv != k) {
+            for (size_t j = 0; j < n; ++j)
+                std::swap(a[k * n + j], a[piv * n + j]);
+        }
+        MCSCOPE_ASSERT(a[k * n + k] != 0.0, "singular matrix at step ",
+                       k);
+        double inv = 1.0 / a[k * n + k];
+        for (size_t i = k + 1; i < n; ++i) {
+            double l = a[i * n + k] * inv;
+            a[i * n + k] = l;
+            for (size_t j = k + 1; j < n; ++j)
+                a[i * n + j] -= l * a[k * n + j];
+        }
+    }
+    return pivots;
+}
+
+std::vector<double>
+luSolveFunctional(const std::vector<double> &lu,
+                  const std::vector<size_t> &pivots, std::vector<double> b,
+                  size_t n)
+{
+    MCSCOPE_ASSERT(lu.size() == n * n && pivots.size() == n &&
+                       b.size() == n,
+                   "LU solve size mismatch");
+    for (size_t k = 0; k < n; ++k) {
+        if (pivots[k] != k)
+            std::swap(b[k], b[pivots[k]]);
+    }
+    // Forward substitution (unit lower).
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < i; ++j)
+            b[i] -= lu[i * n + j] * b[j];
+    }
+    // Back substitution.
+    for (size_t i = n; i-- > 0;) {
+        for (size_t j = i + 1; j < n; ++j)
+            b[i] -= lu[i * n + j] * b[j];
+        b[i] /= lu[i * n + i];
+    }
+    return b;
+}
+
+HplWorkload::HplWorkload(size_t n_global, size_t block)
+    : n_(n_global), block_(block)
+{
+    MCSCOPE_ASSERT(n_global >= block && block > 0, "bad HPL geometry");
+}
+
+uint64_t
+HplWorkload::iterations() const
+{
+    return static_cast<uint64_t>(n_ / block_);
+}
+
+double
+HplWorkload::totalFlops() const
+{
+    double n = static_cast<double>(n_);
+    return 2.0 / 3.0 * n * n * n;
+}
+
+std::vector<Prim>
+HplWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                  int rank) const
+{
+    const int p = rt.ranks();
+    const double steps = static_cast<double>(iterations());
+
+    // Process grid: the largest divisor of p that is <= sqrt(p).
+    int pcols = 1;
+    for (int d = 1; d * d <= p; ++d) {
+        if (p % d == 0)
+            pcols = d;
+    }
+    const int prows = p / pcols;
+    const int row = rank / pcols;
+    const int col = rank % pcols;
+
+    // Average per-step, per-rank trailing-update work (the shrinking
+    // trailing matrix is averaged across steps; the contention
+    // structure is unchanged because all ranks shrink together).
+    const double flops_step = totalFlops() / steps / p;
+    const double l2 = machine.config().l2Bytes;
+    const double dgemm_block = std::sqrt(l2 / (3.0 * 8.0));
+    const double traffic = flops_step / dgemm_block * 8.0;
+
+    RankProgram prog(machine, rt, rank);
+
+    if (p > 1) {
+        // Pivot selection: one small allreduce per column within the
+        // process column; latency-dominated, charged analytically.
+        int col_group = prows;
+        double rounds = col_group > 1 ? std::ceil(std::log2(col_group))
+                                      : 0.0;
+        int peer = (rank + pcols) % p; // representative column partner
+        SimTime pivot_lat =
+            static_cast<double>(block_) * rounds *
+            (peer == rank ? 0.0 : rt.messageOverhead(rank, peer, 16.0));
+        prog.delay(pivot_lat, tags::kComm);
+
+        // Panel broadcast along the process row (pipelined ring) and
+        // pivot row swaps within the column, both realized as ring
+        // shifts over the global rank ring (the pairings differ from
+        // a strict subcommunicator ring but carry the same volume
+        // across the same fabric).
+        if (pcols > 1) {
+            double panel_bytes = static_cast<double>(block_) *
+                                 (static_cast<double>(n_) / prows) * 8.0;
+            appendRingShift(rt, prog.prims(), rank, panel_bytes,
+                            0x300000ULL, tags::kComm);
+        }
+        if (prows > 1) {
+            double swap_bytes = static_cast<double>(block_) *
+                                (static_cast<double>(n_) / pcols) * 8.0;
+            appendRingShift(rt, prog.prims(), rank, swap_bytes,
+                            0x400000ULL, tags::kComm);
+        }
+    }
+
+    // Trailing DGEMM update: HPL sustains ~90% of pure DGEMM.
+    prog.compute(flops_step, 0.85 * 0.90);
+    prog.memory(traffic);
+    return prog.take();
+}
+
+double
+HplWorkload::aggregateGflops(const Machine &machine) const
+{
+    SimTime t = machine.engine().makespan();
+    MCSCOPE_ASSERT(t > 0.0, "run the workload before reading GFlop/s");
+    return totalFlops() / t / 1.0e9;
+}
+
+} // namespace mcscope

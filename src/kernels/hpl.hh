@@ -1,0 +1,59 @@
+/**
+ * @file
+ * HPL (High-Performance Linpack): functional LU factorization with
+ * partial pivoting, and the blocked right-looking cost model behind
+ * Figure 8 (HPL GF/s under LAM/NUMA option combinations).
+ */
+
+#ifndef MCSCOPE_KERNELS_HPL_HH
+#define MCSCOPE_KERNELS_HPL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/**
+ * Functional dense LU with partial pivoting (row-major, in place).
+ * Returns the pivot permutation; the matrix holds L (unit lower) and
+ * U packed.
+ */
+std::vector<size_t> luFactorFunctional(std::vector<double> &a, size_t n);
+
+/** Solve A x = b given the packed LU and pivots from luFactor. */
+std::vector<double> luSolveFunctional(const std::vector<double> &lu,
+                                      const std::vector<size_t> &pivots,
+                                      std::vector<double> b, size_t n);
+
+/**
+ * HPL cost model: a right-looking blocked LU over a 2-D process
+ * grid.  Each block step is one loop iteration: panel factorization
+ * (latency-sensitive column swaps + small DGEMMs), panel broadcast,
+ * and the trailing-matrix DGEMM update (the flop carrier).
+ */
+class HplWorkload : public LoopWorkload
+{
+  public:
+    HplWorkload(size_t n_global, size_t block);
+
+    std::string name() const override { return "hpl"; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Total useful flops (2/3 n^3). */
+    double totalFlops() const;
+
+    /** Aggregate GFlop/s of a finished run. */
+    double aggregateGflops(const Machine &machine) const;
+
+  private:
+    size_t n_;
+    size_t block_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_HPL_HH

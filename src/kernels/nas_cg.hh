@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NAS Parallel Benchmark CG cost model (Tables 2-4 of the paper).
+ *
+ * NPB CG repeatedly solves (A - shift I) z = x on a random SPD sparse
+ * matrix with unpreconditioned conjugate gradient: NITER outer
+ * iterations of 25 inner CG steps.  Each inner step is a gather-heavy
+ * SpMV (memory-latency and bandwidth bound), a few vector updates,
+ * two dot-product allreduces, and a row/column partial-vector
+ * exchange on the sqrt(p) x sqrt(p) process grid.
+ *
+ * Aggregation: the 25 inner steps of an outer iteration are fused
+ * into one compute phase + one memory phase + one volume exchange;
+ * the per-step collective latencies are charged as an explicit Delay
+ * and one real allreduce per outer iteration keeps ranks
+ * synchronized.  All ranks run identical programs, so fusing does not
+ * change the contention structure.
+ */
+
+#ifndef MCSCOPE_KERNELS_NAS_CG_HH
+#define MCSCOPE_KERNELS_NAS_CG_HH
+
+#include <string>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** NPB CG problem classes. */
+struct NasCgClass
+{
+    std::string name;
+    double na = 0;       ///< matrix order
+    double nnz = 0;      ///< stored nonzeros
+    int outerIters = 0;  ///< NITER
+    int innerIters = 25; ///< CG steps per outer iteration
+};
+
+/** Class A: na=14000. */
+NasCgClass nasCgClassA();
+
+/** Class B: na=75000 (the paper's configuration). */
+NasCgClass nasCgClassB();
+
+/** NAS CG workload over a given problem class. */
+class NasCgWorkload : public LoopWorkload
+{
+  public:
+    explicit NasCgWorkload(NasCgClass klass);
+
+    std::string name() const override { return "nas-cg." + klass_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+  private:
+    NasCgClass klass_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_NAS_CG_HH

@@ -1,0 +1,66 @@
+#include "kernels/nas_ep.hh"
+
+#include <cmath>
+
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+
+EpResult
+epFunctional(uint64_t pairs, uint64_t seed)
+{
+    Rng rng(seed);
+    EpResult res;
+    res.pairs = pairs;
+    for (uint64_t i = 0; i < pairs; ++i) {
+        double x = rng.uniform(-1.0, 1.0);
+        double y = rng.uniform(-1.0, 1.0);
+        double t = x * x + y * y;
+        if (t <= 1.0 && t > 0.0) {
+            double f = std::sqrt(-2.0 * std::log(t) / t);
+            res.sumX += x * f;
+            res.sumY += y * f;
+            ++res.accepted;
+        }
+    }
+    return res;
+}
+
+NasEpClass
+nasEpClassA()
+{
+    return {"A", 268435456.0}; // 2^28
+}
+
+NasEpClass
+nasEpClassB()
+{
+    return {"B", 1073741824.0}; // 2^30
+}
+
+NasEpWorkload::NasEpWorkload(NasEpClass klass) : klass_(std::move(klass))
+{
+    MCSCOPE_ASSERT(klass_.pairs > 0, "bad NAS EP class");
+}
+
+std::vector<Prim>
+NasEpWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                    int rank) const
+{
+    const int p = rt.ranks();
+    RankProgram prog(machine, rt, rank);
+    // ~40 flops per pair (two uniforms, the polar test, log/sqrt on
+    // the ~pi/4 accepted fraction); the working set is a few scalars,
+    // so no memory phase at all.
+    prog.compute(klass_.pairs * 40.0 / p, 0.70);
+    if (p > 1) {
+        // Final 10-number statistics reduction.
+        appendAllReduce(rt, prog.prims(), rank, 80.0, 0x1100000ULL,
+                        tags::kComm);
+    }
+    return prog.take();
+}
+
+} // namespace mcscope

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * NAS Parallel Benchmark EP (Embarrassingly Parallel): functional
+ * kernel and cost model.
+ *
+ * The paper evaluates CG and FT; EP is included as the control
+ * workload every characterization suite needs -- no communication,
+ * no memory pressure, pure per-core arithmetic.  On the simulated
+ * machines it scales linearly everywhere, including the 16-core
+ * Longs configuration where CG collapses, isolating the memory/
+ * interconnect effects from core-count effects.
+ */
+
+#ifndef MCSCOPE_KERNELS_NAS_EP_HH
+#define MCSCOPE_KERNELS_NAS_EP_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** Result of the functional EP computation. */
+struct EpResult
+{
+    double sumX = 0.0;     ///< sum of accepted x deviates
+    double sumY = 0.0;     ///< sum of accepted y deviates
+    uint64_t accepted = 0; ///< pairs inside the unit circle
+    uint64_t pairs = 0;    ///< pairs generated
+};
+
+/**
+ * Functional EP: generate `pairs` uniform pairs in (-1,1)^2, apply
+ * the Marsaglia polar acceptance (x^2 + y^2 <= 1), and accumulate
+ * the resulting Gaussian deviates.  Deterministic in `seed`.
+ */
+EpResult epFunctional(uint64_t pairs, uint64_t seed);
+
+/** NPB EP problem classes. */
+struct NasEpClass
+{
+    std::string name;
+    double pairs = 0; ///< 2^(M+1) random pairs
+};
+
+/** Class A: 2^28 pairs. */
+NasEpClass nasEpClassA();
+
+/** Class B: 2^30 pairs. */
+NasEpClass nasEpClassB();
+
+/** EP cost model: pure compute + one tiny final reduction. */
+class NasEpWorkload : public LoopWorkload
+{
+  public:
+    explicit NasEpWorkload(NasEpClass klass);
+
+    std::string name() const override { return "nas-ep." + klass_.name; }
+    uint64_t iterations() const override { return 1; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+  private:
+    NasEpClass klass_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_NAS_EP_HH

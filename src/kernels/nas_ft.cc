@@ -1,0 +1,71 @@
+#include "kernels/nas_ft.hh"
+
+#include <cmath>
+
+#include "kernels/fft.hh"
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+NasFtClass
+nasFtClassA()
+{
+    return {"A", 256.0, 256.0, 128.0, 6};
+}
+
+NasFtClass
+nasFtClassB()
+{
+    return {"B", 512.0, 256.0, 256.0, 20};
+}
+
+NasFtWorkload::NasFtWorkload(NasFtClass klass) : klass_(std::move(klass))
+{
+    MCSCOPE_ASSERT(klass_.points() > 0 && klass_.iters > 0,
+                   "bad NAS FT class");
+}
+
+uint64_t
+NasFtWorkload::iterations() const
+{
+    return static_cast<uint64_t>(klass_.iters);
+}
+
+std::vector<Prim>
+NasFtWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                    int rank) const
+{
+    const int p = rt.ranks();
+    const double n = klass_.points();
+    const double local = n / p;
+
+    // One 3-D FFT (+ evolve) per iteration.
+    const double flops = fftFlops(n) / p + 6.0 * local;
+    // Each dimension's pass streams the local volume (read + write);
+    // evolve adds one more sweep.  16 bytes per complex point.
+    const double bytes = (3.0 * 2.0 + 2.0) * 16.0 * local;
+
+    // Two streaming FFT passes per socket defeat DRAM page locality
+    // just as STREAM does (the Table 4 FT efficiency slide).
+    const double bank_penalty =
+        socketSharers(machine, rt, rank) > 1 ? 1.12 : 1.0;
+
+    RankProgram prog(machine, rt, rank);
+    prog.compute(flops, 0.50, tags::kFft);
+    prog.memory(bytes * bank_penalty, tags::kFft);
+
+    if (p > 1) {
+        // Global transpose: all-to-all of the whole local volume in
+        // per-pair blocks.
+        double per_pair = 16.0 * local / p;
+        appendAllToAll(rt, prog.prims(), rank, per_pair, 0x700000ULL,
+                       tags::kComm);
+        // Checksum reduction.
+        appendAllReduce(rt, prog.prims(), rank, 16.0, 0x800000ULL,
+                        tags::kComm);
+    }
+    return prog.take();
+}
+
+} // namespace mcscope

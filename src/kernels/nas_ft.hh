@@ -1,0 +1,56 @@
+/**
+ * @file
+ * NAS Parallel Benchmark FT cost model (Tables 2-4 of the paper).
+ *
+ * NPB FT solves a 3-D PDE with spectral methods: each of NITER
+ * iterations evolves the spectrum and performs a full 3-D FFT over a
+ * nx x ny x nz complex grid distributed by planes.  Two dimensions
+ * transform locally; the third requires a global transpose
+ * (all-to-all), which is what makes FT bandwidth-bound and sensitive
+ * to the HT ladder and to memory placement.
+ */
+
+#ifndef MCSCOPE_KERNELS_NAS_FT_HH
+#define MCSCOPE_KERNELS_NAS_FT_HH
+
+#include <string>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** NPB FT problem classes. */
+struct NasFtClass
+{
+    std::string name;
+    double nx = 0, ny = 0, nz = 0;
+    int iters = 0;
+
+    /** Total grid points. */
+    double points() const { return nx * ny * nz; }
+};
+
+/** Class A: 256 x 256 x 128. */
+NasFtClass nasFtClassA();
+
+/** Class B: 512 x 256 x 256 (the paper's configuration). */
+NasFtClass nasFtClassB();
+
+/** NAS FT workload over a given problem class. */
+class NasFtWorkload : public LoopWorkload
+{
+  public:
+    explicit NasFtWorkload(NasFtClass klass);
+
+    std::string name() const override { return "nas-ft." + klass_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+  private:
+    NasFtClass klass_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_NAS_FT_HH

@@ -1,0 +1,100 @@
+#include "kernels/nas_is.hh"
+
+#include <algorithm>
+
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+
+std::vector<uint32_t>
+isSortFunctional(size_t keys, uint32_t max_key, uint64_t seed)
+{
+    MCSCOPE_ASSERT(keys > 0 && max_key > 0, "bad IS parameters");
+    Rng rng(seed);
+    std::vector<uint32_t> data(keys);
+    for (uint32_t &k : data) {
+        // NPB IS uses an average of four uniforms for a bell-ish
+        // key distribution.
+        double acc = 0.0;
+        for (int i = 0; i < 4; ++i)
+            acc += rng.uniform();
+        k = static_cast<uint32_t>(acc / 4.0 * max_key);
+        if (k >= max_key)
+            k = max_key - 1;
+    }
+
+    // Counting sort (the ranking IS actually validates).
+    std::vector<size_t> counts(max_key, 0);
+    for (uint32_t k : data)
+        ++counts[k];
+    std::vector<uint32_t> sorted;
+    sorted.reserve(keys);
+    for (uint32_t k = 0; k < max_key; ++k)
+        sorted.insert(sorted.end(), counts[k], k);
+    return sorted;
+}
+
+bool
+isSorted(const std::vector<uint32_t> &keys)
+{
+    return std::is_sorted(keys.begin(), keys.end());
+}
+
+NasIsClass
+nasIsClassA()
+{
+    return {"A", 8388608.0, 524288.0, 10};
+}
+
+NasIsClass
+nasIsClassB()
+{
+    return {"B", 33554432.0, 2097152.0, 10};
+}
+
+NasIsWorkload::NasIsWorkload(NasIsClass klass) : klass_(std::move(klass))
+{
+    MCSCOPE_ASSERT(klass_.keys > 0 && klass_.iters > 0,
+                   "bad NAS IS class");
+}
+
+uint64_t
+NasIsWorkload::iterations() const
+{
+    return static_cast<uint64_t>(klass_.iters);
+}
+
+std::vector<Prim>
+NasIsWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                    int rank) const
+{
+    const int p = rt.ranks();
+    const double local_keys = klass_.keys / p;
+    RankProgram prog(machine, rt, rank);
+
+    // Local bucket counting: one integer pass with scattered
+    // increments into the count array (latency-limited like a
+    // gather).
+    prog.compute(local_keys * 6.0, 0.50);
+    prog.memory(local_keys * 4.0);
+    prog.memoryCapped(local_keys * 8.0 * 0.5, 0.4);
+
+    if (p > 1) {
+        // Bucket-boundary exchange, then the key redistribution:
+        // every key moves to its bucket's owner, (p-1)/p of them
+        // remote.
+        appendAllReduce(rt, prog.prims(), rank, 1024.0, 0x1400000ULL,
+                        tags::kComm);
+        double bytes_per_pair = local_keys * 4.0 / p;
+        appendAllToAll(rt, prog.prims(), rank, bytes_per_pair,
+                       0x1500000ULL, tags::kComm);
+    }
+    // Final local ranking pass over the received keys.
+    prog.compute(local_keys * 4.0, 0.50);
+    prog.memory(local_keys * 8.0);
+    return prog.take();
+}
+
+} // namespace mcscope

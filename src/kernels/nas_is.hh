@@ -1,0 +1,66 @@
+/**
+ * @file
+ * NAS Parallel Benchmark IS (Integer Sort): functional parallel
+ * bucket sort and its cost model.
+ *
+ * IS is the NPB's communication-heavy oddball: almost no floating
+ * point, one all-to-all key redistribution per iteration, and
+ * random-access scatter into buckets -- a useful contrast to CG
+ * (latency-bound gathers) and FT (bandwidth-bound transpose).
+ */
+
+#ifndef MCSCOPE_KERNELS_NAS_IS_HH
+#define MCSCOPE_KERNELS_NAS_IS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/**
+ * Functional ranked bucket sort as NPB IS defines it: keys in
+ * [0, max_key) are ranked by counting sort.  Deterministic in
+ * `seed`.  Returns the sorted key vector.
+ */
+std::vector<uint32_t> isSortFunctional(size_t keys, uint32_t max_key,
+                                       uint64_t seed);
+
+/** Verify a key vector is non-decreasing. */
+bool isSorted(const std::vector<uint32_t> &keys);
+
+/** NPB IS problem classes. */
+struct NasIsClass
+{
+    std::string name;
+    double keys = 0;    ///< 2^23 (A) / 2^25 (B)
+    double maxKey = 0;  ///< 2^19 (A) / 2^21 (B)
+    int iters = 10;
+};
+
+/** Class A: 2^23 keys. */
+NasIsClass nasIsClassA();
+
+/** Class B: 2^25 keys. */
+NasIsClass nasIsClassB();
+
+/** NAS IS cost model. */
+class NasIsWorkload : public LoopWorkload
+{
+  public:
+    explicit NasIsWorkload(NasIsClass klass);
+
+    std::string name() const override { return "nas-is." + klass_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+  private:
+    NasIsClass klass_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_NAS_IS_HH

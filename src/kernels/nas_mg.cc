@@ -1,0 +1,205 @@
+#include "kernels/nas_mg.hh"
+
+#include <cmath>
+
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+size_t
+wrap(size_t i, size_t n, long d)
+{
+    return (i + n + static_cast<size_t>(static_cast<long>(n) + d)) % n;
+}
+
+/** Apply the 7-point operator A u at (x, y, z), periodic. */
+double
+applyPoint(const Field3d &u, size_t x, size_t y, size_t z)
+{
+    const size_t n = u.n;
+    double nb = u.at(wrap(x, n, -1), y, z) + u.at((x + 1) % n, y, z) +
+                u.at(x, wrap(y, n, -1), z) + u.at(x, (y + 1) % n, z) +
+                u.at(x, y, wrap(z, n, -1)) + u.at(x, y, (z + 1) % n);
+    return 6.0 * u.at(x, y, z) - nb;
+}
+
+} // namespace
+
+void
+mgResidual(const Field3d &u, const Field3d &v, Field3d &r)
+{
+    MCSCOPE_ASSERT(u.n == v.n, "residual field mismatch");
+    r = Field3d(u.n);
+    for (size_t z = 0; z < u.n; ++z)
+        for (size_t y = 0; y < u.n; ++y)
+            for (size_t x = 0; x < u.n; ++x)
+                r.at(x, y, z) = v.at(x, y, z) - applyPoint(u, x, y, z);
+}
+
+void
+mgSmooth(Field3d &u, const Field3d &v, int sweeps)
+{
+    MCSCOPE_ASSERT(u.n == v.n, "smooth field mismatch");
+    const size_t n = u.n;
+    const double omega = 0.8; // damped Jacobi keeps it stable
+    Field3d next(n);
+    for (int s = 0; s < sweeps; ++s) {
+        for (size_t z = 0; z < n; ++z) {
+            for (size_t y = 0; y < n; ++y) {
+                for (size_t x = 0; x < n; ++x) {
+                    double res =
+                        v.at(x, y, z) - applyPoint(u, x, y, z);
+                    next.at(x, y, z) =
+                        u.at(x, y, z) + omega * res / 6.0;
+                }
+            }
+        }
+        std::swap(u.data, next.data);
+    }
+}
+
+Field3d
+mgRestrict(const Field3d &fine)
+{
+    MCSCOPE_ASSERT(fine.n % 2 == 0 && fine.n >= 4,
+                   "cannot restrict edge ", fine.n);
+    const size_t nc = fine.n / 2;
+    Field3d coarse(nc);
+    // Injection plus face average: a light full-weighting stencil.
+    for (size_t z = 0; z < nc; ++z) {
+        for (size_t y = 0; y < nc; ++y) {
+            for (size_t x = 0; x < nc; ++x) {
+                size_t fx = 2 * x, fy = 2 * y, fz = 2 * z;
+                double center = fine.at(fx, fy, fz);
+                double faces =
+                    fine.at((fx + 1) % fine.n, fy, fz) +
+                    fine.at(wrap(fx, fine.n, -1), fy, fz) +
+                    fine.at(fx, (fy + 1) % fine.n, fz) +
+                    fine.at(fx, wrap(fy, fine.n, -1), fz) +
+                    fine.at(fx, fy, (fz + 1) % fine.n) +
+                    fine.at(fx, fy, wrap(fz, fine.n, -1));
+                coarse.at(x, y, z) = 0.5 * center + faces / 12.0;
+            }
+        }
+    }
+    return coarse;
+}
+
+Field3d
+mgProlong(const Field3d &coarse, size_t fine_edge)
+{
+    MCSCOPE_ASSERT(fine_edge == 2 * coarse.n, "prolong edge mismatch");
+    Field3d fine(fine_edge);
+    const size_t nc = coarse.n;
+    for (size_t z = 0; z < fine_edge; ++z) {
+        for (size_t y = 0; y < fine_edge; ++y) {
+            for (size_t x = 0; x < fine_edge; ++x) {
+                // Nearest + linear blend toward the next coarse cell.
+                size_t cx = x / 2, cy = y / 2, cz = z / 2;
+                double base = coarse.at(cx, cy, cz);
+                double bx = coarse.at((cx + x % 2) % nc, cy, cz);
+                double by = coarse.at(cx, (cy + y % 2) % nc, cz);
+                double bz = coarse.at(cx, cy, (cz + z % 2) % nc);
+                fine.at(x, y, z) =
+                    0.25 * (base + bx + by + bz);
+            }
+        }
+    }
+    return fine;
+}
+
+double
+mgResidualNorm(const Field3d &u, const Field3d &v)
+{
+    Field3d r;
+    mgResidual(u, v, r);
+    double acc = 0.0;
+    for (double x : r.data)
+        acc += x * x;
+    return std::sqrt(acc / r.data.size());
+}
+
+double
+mgVCycle(Field3d &u, const Field3d &v, int pre_sweeps, int post_sweeps)
+{
+    mgSmooth(u, v, pre_sweeps);
+    if (u.n >= 4) {
+        Field3d r;
+        mgResidual(u, v, r);
+        Field3d rc = mgRestrict(r);
+        Field3d ec(rc.n);
+        // Recurse on the error equation A e = r.
+        mgVCycle(ec, rc, pre_sweeps, post_sweeps);
+        Field3d ef = mgProlong(ec, u.n);
+        for (size_t i = 0; i < u.data.size(); ++i)
+            u.data[i] += ef.data[i];
+    }
+    mgSmooth(u, v, post_sweeps);
+    return mgResidualNorm(u, v);
+}
+
+NasMgClass
+nasMgClassA()
+{
+    return {"A", 256.0, 4};
+}
+
+NasMgClass
+nasMgClassB()
+{
+    return {"B", 256.0, 20};
+}
+
+NasMgWorkload::NasMgWorkload(NasMgClass klass) : klass_(std::move(klass))
+{
+    MCSCOPE_ASSERT(klass_.edge >= 4 && klass_.iters > 0,
+                   "bad NAS MG class");
+}
+
+uint64_t
+NasMgWorkload::iterations() const
+{
+    return static_cast<uint64_t>(klass_.iters);
+}
+
+std::vector<Prim>
+NasMgWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                    int rank) const
+{
+    const int p = rt.ranks();
+    RankProgram prog(machine, rt, rank);
+
+    // Walk the grid pyramid: each level does smoothing sweeps
+    // (stencil flops + streaming traffic) and a 6-face halo exchange
+    // whose message size shrinks 4x per level -- the coarse levels
+    // are pure latency, which is MG's signature.
+    double edge = klass_.edge;
+    int level = 0;
+    while (edge >= 4.0) {
+        double points = edge * edge * edge / p;
+        // ~4 sweeps (2 pre + 1 post + residual/transfer work).
+        prog.compute(points * 4.0 * 14.0, 0.40);
+        prog.memory(points * 4.0 * 24.0);
+        if (p > 1) {
+            double face = std::cbrt(points);
+            double halo_bytes = 6.0 * face * face * 8.0;
+            appendRingShift(
+                rt, prog.prims(), rank, halo_bytes,
+                0x1200000ULL + (static_cast<uint64_t>(level) << 13),
+                tags::kComm);
+        }
+        edge /= 2.0;
+        ++level;
+    }
+    if (p > 1) {
+        // Convergence-norm reduction per V-cycle.
+        appendAllReduce(rt, prog.prims(), rank, 16.0, 0x1300000ULL,
+                        tags::kComm);
+    }
+    return prog.take();
+}
+
+} // namespace mcscope

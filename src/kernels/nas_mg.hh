@@ -1,0 +1,101 @@
+/**
+ * @file
+ * NAS Parallel Benchmark MG (MultiGrid): a real V-cycle Poisson
+ * solver on a 3-D grid (functional) and the communication-pyramid
+ * cost model.
+ *
+ * The paper evaluates CG and FT; MG completes the NPB kernel subset
+ * with the behaviour class they bracket: stencil compute like POP's
+ * baroclinic phase at the fine levels, but halo exchanges at *every*
+ * level of the pyramid, so message sizes shrink toward pure latency
+ * at the coarse levels -- placement- and sub-layer-sensitive in a
+ * way neither CG nor FT isolates.
+ */
+
+#ifndef MCSCOPE_KERNELS_NAS_MG_HH
+#define MCSCOPE_KERNELS_NAS_MG_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** A dense 3-D field (cubic, power-of-two edge). */
+struct Field3d
+{
+    size_t n = 0;
+    std::vector<double> data;
+
+    Field3d() = default;
+    explicit Field3d(size_t edge, double init = 0.0)
+        : n(edge), data(edge * edge * edge, init)
+    {
+    }
+
+    double &at(size_t x, size_t y, size_t z)
+    {
+        return data[(z * n + y) * n + x];
+    }
+    double at(size_t x, size_t y, size_t z) const
+    {
+        return data[(z * n + y) * n + x];
+    }
+};
+
+/** Residual r = v - A u with the 7-point Poisson operator (periodic). */
+void mgResidual(const Field3d &u, const Field3d &v, Field3d &r);
+
+/** One red-black Gauss-Seidel-ish smoothing sweep (Jacobi here). */
+void mgSmooth(Field3d &u, const Field3d &v, int sweeps);
+
+/** Full-weighting restriction to the next-coarser grid (n/2). */
+Field3d mgRestrict(const Field3d &fine);
+
+/** Trilinear prolongation to the next-finer grid (2n). */
+Field3d mgProlong(const Field3d &coarse, size_t fine_edge);
+
+/**
+ * One V-cycle of the multigrid solver; returns the L2 norm of the
+ * residual after the cycle.
+ */
+double mgVCycle(Field3d &u, const Field3d &v, int pre_sweeps = 2,
+                int post_sweeps = 1);
+
+/** L2 norm of the residual r = v - A u. */
+double mgResidualNorm(const Field3d &u, const Field3d &v);
+
+/** NPB MG problem classes. */
+struct NasMgClass
+{
+    std::string name;
+    double edge = 0; ///< fine-grid edge (class B: 256)
+    int iters = 0;   ///< V-cycles
+};
+
+/** Class A: 256^3, 4 iterations. */
+NasMgClass nasMgClassA();
+
+/** Class B: 256^3, 20 iterations. */
+NasMgClass nasMgClassB();
+
+/** NAS MG cost model. */
+class NasMgWorkload : public LoopWorkload
+{
+  public:
+    explicit NasMgWorkload(NasMgClass klass);
+
+    std::string name() const override { return "nas-mg." + klass_.name; }
+    uint64_t iterations() const override;
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+  private:
+    NasMgClass klass_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_NAS_MG_HH

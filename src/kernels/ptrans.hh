@@ -1,0 +1,53 @@
+/**
+ * @file
+ * HPCC PTRANS (parallel matrix transpose, A = A^T + A): functional
+ * kernel and cost model (Figure 12).
+ *
+ * PTRANS is all-to-all communication of large blocks plus streaming
+ * local work; it exposes the HT ladder's bisection limits and, with
+ * many messages per step, amplifies the MPI sub-layer lock cost.
+ */
+
+#ifndef MCSCOPE_KERNELS_PTRANS_HH
+#define MCSCOPE_KERNELS_PTRANS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** Functional out-of-place transpose (row-major n x n). */
+void transposeFunctional(const std::vector<double> &in,
+                         std::vector<double> &out, size_t n);
+
+/**
+ * PTRANS cost model: each iteration transposes a globally distributed
+ * n x n matrix over a square-ish process grid via all-to-all block
+ * exchange, then adds it to the local panel.
+ */
+class PtransWorkload : public LoopWorkload
+{
+  public:
+    PtransWorkload(size_t n_global, int iterations);
+
+    std::string name() const override { return "ptrans"; }
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Global matrix bytes. */
+    double matrixBytes() const;
+
+    /** Aggregate transpose bandwidth (bytes/s) of a finished run. */
+    double aggregateBandwidth(const Machine &machine) const;
+
+  private:
+    size_t n_;
+    uint64_t iterations_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_PTRANS_HH

@@ -1,0 +1,155 @@
+#include "kernels/randomaccess.hh"
+
+#include <cmath>
+
+#include "simmpi/collectives.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+/** HPCC LFSR polynomial. */
+constexpr uint64_t kPoly = 0x0000000000000007ULL;
+
+/** Dependent-chain miss concurrency of a 2006 Opteron core (lines). */
+constexpr double kUpdateConcurrencyLines = 1.0;
+
+/** Bytes of memory traffic per update (read + write-back of a line). */
+constexpr double kBytesPerUpdate = 128.0;
+
+} // namespace
+
+uint64_t
+hpccRandomNext(uint64_t x)
+{
+    return (x << 1) ^ ((static_cast<int64_t>(x) < 0) ? kPoly : 0ULL);
+}
+
+uint64_t
+randomAccessFunctional(std::vector<uint64_t> &table, uint64_t updates)
+{
+    const uint64_t size = table.size();
+    MCSCOPE_ASSERT(size > 0 && (size & (size - 1)) == 0,
+                   "table size must be a power of two");
+    uint64_t ran = 1;
+    for (uint64_t i = 0; i < updates; ++i) {
+        ran = hpccRandomNext(ran);
+        table[ran & (size - 1)] ^= ran;
+    }
+    uint64_t sum = 0;
+    for (uint64_t v : table)
+        sum ^= v;
+    return sum;
+}
+
+RandomAccessWorkload::RandomAccessWorkload(double table_bytes_per_rank,
+                                           double updates_per_iteration,
+                                           int iterations)
+    : tableBytes_(table_bytes_per_rank),
+      updates_(updates_per_iteration),
+      iterations_(static_cast<uint64_t>(iterations))
+{
+    MCSCOPE_ASSERT(table_bytes_per_rank > 0 && updates_per_iteration > 0 &&
+                       iterations > 0,
+                   "bad RandomAccess parameters");
+}
+
+std::vector<Prim>
+RandomAccessWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const
+{
+    RankProgram prog(machine, rt, rank);
+    // Dependent random updates: the stream's rate cap is set by
+    // latency and a tiny miss concurrency, not by link bandwidth.
+    std::vector<Prim> prims;
+    RankProgram mem(machine, rt, rank);
+    mem.memory(updates_ * kBytesPerUpdate);
+    double conc_bytes = kUpdateConcurrencyLines * 64.0 * 2.0;
+    double stream_bytes = machine.config().streamConcurrencyBytes;
+    for (Prim &p : mem.prims()) {
+        if (auto *w = std::get_if<Work>(&p)) {
+            if (w->rateCap > 0.0)
+                w->rateCap *= conc_bytes / stream_bytes;
+        }
+        prims.push_back(std::move(p));
+    }
+    return prims;
+}
+
+double
+RandomAccessWorkload::aggregateGups(const Machine &machine,
+                                    int ranks) const
+{
+    double updates = updates_ * static_cast<double>(iterations_) * ranks;
+    SimTime t = machine.engine().makespan();
+    MCSCOPE_ASSERT(t > 0.0, "run the workload before reading GUPS");
+    return updates / t / 1.0e9;
+}
+
+MpiRandomAccessWorkload::MpiRandomAccessWorkload(
+    double table_bytes_per_rank, double updates_per_iteration,
+    int iterations)
+    : tableBytes_(table_bytes_per_rank),
+      updates_(updates_per_iteration),
+      iterations_(static_cast<uint64_t>(iterations))
+{
+    MCSCOPE_ASSERT(table_bytes_per_rank > 0 && updates_per_iteration > 0 &&
+                       iterations > 0,
+                   "bad MPI RandomAccess parameters");
+}
+
+std::vector<Prim>
+MpiRandomAccessWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                              int rank) const
+{
+    const int p = rt.ranks();
+    RankProgram prog(machine, rt, rank);
+
+    if (p > 1) {
+        // Updates are bucketed per destination and shipped in small
+        // 64-update (512 B) batches -- "the messages sent by the MPI
+        // implementation of the RA benchmark are small" -- so the
+        // per-message overheads dominate under SysV locking.
+        const double batch_updates = 64.0;
+        const double to_each = updates_ / p;
+        const double batches = std::ceil(to_each / batch_updates);
+        SimTime overhead = 0.0;
+        for (int peer = 0; peer < p; ++peer) {
+            if (peer == rank)
+                continue;
+            overhead += batches *
+                        rt.messageOverhead(rank, peer, 512.0);
+        }
+        prog.delay(overhead, tags::kComm);
+        appendAllToAll(rt, prog.prims(), rank, 8.0 * to_each,
+                       0x100000ULL, tags::kComm);
+    }
+
+    // Apply all updates destined for this rank's table slice.
+    RankProgram mem(machine, rt, rank);
+    mem.memory(updates_ * kBytesPerUpdate);
+    double conc_bytes = kUpdateConcurrencyLines * 64.0 * 2.0;
+    double stream_bytes = machine.config().streamConcurrencyBytes;
+    std::vector<Prim> prims = prog.take();
+    for (Prim &pr : mem.prims()) {
+        if (auto *w = std::get_if<Work>(&pr)) {
+            if (w->rateCap > 0.0)
+                w->rateCap *= conc_bytes / stream_bytes;
+        }
+        prims.push_back(std::move(pr));
+    }
+    return prims;
+}
+
+double
+MpiRandomAccessWorkload::aggregateGups(const Machine &machine,
+                                       int ranks) const
+{
+    double updates = updates_ * static_cast<double>(iterations_) * ranks;
+    SimTime t = machine.engine().makespan();
+    MCSCOPE_ASSERT(t > 0.0, "run the workload before reading GUPS");
+    return updates / t / 1.0e9;
+}
+
+} // namespace mcscope

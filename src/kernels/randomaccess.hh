@@ -1,0 +1,96 @@
+/**
+ * @file
+ * HPCC RandomAccess (GUPS): functional kernel and cost models for the
+ * Single / Star / MPI variants of Figure 11.
+ *
+ * RandomAccess stresses the *latency* end of the memory system:
+ * dependent 8-byte updates at random addresses.  With little
+ * bandwidth demand, the second core of a socket helps rather than
+ * hurts (Single:Star below 2:1), and the MPI variant lives or dies by
+ * small-message cost (the SysV semaphore pathology).
+ */
+
+#ifndef MCSCOPE_KERNELS_RANDOMACCESS_HH
+#define MCSCOPE_KERNELS_RANDOMACCESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/**
+ * Functional GUPS: XOR-updates over a 2^log2_size table using the
+ * HPCC polynomial random stream.  Running the same update stream
+ * twice restores the table, which is the standard verification.
+ *
+ * @return the table checksum after the updates.
+ */
+uint64_t randomAccessFunctional(std::vector<uint64_t> &table,
+                                uint64_t updates);
+
+/** The HPCC random-stream step (x -> x<<1 ^ (x<0 ? POLY : 0)). */
+uint64_t hpccRandomNext(uint64_t x);
+
+/**
+ * Local RandomAccess cost model (Single and Star modes): each rank
+ * performs dependent random updates against its private table.
+ */
+class RandomAccessWorkload : public LoopWorkload
+{
+  public:
+    /**
+     * @param table_bytes_per_rank  table size (>> cache).
+     * @param updates_per_iteration updates per loop body.
+     * @param iterations            loop bodies per rank.
+     */
+    RandomAccessWorkload(double table_bytes_per_rank,
+                         double updates_per_iteration, int iterations);
+
+    std::string name() const override { return "randomaccess"; }
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Updates per rank per iteration. */
+    double updatesPerIteration() const { return updates_; }
+
+    /** Aggregate GUPS (giga-updates/s) of a finished run. */
+    double aggregateGups(const Machine &machine, int ranks) const;
+
+  private:
+    double tableBytes_;
+    double updates_;
+    uint64_t iterations_;
+};
+
+/**
+ * MPI RandomAccess cost model: updates are bucketed per destination
+ * rank and exchanged in small batches each iteration, so performance
+ * is dominated by small-message cost.
+ */
+class MpiRandomAccessWorkload : public LoopWorkload
+{
+  public:
+    MpiRandomAccessWorkload(double table_bytes_per_rank,
+                            double updates_per_iteration, int iterations);
+
+    std::string name() const override { return "mpi-randomaccess"; }
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Aggregate GUPS of a finished run. */
+    double aggregateGups(const Machine &machine, int ranks) const;
+
+  private:
+    double tableBytes_;
+    double updates_;
+    uint64_t iterations_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_RANDOMACCESS_HH

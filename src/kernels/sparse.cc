@@ -1,0 +1,139 @@
+#include "kernels/sparse.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+
+void
+CsrMatrix::validate() const
+{
+    MCSCOPE_ASSERT(rowPtr.size() == rows + 1, "rowPtr size mismatch");
+    MCSCOPE_ASSERT(rowPtr.front() == 0 && rowPtr.back() == nnz(),
+                   "rowPtr range mismatch");
+    MCSCOPE_ASSERT(colIdx.size() == values.size(), "col/value mismatch");
+    for (size_t r = 0; r < rows; ++r) {
+        MCSCOPE_ASSERT(rowPtr[r] <= rowPtr[r + 1], "rowPtr not sorted");
+        for (size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
+            MCSCOPE_ASSERT(colIdx[k] < cols, "column out of range");
+    }
+}
+
+void
+CsrMatrix::multiply(const std::vector<double> &x,
+                    std::vector<double> &y) const
+{
+    MCSCOPE_ASSERT(x.size() == cols, "SpMV x size mismatch");
+    y.assign(rows, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+        double acc = 0.0;
+        for (size_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
+            acc += values[k] * x[colIdx[k]];
+        y[r] = acc;
+    }
+}
+
+CsrMatrix
+makeSpdMatrix(size_t n, size_t nnz_per_row, uint64_t seed)
+{
+    MCSCOPE_ASSERT(n > 0 && nnz_per_row > 0, "bad SPD matrix shape");
+    Rng rng(seed);
+
+    // Build the strictly-upper pattern, then mirror for symmetry.
+    std::vector<std::map<size_t, double>> rows(n);
+    for (size_t r = 0; r < n; ++r) {
+        for (size_t k = 0; k < nnz_per_row; ++k) {
+            size_t c = rng.below(n);
+            if (c == r)
+                continue;
+            double v = rng.uniform(-1.0, 1.0);
+            rows[std::min(r, c)][std::max(r, c)] = v;
+        }
+    }
+
+    // Symmetrize into full storage with diagonal dominance.
+    std::vector<std::map<size_t, double>> full(n);
+    std::vector<double> rowsum(n, 0.0);
+    for (size_t r = 0; r < n; ++r) {
+        for (const auto &[c, v] : rows[r]) {
+            full[r][c] = v;
+            full[c][r] = v;
+            rowsum[r] += std::abs(v);
+            rowsum[c] += std::abs(v);
+        }
+    }
+    CsrMatrix m;
+    m.rows = n;
+    m.cols = n;
+    m.rowPtr.push_back(0);
+    for (size_t r = 0; r < n; ++r) {
+        full[r][r] = rowsum[r] + 1.0; // strict dominance => SPD
+        for (const auto &[c, v] : full[r]) {
+            m.colIdx.push_back(c);
+            m.values.push_back(v);
+        }
+        m.rowPtr.push_back(m.colIdx.size());
+    }
+    m.validate();
+    return m;
+}
+
+double
+dotProduct(const std::vector<double> &a, const std::vector<double> &b)
+{
+    MCSCOPE_ASSERT(a.size() == b.size(), "dot size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+vectorNorm(const std::vector<double> &v)
+{
+    return std::sqrt(dotProduct(v, v));
+}
+
+CgResult
+conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+                  int max_iter, double tol)
+{
+    MCSCOPE_ASSERT(a.rows == a.cols && b.size() == a.rows,
+                   "CG needs a square system");
+    const size_t n = a.rows;
+    CgResult res;
+    res.x.assign(n, 0.0);
+
+    std::vector<double> r = b;
+    std::vector<double> p = b;
+    std::vector<double> ap(n);
+    double rr = dotProduct(r, r);
+    const double b_norm = std::max(vectorNorm(b), 1e-300);
+
+    for (int it = 0; it < max_iter; ++it) {
+        if (std::sqrt(rr) / b_norm <= tol)
+            break;
+        a.multiply(p, ap);
+        double pap = dotProduct(p, ap);
+        MCSCOPE_ASSERT(pap > 0.0, "matrix is not positive definite");
+        double alpha = rr / pap;
+        for (size_t i = 0; i < n; ++i) {
+            res.x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        double rr_new = dotProduct(r, r);
+        double beta = rr_new / rr;
+        for (size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+        rr = rr_new;
+        res.iterations = it + 1;
+    }
+    res.residualNorm = std::sqrt(rr) / b_norm;
+    return res;
+}
+
+} // namespace mcscope

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sparse linear algebra substrate: CSR matrices, SpMV, a conjugate-
+ * gradient solver, and a synthetic SPD matrix generator in the style
+ * of NAS CG's makea.
+ */
+
+#ifndef MCSCOPE_KERNELS_SPARSE_HH
+#define MCSCOPE_KERNELS_SPARSE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcscope {
+
+/** Compressed-sparse-row matrix. */
+struct CsrMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<size_t> rowPtr;  ///< size rows + 1
+    std::vector<size_t> colIdx;  ///< size nnz
+    std::vector<double> values;  ///< size nnz
+
+    /** Number of stored nonzeros. */
+    size_t nnz() const { return values.size(); }
+
+    /** y = A x. */
+    void multiply(const std::vector<double> &x,
+                  std::vector<double> &y) const;
+
+    /** Check structural invariants; panics when broken. */
+    void validate() const;
+};
+
+/**
+ * Random sparse symmetric positive-definite matrix: ~`nnz_per_row`
+ * off-diagonal entries per row, diagonally dominant (NAS CG's makea
+ * spirit, without the outer-product construction).
+ */
+CsrMatrix makeSpdMatrix(size_t n, size_t nnz_per_row, uint64_t seed);
+
+/** Result of a CG solve. */
+struct CgResult
+{
+    std::vector<double> x;
+    double residualNorm = 0.0;
+    int iterations = 0;
+};
+
+/**
+ * Unpreconditioned conjugate gradient for SPD systems.
+ *
+ * @param a        the matrix.
+ * @param b        right-hand side.
+ * @param max_iter iteration cap.
+ * @param tol      relative residual target.
+ */
+CgResult conjugateGradient(const CsrMatrix &a, const std::vector<double> &b,
+                           int max_iter, double tol);
+
+/** Euclidean norm. */
+double vectorNorm(const std::vector<double> &v);
+
+/** Dot product. */
+double dotProduct(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_SPARSE_HH

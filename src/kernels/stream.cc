@@ -1,0 +1,134 @@
+#include "kernels/stream.hh"
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::string
+streamOpName(StreamOp op)
+{
+    switch (op) {
+      case StreamOp::Copy:
+        return "copy";
+      case StreamOp::Scale:
+        return "scale";
+      case StreamOp::Add:
+        return "add";
+      case StreamOp::Triad:
+        return "triad";
+    }
+    MCSCOPE_PANIC("bad StreamOp");
+}
+
+double
+streamBytesPerElement(StreamOp op)
+{
+    switch (op) {
+      case StreamOp::Copy:
+      case StreamOp::Scale:
+        return 16.0;
+      case StreamOp::Add:
+      case StreamOp::Triad:
+        return 24.0;
+    }
+    MCSCOPE_PANIC("bad StreamOp");
+}
+
+double
+streamOpFunctional(StreamOp op, std::vector<double> &a,
+                   std::vector<double> &b, std::vector<double> &c,
+                   double scalar)
+{
+    MCSCOPE_ASSERT(a.size() == b.size() && b.size() == c.size(),
+                   "stream arrays must have equal length");
+    const size_t n = a.size();
+    const std::vector<double> *dst = nullptr;
+    switch (op) {
+      case StreamOp::Copy:
+        for (size_t i = 0; i < n; ++i)
+            c[i] = a[i];
+        dst = &c;
+        break;
+      case StreamOp::Scale:
+        for (size_t i = 0; i < n; ++i)
+            b[i] = scalar * c[i];
+        dst = &b;
+        break;
+      case StreamOp::Add:
+        for (size_t i = 0; i < n; ++i)
+            c[i] = a[i] + b[i];
+        dst = &c;
+        break;
+      case StreamOp::Triad:
+        for (size_t i = 0; i < n; ++i)
+            a[i] = b[i] + scalar * c[i];
+        dst = &a;
+        break;
+    }
+    double sum = 0.0;
+    for (double v : *dst)
+        sum += v;
+    return sum;
+}
+
+double
+streamTriadFunctional(std::vector<double> &a, const std::vector<double> &b,
+                      const std::vector<double> &c, double scalar)
+{
+    MCSCOPE_ASSERT(a.size() == b.size() && b.size() == c.size(),
+                   "triad arrays must have equal length");
+    const size_t n = a.size();
+    for (size_t i = 0; i < n; ++i)
+        a[i] = b[i] + scalar * c[i];
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += a[i];
+    return sum;
+}
+
+StreamWorkload::StreamWorkload(size_t elements_per_rank, int iterations,
+                               StreamOp op)
+    : elementsPerRank_(elements_per_rank),
+      iterations_(static_cast<uint64_t>(iterations)),
+      op_(op)
+{
+    MCSCOPE_ASSERT(elements_per_rank > 0 && iterations > 0,
+                   "stream needs positive size and iterations");
+}
+
+double
+StreamWorkload::bytesPerIteration() const
+{
+    return streamBytesPerElement(op_) *
+           static_cast<double>(elementsPerRank_);
+}
+
+std::vector<Prim>
+StreamWorkload::body(const Machine &machine, const MpiRuntime &rt,
+                     int rank) const
+{
+    RankProgram prog(machine, rt, rank);
+    // Triad's arithmetic is free relative to its traffic; the sweep is
+    // one memory phase.  Working sets in the figures are far beyond
+    // cache, so all logical bytes reach memory.  Two concurrent triad
+    // streams on one socket defeat DRAM open-page locality, so the
+    // paper's Star mode loses ground beyond the plain 2-way split
+    // (Single:Star > 2:1, Figure 10).
+    double bank_penalty =
+        socketSharers(machine, rt, rank) > 1 ? 1.12 : 1.0;
+    prog.memory(bytesPerIteration() * bank_penalty, tags::kMemory);
+    return prog.take();
+}
+
+double
+StreamWorkload::aggregateBandwidth(const Machine &machine,
+                                   int ranks) const
+{
+    double total_bytes = bytesPerIteration() *
+                         static_cast<double>(iterations_) * ranks;
+    SimTime t = machine.engine().makespan();
+    MCSCOPE_ASSERT(t > 0.0, "run the workload before reading bandwidth");
+    return total_bytes / t;
+}
+
+} // namespace mcscope

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * STREAM triad: functional kernel and simulator cost model.
+ *
+ * The paper uses the LMbench3 STREAM-triad to map memory-bandwidth
+ * scaling (Figures 2-3) and the HPCC STREAM Single/Star comparison
+ * (Figure 10).  Triad is pure bandwidth: a(i) = b(i) + s * c(i).
+ */
+
+#ifndef MCSCOPE_KERNELS_STREAM_HH
+#define MCSCOPE_KERNELS_STREAM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/workload.hh"
+
+namespace mcscope {
+
+/** The four STREAM operations. */
+enum class StreamOp
+{
+    Copy,  ///< c = a            (16 B/element)
+    Scale, ///< b = s * c        (16 B/element)
+    Add,   ///< c = a + b        (24 B/element)
+    Triad, ///< a = b + s * c    (24 B/element)
+};
+
+/** Operation display name. */
+std::string streamOpName(StreamOp op);
+
+/** Logical bytes per element for an operation. */
+double streamBytesPerElement(StreamOp op);
+
+/**
+ * Functional triad on real arrays (for numerical tests and for
+ * deriving the traffic constants used by the cost model).
+ *
+ * @return the final checksum sum(a).
+ */
+double streamTriadFunctional(std::vector<double> &a,
+                             const std::vector<double> &b,
+                             const std::vector<double> &c, double scalar);
+
+/**
+ * Run one functional STREAM operation over real arrays; returns the
+ * checksum of the destination array.  Array roles follow the STREAM
+ * conventions listed on StreamOp.
+ */
+double streamOpFunctional(StreamOp op, std::vector<double> &a,
+                          std::vector<double> &b, std::vector<double> &c,
+                          double scalar);
+
+/** Logical bytes touched per triad element (3 streams + write fill). */
+constexpr double kStreamBytesPerElement = 24.0;
+
+/**
+ * STREAM-triad cost model: each rank sweeps its private arrays
+ * `iterations` times.  No communication -- contention comes entirely
+ * from the memory system, which is the point of the benchmark.
+ */
+class StreamWorkload : public LoopWorkload
+{
+  public:
+    /**
+     * @param elements_per_rank  vector length per rank.
+     * @param iterations         number of sweeps.
+     * @param op                 which STREAM operation to model.
+     */
+    StreamWorkload(size_t elements_per_rank, int iterations,
+                   StreamOp op = StreamOp::Triad);
+
+    std::string name() const override
+    {
+        return "stream-" + streamOpName(op_);
+    }
+    uint64_t iterations() const override { return iterations_; }
+    std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
+                           int rank) const override;
+
+    /** Bytes one rank moves per iteration. */
+    double bytesPerIteration() const;
+
+    /**
+     * Aggregate triad bandwidth of a finished run, bytes/s
+     * (total bytes / makespan).
+     */
+    double aggregateBandwidth(const Machine &machine, int ranks) const;
+
+  private:
+    size_t elementsPerRank_;
+    uint64_t iterations_;
+    StreamOp op_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_KERNELS_STREAM_HH

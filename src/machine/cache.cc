@@ -1,0 +1,34 @@
+#include "machine/cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+double
+cacheMissFraction(double working_set, double cache_bytes)
+{
+    MCSCOPE_ASSERT(cache_bytes > 0.0, "cache capacity must be positive");
+    if (working_set <= 0.0)
+        return 0.0;
+    // Logistic transition in log2(working_set / cache):
+    //   ws = cache/4  -> ~6% misses (conflict/cold residue)
+    //   ws = cache    -> 50%
+    //   ws = 4*cache  -> ~94%
+    double x = std::log2(working_set / cache_bytes);
+    double f = 1.0 / (1.0 + std::exp(-1.4 * x));
+    // Never report a perfectly clean cache: cold misses remain.
+    return std::clamp(f, 0.02, 1.0);
+}
+
+double
+cacheResidencyBoost(double working_set, double cache_bytes, double gain)
+{
+    MCSCOPE_ASSERT(gain >= 0.0, "gain must be non-negative");
+    double resident = 1.0 - cacheMissFraction(working_set, cache_bytes);
+    return 1.0 + gain * resident;
+}
+
+} // namespace mcscope

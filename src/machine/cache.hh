@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Analytic cache behaviour model.
+ *
+ * Workload cost models describe their logical data movement; this
+ * model converts it into post-cache memory traffic and captures the
+ * cache-capacity speedup that produces super-linear strong scaling
+ * (e.g. the LAMMPS "chain" benchmark in Table 10 of the paper).
+ */
+
+#ifndef MCSCOPE_MACHINE_CACHE_HH
+#define MCSCOPE_MACHINE_CACHE_HH
+
+namespace mcscope {
+
+/**
+ * Fraction of logical bytes that miss a cache of `cache_bytes`
+ * capacity given a resident working set of `working_set` bytes.
+ *
+ * Smooth in log-space: ~0 when the working set fits with room to
+ * spare, ~1 when it is many times larger than the cache.  Smoothness
+ * keeps parameter sweeps free of modeling cliffs.
+ */
+double cacheMissFraction(double working_set, double cache_bytes);
+
+/**
+ * Effective compute-efficiency multiplier from cache residency,
+ * in [1, 1 + gain].  When a rank's working set drops below the L2
+ * capacity as ranks are added, its inner loops stop stalling and
+ * per-core performance rises, producing super-linear speedup.
+ *
+ * @param working_set  per-rank working set in bytes.
+ * @param cache_bytes  per-core cache capacity in bytes.
+ * @param gain         maximum fractional gain when fully resident.
+ */
+double cacheResidencyBoost(double working_set, double cache_bytes,
+                           double gain);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_CACHE_HH

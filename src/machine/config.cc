@@ -1,0 +1,113 @@
+#include "machine/config.hh"
+
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mcscope {
+
+void
+MachineConfig::validate() const
+{
+    if (sockets < 1)
+        fatal("machine '", name, "': sockets must be >= 1");
+    if (coresPerSocket < 1)
+        fatal("machine '", name, "': coresPerSocket must be >= 1");
+    if (coreGHz <= 0.0 || flopsPerCycle <= 0.0)
+        fatal("machine '", name, "': core rate must be positive");
+    if (memBandwidthPerSocket <= 0.0)
+        fatal("machine '", name, "': memory bandwidth must be positive");
+    if (memLatency <= 0.0 || htHopLatency < 0.0)
+        fatal("machine '", name, "': latencies must be positive");
+    if (sockets > 1 && htLinks.empty())
+        fatal("machine '", name,
+              "': multi-socket machine needs HT links");
+    for (const auto &[a, b] : htLinks) {
+        if (a < 0 || a >= sockets || b < 0 || b >= sockets || a == b)
+            fatal("machine '", name, "': bad HT link ", a, "-", b);
+    }
+}
+
+std::vector<std::pair<int, int>>
+ladderLinks(int columns)
+{
+    MCSCOPE_ASSERT(columns >= 1, "ladder needs at least one column");
+    // Sockets 0..columns-1 on the bottom rail, columns..2*columns-1 on
+    // the top rail; rungs connect the rails column by column.
+    std::vector<std::pair<int, int>> links;
+    for (int c = 0; c + 1 < columns; ++c) {
+        links.emplace_back(c, c + 1);
+        links.emplace_back(columns + c, columns + c + 1);
+    }
+    for (int c = 0; c < columns; ++c)
+        links.emplace_back(c, columns + c);
+    return links;
+}
+
+MachineConfig
+tigerConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "Tiger";
+    cfg.sockets = 2;
+    cfg.coresPerSocket = 1;
+    cfg.coreGHz = 2.2;
+    cfg.htLinks = {{0, 1}};
+    cfg.opteronModel = "248";
+    cfg.nodeMemoryGiB = 8.0;
+    cfg.osName = "Suse Linux";
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+dmzConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "DMZ";
+    cfg.sockets = 2;
+    cfg.coresPerSocket = 2;
+    cfg.coreGHz = 2.2;
+    cfg.htLinks = {{0, 1}};
+    cfg.opteronModel = "275";
+    cfg.nodeMemoryGiB = 4.0;
+    cfg.osName = "RH Linux 2.6.9";
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+longsConfig()
+{
+    MachineConfig cfg;
+    cfg.name = "Longs";
+    cfg.sockets = 8;
+    cfg.coresPerSocket = 2;
+    cfg.coreGHz = 1.8;
+    cfg.htLinks = ladderLinks(4);
+    cfg.opteronModel = "865";
+    cfg.nodeMemoryGiB = 32.0;
+    cfg.osName = "RH Linux 2.6.13";
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+configByName(const std::string &name)
+{
+    std::string n = toLower(name);
+    if (n == "tiger")
+        return tigerConfig();
+    if (n == "dmz")
+        return dmzConfig();
+    if (n == "longs")
+        return longsConfig();
+    fatal("unknown machine preset '", name, "' (have: tiger, dmz, longs)");
+}
+
+std::vector<std::string>
+presetNames()
+{
+    return {"Tiger", "DMZ", "Longs"};
+}
+
+} // namespace mcscope

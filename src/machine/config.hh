@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Machine descriptions: the parameter set that defines a simulated
+ * NUMA multi-core system, plus presets reproducing Table 1 of the
+ * paper (Tiger, DMZ, Longs).
+ */
+
+#ifndef MCSCOPE_MACHINE_CONFIG_HH
+#define MCSCOPE_MACHINE_CONFIG_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace mcscope {
+
+/**
+ * Full description of a simulated system.
+ *
+ * Terminology follows Section 2 of the paper: a *node* (here: the
+ * whole machine) is a group of *sockets* sharing memory; a socket
+ * contains one or more *cores* and a memory link; sockets are joined
+ * by HyperTransport links.
+ */
+struct MachineConfig
+{
+    /** Display name ("Tiger", "DMZ", "Longs", or user-defined). */
+    std::string name;
+
+    /** Number of sockets. */
+    int sockets = 1;
+
+    /** Cores per socket (1 = single-core, 2 = dual-core Opteron). */
+    int coresPerSocket = 1;
+
+    /** Core frequency in GHz. */
+    double coreGHz = 2.2;
+
+    /** Double-precision flops per cycle (Opteron SSE2: 2). */
+    double flopsPerCycle = 2.0;
+
+    /** L1 data cache bytes per core. */
+    double l1Bytes = 64.0 * 1024.0;
+
+    /** Unified L2 cache bytes per core. */
+    double l2Bytes = 1024.0 * 1024.0;
+
+    /**
+     * Peak achievable memory bandwidth per socket in bytes/s before
+     * the coherence tax (DDR-400 dual channel: ~4.1 GB/s triad).
+     */
+    double memBandwidthPerSocket = 4.1e9;
+
+    /** Local memory load latency. */
+    SimTime memLatency = 92.0e-9;
+
+    /** HyperTransport link bandwidth per direction, bytes/s. */
+    double htLinkBandwidth = 2.0e9;
+
+    /** Added latency per HT hop (one way). */
+    SimTime htHopLatency = 69.0e-9;
+
+    /**
+     * Cache-coherence probe tax: effective per-socket memory bandwidth
+     * is divided by (1 + coherenceAlpha * (sockets - 1)).  This models
+     * the broadcast probes that made the 8-socket Longs system achieve
+     * less than half the expected single-core STREAM bandwidth
+     * (Section 3.3 of the paper).
+     */
+    double coherenceAlpha = 0.165;
+
+    /**
+     * Outstanding bytes a single core keeps in flight (miss-level
+     * parallelism x line size).  A stream's latency-limited rate cap is
+     * streamConcurrencyBytes / round-trip latency, which is what makes
+     * remote streams slower than local ones even without contention.
+     */
+    double streamConcurrencyBytes = 400.0;
+
+    /**
+     * Same-die communication advantage: multiplier on the shared-
+     * memory copy bandwidth when both ranks live on one socket
+     * (paper: ~10-13%, Figures 16-17).
+     */
+    double sameDieBandwidthBoost = 1.12;
+
+    /** Same-die latency reduction factor (applied to base latency). */
+    double sameDieLatencyFactor = 0.75;
+
+    /** Undirected HT links between sockets. */
+    std::vector<std::pair<int, int>> htLinks;
+
+    /* Table 1 metadata (documentation only). */
+    std::string opteronModel;
+    double nodeMemoryGiB = 0.0;
+    std::string memoryType = "DDR-400";
+    std::string osName;
+
+    /** Total number of cores. */
+    int totalCores() const { return sockets * coresPerSocket; }
+
+    /** Peak flops per core, flops/s. */
+    double coreFlops() const { return coreGHz * 1.0e9 * flopsPerCycle; }
+
+    /**
+     * Effective memory bandwidth per socket after the coherence tax.
+     */
+    double
+    effectiveMemBandwidth() const
+    {
+        return memBandwidthPerSocket /
+               (1.0 + coherenceAlpha * (sockets - 1));
+    }
+
+    /** Validate invariants; fatal() on nonsense values. */
+    void validate() const;
+};
+
+/** Tiger: Cray XD1 node, 2 x single-core Opteron 248 @ 2.2 GHz. */
+MachineConfig tigerConfig();
+
+/** DMZ: 2 x dual-core Opteron 275 @ 2.2 GHz. */
+MachineConfig dmzConfig();
+
+/** Longs: Iwill H8501, 8 x dual-core Opteron 865 @ 1.8 GHz, HT ladder. */
+MachineConfig longsConfig();
+
+/** Look up a preset by (case-insensitive) name; fatal() if unknown. */
+MachineConfig configByName(const std::string &name);
+
+/** Names of all built-in presets. */
+std::vector<std::string> presetNames();
+
+/**
+ * Generic ladder topology: `columns` x 2 sockets wired as two rails
+ * plus rungs (the Iwill H8501 arrangement from Figure 1).
+ */
+std::vector<std::pair<int, int>> ladderLinks(int columns);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_CONFIG_HH

@@ -1,0 +1,178 @@
+#include "machine/machine.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(std::move(cfg)), topo_(cfg_.sockets, cfg_.htLinks)
+{
+    cfg_.validate();
+
+    for (int c = 0; c < cfg_.totalCores(); ++c) {
+        coreRes_.push_back(engine_.addResource(
+            "core" + std::to_string(c), cfg_.coreFlops()));
+    }
+    for (int s = 0; s < cfg_.sockets; ++s) {
+        memRes_.push_back(engine_.addResource(
+            "mem" + std::to_string(s), cfg_.effectiveMemBandwidth()));
+    }
+    for (int l = 0; l < topo_.directedLinkCount(); ++l) {
+        auto [from, to] = topo_.directedEndpoints(l);
+        linkRes_.push_back(engine_.addResource(
+            "ht" + std::to_string(from) + ">" + std::to_string(to),
+            cfg_.htLinkBandwidth));
+    }
+}
+
+int
+Machine::socketOf(int core) const
+{
+    MCSCOPE_ASSERT(core >= 0 && core < totalCores(), "bad core ", core);
+    return core / cfg_.coresPerSocket;
+}
+
+ResourceId
+Machine::coreResource(int core) const
+{
+    MCSCOPE_ASSERT(core >= 0 && core < totalCores(), "bad core ", core);
+    return coreRes_[core];
+}
+
+bool
+Machine::isCoreResource(ResourceId id) const
+{
+    return id >= 0 && id < totalCores();
+}
+
+ResourceId
+Machine::memResource(int socket) const
+{
+    MCSCOPE_ASSERT(socket >= 0 && socket < cfg_.sockets, "bad socket ",
+                   socket);
+    return memRes_[socket];
+}
+
+ResourceId
+Machine::linkResource(int directed_id) const
+{
+    MCSCOPE_ASSERT(directed_id >= 0 &&
+                       directed_id < topo_.directedLinkCount(),
+                   "bad link id ", directed_id);
+    return linkRes_[directed_id];
+}
+
+SimTime
+Machine::memoryLatency(int socket, int node) const
+{
+    int hops = topo_.hopCount(socket, node);
+    // Request out, data back: two traversals per hop.
+    return cfg_.memLatency + 2.0 * hops * cfg_.htHopLatency;
+}
+
+SimTime
+Machine::pathLatency(int socket_a, int socket_b) const
+{
+    return topo_.hopCount(socket_a, socket_b) * cfg_.htHopLatency;
+}
+
+int
+Machine::hopsBetweenCores(int core_a, int core_b) const
+{
+    return topo_.hopCount(socketOf(core_a), socketOf(core_b));
+}
+
+Work
+Machine::computeWork(int core, double flops, double efficiency,
+                     int tag) const
+{
+    MCSCOPE_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+                   "efficiency must be in (0, 1], got ", efficiency);
+    Work w;
+    // Inflate the demand so that running at the core's peak rate takes
+    // flops / (peak * efficiency) seconds; the core resource is still
+    // shared fairly if oversubscribed.
+    w.amount = flops / efficiency;
+    w.path = {coreResource(core)};
+    w.tag = tag;
+    return w;
+}
+
+double
+Machine::streamRateCap(int socket, int node) const
+{
+    return cfg_.streamConcurrencyBytes / memoryLatency(socket, node);
+}
+
+std::vector<Work>
+Machine::memoryWorks(int core, const std::vector<NodeFraction> &spread,
+                     double bytes, int tag) const
+{
+    int socket = socketOf(core);
+    // A stream over a *uniform* multi-node spread (page-granular
+    // interleave) overlaps misses to several pages in flight across
+    // different controllers, recovering much of the latency penalty a
+    // single remote stream would pay.  Skewed spreads (first-touch
+    // plus scheduler drift) do not get this: the remote slice is a
+    // plain remote stream.
+    double max_frac = 0.0;
+    for (const auto &nf : spread)
+        max_frac = std::max(max_frac, nf.fraction);
+    bool uniform =
+        spread.size() >= 3 && max_frac <= 1.5 / spread.size();
+    double overlap =
+        uniform ? std::min(2.0, static_cast<double>(spread.size()))
+                : 1.0;
+    std::vector<Work> out;
+    out.reserve(spread.size());
+    for (const auto &nf : spread) {
+        MCSCOPE_ASSERT(nf.node >= 0 && nf.node < cfg_.sockets,
+                       "bad NUMA node ", nf.node);
+        if (nf.fraction <= 0.0)
+            continue;
+        Work w;
+        w.amount = bytes * nf.fraction;
+        w.path.push_back(memResource(nf.node));
+        // Data moves from the serving node toward the requester.
+        for (int id : topo_.route(nf.node, socket))
+            w.path.push_back(linkResource(id));
+        w.rateCap = streamRateCap(socket, nf.node) * overlap;
+        w.tag = tag;
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+std::vector<Work>
+Machine::memoryWorks(int core, int node, double bytes, int tag) const
+{
+    return memoryWorks(core, {{node, 1.0}}, bytes, tag);
+}
+
+Work
+Machine::transferWork(int src_core, int dst_core, int buffer_node,
+                      double bytes, int tag) const
+{
+    int src = socketOf(src_core);
+    int dst = socketOf(dst_core);
+    MCSCOPE_ASSERT(buffer_node >= 0 && buffer_node < cfg_.sockets,
+                   "bad buffer node ", buffer_node);
+    Work w;
+    w.amount = bytes;
+    w.path.push_back(memResource(buffer_node));
+    for (int id : topo_.route(src, dst))
+        w.path.push_back(linkResource(id));
+    // Double copy through the shared buffer halves the effective copy
+    // bandwidth; the same-die fast path claws back ~12%.
+    double copy_bw = cfg_.effectiveMemBandwidth() / 2.0;
+    if (src == dst)
+        copy_bw *= cfg_.sameDieBandwidthBoost;
+    w.rateCap = copy_bw;
+    w.tag = tag;
+    return w;
+}
+
+} // namespace mcscope

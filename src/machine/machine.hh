@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The assembled simulated machine: engine resources for cores, memory
+ * controllers, and HyperTransport links, plus helpers that translate
+ * domain-level demand (compute flops, memory streams, inter-socket
+ * transfers) into engine Work primitives with the right paths, caps,
+ * and latencies.
+ */
+
+#ifndef MCSCOPE_MACHINE_MACHINE_HH
+#define MCSCOPE_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "machine/config.hh"
+#include "machine/topology.hh"
+#include "sim/engine.hh"
+
+namespace mcscope {
+
+/** A (NUMA node, fraction of bytes) pair describing a memory spread. */
+struct NodeFraction
+{
+    int node = 0;
+    double fraction = 1.0;
+};
+
+/**
+ * One simulated machine instance bound to one simulation Engine.
+ *
+ * A Machine is single-use: build it, add tasks to engine(), run, read
+ * results.  Core ids are socket-major: core = socket * coresPerSocket
+ * + localIndex.
+ */
+class Machine
+{
+  public:
+    explicit Machine(MachineConfig cfg);
+
+    /** The engine hosting this machine's resources and tasks. */
+    Engine &engine() { return engine_; }
+    const Engine &engine() const { return engine_; }
+
+    /** The configuration this machine was built from. */
+    const MachineConfig &config() const { return cfg_; }
+
+    /** Interconnect routing. */
+    const Topology &topology() const { return topo_; }
+
+    /** Total cores. */
+    int totalCores() const { return cfg_.totalCores(); }
+
+    /** Socket that owns `core`. */
+    int socketOf(int core) const;
+
+    /** Engine resource for `core`'s execution units. */
+    ResourceId coreResource(int core) const;
+
+    /** True when `id` is some core's execution resource. */
+    bool isCoreResource(ResourceId id) const;
+
+    /** Engine resource for socket `s`'s memory controller. */
+    ResourceId memResource(int socket) const;
+
+    /** Engine resource for directed HT link `id`. */
+    ResourceId linkResource(int directed_id) const;
+
+    /** Round-trip memory latency from `socket` to NUMA node `node`. */
+    SimTime memoryLatency(int socket, int node) const;
+
+    /** One-way message latency between sockets (hop latency sum). */
+    SimTime pathLatency(int socket_a, int socket_b) const;
+
+    /** Hop count between the sockets of two cores. */
+    int hopsBetweenCores(int core_a, int core_b) const;
+
+    /**
+     * Compute Work: `flops` useful flops executed at `efficiency`
+     * (fraction of the core's peak rate actually achieved).
+     */
+    Work computeWork(int core, double flops, double efficiency,
+                     int tag = 0) const;
+
+    /**
+     * Memory-stream Works for `bytes` of post-cache traffic from
+     * `core`, spread over NUMA nodes per `spread` (fractions should
+     * sum to ~1).  Each node's slice is a separate sequential flow
+     * whose rate cap encodes the stream's latency limit at that
+     * node's distance.
+     */
+    std::vector<Work> memoryWorks(int core,
+                                  const std::vector<NodeFraction> &spread,
+                                  double bytes, int tag = 0) const;
+
+    /** Single-node convenience overload. */
+    std::vector<Work> memoryWorks(int core, int node, double bytes,
+                                  int tag = 0) const;
+
+    /**
+     * Latency-limited single-stream bandwidth from `socket` to `node`
+     * (the memoryWorks rate cap), in bytes/s.
+     */
+    double streamRateCap(int socket, int node) const;
+
+    /**
+     * Shared-memory transfer Work for an intra-node message: `bytes`
+     * copied through a buffer on `buffer_node` and across the HT path
+     * from the sender's socket to the receiver's socket.  The rate cap
+     * models the double-copy cost, with the same-die fast path applied
+     * when both cores share a socket.
+     */
+    Work transferWork(int src_core, int dst_core, int buffer_node,
+                      double bytes, int tag = 0) const;
+
+  private:
+    MachineConfig cfg_;
+    Topology topo_;
+    Engine engine_;
+    std::vector<ResourceId> coreRes_;
+    std::vector<ResourceId> memRes_;
+    std::vector<ResourceId> linkRes_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_MACHINE_HH

@@ -1,0 +1,119 @@
+#include "machine/topology.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+Topology::Topology(int sockets, std::vector<std::pair<int, int>> links)
+    : sockets_(sockets), links_(std::move(links))
+{
+    MCSCOPE_ASSERT(sockets_ >= 1, "topology needs at least one socket");
+    for (auto &[a, b] : links_) {
+        MCSCOPE_ASSERT(a >= 0 && a < sockets_ && b >= 0 && b < sockets_ &&
+                           a != b,
+                       "bad link ", a, "-", b);
+        if (a > b)
+            std::swap(a, b);
+    }
+
+    // Adjacency with deterministic neighbor order.
+    std::vector<std::vector<int>> adj(sockets_);
+    for (const auto &[a, b] : links_) {
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+    }
+    for (auto &v : adj)
+        std::sort(v.begin(), v.end());
+
+    routes_.assign(static_cast<size_t>(sockets_) * sockets_, {});
+    hops_.assign(static_cast<size_t>(sockets_) * sockets_, -1);
+
+    // BFS from every source with lowest-numbered-parent tie-breaking.
+    for (int src = 0; src < sockets_; ++src) {
+        std::vector<int> parent(sockets_, -1);
+        std::vector<int> dist(sockets_, -1);
+        std::queue<int> q;
+        dist[src] = 0;
+        q.push(src);
+        while (!q.empty()) {
+            int u = q.front();
+            q.pop();
+            for (int v : adj[u]) {
+                if (dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    parent[v] = u;
+                    q.push(v);
+                }
+            }
+        }
+        for (int dst = 0; dst < sockets_; ++dst) {
+            MCSCOPE_ASSERT(dist[dst] >= 0 || sockets_ == 1,
+                           "socket graph is disconnected at ", dst);
+            hops_[src * sockets_ + dst] = dist[dst];
+            if (dst == src || dist[dst] < 0)
+                continue;
+            // Reconstruct path dst -> src, then reverse.
+            std::vector<int> ids;
+            int cur = dst;
+            while (cur != src) {
+                int p = parent[cur];
+                ids.push_back(directedId(p, cur));
+                cur = p;
+            }
+            std::reverse(ids.begin(), ids.end());
+            routes_[src * sockets_ + dst] = std::move(ids);
+        }
+    }
+}
+
+int
+Topology::directedId(int from, int to) const
+{
+    for (size_t i = 0; i < links_.size(); ++i) {
+        const auto &[a, b] = links_[i];
+        if (a == from && b == to)
+            return static_cast<int>(2 * i);
+        if (a == to && b == from)
+            return static_cast<int>(2 * i + 1);
+    }
+    MCSCOPE_PANIC("no link between sockets ", from, " and ", to);
+}
+
+std::pair<int, int>
+Topology::directedEndpoints(int id) const
+{
+    MCSCOPE_ASSERT(id >= 0 && id < directedLinkCount(), "bad link id ",
+                   id);
+    const auto &[a, b] = links_[id / 2];
+    return (id % 2 == 0) ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+int
+Topology::hopCount(int a, int b) const
+{
+    MCSCOPE_ASSERT(a >= 0 && a < sockets_ && b >= 0 && b < sockets_,
+                   "bad socket pair ", a, ",", b);
+    return hops_[a * sockets_ + b];
+}
+
+int
+Topology::diameter() const
+{
+    int d = 0;
+    for (int h : hops_)
+        d = std::max(d, h);
+    return d;
+}
+
+const std::vector<int> &
+Topology::route(int a, int b) const
+{
+    MCSCOPE_ASSERT(a >= 0 && a < sockets_ && b >= 0 && b < sockets_,
+                   "bad socket pair ", a, ",", b);
+    return routes_[a * sockets_ + b];
+}
+
+} // namespace mcscope

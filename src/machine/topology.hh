@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Socket interconnect topology: an undirected graph of HyperTransport
+ * links with all-pairs shortest-path routing over directed link ids.
+ */
+
+#ifndef MCSCOPE_MACHINE_TOPOLOGY_HH
+#define MCSCOPE_MACHINE_TOPOLOGY_HH
+
+#include <utility>
+#include <vector>
+
+namespace mcscope {
+
+/**
+ * Routing over a socket graph.
+ *
+ * Each undirected link (a, b) yields two directed link ids: one for
+ * a->b traffic and one for b->a.  Directed ids are dense in
+ * [0, 2 * linkCount()), suitable for mapping onto engine resources.
+ * Routes are BFS shortest paths with deterministic tie-breaking
+ * (lowest-numbered next hop), matching the static routing of the
+ * HT fabric.
+ */
+class Topology
+{
+  public:
+    /**
+     * @param sockets number of sockets (graph vertices).
+     * @param links   undirected edges; must leave the graph connected
+     *                when sockets > 1.
+     */
+    Topology(int sockets, std::vector<std::pair<int, int>> links);
+
+    /** Number of sockets. */
+    int socketCount() const { return sockets_; }
+
+    /** Number of undirected links. */
+    int linkCount() const { return static_cast<int>(links_.size()); }
+
+    /** Number of directed link ids (2 * linkCount()). */
+    int directedLinkCount() const { return 2 * linkCount(); }
+
+    /** Endpoints of directed link `id` as (from, to). */
+    std::pair<int, int> directedEndpoints(int id) const;
+
+    /** Hop count of the route from socket `a` to socket `b`. */
+    int hopCount(int a, int b) const;
+
+    /** Largest hop count over all socket pairs (graph diameter). */
+    int diameter() const;
+
+    /** Directed link ids along the route from `a` to `b` (may be empty). */
+    const std::vector<int> &route(int a, int b) const;
+
+  private:
+    int directedId(int from, int to) const;
+
+    int sockets_;
+    std::vector<std::pair<int, int>> links_;
+    /** routes_[a * sockets + b] = directed link ids a -> b. */
+    std::vector<std::vector<int>> routes_;
+    std::vector<int> hops_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_TOPOLOGY_HH

@@ -1,0 +1,398 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/fairshare.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+Engine::Engine() = default;
+Engine::~Engine() = default;
+
+const char *
+traceEventKindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::FlowStart:
+        return "flow-start";
+      case TraceEvent::Kind::FlowEnd:
+        return "flow-end";
+      case TraceEvent::Kind::DelayEnd:
+        return "delay-end";
+      case TraceEvent::Kind::TaskFinish:
+        return "task-finish";
+    }
+    return "?";
+}
+
+ResourceId
+Engine::addResource(std::string name, double capacity)
+{
+    MCSCOPE_ASSERT(capacity > 0.0,
+                   "resource '", name, "' needs positive capacity, got ",
+                   capacity);
+    resourceNames_.push_back(std::move(name));
+    capacities_.push_back(capacity);
+    stats_.emplace_back();
+    return static_cast<ResourceId>(capacities_.size() - 1);
+}
+
+int
+Engine::addTask(std::unique_ptr<Task> task)
+{
+    MCSCOPE_ASSERT(task != nullptr, "null task");
+    TaskEntry entry;
+    entry.task = std::move(task);
+    tasks_.push_back(std::move(entry));
+    return static_cast<int>(tasks_.size() - 1);
+}
+
+SimTime
+Engine::taskFinishTime(int task) const
+{
+    MCSCOPE_ASSERT(task >= 0 && task < taskCount(), "bad task id ", task);
+    MCSCOPE_ASSERT(tasks_[task].state == TaskState::Finished,
+                   "task ", task, " has not finished");
+    return tasks_[task].finishTime;
+}
+
+SimTime
+Engine::makespan() const
+{
+    SimTime m = 0.0;
+    for (const auto &t : tasks_)
+        m = std::max(m, t.finishTime);
+    return m;
+}
+
+SimTime
+Engine::taggedTime(int task, PhaseTag tag) const
+{
+    MCSCOPE_ASSERT(task >= 0 && task < taskCount(), "bad task id ", task);
+    auto it = tasks_[task].taggedTime.find(tag);
+    return it == tasks_[task].taggedTime.end() ? 0.0 : it->second;
+}
+
+SimTime
+Engine::maxTaggedTime(PhaseTag tag) const
+{
+    SimTime m = 0.0;
+    for (int t = 0; t < taskCount(); ++t)
+        m = std::max(m, taggedTime(t, tag));
+    return m;
+}
+
+double
+Engine::resourceUnitsMoved(ResourceId r) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    return stats_[r].unitsMoved;
+}
+
+double
+Engine::resourceUtilization(ResourceId r) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    SimTime span = makespan();
+    if (span <= 0.0)
+        return 0.0;
+    return stats_[r].unitsMoved / (capacities_[r] * span);
+}
+
+const std::string &
+Engine::resourceName(ResourceId r) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    return resourceNames_[r];
+}
+
+double
+Engine::resourceCapacity(ResourceId r) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    return capacities_[r];
+}
+
+void
+Engine::accrueBlockedTime(int task)
+{
+    TaskEntry &t = tasks_[task];
+    t.taggedTime[t.blockTag] += now_ - t.blockStart;
+}
+
+void
+Engine::startFlow(const Work &w, std::vector<int> owners, PhaseTag tag)
+{
+    ActiveFlow flow;
+    flow.work = w;
+    flow.remaining = w.amount;
+    flow.owners = std::move(owners);
+    flow.tag = tag;
+    if (traceSink_) {
+        traceSink_({TraceEvent::Kind::FlowStart, now_, flow.owners[0],
+                    tag, w.amount});
+    }
+    flows_.push_back(std::move(flow));
+    ratesDirty_ = true;
+}
+
+void
+Engine::advanceTask(int task)
+{
+    TaskEntry &t = tasks_[task];
+    MCSCOPE_ASSERT(t.state != TaskState::Finished,
+                   "advancing finished task ", task);
+
+    for (;;) {
+        std::optional<Prim> p = t.task->next();
+        ++events_;
+        if (!p) {
+            t.state = TaskState::Finished;
+            t.finishTime = now_;
+            --unfinished_;
+            if (traceSink_) {
+                traceSink_({TraceEvent::Kind::TaskFinish, now_, task,
+                            0, 0.0});
+            }
+            return;
+        }
+
+        if (auto *w = std::get_if<Work>(&*p)) {
+            if (w->amount <= 0.0)
+                continue;
+            if (w->path.empty() && w->rateCap <= 0.0)
+                continue; // unconstrained => instantaneous
+            t.state = TaskState::BlockedOnFlow;
+            t.blockStart = now_;
+            t.blockTag = w->tag;
+            startFlow(*w, {task}, w->tag);
+            return;
+        }
+
+        if (auto *d = std::get_if<Delay>(&*p)) {
+            if (d->seconds <= 0.0)
+                continue;
+            t.state = TaskState::BlockedOnDelay;
+            t.blockStart = now_;
+            t.blockTag = d->tag;
+            delays_.emplace(now_ + d->seconds, task);
+            return;
+        }
+
+        if (auto *r = std::get_if<Rendezvous>(&*p)) {
+            auto it = rendezvous_.find(r->key);
+            if (it == rendezvous_.end()) {
+                PendingRendezvous pend;
+                pend.task = task;
+                if (r->carrier)
+                    pend.carrier = r->transfer;
+                pend.tag = r->tag;
+                rendezvous_.emplace(r->key, pend);
+                t.state = TaskState::WaitingRendezvous;
+                t.blockStart = now_;
+                t.blockTag = r->tag;
+                return;
+            }
+            // Partner already waiting: start the joint transfer.
+            PendingRendezvous pend = it->second;
+            rendezvous_.erase(it);
+            MCSCOPE_ASSERT(pend.task != task,
+                           "task ", task, " rendezvoused with itself, key ",
+                           r->key);
+            const Work *transfer = nullptr;
+            if (r->carrier) {
+                transfer = &r->transfer;
+            } else {
+                MCSCOPE_ASSERT(pend.carrier.has_value(),
+                               "rendezvous key ", r->key,
+                               " has no carrier side");
+                transfer = &*pend.carrier;
+            }
+            // The waiting partner has accrued its waiting time; switch
+            // it to flow-blocked as of now.
+            accrueBlockedTime(pend.task);
+            tasks_[pend.task].blockStart = now_;
+            tasks_[pend.task].state = TaskState::BlockedOnFlow;
+            t.state = TaskState::BlockedOnFlow;
+            t.blockStart = now_;
+            t.blockTag = r->tag;
+            if (transfer->amount <= 0.0 ||
+                (transfer->path.empty() && transfer->rateCap <= 0.0)) {
+                // Instantaneous transfer: both sides continue.
+                tasks_[pend.task].state = TaskState::Ready;
+                readyQueue_.push_back(pend.task);
+                continue;
+            }
+            startFlow(*transfer, {task, pend.task}, transfer->tag);
+            return;
+        }
+
+        if (auto *s = std::get_if<SyncAll>(&*p)) {
+            MCSCOPE_ASSERT(s->expected > 0, "barrier with expected <= 0");
+            PendingBarrier &b = barriers_[s->key];
+            b.expected = s->expected;
+            b.waiters.push_back(task);
+            if (static_cast<int>(b.waiters.size()) >=
+                b.expected) {
+                std::vector<int> waiters = std::move(b.waiters);
+                barriers_.erase(s->key);
+                for (int w : waiters) {
+                    if (w == task)
+                        continue;
+                    accrueBlockedTime(w);
+                    tasks_[w].state = TaskState::Ready;
+                    readyQueue_.push_back(w);
+                }
+                continue; // this task proceeds immediately
+            }
+            t.state = TaskState::WaitingBarrier;
+            t.blockStart = now_;
+            t.blockTag = s->tag;
+            return;
+        }
+
+        MCSCOPE_PANIC("unhandled primitive kind");
+    }
+}
+
+void
+Engine::recomputeRates()
+{
+    std::vector<FairShareFlow> specs;
+    specs.reserve(flows_.size());
+    for (const auto &f : flows_) {
+        FairShareFlow spec;
+        spec.path = f.work.path;
+        spec.rateCap = f.work.rateCap;
+        specs.push_back(std::move(spec));
+    }
+    std::vector<double> rates = fairShareRates(capacities_, specs);
+    for (size_t i = 0; i < flows_.size(); ++i) {
+        flows_[i].rate = rates[i];
+        MCSCOPE_ASSERT(flows_[i].rate > 0.0,
+                       "flow got a non-positive rate");
+    }
+    ratesDirty_ = false;
+}
+
+void
+Engine::run()
+{
+    unfinished_ = taskCount();
+    MCSCOPE_ASSERT(unfinished_ > 0, "run() with no tasks");
+
+    for (int i = 0; i < taskCount(); ++i) {
+        if (tasks_[i].state == TaskState::Unstarted) {
+            tasks_[i].state = TaskState::Ready;
+            advanceTask(i);
+            while (!readyQueue_.empty()) {
+                int r = readyQueue_.back();
+                readyQueue_.pop_back();
+                if (tasks_[r].state == TaskState::Ready)
+                    advanceTask(r);
+            }
+        }
+    }
+
+    while (unfinished_ > 0) {
+        if (ratesDirty_)
+            recomputeRates();
+
+        // Earliest flow completion.
+        double dt_flow = kInf;
+        for (const auto &f : flows_) {
+            double dt = f.remaining / f.rate;
+            if (dt < dt_flow)
+                dt_flow = dt;
+        }
+        // Earliest delay expiry.
+        double dt_delay = kInf;
+        if (!delays_.empty())
+            dt_delay = delays_.begin()->first - now_;
+
+        double dt = std::min(dt_flow, dt_delay);
+        if (!std::isfinite(dt)) {
+            std::string diag;
+            for (int i = 0; i < taskCount(); ++i) {
+                if (tasks_[i].state == TaskState::Finished)
+                    continue;
+                diag += " task " + std::to_string(i) + "(" +
+                        tasks_[i].task->name() + ") state " +
+                        std::to_string(static_cast<int>(tasks_[i].state));
+            }
+            MCSCOPE_PANIC("simulation deadlock:", diag);
+        }
+        if (dt < 0.0)
+            dt = 0.0;
+
+        // Advance time and integrate resource statistics.
+        now_ += dt;
+        for (const auto &f : flows_) {
+            double moved = f.rate * dt;
+            if (moved > f.remaining)
+                moved = f.remaining;
+            for (ResourceId r : f.work.path)
+                stats_[r].unitsMoved += moved;
+        }
+
+        // Complete flows.
+        std::vector<int> to_advance;
+        const double tol = 1e-9;
+        for (size_t i = 0; i < flows_.size();) {
+            ActiveFlow &f = flows_[i];
+            f.remaining -= f.rate * dt;
+            if (f.remaining <= tol * std::max(1.0, f.work.amount) +
+                                   1e-300) {
+                if (traceSink_) {
+                    traceSink_({TraceEvent::Kind::FlowEnd, now_,
+                                f.owners[0], f.tag, f.work.amount});
+                }
+                for (int owner : f.owners) {
+                    accrueBlockedTime(owner);
+                    tasks_[owner].state = TaskState::Ready;
+                    to_advance.push_back(owner);
+                }
+                flows_[i] = std::move(flows_.back());
+                flows_.pop_back();
+                ratesDirty_ = true;
+            } else {
+                ++i;
+            }
+        }
+
+        // Expire delays.
+        while (!delays_.empty() &&
+               delays_.begin()->first <= now_ + 1e-15) {
+            int task = delays_.begin()->second;
+            delays_.erase(delays_.begin());
+            if (traceSink_) {
+                traceSink_({TraceEvent::Kind::DelayEnd, now_, task,
+                            tasks_[task].blockTag, 0.0});
+            }
+            accrueBlockedTime(task);
+            tasks_[task].state = TaskState::Ready;
+            to_advance.push_back(task);
+        }
+
+        // Advance released tasks (which may release further tasks).
+        for (size_t i = 0; i < to_advance.size(); ++i) {
+            int task = to_advance[i];
+            if (tasks_[task].state != TaskState::Ready)
+                continue;
+            advanceTask(task);
+            while (!readyQueue_.empty()) {
+                to_advance.push_back(readyQueue_.back());
+                readyQueue_.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace mcscope

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The flow-level discrete-event simulation engine.
+ *
+ * The engine owns a set of resources (capacities in units/s) and a set
+ * of tasks (pull-model programs of primitives).  Active Work primitives
+ * become fluid flows whose rates are the max-min fair allocation across
+ * their resource paths; the engine advances simulated time from one
+ * flow completion / delay expiry to the next, re-running the allocator
+ * whenever the active flow set changes.
+ *
+ * This fluid abstraction is the substitute for real multi-core Opteron
+ * hardware: contention for a socket's memory controller, congestion on
+ * HyperTransport ladder rungs, and serialization at lock services all
+ * emerge from shared-resource fair sharing rather than from
+ * cycle-accurate modeling.
+ */
+
+#ifndef MCSCOPE_SIM_ENGINE_HH
+#define MCSCOPE_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/prim.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace mcscope {
+
+/** Aggregate statistics for one resource over a run. */
+struct ResourceStats
+{
+    /** Total units moved through the resource. */
+    double unitsMoved = 0.0;
+
+    /** Time integral of instantaneous rate (== unitsMoved). */
+    double peakConcurrency = 0.0;
+};
+
+/** Category tags let workloads attribute task time to program phases. */
+using PhaseTag = int;
+
+/** One observable simulation event, for timeline tracing. */
+struct TraceEvent
+{
+    enum class Kind
+    {
+        FlowStart,
+        FlowEnd,
+        DelayEnd,
+        TaskFinish,
+    };
+
+    Kind kind = Kind::FlowStart;
+    SimTime time = 0.0;
+    int task = -1;       ///< owning task (first owner for joint flows)
+    PhaseTag tag = 0;    ///< phase tag of the primitive
+    double amount = 0.0; ///< flow amount (FlowStart/FlowEnd only)
+};
+
+/** Display name of a trace-event kind. */
+const char *traceEventKindName(TraceEvent::Kind kind);
+
+/**
+ * Flow-level discrete-event simulator.
+ *
+ * Typical use: add resources, add tasks, run(), then query makespan,
+ * per-task finish times, per-task tagged time, and resource
+ * utilization.
+ */
+class Engine
+{
+  public:
+    Engine();
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Register a resource; capacity must be positive. */
+    ResourceId addResource(std::string name, double capacity);
+
+    /** Register a task; returns the task index. */
+    int addTask(std::unique_ptr<Task> task);
+
+    /** Number of registered tasks. */
+    int taskCount() const { return static_cast<int>(tasks_.size()); }
+
+    /** Number of registered resources. */
+    int resourceCount() const
+    {
+        return static_cast<int>(capacities_.size());
+    }
+
+    /**
+     * Run the simulation to completion.  Panics on deadlock (tasks
+     * blocked on rendezvous/barriers that can never be satisfied).
+     */
+    void run();
+
+    /** Current simulated time (the makespan after run()). */
+    SimTime now() const { return now_; }
+
+    /** Completion time of a task (valid after run()). */
+    SimTime taskFinishTime(int task) const;
+
+    /** Latest task completion time. */
+    SimTime makespan() const;
+
+    /** Time task `task` spent in primitives tagged `tag`. */
+    SimTime taggedTime(int task, PhaseTag tag) const;
+
+    /** Maximum over tasks of taggedTime(task, tag). */
+    SimTime maxTaggedTime(PhaseTag tag) const;
+
+    /** Units moved through a resource over the whole run. */
+    double resourceUnitsMoved(ResourceId r) const;
+
+    /** Mean utilization of a resource over the makespan, in [0, 1]. */
+    double resourceUtilization(ResourceId r) const;
+
+    /** Resource display name. */
+    const std::string &resourceName(ResourceId r) const;
+
+    /** Resource capacity in units/s. */
+    double resourceCapacity(ResourceId r) const;
+
+    /** Number of processed engine events (for engine benchmarks). */
+    uint64_t eventCount() const { return events_; }
+
+    /**
+     * Install a timeline observer invoked on every flow start/end,
+     * delay expiry, and task completion.  Pass nullptr to disable.
+     * Observers must not mutate the engine.
+     */
+    void setTraceSink(std::function<void(const TraceEvent &)> sink)
+    {
+        traceSink_ = std::move(sink);
+    }
+
+  private:
+    enum class TaskState
+    {
+        Unstarted,
+        Ready,
+        BlockedOnFlow,
+        BlockedOnDelay,
+        WaitingRendezvous,
+        WaitingBarrier,
+        Finished,
+    };
+
+    struct TaskEntry
+    {
+        std::unique_ptr<Task> task;
+        TaskState state = TaskState::Unstarted;
+        SimTime finishTime = 0.0;
+        SimTime blockStart = 0.0;
+        PhaseTag blockTag = 0;
+        std::map<PhaseTag, SimTime> taggedTime;
+    };
+
+    struct ActiveFlow
+    {
+        Work work;
+        double remaining = 0.0;
+        double rate = 0.0;
+        std::vector<int> owners;
+        PhaseTag tag = 0;
+    };
+
+    struct PendingRendezvous
+    {
+        int task = -1;
+        std::optional<Work> carrier;
+        PhaseTag tag = 0;
+    };
+
+    struct PendingBarrier
+    {
+        std::vector<int> waiters;
+        int expected = 0;
+    };
+
+    /** Drive a task until it blocks or finishes. */
+    void advanceTask(int task);
+
+    /** Start a fluid flow owned by `owners`. */
+    void startFlow(const Work &w, std::vector<int> owners, PhaseTag tag);
+
+    /** Recompute max-min fair rates for all active flows. */
+    void recomputeRates();
+
+    /** Attribute blocked time [blockStart, now] to the task's tag. */
+    void accrueBlockedTime(int task);
+
+    std::vector<std::string> resourceNames_;
+    std::vector<double> capacities_;
+    std::vector<ResourceStats> stats_;
+
+    std::vector<TaskEntry> tasks_;
+    std::vector<ActiveFlow> flows_;
+    std::multimap<SimTime, int> delays_;
+    std::map<uint64_t, PendingRendezvous> rendezvous_;
+    std::map<uint64_t, PendingBarrier> barriers_;
+
+    std::vector<int> readyQueue_;
+
+    std::function<void(const TraceEvent &)> traceSink_;
+
+    SimTime now_ = 0.0;
+    bool ratesDirty_ = false;
+    uint64_t events_ = 0;
+    int unfinished_ = 0;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_ENGINE_HH

@@ -1,0 +1,113 @@
+#include "sim/fairshare.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::vector<double>
+fairShareRates(const std::vector<double> &capacities,
+               const std::vector<FairShareFlow> &flows)
+{
+    const size_t nr = capacities.size();
+    const size_t nf = flows.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    std::vector<double> rates(nf, 0.0);
+    std::vector<bool> frozen(nf, false);
+    std::vector<double> residual(capacities);
+    std::vector<int> users(nr, 0);
+
+    size_t unfrozen = 0;
+    for (size_t f = 0; f < nf; ++f) {
+        const auto &flow = flows[f];
+        if (flow.path.empty() && flow.rateCap <= 0.0) {
+            // No constraint at all: instantaneous.
+            rates[f] = inf;
+            frozen[f] = true;
+            continue;
+        }
+        for (ResourceId r : flow.path) {
+            MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
+                           "flow references unknown resource ", r);
+            ++users[r];
+        }
+        ++unfrozen;
+    }
+
+    // Progressive filling: all unfrozen flows rise at a common level;
+    // each round the binding constraint is the smallest of (a) a flow's
+    // cap and (b) a resource's residual fair share.  Freeze everything
+    // at that level and continue.
+    double level = 0.0;
+    while (unfrozen > 0) {
+        double next = inf;
+        for (size_t r = 0; r < nr; ++r) {
+            if (users[r] > 0) {
+                double share = residual[r] / users[r];
+                if (share < next)
+                    next = share;
+            }
+        }
+        for (size_t f = 0; f < nf; ++f) {
+            if (!frozen[f] && flows[f].rateCap > 0.0 &&
+                flows[f].rateCap < next) {
+                next = flows[f].rateCap;
+            }
+        }
+        MCSCOPE_ASSERT(std::isfinite(next),
+                       "progressive filling found no binding constraint");
+        // Guard against capacity exhaustion from earlier freezes.
+        if (next < level)
+            next = level;
+
+        const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
+
+        // Identify saturated resources at this level.
+        std::vector<bool> saturated(nr, false);
+        for (size_t r = 0; r < nr; ++r) {
+            if (users[r] > 0 && residual[r] / users[r] <= next + tol)
+                saturated[r] = true;
+        }
+
+        // Freeze flows that hit a cap or cross a saturated resource.
+        size_t frozen_this_round = 0;
+        for (size_t f = 0; f < nf; ++f) {
+            if (frozen[f])
+                continue;
+            bool freeze = flows[f].rateCap > 0.0 &&
+                          flows[f].rateCap <= next + tol;
+            if (!freeze) {
+                for (ResourceId r : flows[f].path) {
+                    if (saturated[r]) {
+                        freeze = true;
+                        break;
+                    }
+                }
+            }
+            if (freeze) {
+                double rate = next;
+                if (flows[f].rateCap > 0.0 && flows[f].rateCap < rate)
+                    rate = flows[f].rateCap;
+                rates[f] = rate;
+                frozen[f] = true;
+                ++frozen_this_round;
+                for (ResourceId r : flows[f].path) {
+                    residual[r] -= rate;
+                    if (residual[r] < 0.0)
+                        residual[r] = 0.0;
+                    --users[r];
+                }
+                --unfrozen;
+            }
+        }
+        MCSCOPE_ASSERT(frozen_this_round > 0,
+                       "progressive filling made no progress");
+        level = next;
+    }
+    return rates;
+}
+
+} // namespace mcscope

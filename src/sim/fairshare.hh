@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Max-min fair rate allocation (progressive filling) with per-flow
+ * rate caps.
+ *
+ * Given a set of resources with capacities and a set of flows, each of
+ * which simultaneously occupies a subset of the resources and may carry
+ * an individual rate ceiling, computes the max-min fair allocation:
+ * rates are raised together until a flow hits its cap or a resource
+ * saturates; saturated participants freeze and filling continues.
+ *
+ * This is the classic fluid model for bandwidth sharing; it is what
+ * turns "two cores stream through one memory controller" into "each
+ * gets half" and "flows crossing a congested HyperTransport rung slow
+ * down together".
+ */
+
+#ifndef MCSCOPE_SIM_FAIRSHARE_HH
+#define MCSCOPE_SIM_FAIRSHARE_HH
+
+#include <vector>
+
+#include "sim/prim.hh"
+
+namespace mcscope {
+
+/** Input description of one flow for the allocator. */
+struct FairShareFlow
+{
+    /** Resources occupied concurrently (indices into capacities). */
+    std::vector<ResourceId> path;
+
+    /** Per-flow ceiling in units/s; <= 0 means unconstrained. */
+    double rateCap = 0.0;
+};
+
+/**
+ * Compute max-min fair rates.
+ *
+ * @param capacities  capacity of each resource, units/s (> 0).
+ * @param flows       flow descriptions; paths may be empty (such flows
+ *                    receive their cap, or +inf when uncapped -- the
+ *                    caller treats that as "instantaneous").
+ * @return one rate per flow, in units/s.
+ */
+std::vector<double>
+fairShareRates(const std::vector<double> &capacities,
+               const std::vector<FairShareFlow> &flows);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_FAIRSHARE_HH

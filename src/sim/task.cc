@@ -1,0 +1,105 @@
+#include "sim/task.hh"
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+std::string
+primKindName(const Prim &p)
+{
+    switch (p.index()) {
+      case 0:
+        return "Work";
+      case 1:
+        return "Delay";
+      case 2:
+        return "Rendezvous";
+      case 3:
+        return "SyncAll";
+      default:
+        return "?";
+    }
+}
+
+SequenceTask::SequenceTask(std::string name, std::vector<Prim> prims)
+    : name_(std::move(name)), prims_(std::move(prims))
+{
+}
+
+std::optional<Prim>
+SequenceTask::next()
+{
+    if (pos_ >= prims_.size())
+        return std::nullopt;
+    return prims_[pos_++];
+}
+
+LoopTask::LoopTask(std::string name, std::vector<Prim> prologue,
+                   std::vector<Prim> body, uint64_t iterations,
+                   std::vector<Prim> epilogue, uint64_t key_stride)
+    : name_(std::move(name)),
+      prologue_(std::move(prologue)),
+      body_(std::move(body)),
+      epilogue_(std::move(epilogue)),
+      iterations_(iterations),
+      keyStride_(key_stride)
+{
+    if (body_.empty())
+        iterations_ = 0;
+}
+
+std::optional<Prim>
+LoopTask::next()
+{
+    for (;;) {
+        switch (stage_) {
+          case Stage::Prologue:
+            if (pos_ < prologue_.size())
+                return prologue_[pos_++];
+            stage_ = Stage::Body;
+            pos_ = 0;
+            break;
+          case Stage::Body:
+            if (iter_ >= iterations_) {
+                stage_ = Stage::Epilogue;
+                pos_ = 0;
+                break;
+            }
+            if (pos_ < body_.size()) {
+                Prim p = body_[pos_++];
+                // Rewrite synchronization keys so each iteration's
+                // rendezvous points are distinct.
+                uint64_t shift = iter_ * keyStride_;
+                if (auto *r = std::get_if<Rendezvous>(&p))
+                    r->key += shift;
+                else if (auto *s = std::get_if<SyncAll>(&p))
+                    s->key += shift;
+                return p;
+            }
+            ++iter_;
+            pos_ = 0;
+            break;
+          case Stage::Epilogue:
+            if (pos_ < epilogue_.size())
+                return epilogue_[pos_++];
+            stage_ = Stage::Done;
+            break;
+          case Stage::Done:
+            return std::nullopt;
+        }
+    }
+}
+
+GeneratorTask::GeneratorTask(std::string name, Generator gen)
+    : name_(std::move(name)), gen_(std::move(gen))
+{
+    MCSCOPE_ASSERT(gen_ != nullptr, "GeneratorTask requires a generator");
+}
+
+std::optional<Prim>
+GeneratorTask::next()
+{
+    return gen_(step_++);
+}
+
+} // namespace mcscope

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Simulated-time types and unit helpers.
+ *
+ * mcscope measures simulated time in seconds held in a double.  All the
+ * quantities we model (microseconds of lock cost up to hundreds of
+ * seconds of application runtime) fit comfortably in a double's 53-bit
+ * mantissa at nanosecond resolution.
+ */
+
+#ifndef MCSCOPE_SIM_TIME_HH
+#define MCSCOPE_SIM_TIME_HH
+
+namespace mcscope {
+
+/** Simulated time, in seconds. */
+using SimTime = double;
+
+namespace units {
+
+/** Nanoseconds to seconds. */
+constexpr SimTime
+ns(double v)
+{
+    return v * 1.0e-9;
+}
+
+/** Microseconds to seconds. */
+constexpr SimTime
+us(double v)
+{
+    return v * 1.0e-6;
+}
+
+/** Milliseconds to seconds. */
+constexpr SimTime
+ms(double v)
+{
+    return v * 1.0e-3;
+}
+
+/** Gigabytes-per-second to bytes-per-second. */
+constexpr double
+GBps(double v)
+{
+    return v * 1.0e9;
+}
+
+/** Megabytes-per-second to bytes-per-second. */
+constexpr double
+MBps(double v)
+{
+    return v * 1.0e6;
+}
+
+/** Gigaflops to flops-per-second. */
+constexpr double
+GFlops(double v)
+{
+    return v * 1.0e9;
+}
+
+/** Kibibytes to bytes. */
+constexpr double
+KiB(double v)
+{
+    return v * 1024.0;
+}
+
+/** Mebibytes to bytes. */
+constexpr double
+MiB(double v)
+{
+    return v * 1024.0 * 1024.0;
+}
+
+/** Gibibytes to bytes. */
+constexpr double
+GiB(double v)
+{
+    return v * 1024.0 * 1024.0 * 1024.0;
+}
+
+} // namespace units
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_TIME_HH

@@ -1,0 +1,224 @@
+#include "simmpi/collectives.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+bool
+isPowerOfTwo(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+namespace {
+
+/**
+ * Pairwise exchange along one chain/ring of `n` members with rank
+ * stride `stride`: the disjoint-round pairing of appendExchange,
+ * generalized so grid halos can run it per row and per column.
+ */
+void
+chainExchange(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+              int idx, int n, int stride, bool periodic, double bytes,
+              uint64_t key_base, int tag)
+{
+    if (n <= 1)
+        return;
+    auto xchg = [&](int peer_idx, int round) {
+        int peer = rank + (peer_idx - idx) * stride;
+        rt.appendSendRecv(out, rank, peer, bytes,
+                          MpiRuntime::pairKey(key_base, round, rank,
+                                              peer),
+                          tag);
+    };
+    if (n == 2) {
+        xchg(1 - idx, 0);
+        if (periodic)
+            xchg(1 - idx, 1);
+        return;
+    }
+    if (idx % 2 == 0 && idx + 1 < n)
+        xchg(idx + 1, 0);
+    else if (idx % 2 == 1)
+        xchg(idx - 1, 0);
+
+    if (idx % 2 == 1 && idx + 1 < n)
+        xchg(idx + 1, 1);
+    else if (idx % 2 == 0 && idx > 0)
+        xchg(idx - 1, 1);
+
+    if (periodic && (idx == 0 || idx == n - 1)) {
+        int other = idx == 0 ? n - 1 : 0;
+        xchg(other, n % 2 == 0 ? 3 : 4);
+    }
+}
+
+} // namespace
+
+void
+appendGridHalo(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+               int rows, int cols, double bytes_ew, double bytes_ns,
+               uint64_t key_base, int tag)
+{
+    MCSCOPE_ASSERT(rows >= 1 && cols >= 1 &&
+                       rows * cols == rt.ranks(),
+                   "grid halo shape ", rows, "x", cols,
+                   " does not cover ", rt.ranks(), " ranks");
+    int row = rank / cols;
+    int col = rank % cols;
+    // East-west: periodic ring within the row (longitude wraps).
+    chainExchange(rt, out, rank, col, cols, 1, /*periodic=*/true,
+                  bytes_ew, key_base, tag);
+    // North-south: open chain within the column.
+    chainExchange(rt, out, rank, row, rows, cols, /*periodic=*/false,
+                  bytes_ns, key_base + (1ULL << 18), tag);
+}
+
+int
+allReduceMessageCount(int ranks)
+{
+    MCSCOPE_ASSERT(ranks >= 1, "bad rank count");
+    if (ranks == 1)
+        return 0;
+    if (isPowerOfTwo(ranks)) {
+        int rounds = 0;
+        for (int v = ranks; v > 1; v >>= 1)
+            ++rounds;
+        return rounds;
+    }
+    return 2 * (ranks - 1);
+}
+
+SimTime
+allReduceLatencyEstimate(const MpiRuntime &rt, int rank, double bytes)
+{
+    const int p = rt.ranks();
+    if (p == 1)
+        return 0.0;
+    SimTime total = 0.0;
+    if (isPowerOfTwo(p)) {
+        for (int mask = 1; mask < p; mask <<= 1)
+            total += rt.messageOverhead(rank, rank ^ mask, bytes);
+        return total;
+    }
+    int right = (rank + 1) % p;
+    return 2.0 * (p - 1) * rt.messageOverhead(rank, right, bytes);
+}
+
+void
+appendAllReduce(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+                double bytes, uint64_t key_base, int tag)
+{
+    const int p = rt.ranks();
+    if (p == 1)
+        return;
+    if (isPowerOfTwo(p)) {
+        int round = 0;
+        for (int mask = 1; mask < p; mask <<= 1, ++round) {
+            int peer = rank ^ mask;
+            rt.appendSendRecv(out, rank, peer, bytes,
+                              MpiRuntime::pairKey(key_base, round, rank,
+                                                  peer),
+                              tag);
+        }
+        return;
+    }
+    // Ring reduce-scatter + allgather: 2(p-1) shifts of bytes/p.
+    double chunk = bytes / p;
+    for (int round = 0; round < 2 * (p - 1); ++round) {
+        appendRingShift(rt, out, rank,
+                        chunk,
+                        key_base + (static_cast<uint64_t>(round) << 12),
+                        tag);
+    }
+}
+
+void
+appendAllToAll(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+               double bytes_per_pair, uint64_t key_base, int tag)
+{
+    const int p = rt.ranks();
+    if (p == 1)
+        return;
+    if (isPowerOfTwo(p)) {
+        for (int round = 1; round < p; ++round) {
+            int peer = rank ^ round;
+            rt.appendSendRecv(out, rank, peer, bytes_per_pair,
+                              MpiRuntime::pairKey(key_base, round, rank,
+                                                  peer),
+                              tag);
+        }
+        return;
+    }
+    // Ring realization: p-1 shifts, each forwarding one rank's block.
+    for (int round = 0; round < p - 1; ++round) {
+        appendRingShift(rt, out, rank, bytes_per_pair,
+                        key_base + (static_cast<uint64_t>(round) << 12),
+                        tag);
+    }
+}
+
+void
+appendRingShift(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+                double bytes, uint64_t key_base, int tag)
+{
+    const int p = rt.ranks();
+    if (p == 1)
+        return;
+    int right = (rank + 1) % p;
+    int left = (rank - 1 + p) % p;
+    uint64_t send_key = MpiRuntime::pairKey(key_base, 0, rank, right);
+    uint64_t recv_key = MpiRuntime::pairKey(key_base, 0, left, rank);
+    if (rank % 2 == 0) {
+        rt.appendSend(out, rank, right, bytes, send_key, tag);
+        rt.appendRecv(out, rank, left, bytes, recv_key, tag);
+    } else {
+        rt.appendRecv(out, rank, left, bytes, recv_key, tag);
+        rt.appendSend(out, rank, right, bytes, send_key, tag);
+    }
+}
+
+void
+appendExchange(const MpiRuntime &rt, std::vector<Prim> &out, int rank,
+               double bytes, uint64_t key_base, int tag)
+{
+    const int p = rt.ranks();
+    if (p == 1)
+        return;
+    // Disjoint pairwise rounds covering both ring neighbors:
+    //   round 0: (0,1), (2,3), ...
+    //   round 1: (1,2), (3,4), ..., plus the (p-1, 0) wrap when p is
+    //            even (it closes the alternation consistently);
+    //   round 2: the (p-1, 0) wrap for odd p, where both endpoints
+    //            are even-ranked and cannot pair earlier.
+    auto exchange_with = [&](int peer, int round) {
+        rt.appendSendRecv(out, rank, peer, bytes,
+                          MpiRuntime::pairKey(key_base, round, rank,
+                                              peer),
+                          tag);
+    };
+    if (p == 2) {
+        // Left and right neighbor coincide: two exchanges.
+        exchange_with(1 - rank, 0);
+        exchange_with(1 - rank, 1);
+        return;
+    }
+    if (rank % 2 == 0 && rank + 1 < p)
+        exchange_with(rank + 1, 0);
+    else if (rank % 2 == 1)
+        exchange_with(rank - 1, 0);
+
+    if (rank % 2 == 1 && rank + 1 < p)
+        exchange_with(rank + 1, 1);
+    else if (rank % 2 == 0 && rank > 0)
+        exchange_with(rank - 1, 1);
+    if (p % 2 == 0 && p > 2 && (rank == 0 || rank == p - 1))
+        exchange_with(rank == 0 ? p - 1 : 0, 3);
+
+    if (p % 2 == 1 && (rank == 0 || rank == p - 1))
+        exchange_with(rank == 0 ? p - 1 : 0, 4);
+}
+
+} // namespace mcscope

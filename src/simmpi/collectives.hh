@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Collective-operation builders on top of MpiRuntime.
+ *
+ * Each function appends, to ONE rank's primitive sequence, that rank's
+ * share of a collective.  All ranks of the job must call the same
+ * builder with the same key_base for the collective to match up.
+ *
+ * Key-space contract: a collective consumes keys in
+ * [key_base, key_base + (rounds << 12)); space key_bases by at least
+ * 1 << 20 within one loop body.
+ */
+
+#ifndef MCSCOPE_SIMMPI_COLLECTIVES_HH
+#define MCSCOPE_SIMMPI_COLLECTIVES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/prim.hh"
+#include "simmpi/comm.hh"
+
+namespace mcscope {
+
+/** True when n is a power of two. */
+bool isPowerOfTwo(int n);
+
+/**
+ * Allreduce of a `bytes`-sized buffer: recursive doubling for
+ * power-of-two job sizes (log2(p) pairwise exchange rounds), a ring
+ * reduce-scatter + allgather otherwise.
+ */
+void appendAllReduce(const MpiRuntime &rt, std::vector<Prim> &out,
+                     int rank, double bytes, uint64_t key_base,
+                     int tag = 0);
+
+/**
+ * All-to-all personalized exchange, `bytes_per_pair` to every other
+ * rank: XOR-pairing rounds for power-of-two sizes, ring shifts
+ * otherwise.
+ */
+void appendAllToAll(const MpiRuntime &rt, std::vector<Prim> &out,
+                    int rank, double bytes_per_pair, uint64_t key_base,
+                    int tag = 0);
+
+/**
+ * Ring shift (HPCC "ring" pattern): send `bytes` to (rank+1) mod p,
+ * receive from (rank-1) mod p.  Even ranks send first, odd ranks
+ * receive first, so the ring never deadlocks.
+ */
+void appendRingShift(const MpiRuntime &rt, std::vector<Prim> &out,
+                     int rank, double bytes, uint64_t key_base,
+                     int tag = 0);
+
+/**
+ * IMB "Exchange" pattern: bidirectional exchange with both ring
+ * neighbors, realized as two rounds of disjoint pairwise exchanges.
+ */
+void appendExchange(const MpiRuntime &rt, std::vector<Prim> &out,
+                    int rank, double bytes, uint64_t key_base,
+                    int tag = 0);
+
+/**
+ * 2-D grid halo exchange: the job is viewed as a `rows` x `cols`
+ * process grid (rows * cols == ranks); each rank exchanges
+ * `bytes_ew` with its east/west neighbors (periodic) and `bytes_ns`
+ * with its north/south neighbors (non-periodic), the pattern of
+ * POP's stencils and every block-decomposed solver.
+ */
+void appendGridHalo(const MpiRuntime &rt, std::vector<Prim> &out,
+                    int rank, int rows, int cols, double bytes_ew,
+                    double bytes_ns, uint64_t key_base, int tag = 0);
+
+/**
+ * Number of point-to-point messages rank `rank` sends for one
+ * allreduce (diagnostics / tests).
+ */
+int allReduceMessageCount(int ranks);
+
+/**
+ * Analytic latency of one small-message allreduce as seen from
+ * `rank`: the sum of per-round message overheads.  Used by cost
+ * models that aggregate thousands of latency-bound collectives into
+ * a single Delay (the volume is carried separately).
+ */
+SimTime allReduceLatencyEstimate(const MpiRuntime &rt, int rank,
+                                 double bytes);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIMMPI_COLLECTIVES_HH

@@ -1,0 +1,149 @@
+#include "simmpi/comm.hh"
+
+#include <algorithm>
+
+#include "simmpi/comm_matrix.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+MpiRuntime::MpiRuntime(const Machine &machine, const Placement &placement,
+                       MpiImpl impl, SubLayer sublayer)
+    : machine_(&machine),
+      placement_(&placement),
+      implKind_(impl),
+      sublayerKind_(sublayer),
+      impl_(mpiImplModel(impl)),
+      sublayer_(subLayerModel(sublayer))
+{
+    MCSCOPE_ASSERT(placement.ranks() >= 1, "empty placement");
+}
+
+int
+MpiRuntime::coreOf(int rank) const
+{
+    return placement_->binding(rank).core;
+}
+
+SimTime
+MpiRuntime::messageOverhead(int src_rank, int dst_rank,
+                            double bytes) const
+{
+    int src_core = coreOf(src_rank);
+    int dst_core = coreOf(dst_rank);
+    int hops = machine_->hopsBetweenCores(src_core, dst_core);
+
+    // Software path + two lock/unlock pairs (enqueue + dequeue).
+    SimTime sw = impl_.baseLatency + 2.0 * sublayer_.lockPairCost;
+    if (bytes > impl_.eagerThreshold)
+        sw += impl_.rendezvousExtra;
+    if (hops == 0) {
+        // Same-die fast path: cache-to-cache, no HT traversal.
+        sw *= machine_->config().sameDieLatencyFactor;
+    }
+    SimTime lat = sw + hops * machine_->config().htHopLatency;
+    return lat * latencyNoise_;
+}
+
+Work
+MpiRuntime::transfer(int src_rank, int dst_rank, double bytes,
+                     int tag) const
+{
+    int buffer = placement_->commBufferNode(src_rank);
+    Work w = machine_->transferWork(coreOf(src_rank), coreOf(dst_rank),
+                                    buffer, bytes, tag);
+    w.rateCap *= impl_.copyEfficiency(bytes);
+    return w;
+}
+
+double
+MpiRuntime::transferBandwidth(int src_rank, int dst_rank,
+                              double bytes) const
+{
+    return transfer(src_rank, dst_rank, bytes).rateCap;
+}
+
+void
+MpiRuntime::appendSend(std::vector<Prim> &out, int rank, int peer,
+                       double bytes, uint64_t key, int tag) const
+{
+    MCSCOPE_ASSERT(rank != peer, "send to self (rank ", rank, ")");
+    if (commMatrix_)
+        commMatrix_->record(rank, peer, bytes);
+    Delay d;
+    d.seconds = messageOverhead(rank, peer, bytes);
+    d.tag = tag;
+    out.push_back(d);
+
+    Rendezvous r;
+    r.key = key;
+    r.carrier = true;
+    r.transfer = transfer(rank, peer, bytes, tag);
+    r.tag = tag;
+    out.push_back(r);
+}
+
+void
+MpiRuntime::appendRecv(std::vector<Prim> &out, int rank, int peer,
+                       double bytes, uint64_t key, int tag) const
+{
+    MCSCOPE_ASSERT(rank != peer, "recv from self (rank ", rank, ")");
+    Delay d;
+    d.seconds = messageOverhead(peer, rank, bytes);
+    d.tag = tag;
+    out.push_back(d);
+
+    Rendezvous r;
+    r.key = key;
+    r.carrier = false;
+    r.tag = tag;
+    out.push_back(r);
+}
+
+void
+MpiRuntime::appendSendRecv(std::vector<Prim> &out, int rank, int peer,
+                           double bytes, uint64_t key, int tag) const
+{
+    MCSCOPE_ASSERT(rank != peer, "sendrecv with self (rank ", rank, ")");
+    if (commMatrix_)
+        commMatrix_->record(rank, peer, bytes);
+    Delay d;
+    d.seconds = messageOverhead(rank, peer, bytes);
+    d.tag = tag;
+    out.push_back(d);
+
+    Rendezvous r;
+    r.key = key;
+    r.tag = tag;
+    if (rank < peer) {
+        r.carrier = true;
+        r.transfer = transfer(rank, peer, 2.0 * bytes, tag);
+    } else {
+        r.carrier = false;
+    }
+    out.push_back(r);
+}
+
+void
+MpiRuntime::appendBarrier(std::vector<Prim> &out, uint64_t key,
+                          int tag) const
+{
+    SyncAll s;
+    s.key = key;
+    s.expected = ranks();
+    s.tag = tag;
+    out.push_back(s);
+}
+
+uint64_t
+MpiRuntime::pairKey(uint64_t base, int round, int a, int b)
+{
+    MCSCOPE_ASSERT(a >= 0 && b >= 0 && a < 64 && b < 64 && a != b,
+                   "bad pair (", a, ",", b, ")");
+    int lo = std::min(a, b);
+    int hi = std::max(a, b);
+    return base + (static_cast<uint64_t>(round) << 12) +
+           static_cast<uint64_t>(lo * 64 + hi);
+}
+
+} // namespace mcscope

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The simulated intra-node MPI runtime: translates ranks' sends and
+ * receives into engine primitives, pricing each message as
+ *
+ *   software overhead (implementation personality)
+ * + lock operations   (SysV / USysV sub-layer)
+ * + hop latency       (HyperTransport route)
+ * + payload transfer  (a fluid flow through the shared buffer's
+ *                      memory controller and the HT path, capped by
+ *                      the double-copy bandwidth and the
+ *                      implementation's size-dependent copy
+ *                      efficiency)
+ *
+ * Placement decides which cores talk and where shared buffers live,
+ * which is how numactl policies reach into communication performance.
+ */
+
+#ifndef MCSCOPE_SIMMPI_COMM_HH
+#define MCSCOPE_SIMMPI_COMM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "affinity/placement.hh"
+#include "machine/machine.hh"
+#include "sim/prim.hh"
+#include "simmpi/implementation.hh"
+#include "simmpi/sublayer.hh"
+
+namespace mcscope {
+
+class CommMatrix;
+
+/**
+ * Message-passing cost model bound to one machine + placement.
+ *
+ * The runtime does not own tasks; workload builders call the append*
+ * methods to emit the per-rank primitive sequences that realize each
+ * communication operation.
+ */
+class MpiRuntime
+{
+  public:
+    MpiRuntime(const Machine &machine, const Placement &placement,
+               MpiImpl impl = MpiImpl::OpenMpi,
+               SubLayer sublayer = SubLayer::USysV);
+
+    /** The implementation personality this runtime was built with. */
+    MpiImpl implKind() const { return implKind_; }
+
+    /** The sub-layer this runtime was built with. */
+    SubLayer subLayerKind() const { return sublayerKind_; }
+
+    /** Number of ranks in the job. */
+    int ranks() const { return placement_->ranks(); }
+
+    const Machine &machine() const { return *machine_; }
+    const Placement &placement() const { return *placement_; }
+    const MpiImplModel &implModel() const { return impl_; }
+    const SubLayerModel &subLayer() const { return sublayer_; }
+
+    /** Core hosting `rank`. */
+    int coreOf(int rank) const;
+
+    /**
+     * Extra multiplier on message latency, modeling scheduling noise
+     * (unpinned endpoints, parked processes).  1.0 = quiet system.
+     */
+    void setLatencyNoiseFactor(double f) { latencyNoise_ = f; }
+
+    /**
+     * Attach a communication-matrix recorder: every message emitted
+     * through the append* builders is tallied into it.  The matrix
+     * must outlive the runtime; pass nullptr to detach.
+     */
+    void setCommMatrix(CommMatrix *matrix) { commMatrix_ = matrix; }
+
+    /**
+     * One-way message overhead (software + locks + hops), excluding
+     * payload transfer time.
+     */
+    SimTime messageOverhead(int src_rank, int dst_rank,
+                            double bytes) const;
+
+    /** Payload transfer Work for a message. */
+    Work transfer(int src_rank, int dst_rank, double bytes,
+                  int tag = 0) const;
+
+    /**
+     * Effective payload bandwidth (bytes/s) for the transfer Work --
+     * the rate it would achieve alone on an idle machine.
+     */
+    double transferBandwidth(int src_rank, int dst_rank,
+                             double bytes) const;
+
+    /** Append a blocking send to `rank`'s program. */
+    void appendSend(std::vector<Prim> &out, int rank, int peer,
+                    double bytes, uint64_t key, int tag = 0) const;
+
+    /** Append a blocking receive to `rank`'s program. */
+    void appendRecv(std::vector<Prim> &out, int rank, int peer,
+                    double bytes, uint64_t key, int tag = 0) const;
+
+    /**
+     * Append a pairwise bidirectional exchange (MPI_Sendrecv with the
+     * same partner both ways).  Both partners must call this with the
+     * same key; the lower rank carries a 2x-volume transfer.
+     */
+    void appendSendRecv(std::vector<Prim> &out, int rank, int peer,
+                        double bytes, uint64_t key, int tag = 0) const;
+
+    /** Append a full-job barrier. */
+    void appendBarrier(std::vector<Prim> &out, uint64_t key,
+                       int tag = 0) const;
+
+    /**
+     * Deterministic key for (round, unordered pair) under `base`.
+     * Collectives consume key space [base, base + (rounds << 12));
+     * call sites should space bases by at least 1 << 20.
+     */
+    static uint64_t pairKey(uint64_t base, int round, int a, int b);
+
+  private:
+    const Machine *machine_;
+    const Placement *placement_;
+    MpiImpl implKind_;
+    SubLayer sublayerKind_;
+    MpiImplModel impl_;
+    SubLayerModel sublayer_;
+    double latencyNoise_ = 1.0;
+    CommMatrix *commMatrix_ = nullptr;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIMMPI_COMM_HH

@@ -1,0 +1,101 @@
+#include "simmpi/comm_matrix.hh"
+
+#include <sstream>
+
+#include "simmpi/comm.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+#include "util/table.hh"
+
+namespace mcscope {
+
+CommMatrix::CommMatrix(int ranks)
+    : ranks_(ranks),
+      bytes_(static_cast<size_t>(ranks) * ranks, 0.0),
+      messages_(static_cast<size_t>(ranks) * ranks, 0)
+{
+    MCSCOPE_ASSERT(ranks >= 1, "comm matrix needs at least one rank");
+}
+
+void
+CommMatrix::record(int src, int dst, double bytes)
+{
+    MCSCOPE_ASSERT(src >= 0 && src < ranks_ && dst >= 0 &&
+                       dst < ranks_,
+                   "bad pair (", src, ",", dst, ")");
+    bytes_[static_cast<size_t>(src) * ranks_ + dst] += bytes;
+    ++messages_[static_cast<size_t>(src) * ranks_ + dst];
+}
+
+double
+CommMatrix::bytes(int src, int dst) const
+{
+    MCSCOPE_ASSERT(src >= 0 && src < ranks_ && dst >= 0 &&
+                       dst < ranks_,
+                   "bad pair (", src, ",", dst, ")");
+    return bytes_[static_cast<size_t>(src) * ranks_ + dst];
+}
+
+uint64_t
+CommMatrix::messages(int src, int dst) const
+{
+    MCSCOPE_ASSERT(src >= 0 && src < ranks_ && dst >= 0 &&
+                       dst < ranks_,
+                   "bad pair (", src, ",", dst, ")");
+    return messages_[static_cast<size_t>(src) * ranks_ + dst];
+}
+
+double
+CommMatrix::totalBytes() const
+{
+    double acc = 0.0;
+    for (double b : bytes_)
+        acc += b;
+    return acc;
+}
+
+uint64_t
+CommMatrix::totalMessages() const
+{
+    uint64_t acc = 0;
+    for (uint64_t m : messages_)
+        acc += m;
+    return acc;
+}
+
+std::vector<double>
+CommMatrix::bytesByHops(const MpiRuntime &rt) const
+{
+    MCSCOPE_ASSERT(rt.ranks() == ranks_,
+                   "runtime job size does not match the matrix");
+    const Machine &m = rt.machine();
+    int max_hops = m.topology().diameter();
+    std::vector<double> hist(max_hops + 1, 0.0);
+    for (int s = 0; s < ranks_; ++s) {
+        for (int d = 0; d < ranks_; ++d) {
+            if (s == d)
+                continue;
+            int hops = m.hopsBetweenCores(rt.coreOf(s), rt.coreOf(d));
+            hist[hops] += bytes(s, d);
+        }
+    }
+    return hist;
+}
+
+std::string
+CommMatrix::str() const
+{
+    std::vector<std::string> header = {"src\\dst"};
+    for (int d = 0; d < ranks_; ++d)
+        header.push_back(std::to_string(d));
+    TextTable t(header);
+    for (int s = 0; s < ranks_; ++s) {
+        std::vector<std::string> row = {std::to_string(s)};
+        for (int d = 0; d < ranks_; ++d)
+            row.push_back(formatBytes(bytes(s, d)));
+        t.addRow(std::move(row));
+    }
+    return t.str();
+}
+
+} // namespace mcscope

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Communication-matrix recording: per rank-pair message counts and
+ * byte volumes, and their projection onto the socket grid and the
+ * HT-hop histogram.  This is the instrument behind the paper's
+ * topology arguments ("comparing the Ring and PingPong bandwidths
+ * clearly exposes the topology and congestion effects on the
+ * HT8501's HyperTransport ladder").
+ */
+
+#ifndef MCSCOPE_SIMMPI_COMM_MATRIX_HH
+#define MCSCOPE_SIMMPI_COMM_MATRIX_HH
+
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+class Machine;
+class MpiRuntime;
+
+/** Accumulated communication statistics for one job. */
+class CommMatrix
+{
+  public:
+    /** @param ranks job size. */
+    explicit CommMatrix(int ranks);
+
+    /** Record one message (called by MpiRuntime when attached). */
+    void record(int src, int dst, double bytes);
+
+    int ranks() const { return ranks_; }
+
+    /** Bytes sent from `src` to `dst` (directed). */
+    double bytes(int src, int dst) const;
+
+    /** Messages sent from `src` to `dst` (directed). */
+    uint64_t messages(int src, int dst) const;
+
+    /** Total bytes over all pairs. */
+    double totalBytes() const;
+
+    /** Total messages over all pairs. */
+    uint64_t totalMessages() const;
+
+    /**
+     * Histogram of bytes by HT hop distance under the runtime's
+     * placement: index h = bytes between ranks h hops apart
+     * (index 0 = same socket).
+     */
+    std::vector<double> bytesByHops(const MpiRuntime &rt) const;
+
+    /** Render the rank-pair byte matrix as text (KB cells). */
+    std::string str() const;
+
+  private:
+    int ranks_;
+    std::vector<double> bytes_;
+    std::vector<uint64_t> messages_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIMMPI_COMM_MATRIX_HH

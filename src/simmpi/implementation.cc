@@ -1,0 +1,88 @@
+#include "simmpi/implementation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+double
+MpiImplModel::copyEfficiency(double bytes) const
+{
+    constexpr double kSmall = 16.0 * 1024.0;
+    constexpr double kLarge = 256.0 * 1024.0;
+    if (bytes <= 0.0)
+        return effSmall;
+    if (bytes <= kSmall / 2.0)
+        return effSmall;
+    if (bytes >= kLarge * 2.0)
+        return effLarge;
+    // Log-linear blend through the mid plateau.
+    double x = std::log2(bytes);
+    double x0 = std::log2(kSmall / 2.0);
+    double x1 = std::log2(kSmall * 2.0);
+    double x2 = std::log2(kLarge / 2.0);
+    double x3 = std::log2(kLarge * 2.0);
+    if (x < x1) {
+        double t = (x - x0) / (x1 - x0);
+        return effSmall + t * (effMid - effSmall);
+    }
+    if (x < x2)
+        return effMid;
+    double t = (x - x2) / (x3 - x2);
+    return effMid + t * (effLarge - effMid);
+}
+
+MpiImplModel
+mpiImplModel(MpiImpl impl)
+{
+    MpiImplModel m;
+    switch (impl) {
+      case MpiImpl::Mpich2:
+        // High small-message overhead; best large-message pipelining.
+        m.name = "MPICH2";
+        m.baseLatency = units::us(2.1);
+        m.eagerThreshold = 128.0 * 1024.0;
+        m.rendezvousExtra = units::us(1.5);
+        m.effSmall = 0.62;
+        m.effMid = 0.86;
+        m.effLarge = 0.96;
+        return m;
+      case MpiImpl::Lam:
+        // Lowest latency and the best copy path below 16 KB.
+        m.name = "LAM";
+        m.baseLatency = units::us(0.85);
+        m.eagerThreshold = 64.0 * 1024.0;
+        m.rendezvousExtra = units::us(1.0);
+        m.effSmall = 0.95;
+        m.effMid = 0.78;
+        m.effLarge = 0.72;
+        return m;
+      case MpiImpl::OpenMpi:
+        // Solid default configuration; wins at intermediate sizes.
+        m.name = "OpenMPI";
+        m.baseLatency = units::us(1.15);
+        m.eagerThreshold = 96.0 * 1024.0;
+        m.rendezvousExtra = units::us(1.2);
+        m.effSmall = 0.80;
+        m.effMid = 0.93;
+        m.effLarge = 0.85;
+        return m;
+    }
+    MCSCOPE_PANIC("bad MpiImpl");
+}
+
+std::string
+mpiImplName(MpiImpl impl)
+{
+    return mpiImplModel(impl).name;
+}
+
+std::vector<MpiImpl>
+allMpiImpls()
+{
+    return {MpiImpl::Mpich2, MpiImpl::Lam, MpiImpl::OpenMpi};
+}
+
+} // namespace mcscope

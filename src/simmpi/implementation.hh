@@ -1,0 +1,73 @@
+/**
+ * @file
+ * MPI implementation personalities.
+ *
+ * Section 3.4 of the paper compares MPICH2 1.0.3, LAM 7.1.2, and
+ * OpenMPI 1.0.1 on intra-node PingPong/Exchange.  The observed
+ * ordering: MPICH2 pays a high small-message overhead but wins for
+ * large messages; LAM wins below ~16 KB; OpenMPI wins at intermediate
+ * sizes.  We encode each implementation as a small-message software
+ * overhead plus a size-dependent copy efficiency applied to the
+ * machine's shared-memory copy bandwidth.
+ */
+
+#ifndef MCSCOPE_SIMMPI_IMPLEMENTATION_HH
+#define MCSCOPE_SIMMPI_IMPLEMENTATION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace mcscope {
+
+/** Which MPI library personality to model. */
+enum class MpiImpl
+{
+    Mpich2,
+    Lam,
+    OpenMpi,
+};
+
+/** Parameter set describing one implementation. */
+struct MpiImplModel
+{
+    std::string name;
+
+    /** Per-message software overhead (one way, excluding locks). */
+    SimTime baseLatency = 0.0;
+
+    /** Eager/rendezvous protocol switch point, bytes. */
+    double eagerThreshold = 0.0;
+
+    /** Extra handshake cost above the eager threshold. */
+    SimTime rendezvousExtra = 0.0;
+
+    /** Copy efficiency for messages below 16 KB. */
+    double effSmall = 1.0;
+
+    /** Copy efficiency for messages in [16 KB, 256 KB). */
+    double effMid = 1.0;
+
+    /** Copy efficiency for messages >= 256 KB. */
+    double effLarge = 1.0;
+
+    /**
+     * Smoothly interpolated copy efficiency at `bytes` (log-linear
+     * blend between the three plateaus).
+     */
+    double copyEfficiency(double bytes) const;
+};
+
+/** Built-in personality for an implementation. */
+MpiImplModel mpiImplModel(MpiImpl impl);
+
+/** Display name. */
+std::string mpiImplName(MpiImpl impl);
+
+/** All modeled implementations. */
+std::vector<MpiImpl> allMpiImpls();
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIMMPI_IMPLEMENTATION_HH

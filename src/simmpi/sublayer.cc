@@ -1,0 +1,36 @@
+#include "simmpi/sublayer.hh"
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+SubLayerModel
+subLayerModel(SubLayer layer)
+{
+    switch (layer) {
+      case SubLayer::USysV:
+        // Uncontended user-space spin lock: a couple of cache-line
+        // transfers.
+        return {"usysv", units::us(0.15)};
+      case SubLayer::SysV:
+        // semop() syscall both on enqueue and dequeue; 2006-era Linux
+        // made this painfully slow (the paper calls out "the high cost
+        // of the Linux implementation of the SystemV semaphore").
+        return {"sysv", units::us(5.5)};
+    }
+    MCSCOPE_PANIC("bad SubLayer");
+}
+
+std::string
+subLayerName(SubLayer layer)
+{
+    return subLayerModel(layer).name;
+}
+
+std::vector<SubLayer>
+allSubLayers()
+{
+    return {SubLayer::USysV, SubLayer::SysV};
+}
+
+} // namespace mcscope

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MPI shared-memory sub-layer models: the locking mechanism guarding
+ * the intra-node message queues.
+ *
+ * The paper's LAM runs contrast SysV (System V semaphores, a syscall
+ * per operation -- expensive on 2006 Linux) against USysV (user-space
+ * spin locks).  The sub-layer cost lands on every message, which is
+ * why SysV wrecks small-message benchmarks (RandomAccess, PTRANS,
+ * latency) while barely affecting large-message FFT (Figures 11-13).
+ */
+
+#ifndef MCSCOPE_SIMMPI_SUBLAYER_HH
+#define MCSCOPE_SIMMPI_SUBLAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace mcscope {
+
+/** The locking mechanism of the shared-memory message queues. */
+enum class SubLayer
+{
+    /** User-space spin locks. */
+    USysV,
+
+    /** System V semaphores (semop syscall per lock operation). */
+    SysV,
+};
+
+/** Cost model for one sub-layer. */
+struct SubLayerModel
+{
+    std::string name;
+
+    /** Cost of one lock/unlock pair on the message queue. */
+    SimTime lockPairCost = 0.0;
+};
+
+/** Built-in model for a sub-layer. */
+SubLayerModel subLayerModel(SubLayer layer);
+
+/** Display name. */
+std::string subLayerName(SubLayer layer);
+
+/** Both sub-layers, USysV first. */
+std::vector<SubLayer> allSubLayers();
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIMMPI_SUBLAYER_HH

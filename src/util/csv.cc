@@ -1,0 +1,54 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+namespace mcscope {
+
+CsvWriter::CsvWriter(std::ostream &os) : os_(os)
+{
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    bool needs = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ",";
+        os_ << quote(cells[i]);
+    }
+    os_ << "\n";
+    ++rows_;
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells)
+{
+    char buf[64];
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ",";
+        std::snprintf(buf, sizeof(buf), "%.9g", cells[i]);
+        os_ << buf;
+    }
+    os_ << "\n";
+    ++rows_;
+}
+
+} // namespace mcscope

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal CSV writer so benchmark harnesses can emit machine-readable
+ * series next to the paper-style ASCII tables.
+ */
+
+#ifndef MCSCOPE_UTIL_CSV_HH
+#define MCSCOPE_UTIL_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+/**
+ * Streaming CSV writer with RFC-4180-style quoting.
+ *
+ * Cells containing commas, quotes, or newlines are quoted; embedded
+ * quotes are doubled.
+ */
+class CsvWriter
+{
+  public:
+    /** Write rows to `os`; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &os);
+
+    /** Write one row of raw string cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells with full precision. */
+    void writeNumericRow(const std::vector<double> &cells);
+
+    /** Number of rows written so far. */
+    size_t rowsWritten() const { return rows_; }
+
+    /** Quote a single cell per CSV rules (exposed for testing). */
+    static std::string quote(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+    size_t rows_ = 0;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_UTIL_CSV_HH

@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mcscope {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level))
+        return;
+    std::cerr << "mcscope: " << tag << ": " << msg << "\n";
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "mcscope: panic: " << file << ":" << line << ": " << msg
+              << "\n";
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::cerr << "mcscope: fatal: " << msg << "\n";
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace mcscope

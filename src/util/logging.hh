@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (a bug in mcscope);
+ * fatal() is for user errors (bad configuration, invalid arguments).
+ * inform()/warn() report status without stopping the program.
+ */
+
+#ifndef MCSCOPE_UTIL_LOGGING_HH
+#define MCSCOPE_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mcscope {
+
+/** Verbosity levels for runtime status output. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Get the process-wide log level (default: Warn). */
+LogLevel logLevel();
+
+/** Set the process-wide log level. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if `level` is enabled. */
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+
+/** Abort with an internal-error message. Never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a user-error message. Never returns. */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Informational message, shown at Info level and above. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Info, "info",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug message, shown at Debug level only. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warning about suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::concat(std::forward<Args>(args)...));
+}
+
+/** User error: print message and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Internal invariant violation: print message with source location and
+ * abort().
+ */
+#define MCSCOPE_PANIC(...)                                                  \
+    ::mcscope::detail::panicImpl(__FILE__, __LINE__,                        \
+        ::mcscope::detail::concat(__VA_ARGS__))
+
+/** Check an invariant; panic with a message when it does not hold. */
+#define MCSCOPE_ASSERT(cond, ...)                                           \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::mcscope::detail::panicImpl(__FILE__, __LINE__,                \
+                ::mcscope::detail::concat("assertion '", #cond,             \
+                                          "' failed: ", __VA_ARGS__));      \
+        }                                                                   \
+    } while (false)
+
+} // namespace mcscope
+
+#endif // MCSCOPE_UTIL_LOGGING_HH

@@ -1,0 +1,100 @@
+#include "util/str.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace mcscope {
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            oss << sep;
+        oss << parts[i];
+    }
+    return oss.str();
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *units[] = {"B", "KB", "MB", "GB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 3) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[64];
+    if (bytes == static_cast<long long>(bytes)) {
+        std::snprintf(buf, sizeof(buf), "%lld%s",
+                      static_cast<long long>(bytes), units[u]);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1f%s", bytes, units[u]);
+    }
+    return buf;
+}
+
+std::string
+formatGiBps(double bytes_per_second)
+{
+    return formatFixed(bytes_per_second / 1.0e9, 2) + " GB/s";
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace mcscope

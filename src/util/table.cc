@@ -1,0 +1,110 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/str.hh"
+
+namespace mcscope {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(std::initializer_list<std::string> row)
+{
+    rows_.emplace_back(row);
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+size_t
+TextTable::rowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : rows_) {
+        if (!(r.size() == 1 && r[0] == kSeparatorTag))
+            ++n;
+    }
+    return n;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute per-column widths over header and all rows.
+    std::vector<size_t> widths;
+    auto grow = [&widths](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            return;
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            os << (i ? " | " : "");
+            os << row[i];
+            if (i + 1 < row.size())
+                os << std::string(widths[i] - row[i].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    if (!header_.empty()) {
+        emitRow(header_);
+        os << std::string(total ? total - 3 : 0, '-') << "\n";
+    }
+    for (const auto &r : rows_) {
+        if (r.size() == 1 && r[0] == kSeparatorTag)
+            os << std::string(total ? total - 3 : 0, '-') << "\n";
+        else
+            emitRow(r);
+    }
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+cell(double value, int precision)
+{
+    if (std::isnan(value))
+        return "-";
+    return formatFixed(value, precision);
+}
+
+} // namespace mcscope

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * ASCII table rendering for paper-style result tables.
+ *
+ * The benchmark harness prints each paper table/figure as a plain-text
+ * table whose rows match the paper layout (e.g. Table 2's
+ * "MPI tasks | Kernel | Default | One MPI + Local Alloc | ...").
+ */
+
+#ifndef MCSCOPE_UTIL_TABLE_HH
+#define MCSCOPE_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Number of MPI tasks", "Kernel", "Default"});
+ *   t.addRow({"2", "CG", "162.81"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    TextTable() = default;
+
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; width may differ from the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: append a row of already-formatted cells. */
+    void addRow(std::initializer_list<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows (separators excluded). */
+    size_t rowCount() const;
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+  private:
+    static constexpr const char *kSeparatorTag = "\x01--";
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double cell with `precision` decimals; "-" for NaN. */
+std::string cell(double value, int precision = 2);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_UTIL_TABLE_HH

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for placement: Table 5 option semantics, preferred
+ * socket ordering, memory spreads per policy, membind mis-binding,
+ * and the invalid-combination "-" cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include "affinity/cpuset.hh"
+#include "affinity/placement.hh"
+#include "machine/config.hh"
+#include "machine/topology.hh"
+
+namespace mcscope {
+namespace {
+
+class PlacementTest : public ::testing::Test
+{
+  protected:
+    MachineConfig longs_ = longsConfig();
+    Topology longsTopo_{8, ladderLinks(4)};
+    MachineConfig dmz_ = dmzConfig();
+    Topology dmzTopo_{2, {{0, 1}}};
+};
+
+TEST_F(PlacementTest, Table5HasSixOptionsInPaperOrder)
+{
+    auto opts = table5Options();
+    ASSERT_EQ(opts.size(), 6u);
+    EXPECT_EQ(opts[0].label, "Default");
+    EXPECT_EQ(opts[1].label, "One MPI + Local Alloc");
+    EXPECT_EQ(opts[2].label, "One MPI + Membind");
+    EXPECT_EQ(opts[3].label, "Two MPI + Local Alloc");
+    EXPECT_EQ(opts[4].label, "Two MPI + Membind");
+    EXPECT_EQ(opts[5].label, "Interleave");
+}
+
+TEST_F(PlacementTest, PreferredOrderStartsCentral)
+{
+    auto order = preferredSocketOrder(longsTopo_);
+    ASSERT_EQ(order.size(), 8u);
+    // The first four sockets picked must form a low-hop cluster: every
+    // pair within 2 hops.
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_LE(longsTopo_.hopCount(order[i], order[j]), 2);
+    // All sockets appear exactly once.
+    std::vector<bool> seen(8, false);
+    for (int s : order) {
+        EXPECT_FALSE(seen[s]);
+        seen[s] = true;
+    }
+}
+
+TEST_F(PlacementTest, OnePerSocketRejectsTooManyRanks)
+{
+    NumactlOption one = table5Options()[1];
+    EXPECT_TRUE(Placement::create(longs_, longsTopo_, one, 8)
+                    .has_value());
+    // The paper's Table 2 has "-" for One MPI at 16 tasks.
+    EXPECT_FALSE(Placement::create(longs_, longsTopo_, one, 16)
+                     .has_value());
+    // And Table 3 has "-" for One MPI at 4 tasks on DMZ.
+    EXPECT_FALSE(Placement::create(dmz_, dmzTopo_, one, 4).has_value());
+}
+
+TEST_F(PlacementTest, OnePerSocketUsesDistinctSockets)
+{
+    NumactlOption one = table5Options()[1];
+    auto p = Placement::create(longs_, longsTopo_, one, 8);
+    ASSERT_TRUE(p.has_value());
+    std::vector<bool> used(8, false);
+    for (int r = 0; r < 8; ++r) {
+        int socket = p->binding(r).core / longs_.coresPerSocket;
+        EXPECT_FALSE(used[socket]);
+        used[socket] = true;
+        EXPECT_TRUE(p->binding(r).pinned);
+    }
+}
+
+TEST_F(PlacementTest, TwoPerSocketPacksPairs)
+{
+    NumactlOption two = table5Options()[3];
+    auto p = Placement::create(longs_, longsTopo_, two, 8);
+    ASSERT_TRUE(p.has_value());
+    for (int r = 0; r < 8; r += 2) {
+        int s0 = p->binding(r).core / 2;
+        int s1 = p->binding(r + 1).core / 2;
+        EXPECT_EQ(s0, s1) << "ranks " << r << "," << r + 1;
+        EXPECT_NE(p->binding(r).core, p->binding(r + 1).core);
+    }
+}
+
+TEST_F(PlacementTest, LocalAllocSpreadIsFullyLocal)
+{
+    NumactlOption one = table5Options()[1];
+    auto p = Placement::create(longs_, longsTopo_, one, 4);
+    ASSERT_TRUE(p.has_value());
+    for (int r = 0; r < 4; ++r) {
+        auto spread = p->memorySpread(r);
+        ASSERT_EQ(spread.size(), 1u);
+        EXPECT_EQ(spread[0].node,
+                  p->binding(r).core / longs_.coresPerSocket);
+        EXPECT_DOUBLE_EQ(spread[0].fraction, 1.0);
+    }
+}
+
+TEST_F(PlacementTest, InterleaveSpreadCoversAllNodesEvenly)
+{
+    NumactlOption il = table5Options()[5];
+    auto p = Placement::create(longs_, longsTopo_, il, 4);
+    ASSERT_TRUE(p.has_value());
+    auto spread = p->memorySpread(0);
+    ASSERT_EQ(spread.size(), 8u);
+    double sum = 0.0;
+    for (const auto &nf : spread) {
+        EXPECT_DOUBLE_EQ(nf.fraction, 1.0 / 8.0);
+        sum += nf.fraction;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST_F(PlacementTest, DefaultSpreadSumsToOne)
+{
+    NumactlOption def = table5Options()[0];
+    auto p = Placement::create(longs_, longsTopo_, def, 4);
+    ASSERT_TRUE(p.has_value());
+    auto spread = p->memorySpread(0);
+    double sum = 0.0;
+    for (const auto &nf : spread)
+        sum += nf.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Partial load => drift => more than one node touched.
+    EXPECT_GT(spread.size(), 1u);
+}
+
+TEST_F(PlacementTest, DefaultAtFullLoadStaysLocal)
+{
+    NumactlOption def = table5Options()[0];
+    auto p = Placement::create(longs_, longsTopo_, def, 16);
+    ASSERT_TRUE(p.has_value());
+    // Full machine: no idle socket to drift toward.
+    EXPECT_EQ(p->memorySpread(0).size(), 1u);
+}
+
+TEST_F(PlacementTest, MembindLocalAtTwoRanks)
+{
+    NumactlOption mb = table5Options()[2];
+    auto p = Placement::create(longs_, longsTopo_, mb, 2);
+    ASSERT_TRUE(p.has_value());
+    // Both ranks bind locally: Table 2's membind/localalloc parity
+    // at 2 tasks.
+    for (int r = 0; r < 2; ++r) {
+        int s = p->binding(r).core / 2;
+        EXPECT_EQ(p->memorySpread(r)[0].node, s);
+    }
+}
+
+TEST_F(PlacementTest, MembindMostlyRemoteAtEightRanks)
+{
+    NumactlOption mb = table5Options()[2];
+    auto p = Placement::create(longs_, longsTopo_, mb, 8);
+    ASSERT_TRUE(p.has_value());
+    double total_hops = 0.0;
+    for (int r = 0; r < 8; ++r) {
+        int socket = p->binding(r).core / 2;
+        total_hops += longsTopo_.hopCount(
+            socket, p->memorySpread(r)[0].node);
+    }
+    // The Table 2 pathology: most ranks bound off-socket.
+    EXPECT_GE(total_hops / 8.0, 1.0);
+    EXPECT_LE(total_hops / 8.0, 2.0);
+}
+
+TEST_F(PlacementTest, MembindCommBuffersCongestNodeZero)
+{
+    NumactlOption mb = table5Options()[2];
+    auto p = Placement::create(dmz_, dmzTopo_, mb, 2);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->commBufferNode(0), 0);
+    EXPECT_EQ(p->commBufferNode(1), 0);
+
+    NumactlOption la = table5Options()[1];
+    auto q = Placement::create(dmz_, dmzTopo_, la, 2);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_NE(q->commBufferNode(0), q->commBufferNode(1));
+}
+
+TEST_F(PlacementTest, RejectsMoreRanksThanCores)
+{
+    NumactlOption def = table5Options()[0];
+    EXPECT_FALSE(
+        Placement::create(dmz_, dmzTopo_, def, 5).has_value());
+}
+
+TEST(CpuSet, BasicOperations)
+{
+    CpuSet s;
+    EXPECT_TRUE(s.empty());
+    s.add(0);
+    s.add(2);
+    s.add(3);
+    EXPECT_EQ(s.count(), 3);
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_EQ(s.str(), "0,2-3");
+    EXPECT_EQ(CpuSet::range(4).count(), 4);
+    EXPECT_EQ(CpuSet::single(5).toVector(),
+              std::vector<int>{5});
+}
+
+} // namespace
+} // namespace mcscope

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Functional tests for the molecular-dynamics substrate: force
+ * fields, cell lists, the Verlet integrator, PME, and GB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/md/cells.hh"
+#include "apps/md/engine.hh"
+#include "apps/md/forcefield.hh"
+#include "apps/md/gb.hh"
+#include "apps/md/pme.hh"
+
+namespace mcscope {
+namespace {
+
+TEST(ForceField, LjMinimumAtTwoSixthSigma)
+{
+    LjParams p;
+    double rmin2 = std::pow(2.0, 1.0 / 3.0) * p.sigma * p.sigma;
+    // Force vanishes at the minimum, energy is -epsilon there.
+    EXPECT_NEAR(ljForceOverR(p, rmin2), 0.0, 1e-12);
+    EXPECT_NEAR(ljEnergy(p, rmin2), -p.epsilon, 1e-12);
+    // Repulsive inside, attractive outside.
+    EXPECT_GT(ljForceOverR(p, 0.8 * rmin2), 0.0);
+    EXPECT_LT(ljForceOverR(p, 1.3 * rmin2), 0.0);
+    // Cutoff kills interaction.
+    EXPECT_DOUBLE_EQ(ljEnergy(p, p.cutoff * p.cutoff * 1.01), 0.0);
+}
+
+TEST(ForceField, BondHarmonic)
+{
+    BondParams b;
+    EXPECT_DOUBLE_EQ(bondEnergy(b, b.r0), 0.0);
+    EXPECT_GT(bondEnergy(b, b.r0 * 1.2), 0.0);
+    // Restoring force: negative (inward) when stretched.
+    EXPECT_LT(bondForceOverR(b, b.r0 * 1.2), 0.0);
+    EXPECT_GT(bondForceOverR(b, b.r0 * 0.8), 0.0);
+}
+
+TEST(ForceField, EamEmbedding)
+{
+    EXPECT_NEAR(eamEmbedEnergy(2.0, 4.0), -4.0, 1e-12);
+    EXPECT_LT(eamEmbedDerivative(2.0, 4.0), 0.0);
+    EXPECT_NEAR(eamDensity(3.0, 1.0, 1.0), 1.0, 1e-12);
+    EXPECT_LT(eamDensity(3.0, 1.0, 2.0), eamDensity(3.0, 1.0, 1.0));
+}
+
+TEST(CellList, FindsAllPairsWithinCutoff)
+{
+    // Compare against the O(N^2) reference on a small random system.
+    MdSystem sys = makeMdSystem(120, 0.6, MdStyle::LennardJones, 11);
+    CellList cl(sys.box, sys.lj.cutoff);
+    cl.build(sys.positions);
+
+    size_t cell_pairs = 0;
+    cl.forEachPair(sys.positions,
+                   [&](size_t, size_t, const Vec3 &, double) {
+                       ++cell_pairs;
+                   });
+
+    size_t ref_pairs = 0;
+    double rc2 = sys.lj.cutoff * sys.lj.cutoff;
+    for (size_t i = 0; i < sys.size(); ++i) {
+        for (size_t j = i + 1; j < sys.size(); ++j) {
+            Vec3 d = cl.minimumImage(sys.positions[i],
+                                     sys.positions[j]);
+            if (vecDot(d, d) < rc2)
+                ++ref_pairs;
+        }
+    }
+    EXPECT_EQ(cell_pairs, ref_pairs);
+}
+
+TEST(CellList, MinimumImageBounded)
+{
+    CellList cl(10.0, 2.5);
+    Vec3 a = {9.9, 0.1, 5.0};
+    Vec3 b = {0.1, 9.9, 5.0};
+    Vec3 d = cl.minimumImage(a, b);
+    for (int k = 0; k < 3; ++k)
+        EXPECT_LE(std::abs(d[k]), 5.0);
+    EXPECT_NEAR(d[0], -0.2, 1e-12);
+    EXPECT_NEAR(d[1], 0.2, 1e-12);
+}
+
+TEST(MdEngine, ForcesSumToZero)
+{
+    for (MdStyle style : {MdStyle::LennardJones, MdStyle::Chain,
+                          MdStyle::Metal}) {
+        MdSystem sys = makeMdSystem(100, 0.7, style, 5);
+        std::vector<Vec3> forces;
+        computeForces(sys, forces);
+        Vec3 net = {0.0, 0.0, 0.0};
+        for (const Vec3 &f : forces)
+            net = vecAdd(net, f);
+        for (int k = 0; k < 3; ++k)
+            EXPECT_NEAR(net[k], 0.0, 1e-9)
+                << "style " << static_cast<int>(style);
+    }
+}
+
+TEST(MdEngine, EnergyApproximatelyConserved)
+{
+    MdSystem sys = makeMdSystem(64, 0.5, MdStyle::LennardJones, 3);
+    MdEnergies e0 = measureEnergies(sys);
+    MdEnergies e1 = integrate(sys, 1.0e-3, 200);
+    double scale = std::max(1.0, std::abs(e0.total()));
+    EXPECT_NEAR(e1.total(), e0.total(), 0.02 * scale);
+}
+
+TEST(MdEngine, ChainBondsHoldPolymerTogether)
+{
+    MdSystem sys = makeMdSystem(64, 0.5, MdStyle::Chain, 9, 8);
+    EXPECT_FALSE(sys.bonds.empty());
+    integrate(sys, 5.0e-4, 100);
+    CellList cl(sys.box, sys.box / 2.01);
+    double max_bond = 0.0;
+    for (const auto &[i, j] : sys.bonds) {
+        Vec3 d = cl.minimumImage(sys.positions[i], sys.positions[j]);
+        max_bond = std::max(max_bond, vecNorm(d));
+    }
+    // Bonds stay near their rest length; nothing flies apart.
+    EXPECT_LT(max_bond, 3.0 * sys.bond.r0);
+}
+
+TEST(MdEngine, NeighborCountMatchesDensity)
+{
+    MdSystem sys = makeMdSystem(1000, 0.8, MdStyle::LennardJones, 21);
+    double nbrs = averageNeighborCount(sys);
+    // Expected ~ (4/3) pi rc^3 * density.
+    double expected = 4.0 / 3.0 * 3.14159265 *
+                      std::pow(sys.lj.cutoff, 3.0) * 0.8;
+    EXPECT_NEAR(nbrs, expected, 0.25 * expected);
+}
+
+TEST(Pme, SpreadConservesTotalCharge)
+{
+    PmeParams p;
+    p.grid = 16;
+    p.box = 4.0;
+    std::vector<Vec3> pos = {{0.1, 0.2, 0.3}, {3.9, 3.9, 3.9},
+                             {2.0, 2.0, 2.0}};
+    std::vector<double> q = {1.0, -0.5, 0.25};
+    auto mesh = pmeSpreadCharges(p, pos, q);
+    double total = 0.0;
+    for (double v : mesh)
+        total += v;
+    EXPECT_NEAR(total, 0.75, 1e-12);
+}
+
+TEST(Pme, ReciprocalEnergyPositiveAndTranslationInvariant)
+{
+    PmeParams p;
+    p.grid = 32;
+    p.box = 8.0;
+    std::vector<Vec3> pos = {{1.0, 1.0, 1.0}, {3.0, 1.0, 1.0}};
+    std::vector<double> q = {1.0, 1.0};
+    double e1 = pmeReciprocalEnergy(p, pos, q);
+    EXPECT_GT(e1, 0.0);
+    // Shift both charges by the same grid-aligned offset.
+    double shift = p.box / p.grid * 4.0;
+    for (Vec3 &r : pos)
+        r[0] += shift;
+    double e2 = pmeReciprocalEnergy(p, pos, q);
+    EXPECT_NEAR(e2, e1, 1e-9 * std::abs(e1));
+}
+
+TEST(Pme, OppositeChargesAttractReciprocalEnergyDown)
+{
+    PmeParams p;
+    p.grid = 32;
+    p.box = 8.0;
+    std::vector<Vec3> close = {{4.0, 4.0, 4.0}, {4.5, 4.0, 4.0}};
+    std::vector<double> qpp = {1.0, 1.0};
+    std::vector<double> qpm = {1.0, -1.0};
+    EXPECT_GT(pmeReciprocalEnergy(p, close, qpp),
+              pmeReciprocalEnergy(p, close, qpm));
+}
+
+TEST(Gb, EnergyIsNegativeForSelfSolvation)
+{
+    GbParams p;
+    std::vector<Vec3> pos = {{0.0, 0.0, 0.0}};
+    std::vector<double> q = {1.0};
+    EXPECT_LT(gbEnergy(p, pos, q), 0.0);
+}
+
+TEST(Gb, CloserPairsSolvateMoreStrongly)
+{
+    GbParams p;
+    std::vector<double> q = {1.0, 1.0};
+    std::vector<Vec3> near_pos = {{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    std::vector<Vec3> far_pos = {{0.0, 0.0, 0.0}, {10.0, 0.0, 0.0}};
+    EXPECT_LT(gbEnergy(p, near_pos, q), gbEnergy(p, far_pos, q));
+}
+
+} // namespace
+} // namespace mcscope

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the CLI front end and the bottleneck-analysis module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.hh"
+#include "core/cli.hh"
+#include "core/experiment.hh"
+#include "core/registry.hh"
+#include "kernels/stream.hh"
+#include "machine/config.hh"
+
+namespace mcscope {
+namespace {
+
+int
+cli(const std::vector<std::string> &args, std::string *out = nullptr)
+{
+    std::ostringstream oss;
+    int rc = runCli(args, oss);
+    if (out)
+        *out = oss.str();
+    return rc;
+}
+
+TEST(Cli, UsageOnEmptyAndUnknown)
+{
+    std::string out;
+    EXPECT_EQ(cli({}, &out), 2);
+    EXPECT_NE(out.find("usage"), std::string::npos);
+    EXPECT_EQ(cli({"frobnicate"}, &out), 2);
+}
+
+TEST(Cli, ListShowsEverything)
+{
+    std::string out;
+    EXPECT_EQ(cli({"list"}, &out), 0);
+    EXPECT_NE(out.find("nas-cg-b"), std::string::npos);
+    EXPECT_NE(out.find("longs"), std::string::npos);
+    EXPECT_NE(out.find("One MPI + Local Alloc"), std::string::npos);
+}
+
+TEST(Cli, CalibrationPrints)
+{
+    std::string out;
+    EXPECT_EQ(cli({"calibration"}, &out), 0);
+    EXPECT_NE(out.find("coherenceAlpha"), std::string::npos);
+}
+
+TEST(Cli, RunBasic)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "dmz", "--ranks",
+                   "2"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("stream-triad"), std::string::npos);
+    EXPECT_NE(out.find(" s"), std::string::npos);
+}
+
+TEST(Cli, RunResolvesOptionByLabelFragment)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "longs", "--ranks",
+                   "4", "--option", "localalloc"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("Local Alloc"), std::string::npos);
+}
+
+TEST(Cli, RunReportsInfeasible)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "dmz", "--ranks",
+                   "4", "--option", "1"},
+                  &out),
+              1);
+    EXPECT_NE(out.find("infeasible"), std::string::npos);
+}
+
+TEST(Cli, RunRejectsBadFlags)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--walrus"}, &out), 2);
+    EXPECT_EQ(cli({"run", "not-a-workload"}, &out), 2);
+    EXPECT_EQ(cli({"run", "stream", "--impl", "zmpi"}, &out), 2);
+    EXPECT_EQ(cli({"run", "stream", "--ranks", "x,2"}, &out), 2);
+    EXPECT_EQ(cli({"run", "stream", "--option", "nothing-matches"},
+                  &out),
+              2);
+}
+
+TEST(Cli, DetailIncludesBottleneck)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "dmz", "--ranks",
+                   "2", "--detail"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("bottleneck:"), std::string::npos);
+    EXPECT_NE(out.find("controllers"), std::string::npos);
+}
+
+TEST(Cli, SweepPrintsTableAndGains)
+{
+    std::string out;
+    EXPECT_EQ(cli({"sweep", "stream", "--machine", "dmz", "--ranks",
+                   "2,4"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("Interleave"), std::string::npos);
+    EXPECT_NE(out.find("placement gain at 2 ranks"),
+              std::string::npos);
+}
+
+TEST(Cli, ScalingPrintsSeries)
+{
+    std::string out;
+    EXPECT_EQ(cli({"scaling", "lammps-chain", "--machine", "dmz"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("efficiency"), std::string::npos);
+}
+
+TEST(Cli, ParseRankList)
+{
+    EXPECT_EQ(parseRankList("2,4,8"), (std::vector<int>{2, 4, 8}));
+    EXPECT_EQ(parseRankList("16"), (std::vector<int>{16}));
+    EXPECT_TRUE(parseRankList("").empty());
+    EXPECT_TRUE(parseRankList("2,x").empty());
+    EXPECT_TRUE(parseRankList("-3").empty());
+    EXPECT_TRUE(parseRankList("0").empty());
+}
+
+TEST(Analysis, StreamIsControllerBound)
+{
+    StreamWorkload stream(4u << 20, 8);
+    ExperimentConfig cfg;
+    cfg.machine = dmzConfig();
+    cfg.option = {"packed", TaskScheme::Packed,
+                  MemPolicy::LocalAlloc};
+    cfg.ranks = 2;
+    DetailedResult res = runExperimentDetailed(cfg, stream);
+    ASSERT_TRUE(res.run.valid);
+    // Both ranks on socket 0: its controller is the bottleneck.
+    EXPECT_EQ(res.hottest().name, "mem0");
+    EXPECT_GT(res.hottest().utilization, 0.9);
+    EXPECT_GT(res.meanUtilization(ResourceKind::MemoryController),
+              res.meanUtilization(ResourceKind::Core));
+    std::string report = bottleneckReport(res);
+    EXPECT_NE(report.find("bottleneck: mem0"), std::string::npos);
+}
+
+TEST(Analysis, BucketsCoverAllResources)
+{
+    StreamWorkload stream(1u << 20, 2);
+    ExperimentConfig cfg;
+    cfg.machine = longsConfig();
+    cfg.option = table5Options()[0];
+    cfg.ranks = 4;
+    DetailedResult res = runExperimentDetailed(cfg, stream);
+    ASSERT_TRUE(res.run.valid);
+    EXPECT_EQ(res.cores.size(), 16u);
+    EXPECT_EQ(res.controllers.size(), 8u);
+    EXPECT_EQ(res.links.size(), 20u); // 10 undirected HT links
+}
+
+TEST(Analysis, InvalidRunStaysInvalid)
+{
+    StreamWorkload stream(1u << 20, 2);
+    ExperimentConfig cfg;
+    cfg.machine = dmzConfig();
+    cfg.option = table5Options()[1];
+    cfg.ranks = 4;
+    DetailedResult res = runExperimentDetailed(cfg, stream);
+    EXPECT_FALSE(res.run.valid);
+    EXPECT_TRUE(res.cores.empty());
+}
+
+} // namespace
+} // namespace mcscope

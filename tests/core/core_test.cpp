@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the experiment harness: run orchestration, sweeps,
+ * metrics, reports, the registry, and calibration documentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "kernels/stream.hh"
+#include "machine/config.hh"
+
+namespace mcscope {
+namespace {
+
+TEST(Experiment, InvalidPlacementYieldsInvalidResult)
+{
+    StreamWorkload stream(1u << 20, 2);
+    ExperimentConfig cfg;
+    cfg.machine = dmzConfig();
+    cfg.option = table5Options()[1]; // one per socket
+    cfg.ranks = 4;                   // > 2 sockets
+    RunResult r = runExperiment(cfg, stream);
+    EXPECT_FALSE(r.valid);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    StreamWorkload stream(1u << 20, 4);
+    ExperimentConfig cfg;
+    cfg.machine = longsConfig();
+    cfg.option = table5Options()[5];
+    cfg.ranks = 8;
+    RunResult a = runExperiment(cfg, stream);
+    RunResult b = runExperiment(cfg, stream);
+    ASSERT_TRUE(a.valid && b.valid);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Experiment, SweepShapeMatchesTableLayout)
+{
+    StreamWorkload stream(1u << 20, 2);
+    OptionSweepResult sweep =
+        sweepOptions(dmzConfig(), {2, 4}, stream);
+    ASSERT_EQ(sweep.rankCounts.size(), 2u);
+    ASSERT_EQ(sweep.options.size(), 6u);
+    ASSERT_EQ(sweep.seconds.size(), 2u);
+    ASSERT_EQ(sweep.seconds[0].size(), 6u);
+    // DMZ at 4 ranks: the One-MPI columns are "-" (Table 3).
+    EXPECT_FALSE(std::isnan(sweep.seconds[1][0]));
+    EXPECT_TRUE(std::isnan(sweep.seconds[1][1]));
+    EXPECT_TRUE(std::isnan(sweep.seconds[1][2]));
+    EXPECT_FALSE(std::isnan(sweep.seconds[1][3]));
+}
+
+TEST(Metrics, SpeedupsAndEfficiencies)
+{
+    std::vector<double> times = {100.0, 50.0, 30.0};
+    auto s = speedups(times);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+    EXPECT_NEAR(s[2], 100.0 / 30.0, 1e-12);
+
+    auto e = efficiencies(times, {1, 2, 4});
+    EXPECT_DOUBLE_EQ(e[0], 1.0);
+    EXPECT_DOUBLE_EQ(e[1], 1.0);
+    EXPECT_NEAR(e[2], (100.0 / 30.0) / 4.0, 1e-12);
+}
+
+TEST(Metrics, SingleStarRatioAndPlacementGain)
+{
+    EXPECT_DOUBLE_EQ(singleToStarRatio(1.0, 2.5), 2.5);
+    EXPECT_NEAR(placementGain({100.0, 80.0, 120.0}), 0.2, 1e-12);
+    EXPECT_DOUBLE_EQ(placementGain({100.0}), 0.0);
+    // NaN cells (invalid options) are ignored.
+    EXPECT_NEAR(placementGain({100.0, std::nan(""), 50.0}), 0.5,
+                1e-12);
+}
+
+TEST(Report, OptionSweepTablePrintsDashesForInvalid)
+{
+    StreamWorkload stream(1u << 20, 2);
+    OptionSweepResult sweep = sweepOptions(dmzConfig(), {4}, stream);
+    TextTable t(optionSweepHeader("Kernel"));
+    appendOptionSweepRows(t, sweep, "STREAM");
+    std::string s = t.str();
+    EXPECT_NE(s.find("One MPI + Local Alloc"), std::string::npos);
+    EXPECT_NE(s.find("STREAM"), std::string::npos);
+    EXPECT_NE(s.find(" - "), std::string::npos);
+}
+
+TEST(Report, SpeedupTableShape)
+{
+    TextTable t = speedupTable({2, 4}, {"CG", "FT"},
+                               {{1.9, 1.8}, {3.5, 3.2}});
+    std::string s = t.str();
+    EXPECT_NE(s.find("Number of cores"), std::string::npos);
+    EXPECT_NE(s.find("1.90"), std::string::npos);
+    EXPECT_NE(s.find("3.20"), std::string::npos);
+}
+
+TEST(Registry, AllWorkloadsInstantiate)
+{
+    for (const std::string &name : registeredWorkloads()) {
+        auto w = makeWorkload(name);
+        ASSERT_NE(w, nullptr) << name;
+        EXPECT_FALSE(w->name().empty());
+    }
+}
+
+TEST(Registry, EveryWorkloadRunsOnTwoRanks)
+{
+    for (const std::string &name : registeredWorkloads()) {
+        auto w = makeWorkload(name);
+        ExperimentConfig cfg;
+        cfg.machine = dmzConfig();
+        cfg.option = table5Options()[0];
+        cfg.ranks = 2;
+        RunResult r = runExperiment(cfg, *w);
+        ASSERT_TRUE(r.valid) << name;
+        EXPECT_GT(r.seconds, 0.0) << name;
+        EXPECT_TRUE(std::isfinite(r.seconds)) << name;
+    }
+}
+
+TEST(Calibration, TableIsPopulatedAndRenderable)
+{
+    auto entries = calibrationTable();
+    EXPECT_GE(entries.size(), 10u);
+    for (const auto &e : entries) {
+        EXPECT_FALSE(e.name.empty());
+        EXPECT_FALSE(e.provenance.empty());
+    }
+    std::string report = calibrationReport();
+    EXPECT_NE(report.find("coherenceAlpha"), std::string::npos);
+    EXPECT_NE(report.find("sysv"), std::string::npos);
+}
+
+} // namespace
+} // namespace mcscope

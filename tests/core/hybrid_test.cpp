@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the hybrid (MPI between sockets + threads within a
+ * socket) programming-model adapter of Section 3.4.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/pop/pop.hh"
+#include "core/experiment.hh"
+#include "core/hybrid.hh"
+#include "kernels/nas_cg.hh"
+#include "kernels/nas_ft.hh"
+#include "kernels/stream.hh"
+#include "machine/config.hh"
+
+namespace mcscope {
+namespace {
+
+RunResult
+runHybrid(const MachineConfig &m, int total_contexts, int threads,
+          std::shared_ptr<const LoopWorkload> base)
+{
+    HybridWorkload hybrid(std::move(base), threads);
+    ExperimentConfig cfg;
+    cfg.machine = m;
+    cfg.option = {"contexts", TaskScheme::Packed,
+                  MemPolicy::LocalAlloc};
+    cfg.ranks = total_contexts;
+    return runExperiment(cfg, hybrid);
+}
+
+RunResult
+runPure(const MachineConfig &m, int ranks,
+        const Workload &w)
+{
+    ExperimentConfig cfg;
+    cfg.machine = m;
+    cfg.option = {"two", TaskScheme::TwoTasksPerSocket,
+                  MemPolicy::LocalAlloc};
+    cfg.ranks = ranks;
+    return runExperiment(cfg, w);
+}
+
+TEST(Hybrid, CompletesOnEveryMachine)
+{
+    auto cg = std::make_shared<NasCgWorkload>(nasCgClassA());
+    for (auto cfg_fn : {dmzConfig, longsConfig}) {
+        MachineConfig m = cfg_fn();
+        RunResult r = runHybrid(m, m.totalCores(), m.coresPerSocket,
+                                cg);
+        ASSERT_TRUE(r.valid) << m.name;
+        EXPECT_GT(r.seconds, 0.0);
+    }
+}
+
+TEST(Hybrid, OneThreadMatchesPureMpiShape)
+{
+    // With one thread per task, hybrid degenerates to one-rank-per-
+    // socket MPI; times should agree closely.
+    auto cg = std::make_shared<NasCgWorkload>(nasCgClassA());
+    MachineConfig m = longsConfig();
+    RunResult hybrid = runHybrid(m, 8, 1, cg);
+    ExperimentConfig cfg;
+    cfg.machine = m;
+    cfg.option = {"one", TaskScheme::OneTaskPerSocket,
+                  MemPolicy::LocalAlloc};
+    cfg.ranks = 8;
+    RunResult pure = runExperiment(cfg, *cg);
+    ASSERT_TRUE(hybrid.valid && pure.valid);
+    EXPECT_NEAR(hybrid.seconds / pure.seconds, 1.0, 0.02);
+}
+
+TEST(Hybrid, SplitsComputeAcrossThreads)
+{
+    // A compute-dominated workload should run ~2x faster with two
+    // threads per task than with one task per socket alone.
+    auto ft = std::make_shared<NasFtWorkload>(nasFtClassA());
+    MachineConfig m = dmzConfig();
+    RunResult one = runHybrid(m, 2, 1, ft);
+    RunResult two = runHybrid(m, 4, 2, ft);
+    ASSERT_TRUE(one.valid && two.valid);
+    EXPECT_GT(one.seconds / two.seconds, 1.3);
+}
+
+TEST(Hybrid, BeatsPureMpiForCgOnTheLadder)
+{
+    // The paper's hypothesis: MPI between sockets + threads within
+    // them should outperform 2-ranks-per-socket pure MPI for the
+    // latency-sensitive CG at full machine load.
+    auto cg = std::make_shared<NasCgWorkload>(nasCgClassB());
+    MachineConfig m = longsConfig();
+    RunResult hybrid = runHybrid(m, 16, 2, cg);
+    RunResult pure = runPure(m, 16, *cg);
+    ASSERT_TRUE(hybrid.valid && pure.valid);
+    EXPECT_LT(hybrid.seconds, pure.seconds * 1.02);
+}
+
+TEST(Hybrid, StreamGainsNothingFromThreads)
+{
+    // Bandwidth-bound code cannot benefit: the second thread shares
+    // the same memory link the paper showed was already saturated.
+    auto stream = std::make_shared<StreamWorkload>(4u << 20, 8);
+    MachineConfig m = dmzConfig();
+    RunResult one = runHybrid(m, 2, 1, stream);
+    RunResult two = runHybrid(m, 4, 2, stream);
+    ASSERT_TRUE(one.valid && two.valid);
+    // Per-context work is fixed, so two threads move the same total
+    // bytes per task; time should not improve meaningfully.
+    EXPECT_GT(two.seconds / one.seconds, 0.85);
+}
+
+TEST(HybridDeath, RejectsTooManyThreads)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ASSERT_DEATH(
+        {
+            auto cg =
+                std::make_shared<NasCgWorkload>(nasCgClassA());
+            runHybrid(dmzConfig(), 4, 4, cg);
+        },
+        "exceed");
+}
+
+} // namespace
+} // namespace mcscope

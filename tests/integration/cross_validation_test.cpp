@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cross-validation: the cost models' assumed constants against the
+ * functional implementations that justify them.  When a functional
+ * kernel and its cost model drift apart, these tests catch it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/md/engine.hh"
+#include "apps/pop/solver.hh"
+#include "kernels/fft.hh"
+#include "kernels/nas_mg.hh"
+#include "kernels/sparse.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+namespace {
+
+TEST(CrossValidation, LammpsLjNeighborCountMatchesModel)
+{
+    // The LJ cost model charges ~75 neighbors per atom (37.5 half
+    // pairs); the functional system at LAMMPS density 0.8442 and
+    // cutoff 2.5 sigma must land nearby.
+    MdSystem sys = makeMdSystem(4000, 0.8442, MdStyle::LennardJones,
+                                99);
+    double nbrs = averageNeighborCount(sys);
+    EXPECT_NEAR(nbrs, 75.0, 20.0);
+}
+
+TEST(CrossValidation, ChainNeighborhoodIsSparse)
+{
+    // The chain model charges ~2 bonds + a thin pair shell; the
+    // functional WCA-cutoff system must be far sparser than LJ.
+    MdSystem lj = makeMdSystem(2000, 0.8442, MdStyle::LennardJones, 7);
+    MdSystem chain = makeMdSystem(2000, 0.8442, MdStyle::Chain, 7);
+    EXPECT_LT(averageNeighborCount(chain),
+              averageNeighborCount(lj) / 5.0);
+}
+
+TEST(CrossValidation, CgIterationCountJustifiesFusion)
+{
+    // The NAS CG model fuses 25 inner iterations per outer step; a
+    // functional CG on an SPD system of the same flavor converges on
+    // that order of iterations, so the fusion granularity is sane.
+    CsrMatrix m = makeSpdMatrix(2000, 12, 77);
+    std::vector<double> b(2000, 1.0);
+    CgResult res = conjugateGradient(m, b, 200, 1e-8);
+    EXPECT_GE(res.iterations, 5);
+    EXPECT_LE(res.iterations, 60);
+}
+
+TEST(CrossValidation, BarotropicSolverIterationsMatchModel)
+{
+    // The POP model charges 200 CG iterations per solve; the
+    // functional solver on a stiff implicit system needs the same
+    // order of magnitude (tens to hundreds).
+    Rng rng(11);
+    Field2d f(80, 96);
+    for (double &v : f.data)
+        v = rng.uniform(-1.0, 1.0);
+    BarotropicResult res = solveBarotropic(f, 2.0, 2000, 1e-8);
+    EXPECT_GE(res.iterations, 20);
+    EXPECT_LE(res.iterations, 500);
+}
+
+TEST(CrossValidation, PreconditionerCutsIterationsSameAnswer)
+{
+    Rng rng(13);
+    Field2d f(48, 64);
+    for (double &v : f.data)
+        v = rng.uniform(-1.0, 1.0);
+    BarotropicResult plain = solveBarotropic(f, 2.0, 2000, 1e-10);
+    BarotropicResult pre =
+        solveBarotropicPreconditioned(f, 2.0, 2000, 1e-10);
+    EXPECT_LE(pre.iterations, plain.iterations);
+    for (size_t i = 0; i < f.data.size(); ++i) {
+        EXPECT_NEAR(pre.solution.data[i], plain.solution.data[i],
+                    1e-6);
+    }
+}
+
+TEST(CrossValidation, FftFlopFormulaTracksWork)
+{
+    // 5 n log2 n: doubling n slightly more than doubles the flops.
+    double f1 = fftFlops(1 << 16);
+    double f2 = fftFlops(1 << 17);
+    EXPECT_GT(f2 / f1, 2.0);
+    EXPECT_LT(f2 / f1, 2.2);
+}
+
+TEST(CrossValidation, MgVCycleSweepBudgetMatchesModel)
+{
+    // The MG cost model charges ~4 sweeps per level; one V-cycle
+    // performs 2 pre- + 1 post-sweep plus residual/transfer work, so
+    // the budget is consistent.
+    Field3d v(8, 0.0);
+    v.at(4, 4, 4) = 1.0;
+    Field3d u(8);
+    double r = mgVCycle(u, v, /*pre=*/2, /*post=*/1);
+    EXPECT_LT(r, mgResidualNorm(Field3d(8), v));
+}
+
+} // namespace
+} // namespace mcscope

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for machine configuration presets, the cache model, and
+ * the Machine resource-geometry helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/cache.hh"
+#include "machine/config.hh"
+#include "machine/machine.hh"
+
+namespace mcscope {
+namespace {
+
+TEST(Config, PresetsMatchTable1)
+{
+    MachineConfig tiger = tigerConfig();
+    EXPECT_EQ(tiger.sockets, 2);
+    EXPECT_EQ(tiger.coresPerSocket, 1);
+    EXPECT_DOUBLE_EQ(tiger.coreGHz, 2.2);
+    EXPECT_EQ(tiger.totalCores(), 2);
+
+    MachineConfig dmz = dmzConfig();
+    EXPECT_EQ(dmz.sockets, 2);
+    EXPECT_EQ(dmz.coresPerSocket, 2);
+    EXPECT_EQ(dmz.totalCores(), 4);
+
+    MachineConfig longs = longsConfig();
+    EXPECT_EQ(longs.sockets, 8);
+    EXPECT_EQ(longs.coresPerSocket, 2);
+    EXPECT_DOUBLE_EQ(longs.coreGHz, 1.8);
+    EXPECT_EQ(longs.totalCores(), 16);
+    EXPECT_EQ(longs.htLinks.size(), 10u);
+}
+
+TEST(Config, ByNameIsCaseInsensitive)
+{
+    EXPECT_EQ(configByName("LONGS").name, "Longs");
+    EXPECT_EQ(configByName("dmz").name, "DMZ");
+}
+
+TEST(Config, CoherenceTaxHalvesLongsBandwidth)
+{
+    // The paper's Section 3.3 observation: the best achievable
+    // single-core bandwidth on the 8-socket system is less than half
+    // the >4 GB/s expected from an Opteron.
+    MachineConfig longs = longsConfig();
+    EXPECT_LT(longs.effectiveMemBandwidth(),
+              0.5 * longs.memBandwidthPerSocket);
+    MachineConfig dmz = dmzConfig();
+    EXPECT_GT(dmz.effectiveMemBandwidth(),
+              0.8 * dmz.memBandwidthPerSocket);
+}
+
+TEST(Cache, MissFractionMonotoneInWorkingSet)
+{
+    double c = 1024.0 * 1024.0;
+    double prev = 0.0;
+    for (double ws = c / 64.0; ws <= 64.0 * c; ws *= 2.0) {
+        double f = cacheMissFraction(ws, c);
+        EXPECT_GE(f, prev);
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        prev = f;
+    }
+    EXPECT_LT(cacheMissFraction(c / 16.0, c), 0.1);
+    EXPECT_GT(cacheMissFraction(16.0 * c, c), 0.9);
+    EXPECT_NEAR(cacheMissFraction(c, c), 0.5, 0.05);
+}
+
+TEST(Cache, ResidencyBoostBounded)
+{
+    double c = 1024.0 * 1024.0;
+    EXPECT_NEAR(cacheResidencyBoost(c / 100.0, c, 0.4), 1.4, 0.02);
+    EXPECT_NEAR(cacheResidencyBoost(100.0 * c, c, 0.4), 1.0, 0.02);
+}
+
+TEST(Machine, CoreAndSocketGeometry)
+{
+    Machine m(longsConfig());
+    EXPECT_EQ(m.totalCores(), 16);
+    EXPECT_EQ(m.socketOf(0), 0);
+    EXPECT_EQ(m.socketOf(1), 0);
+    EXPECT_EQ(m.socketOf(2), 1);
+    EXPECT_EQ(m.socketOf(15), 7);
+}
+
+TEST(Machine, MemoryLatencyGrowsWithHops)
+{
+    Machine m(longsConfig());
+    SimTime prev = 0.0;
+    for (int hops_target : {0, 1, 4}) {
+        // Find a node at that distance from socket 0.
+        for (int n = 0; n < 8; ++n) {
+            if (m.topology().hopCount(0, n) == hops_target) {
+                SimTime lat = m.memoryLatency(0, n);
+                EXPECT_GT(lat, prev);
+                prev = lat;
+                break;
+            }
+        }
+    }
+}
+
+TEST(Machine, StreamRateCapDropsWithDistance)
+{
+    Machine m(longsConfig());
+    double local = m.streamRateCap(0, 0);
+    double far = m.streamRateCap(0, 7);
+    EXPECT_GT(local, far);
+    EXPECT_GT(local / far, 2.0);
+}
+
+TEST(Machine, MemoryWorkPathTouchesControllerAndLinks)
+{
+    Machine m(longsConfig());
+    auto works = m.memoryWorks(/*core=*/0, /*node=*/3, 1000.0);
+    ASSERT_EQ(works.size(), 1u);
+    // Controller + 3 hops of links.
+    EXPECT_EQ(works[0].path.size(), 4u);
+    EXPECT_DOUBLE_EQ(works[0].amount, 1000.0);
+}
+
+TEST(Machine, MultiNodeSpreadSplitsBytes)
+{
+    Machine m(dmzConfig());
+    auto works =
+        m.memoryWorks(0, {{0, 0.75}, {1, 0.25}}, 1000.0);
+    ASSERT_EQ(works.size(), 2u);
+    EXPECT_DOUBLE_EQ(works[0].amount + works[1].amount, 1000.0);
+}
+
+TEST(Machine, SameDieTransferFasterThanCrossSocket)
+{
+    Machine m(dmzConfig());
+    Work same = m.transferWork(0, 1, 0, 1000.0);
+    Work cross = m.transferWork(0, 2, 0, 1000.0);
+    EXPECT_GT(same.rateCap, cross.rateCap);
+    // Cross-socket transfer path includes HT links.
+    EXPECT_GT(cross.path.size(), same.path.size());
+}
+
+TEST(Machine, ComputeWorkScalesWithEfficiency)
+{
+    Machine m(dmzConfig());
+    Work full = m.computeWork(0, 1000.0, 1.0);
+    Work half = m.computeWork(0, 1000.0, 0.5);
+    EXPECT_DOUBLE_EQ(half.amount, 2.0 * full.amount);
+}
+
+} // namespace
+} // namespace mcscope

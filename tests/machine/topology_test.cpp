@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for HT topology routing: hop counts, route validity,
+ * ladder geometry, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "machine/topology.hh"
+
+namespace mcscope {
+namespace {
+
+TEST(Topology, SingleSocket)
+{
+    Topology t(1, {});
+    EXPECT_EQ(t.hopCount(0, 0), 0);
+    EXPECT_EQ(t.diameter(), 0);
+    EXPECT_TRUE(t.route(0, 0).empty());
+}
+
+TEST(Topology, TwoSockets)
+{
+    Topology t(2, {{0, 1}});
+    EXPECT_EQ(t.hopCount(0, 1), 1);
+    EXPECT_EQ(t.hopCount(1, 0), 1);
+    EXPECT_EQ(t.directedLinkCount(), 2);
+    ASSERT_EQ(t.route(0, 1).size(), 1u);
+    ASSERT_EQ(t.route(1, 0).size(), 1u);
+    EXPECT_NE(t.route(0, 1)[0], t.route(1, 0)[0]);
+}
+
+TEST(Topology, LadderGeometry)
+{
+    // The Longs 2x4 ladder: bottom rail 0-3, top rail 4-7.
+    auto links = ladderLinks(4);
+    EXPECT_EQ(links.size(), 10u); // 3 + 3 rail edges + 4 rungs
+    Topology t(8, links);
+    EXPECT_EQ(t.hopCount(0, 3), 3);
+    EXPECT_EQ(t.hopCount(0, 4), 1);  // rung
+    EXPECT_EQ(t.hopCount(0, 7), 4);  // corner to corner
+    EXPECT_EQ(t.hopCount(1, 6), 2);
+    EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(Topology, RoutesFollowEdges)
+{
+    Topology t(8, ladderLinks(4));
+    for (int a = 0; a < 8; ++a) {
+        for (int b = 0; b < 8; ++b) {
+            const auto &route = t.route(a, b);
+            EXPECT_EQ(static_cast<int>(route.size()), t.hopCount(a, b));
+            int cur = a;
+            for (int id : route) {
+                auto [from, to] = t.directedEndpoints(id);
+                EXPECT_EQ(from, cur);
+                cur = to;
+            }
+            EXPECT_EQ(cur, b);
+        }
+    }
+}
+
+TEST(Topology, HopCountSymmetric)
+{
+    Topology t(8, ladderLinks(4));
+    for (int a = 0; a < 8; ++a)
+        for (int b = 0; b < 8; ++b)
+            EXPECT_EQ(t.hopCount(a, b), t.hopCount(b, a));
+}
+
+TEST(Topology, Deterministic)
+{
+    Topology t1(8, ladderLinks(4));
+    Topology t2(8, ladderLinks(4));
+    for (int a = 0; a < 8; ++a)
+        for (int b = 0; b < 8; ++b)
+            EXPECT_EQ(t1.route(a, b), t2.route(a, b));
+}
+
+TEST(TopologyDeath, DisconnectedGraphPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ASSERT_DEATH({ Topology t(3, {{0, 1}}); }, "disconnected");
+}
+
+} // namespace
+} // namespace mcscope

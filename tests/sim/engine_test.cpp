@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the flow-level discrete-event engine: timing of
+ * works and delays, fair sharing over time, rendezvous and barrier
+ * semantics, tagged time attribution, and resource statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/engine.hh"
+#include "sim/task.hh"
+
+namespace mcscope {
+namespace {
+
+Work
+work(double amount, std::vector<ResourceId> path, double cap = 0.0,
+     int tag = 0)
+{
+    Work w;
+    w.amount = amount;
+    w.path = std::move(path);
+    w.rateCap = cap;
+    w.tag = tag;
+    return w;
+}
+
+TEST(Engine, SingleWorkTiming)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 100.0);
+    e.addTask(std::make_unique<SequenceTask>(
+        "t", std::vector<Prim>{work(250.0, {r})}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 2.5);
+    EXPECT_DOUBLE_EQ(e.resourceUnitsMoved(r), 250.0);
+    EXPECT_NEAR(e.resourceUtilization(r), 1.0, 1e-9);
+}
+
+TEST(Engine, DelayTiming)
+{
+    Engine e;
+    e.addResource("r", 1.0);
+    Delay d;
+    d.seconds = 1.5;
+    e.addTask(std::make_unique<SequenceTask>("t",
+                                             std::vector<Prim>{d}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 1.5);
+}
+
+TEST(Engine, TwoTasksShareResource)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 100.0);
+    for (int i = 0; i < 2; ++i) {
+        e.addTask(std::make_unique<SequenceTask>(
+            "t" + std::to_string(i),
+            std::vector<Prim>{work(100.0, {r})}));
+    }
+    e.run();
+    // Each runs at 50 units/s concurrently: both finish at t=2.
+    EXPECT_DOUBLE_EQ(e.makespan(), 2.0);
+}
+
+TEST(Engine, StaggeredCompletionReallocates)
+{
+    // Task A moves 100, task B moves 300 on a 100-cap resource.
+    // Phase 1: both at 50 until A finishes at t=2 (A:100, B:100).
+    // Phase 2: B alone at 100, remaining 200 -> 2 more seconds.
+    Engine e;
+    ResourceId r = e.addResource("r", 100.0);
+    int a = e.addTask(std::make_unique<SequenceTask>(
+        "a", std::vector<Prim>{work(100.0, {r})}));
+    int b = e.addTask(std::make_unique<SequenceTask>(
+        "b", std::vector<Prim>{work(300.0, {r})}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(a), 2.0);
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(b), 4.0);
+}
+
+TEST(Engine, RateCapHonored)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 100.0);
+    e.addTask(std::make_unique<SequenceTask>(
+        "t", std::vector<Prim>{work(10.0, {r}, 5.0)}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 2.0);
+}
+
+TEST(Engine, RendezvousTransfersAndReleasesBoth)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 10.0);
+
+    Rendezvous carrier;
+    carrier.key = 42;
+    carrier.carrier = true;
+    carrier.transfer = work(20.0, {r});
+
+    Rendezvous other;
+    other.key = 42;
+
+    Delay head;
+    head.seconds = 1.0;
+
+    int a = e.addTask(std::make_unique<SequenceTask>(
+        "a", std::vector<Prim>{carrier}));
+    int b = e.addTask(std::make_unique<SequenceTask>(
+        "b", std::vector<Prim>{head, other}));
+    e.run();
+    // b arrives at t=1, transfer takes 2 -> both finish at 3.
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(a), 3.0);
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(b), 3.0);
+}
+
+TEST(Engine, ZeroByteRendezvousIsInstant)
+{
+    Engine e;
+    e.addResource("r", 1.0);
+    Rendezvous carrier;
+    carrier.key = 7;
+    carrier.carrier = true; // zero-amount transfer
+    Rendezvous other;
+    other.key = 7;
+    int a = e.addTask(std::make_unique<SequenceTask>(
+        "a", std::vector<Prim>{carrier}));
+    int b = e.addTask(std::make_unique<SequenceTask>(
+        "b", std::vector<Prim>{other}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(a), 0.0);
+    EXPECT_DOUBLE_EQ(e.taskFinishTime(b), 0.0);
+}
+
+TEST(Engine, BarrierAlignsTasks)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 10.0);
+    SyncAll s;
+    s.key = 99;
+    s.expected = 3;
+    for (int i = 0; i < 3; ++i) {
+        Delay d;
+        d.seconds = static_cast<double>(i); // staggered arrivals
+        e.addTask(std::make_unique<SequenceTask>(
+            "t" + std::to_string(i),
+            std::vector<Prim>{d, s, work(10.0, {r})}));
+    }
+    e.run();
+    // All leave the barrier at t=2; three flows share cap 10 ->
+    // 10 units each at 10/3 -> 3 seconds -> makespan 5.
+    EXPECT_NEAR(e.makespan(), 5.0, 1e-9);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(e.taskFinishTime(i), 5.0, 1e-9);
+}
+
+TEST(Engine, TaggedTimeAttribution)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 10.0);
+    int t = e.addTask(std::make_unique<SequenceTask>(
+        "t", std::vector<Prim>{work(10.0, {r}, 0.0, /*tag=*/5),
+                               work(20.0, {r}, 0.0, /*tag=*/6)}));
+    e.run();
+    EXPECT_NEAR(e.taggedTime(t, 5), 1.0, 1e-9);
+    EXPECT_NEAR(e.taggedTime(t, 6), 2.0, 1e-9);
+    EXPECT_NEAR(e.maxTaggedTime(6), 2.0, 1e-9);
+}
+
+TEST(Engine, LoopTaskRepeatsBody)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 10.0);
+    e.addTask(std::make_unique<LoopTask>(
+        "loop", std::vector<Prim>{},
+        std::vector<Prim>{work(10.0, {r})}, 4));
+    e.run();
+    EXPECT_NEAR(e.makespan(), 4.0, 1e-9);
+}
+
+TEST(Engine, LoopTaskRendezvousKeysRewrittenPerIteration)
+{
+    // Two loop tasks ping-pong for 3 iterations; per-iteration key
+    // rewriting must keep them matched (a stale key would deadlock or
+    // mis-match, and the makespan would be wrong).
+    Engine e;
+    ResourceId r = e.addResource("r", 10.0);
+
+    Rendezvous carrier;
+    carrier.key = 1;
+    carrier.carrier = true;
+    carrier.transfer = work(10.0, {r});
+    Rendezvous other;
+    other.key = 1;
+
+    e.addTask(std::make_unique<LoopTask>(
+        "a", std::vector<Prim>{}, std::vector<Prim>{carrier}, 3));
+    e.addTask(std::make_unique<LoopTask>(
+        "b", std::vector<Prim>{}, std::vector<Prim>{other}, 3));
+    e.run();
+    EXPECT_NEAR(e.makespan(), 3.0, 1e-9);
+}
+
+TEST(Engine, GeneratorTaskRunsUntilNullopt)
+{
+    Engine e;
+    ResourceId r = e.addResource("r", 1.0);
+    e.addTask(std::make_unique<GeneratorTask>(
+        "gen", [r](uint64_t step) -> std::optional<Prim> {
+            if (step >= 3)
+                return std::nullopt;
+            return work(1.0, {r});
+        }));
+    e.run();
+    EXPECT_NEAR(e.makespan(), 3.0, 1e-9);
+}
+
+TEST(Engine, InstantaneousPrimsAreSkipped)
+{
+    Engine e;
+    e.addResource("r", 1.0);
+    Delay zero;
+    zero.seconds = 0.0;
+    e.addTask(std::make_unique<SequenceTask>(
+        "t", std::vector<Prim>{zero, work(0.0, {0}), work(1.0, {})}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+}
+
+TEST(EngineDeath, DeadlockedRendezvousPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ASSERT_DEATH(
+        {
+            Engine e;
+            e.addResource("r", 1.0);
+            Rendezvous lonely;
+            lonely.key = 1;
+            lonely.carrier = true;
+            lonely.transfer = work(1.0, {0});
+            e.addTask(std::make_unique<SequenceTask>(
+                "t", std::vector<Prim>{lonely}));
+            e.run();
+        },
+        "deadlock");
+}
+
+} // namespace
+} // namespace mcscope

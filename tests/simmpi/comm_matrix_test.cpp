@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the communication-matrix recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/registry.hh"
+#include "machine/config.hh"
+#include "simmpi/collectives.hh"
+#include "simmpi/comm.hh"
+#include "simmpi/comm_matrix.hh"
+
+namespace mcscope {
+namespace {
+
+struct Rig
+{
+    Machine machine;
+    std::optional<Placement> placement;
+    std::unique_ptr<MpiRuntime> rt;
+    CommMatrix matrix;
+
+    explicit Rig(int ranks)
+        : machine(longsConfig()), matrix(ranks)
+    {
+        placement = Placement::create(longsConfig(),
+                                      machine.topology(),
+                                      table5Options()[0], ranks);
+        rt = std::make_unique<MpiRuntime>(machine, *placement);
+        rt->setCommMatrix(&matrix);
+    }
+};
+
+TEST(CommMatrix, RecordsSendsDirectionally)
+{
+    Rig rig(4);
+    std::vector<Prim> out;
+    rig.rt->appendSend(out, 0, 3, 1000.0, 0x1ULL);
+    rig.rt->appendSend(out, 0, 3, 500.0, 0x2ULL);
+    rig.rt->appendRecv(out, 3, 0, 1000.0, 0x1ULL); // receiver: no tally
+    EXPECT_DOUBLE_EQ(rig.matrix.bytes(0, 3), 1500.0);
+    EXPECT_EQ(rig.matrix.messages(0, 3), 2u);
+    EXPECT_DOUBLE_EQ(rig.matrix.bytes(3, 0), 0.0);
+    EXPECT_DOUBLE_EQ(rig.matrix.totalBytes(), 1500.0);
+}
+
+TEST(CommMatrix, AllReduceTouchesLogPeers)
+{
+    Rig rig(8);
+    std::vector<Prim> out;
+    for (int r = 0; r < 8; ++r)
+        appendAllReduce(*rig.rt, out, r, 64.0, 0x1000ULL);
+    // Recursive doubling: each rank sends 3 messages of 64 B.
+    EXPECT_EQ(rig.matrix.totalMessages(), 24u);
+    EXPECT_DOUBLE_EQ(rig.matrix.totalBytes(), 24.0 * 64.0);
+    for (int r = 0; r < 8; ++r) {
+        int sent_to = 0;
+        for (int d = 0; d < 8; ++d)
+            sent_to += rig.matrix.messages(r, d) > 0;
+        EXPECT_EQ(sent_to, 3);
+    }
+}
+
+TEST(CommMatrix, HopHistogramCoversAllBytes)
+{
+    Rig rig(8);
+    std::vector<Prim> out;
+    for (int r = 0; r < 8; ++r)
+        appendAllToAll(*rig.rt, out, r, 4096.0, 0x2000ULL);
+    auto hist = rig.matrix.bytesByHops(*rig.rt);
+    double sum = 0.0;
+    for (double v : hist)
+        sum += v;
+    EXPECT_DOUBLE_EQ(sum, rig.matrix.totalBytes());
+    // One rank per socket on the ladder: some traffic must be
+    // multi-hop.
+    double far = 0.0;
+    for (size_t h = 2; h < hist.size(); ++h)
+        far += hist[h];
+    EXPECT_GT(far, 0.0);
+}
+
+TEST(CommMatrix, WorkloadPatternsDiffer)
+{
+    // POP's halo pattern must concentrate at short distances more
+    // than FT's all-to-all.
+    auto fraction_far = [](const char *name) {
+        Rig rig(8);
+        auto w = makeWorkload(name);
+        w->buildTasks(rig.machine, *rig.rt);
+        auto hist = rig.matrix.bytesByHops(*rig.rt);
+        double total = 0.0, far = 0.0;
+        for (size_t h = 0; h < hist.size(); ++h) {
+            total += hist[h];
+            if (h >= 2)
+                far += hist[h];
+        }
+        return far / total;
+    };
+    EXPECT_LT(fraction_far("pop-x1"), fraction_far("nas-ft-b"));
+}
+
+TEST(CommMatrix, RendersAsTable)
+{
+    Rig rig(2);
+    std::vector<Prim> out;
+    rig.rt->appendSend(out, 0, 1, 2048.0, 0x1ULL);
+    std::string s = rig.matrix.str();
+    EXPECT_NE(s.find("2KB"), std::string::npos);
+    EXPECT_NE(s.find("src"), std::string::npos);
+}
+
+} // namespace
+} // namespace mcscope

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * The `mcscope` command-line tool: run, sweep, and analyze
+ * characterization experiments from the shell.  All logic lives in
+ * core/cli.hh so it stays testable.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return mcscope::runCli(args, std::cout);
+}
