@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_comm_matrix.dir/ext_comm_matrix.cpp.o"
+  "CMakeFiles/ext_comm_matrix.dir/ext_comm_matrix.cpp.o.d"
+  "ext_comm_matrix"
+  "ext_comm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_comm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

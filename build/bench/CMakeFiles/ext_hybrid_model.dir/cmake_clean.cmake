@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hybrid_model.dir/ext_hybrid_model.cpp.o"
+  "CMakeFiles/ext_hybrid_model.dir/ext_hybrid_model.cpp.o.d"
+  "ext_hybrid_model"
+  "ext_hybrid_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hybrid_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_npb_suite.dir/ext_npb_suite.cpp.o"
+  "CMakeFiles/ext_npb_suite.dir/ext_npb_suite.cpp.o.d"
+  "ext_npb_suite"
+  "ext_npb_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_npb_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_stream_bandwidth.dir/fig02_stream_bandwidth.cpp.o"
+  "CMakeFiles/fig02_stream_bandwidth.dir/fig02_stream_bandwidth.cpp.o.d"
+  "fig02_stream_bandwidth"
+  "fig02_stream_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_stream_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_stream_per_core.dir/fig03_stream_per_core.cpp.o"
+  "CMakeFiles/fig03_stream_per_core.dir/fig03_stream_per_core.cpp.o.d"
+  "fig03_stream_per_core"
+  "fig03_stream_per_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_stream_per_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_stream_per_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_daxpy_acml.dir/fig04_daxpy_acml.cpp.o"
+  "CMakeFiles/fig04_daxpy_acml.dir/fig04_daxpy_acml.cpp.o.d"
+  "fig04_daxpy_acml"
+  "fig04_daxpy_acml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_daxpy_acml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_daxpy_acml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_daxpy_vanilla.dir/fig05_daxpy_vanilla.cpp.o"
+  "CMakeFiles/fig05_daxpy_vanilla.dir/fig05_daxpy_vanilla.cpp.o.d"
+  "fig05_daxpy_vanilla"
+  "fig05_daxpy_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_daxpy_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dgemm_acml.dir/fig06_dgemm_acml.cpp.o"
+  "CMakeFiles/fig06_dgemm_acml.dir/fig06_dgemm_acml.cpp.o.d"
+  "fig06_dgemm_acml"
+  "fig06_dgemm_acml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dgemm_acml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

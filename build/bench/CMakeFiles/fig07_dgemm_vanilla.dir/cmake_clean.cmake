@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dgemm_vanilla.dir/fig07_dgemm_vanilla.cpp.o"
+  "CMakeFiles/fig07_dgemm_vanilla.dir/fig07_dgemm_vanilla.cpp.o.d"
+  "fig07_dgemm_vanilla"
+  "fig07_dgemm_vanilla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dgemm_vanilla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_hpl_options.dir/fig08_hpl_options.cpp.o"
+  "CMakeFiles/fig08_hpl_options.dir/fig08_hpl_options.cpp.o.d"
+  "fig08_hpl_options"
+  "fig08_hpl_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_hpl_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

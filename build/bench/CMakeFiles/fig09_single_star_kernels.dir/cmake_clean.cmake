@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_single_star_kernels.dir/fig09_single_star_kernels.cpp.o"
+  "CMakeFiles/fig09_single_star_kernels.dir/fig09_single_star_kernels.cpp.o.d"
+  "fig09_single_star_kernels"
+  "fig09_single_star_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_single_star_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

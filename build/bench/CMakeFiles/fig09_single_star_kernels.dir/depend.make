@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_single_star_kernels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_single_star_stream.dir/fig10_single_star_stream.cpp.o"
+  "CMakeFiles/fig10_single_star_stream.dir/fig10_single_star_stream.cpp.o.d"
+  "fig10_single_star_stream"
+  "fig10_single_star_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_star_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_randomaccess.dir/fig11_randomaccess.cpp.o"
+  "CMakeFiles/fig11_randomaccess.dir/fig11_randomaccess.cpp.o.d"
+  "fig11_randomaccess"
+  "fig11_randomaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_randomaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

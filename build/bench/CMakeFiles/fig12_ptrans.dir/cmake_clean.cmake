@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ptrans.dir/fig12_ptrans.cpp.o"
+  "CMakeFiles/fig12_ptrans.dir/fig12_ptrans.cpp.o.d"
+  "fig12_ptrans"
+  "fig12_ptrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ptrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

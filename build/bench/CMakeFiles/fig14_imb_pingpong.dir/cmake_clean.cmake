@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_imb_pingpong.dir/fig14_imb_pingpong.cpp.o"
+  "CMakeFiles/fig14_imb_pingpong.dir/fig14_imb_pingpong.cpp.o.d"
+  "fig14_imb_pingpong"
+  "fig14_imb_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_imb_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_imb_exchange.dir/fig15_imb_exchange.cpp.o"
+  "CMakeFiles/fig15_imb_exchange.dir/fig15_imb_exchange.cpp.o.d"
+  "fig15_imb_exchange"
+  "fig15_imb_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_imb_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_openmpi_pingpong_affinity.dir/fig16_openmpi_pingpong_affinity.cpp.o"
+  "CMakeFiles/fig16_openmpi_pingpong_affinity.dir/fig16_openmpi_pingpong_affinity.cpp.o.d"
+  "fig16_openmpi_pingpong_affinity"
+  "fig16_openmpi_pingpong_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_openmpi_pingpong_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

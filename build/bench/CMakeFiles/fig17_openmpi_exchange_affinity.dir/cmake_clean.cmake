@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_openmpi_exchange_affinity.dir/fig17_openmpi_exchange_affinity.cpp.o"
+  "CMakeFiles/fig17_openmpi_exchange_affinity.dir/fig17_openmpi_exchange_affinity.cpp.o.d"
+  "fig17_openmpi_exchange_affinity"
+  "fig17_openmpi_exchange_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_openmpi_exchange_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table02_nas_longs.cpp" "bench/CMakeFiles/table02_nas_longs.dir/table02_nas_longs.cpp.o" "gcc" "bench/CMakeFiles/table02_nas_longs.dir/table02_nas_longs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mcscope_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mcscope_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/mcscope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/mcscope_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_nas_longs.dir/table02_nas_longs.cpp.o"
+  "CMakeFiles/table02_nas_longs.dir/table02_nas_longs.cpp.o.d"
+  "table02_nas_longs"
+  "table02_nas_longs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_nas_longs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

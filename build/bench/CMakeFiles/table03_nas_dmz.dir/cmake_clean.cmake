@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_nas_dmz.dir/table03_nas_dmz.cpp.o"
+  "CMakeFiles/table03_nas_dmz.dir/table03_nas_dmz.cpp.o.d"
+  "table03_nas_dmz"
+  "table03_nas_dmz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_nas_dmz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table03_nas_dmz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_nas_speedup.dir/table04_nas_speedup.cpp.o"
+  "CMakeFiles/table04_nas_speedup.dir/table04_nas_speedup.cpp.o.d"
+  "table04_nas_speedup"
+  "table04_nas_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_nas_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_amber_fft.dir/table07_amber_fft.cpp.o"
+  "CMakeFiles/table07_amber_fft.dir/table07_amber_fft.cpp.o.d"
+  "table07_amber_fft"
+  "table07_amber_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_amber_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_amber_speedup.dir/table08_amber_speedup.cpp.o"
+  "CMakeFiles/table08_amber_speedup.dir/table08_amber_speedup.cpp.o.d"
+  "table08_amber_speedup"
+  "table08_amber_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_amber_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_jac_overall.dir/table09_jac_overall.cpp.o"
+  "CMakeFiles/table09_jac_overall.dir/table09_jac_overall.cpp.o.d"
+  "table09_jac_overall"
+  "table09_jac_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_jac_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

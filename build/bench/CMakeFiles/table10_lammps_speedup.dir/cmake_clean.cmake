@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_lammps_speedup.dir/table10_lammps_speedup.cpp.o"
+  "CMakeFiles/table10_lammps_speedup.dir/table10_lammps_speedup.cpp.o.d"
+  "table10_lammps_speedup"
+  "table10_lammps_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_lammps_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

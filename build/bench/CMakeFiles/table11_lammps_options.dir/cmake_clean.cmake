@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_lammps_options.dir/table11_lammps_options.cpp.o"
+  "CMakeFiles/table11_lammps_options.dir/table11_lammps_options.cpp.o.d"
+  "table11_lammps_options"
+  "table11_lammps_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_lammps_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_pop_speedup.dir/table12_pop_speedup.cpp.o"
+  "CMakeFiles/table12_pop_speedup.dir/table12_pop_speedup.cpp.o.d"
+  "table12_pop_speedup"
+  "table12_pop_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_pop_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

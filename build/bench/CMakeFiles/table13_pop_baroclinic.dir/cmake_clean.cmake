@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_pop_baroclinic.dir/table13_pop_baroclinic.cpp.o"
+  "CMakeFiles/table13_pop_baroclinic.dir/table13_pop_baroclinic.cpp.o.d"
+  "table13_pop_baroclinic"
+  "table13_pop_baroclinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_pop_baroclinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

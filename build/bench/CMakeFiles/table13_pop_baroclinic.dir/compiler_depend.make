@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table13_pop_baroclinic.
+# This may be replaced when dependencies are built.

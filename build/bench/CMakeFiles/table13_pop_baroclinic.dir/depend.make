@@ -1,0 +1,2 @@
+# Empty dependencies file for table13_pop_baroclinic.
+# This may be replaced when dependencies are built.

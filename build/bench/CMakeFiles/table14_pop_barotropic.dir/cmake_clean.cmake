@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table14_pop_barotropic.dir/table14_pop_barotropic.cpp.o"
+  "CMakeFiles/table14_pop_barotropic.dir/table14_pop_barotropic.cpp.o.d"
+  "table14_pop_barotropic"
+  "table14_pop_barotropic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_pop_barotropic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

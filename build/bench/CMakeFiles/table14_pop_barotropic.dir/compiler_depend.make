@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table14_pop_barotropic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_scaling.dir/md_scaling.cpp.o"
+  "CMakeFiles/md_scaling.dir/md_scaling.cpp.o.d"
+  "md_scaling"
+  "md_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_climate.dir/pop_climate.cpp.o"
+  "CMakeFiles/pop_climate.dir/pop_climate.cpp.o.d"
+  "pop_climate"
+  "pop_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

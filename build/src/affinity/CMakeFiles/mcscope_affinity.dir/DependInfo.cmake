@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affinity/cpuset.cc" "src/affinity/CMakeFiles/mcscope_affinity.dir/cpuset.cc.o" "gcc" "src/affinity/CMakeFiles/mcscope_affinity.dir/cpuset.cc.o.d"
+  "/root/repo/src/affinity/placement.cc" "src/affinity/CMakeFiles/mcscope_affinity.dir/placement.cc.o" "gcc" "src/affinity/CMakeFiles/mcscope_affinity.dir/placement.cc.o.d"
+  "/root/repo/src/affinity/policy.cc" "src/affinity/CMakeFiles/mcscope_affinity.dir/policy.cc.o" "gcc" "src/affinity/CMakeFiles/mcscope_affinity.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

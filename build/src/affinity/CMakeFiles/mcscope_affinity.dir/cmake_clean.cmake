@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_affinity.dir/cpuset.cc.o"
+  "CMakeFiles/mcscope_affinity.dir/cpuset.cc.o.d"
+  "CMakeFiles/mcscope_affinity.dir/placement.cc.o"
+  "CMakeFiles/mcscope_affinity.dir/placement.cc.o.d"
+  "CMakeFiles/mcscope_affinity.dir/policy.cc.o"
+  "CMakeFiles/mcscope_affinity.dir/policy.cc.o.d"
+  "libmcscope_affinity.a"
+  "libmcscope_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

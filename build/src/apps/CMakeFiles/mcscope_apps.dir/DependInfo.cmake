@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/md/amber.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/amber.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/amber.cc.o.d"
+  "/root/repo/src/apps/md/cells.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/cells.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/cells.cc.o.d"
+  "/root/repo/src/apps/md/engine.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/engine.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/engine.cc.o.d"
+  "/root/repo/src/apps/md/forcefield.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/forcefield.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/forcefield.cc.o.d"
+  "/root/repo/src/apps/md/gb.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/gb.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/gb.cc.o.d"
+  "/root/repo/src/apps/md/lammps.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/lammps.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/lammps.cc.o.d"
+  "/root/repo/src/apps/md/pme.cc" "src/apps/CMakeFiles/mcscope_apps.dir/md/pme.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/md/pme.cc.o.d"
+  "/root/repo/src/apps/pop/grid.cc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/grid.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/grid.cc.o.d"
+  "/root/repo/src/apps/pop/pop.cc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/pop.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/pop.cc.o.d"
+  "/root/repo/src/apps/pop/solver.cc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/solver.cc.o" "gcc" "src/apps/CMakeFiles/mcscope_apps.dir/pop/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/mcscope_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/mcscope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/mcscope_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_apps.dir/md/amber.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/amber.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/cells.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/cells.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/engine.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/engine.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/forcefield.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/forcefield.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/gb.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/gb.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/lammps.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/lammps.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/md/pme.cc.o"
+  "CMakeFiles/mcscope_apps.dir/md/pme.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/pop/grid.cc.o"
+  "CMakeFiles/mcscope_apps.dir/pop/grid.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/pop/pop.cc.o"
+  "CMakeFiles/mcscope_apps.dir/pop/pop.cc.o.d"
+  "CMakeFiles/mcscope_apps.dir/pop/solver.cc.o"
+  "CMakeFiles/mcscope_apps.dir/pop/solver.cc.o.d"
+  "libmcscope_apps.a"
+  "libmcscope_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mcscope_apps.
+# This may be replaced when dependencies are built.

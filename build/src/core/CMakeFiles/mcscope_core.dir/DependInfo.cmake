@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/mcscope_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/calibration.cc" "src/core/CMakeFiles/mcscope_core.dir/calibration.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/calibration.cc.o.d"
+  "/root/repo/src/core/cli.cc" "src/core/CMakeFiles/mcscope_core.dir/cli.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/cli.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/mcscope_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/mcscope_core.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/mcscope_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/mcscope_core.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/registry.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/mcscope_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/mcscope_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/mcscope_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/mcscope_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/mcscope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/mcscope_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

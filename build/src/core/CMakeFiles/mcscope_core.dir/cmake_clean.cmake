@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_core.dir/analysis.cc.o"
+  "CMakeFiles/mcscope_core.dir/analysis.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/calibration.cc.o"
+  "CMakeFiles/mcscope_core.dir/calibration.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/cli.cc.o"
+  "CMakeFiles/mcscope_core.dir/cli.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/experiment.cc.o"
+  "CMakeFiles/mcscope_core.dir/experiment.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/hybrid.cc.o"
+  "CMakeFiles/mcscope_core.dir/hybrid.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/metrics.cc.o"
+  "CMakeFiles/mcscope_core.dir/metrics.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/registry.cc.o"
+  "CMakeFiles/mcscope_core.dir/registry.cc.o.d"
+  "CMakeFiles/mcscope_core.dir/report.cc.o"
+  "CMakeFiles/mcscope_core.dir/report.cc.o.d"
+  "libmcscope_core.a"
+  "libmcscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/blas1.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/blas1.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/blas1.cc.o.d"
+  "/root/repo/src/kernels/blas3.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/blas3.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/blas3.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/hpl.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/hpl.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/hpl.cc.o.d"
+  "/root/repo/src/kernels/nas_cg.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_cg.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_cg.cc.o.d"
+  "/root/repo/src/kernels/nas_ep.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_ep.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_ep.cc.o.d"
+  "/root/repo/src/kernels/nas_ft.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_ft.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_ft.cc.o.d"
+  "/root/repo/src/kernels/nas_is.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_is.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_is.cc.o.d"
+  "/root/repo/src/kernels/nas_mg.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_mg.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/nas_mg.cc.o.d"
+  "/root/repo/src/kernels/ptrans.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/ptrans.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/ptrans.cc.o.d"
+  "/root/repo/src/kernels/randomaccess.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/randomaccess.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/randomaccess.cc.o.d"
+  "/root/repo/src/kernels/sparse.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/sparse.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/sparse.cc.o.d"
+  "/root/repo/src/kernels/stream.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/stream.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/stream.cc.o.d"
+  "/root/repo/src/kernels/workload.cc" "src/kernels/CMakeFiles/mcscope_kernels.dir/workload.cc.o" "gcc" "src/kernels/CMakeFiles/mcscope_kernels.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/mcscope_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/mcscope_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

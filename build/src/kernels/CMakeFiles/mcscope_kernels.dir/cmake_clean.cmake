@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_kernels.dir/blas1.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/blas1.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/blas3.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/blas3.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/fft.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/hpl.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/hpl.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/nas_cg.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/nas_cg.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/nas_ep.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/nas_ep.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/nas_ft.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/nas_ft.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/nas_is.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/nas_is.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/nas_mg.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/nas_mg.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/ptrans.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/ptrans.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/randomaccess.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/randomaccess.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/sparse.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/sparse.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/stream.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/stream.cc.o.d"
+  "CMakeFiles/mcscope_kernels.dir/workload.cc.o"
+  "CMakeFiles/mcscope_kernels.dir/workload.cc.o.d"
+  "libmcscope_kernels.a"
+  "libmcscope_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache.cc" "src/machine/CMakeFiles/mcscope_machine.dir/cache.cc.o" "gcc" "src/machine/CMakeFiles/mcscope_machine.dir/cache.cc.o.d"
+  "/root/repo/src/machine/config.cc" "src/machine/CMakeFiles/mcscope_machine.dir/config.cc.o" "gcc" "src/machine/CMakeFiles/mcscope_machine.dir/config.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/machine/CMakeFiles/mcscope_machine.dir/machine.cc.o" "gcc" "src/machine/CMakeFiles/mcscope_machine.dir/machine.cc.o.d"
+  "/root/repo/src/machine/topology.cc" "src/machine/CMakeFiles/mcscope_machine.dir/topology.cc.o" "gcc" "src/machine/CMakeFiles/mcscope_machine.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

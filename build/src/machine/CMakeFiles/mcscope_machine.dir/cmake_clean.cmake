@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_machine.dir/cache.cc.o"
+  "CMakeFiles/mcscope_machine.dir/cache.cc.o.d"
+  "CMakeFiles/mcscope_machine.dir/config.cc.o"
+  "CMakeFiles/mcscope_machine.dir/config.cc.o.d"
+  "CMakeFiles/mcscope_machine.dir/machine.cc.o"
+  "CMakeFiles/mcscope_machine.dir/machine.cc.o.d"
+  "CMakeFiles/mcscope_machine.dir/topology.cc.o"
+  "CMakeFiles/mcscope_machine.dir/topology.cc.o.d"
+  "libmcscope_machine.a"
+  "libmcscope_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_sim.dir/engine.cc.o"
+  "CMakeFiles/mcscope_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mcscope_sim.dir/fairshare.cc.o"
+  "CMakeFiles/mcscope_sim.dir/fairshare.cc.o.d"
+  "CMakeFiles/mcscope_sim.dir/task.cc.o"
+  "CMakeFiles/mcscope_sim.dir/task.cc.o.d"
+  "libmcscope_sim.a"
+  "libmcscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

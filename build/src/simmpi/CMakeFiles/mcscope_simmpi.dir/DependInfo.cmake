@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simmpi/collectives.cc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/collectives.cc.o" "gcc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/collectives.cc.o.d"
+  "/root/repo/src/simmpi/comm.cc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/comm.cc.o" "gcc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/comm.cc.o.d"
+  "/root/repo/src/simmpi/comm_matrix.cc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/comm_matrix.cc.o" "gcc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/comm_matrix.cc.o.d"
+  "/root/repo/src/simmpi/implementation.cc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/implementation.cc.o" "gcc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/implementation.cc.o.d"
+  "/root/repo/src/simmpi/sublayer.cc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/sublayer.cc.o" "gcc" "src/simmpi/CMakeFiles/mcscope_simmpi.dir/sublayer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/affinity/CMakeFiles/mcscope_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mcscope_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcscope_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

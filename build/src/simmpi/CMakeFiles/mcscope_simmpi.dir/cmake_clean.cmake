@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_simmpi.dir/collectives.cc.o"
+  "CMakeFiles/mcscope_simmpi.dir/collectives.cc.o.d"
+  "CMakeFiles/mcscope_simmpi.dir/comm.cc.o"
+  "CMakeFiles/mcscope_simmpi.dir/comm.cc.o.d"
+  "CMakeFiles/mcscope_simmpi.dir/comm_matrix.cc.o"
+  "CMakeFiles/mcscope_simmpi.dir/comm_matrix.cc.o.d"
+  "CMakeFiles/mcscope_simmpi.dir/implementation.cc.o"
+  "CMakeFiles/mcscope_simmpi.dir/implementation.cc.o.d"
+  "CMakeFiles/mcscope_simmpi.dir/sublayer.cc.o"
+  "CMakeFiles/mcscope_simmpi.dir/sublayer.cc.o.d"
+  "libmcscope_simmpi.a"
+  "libmcscope_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

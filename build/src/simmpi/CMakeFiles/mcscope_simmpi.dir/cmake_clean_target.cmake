@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcscope_simmpi.a"
+)

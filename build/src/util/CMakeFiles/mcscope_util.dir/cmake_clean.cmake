@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope_util.dir/csv.cc.o"
+  "CMakeFiles/mcscope_util.dir/csv.cc.o.d"
+  "CMakeFiles/mcscope_util.dir/logging.cc.o"
+  "CMakeFiles/mcscope_util.dir/logging.cc.o.d"
+  "CMakeFiles/mcscope_util.dir/str.cc.o"
+  "CMakeFiles/mcscope_util.dir/str.cc.o.d"
+  "CMakeFiles/mcscope_util.dir/table.cc.o"
+  "CMakeFiles/mcscope_util.dir/table.cc.o.d"
+  "libmcscope_util.a"
+  "libmcscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

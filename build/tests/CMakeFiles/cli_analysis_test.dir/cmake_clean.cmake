@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_analysis_test.dir/core/cli_analysis_test.cpp.o"
+  "CMakeFiles/cli_analysis_test.dir/core/cli_analysis_test.cpp.o.d"
+  "cli_analysis_test"
+  "cli_analysis_test.pdb"
+  "cli_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_halo_test.dir/simmpi/grid_halo_test.cpp.o"
+  "CMakeFiles/grid_halo_test.dir/simmpi/grid_halo_test.cpp.o.d"
+  "grid_halo_test"
+  "grid_halo_test.pdb"
+  "grid_halo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_halo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_ep_test.dir/kernels/nas_ep_test.cpp.o"
+  "CMakeFiles/nas_ep_test.dir/kernels/nas_ep_test.cpp.o.d"
+  "nas_ep_test"
+  "nas_ep_test.pdb"
+  "nas_ep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_ep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_mg_is_test.dir/kernels/nas_mg_is_test.cpp.o"
+  "CMakeFiles/nas_mg_is_test.dir/kernels/nas_mg_is_test.cpp.o.d"
+  "nas_mg_is_test"
+  "nas_mg_is_test.pdb"
+  "nas_mg_is_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_mg_is_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

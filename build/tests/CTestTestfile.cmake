@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/fairshare_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/numerics_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_model_test[1]_include.cmake")
+include("/root/repo/build/tests/md_test[1]_include.cmake")
+include("/root/repo/build/tests/pop_test[1]_include.cmake")
+include("/root/repo/build/tests/app_model_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_ep_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/nas_mg_is_test[1]_include.cmake")
+include("/root/repo/build/tests/grid_halo_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/extras_test[1]_include.cmake")
+include("/root/repo/build/tests/comm_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_validation_test[1]_include.cmake")

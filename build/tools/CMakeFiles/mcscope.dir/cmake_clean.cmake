@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcscope.dir/mcscope_main.cc.o"
+  "CMakeFiles/mcscope.dir/mcscope_main.cc.o.d"
+  "mcscope"
+  "mcscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
