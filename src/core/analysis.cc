@@ -66,6 +66,7 @@ runExperimentDetailed(const ExperimentConfig &config,
         rep.capacity = engine.resourceCapacity(r);
         rep.unitsMoved = engine.resourceUnitsMoved(r);
         rep.utilization = engine.resourceUtilization(r);
+        rep.peakConcurrency = engine.resourcePeakConcurrency(r);
         if (r < cores)
             out.cores.push_back(std::move(rep));
         else if (r < cores + sockets)
@@ -89,17 +90,20 @@ bottleneckReport(const DetailedResult &result)
         if (bucket.empty())
             return;
         double mean = 0.0;
+        int peak = 0;
         const ResourceReport *hot = &bucket.front();
         for (const ResourceReport &r : bucket) {
             mean += r.utilization;
             if (r.utilization > hot->utilization)
                 hot = &r;
+            if (r.peakConcurrency > peak)
+                peak = r.peakConcurrency;
         }
         mean /= bucket.size();
         oss << "  " << label << ": mean "
             << formatFixed(mean * 100.0, 1) << "%, hottest " << hot->name
             << " at " << formatFixed(hot->utilization * 100.0, 1)
-            << "%\n";
+            << "%, peak " << peak << " concurrent flows\n";
     };
     bucketLine("cores      ", result.cores);
     bucketLine("controllers", result.controllers);

@@ -21,9 +21,10 @@ namespace mcscope {
 struct ResourceReport
 {
     std::string name;
-    double capacity = 0.0;    ///< units/s
-    double unitsMoved = 0.0;  ///< total units over the run
-    double utilization = 0.0; ///< mean busy fraction in [0, 1]
+    double capacity = 0.0;     ///< units/s
+    double unitsMoved = 0.0;   ///< total units over the run
+    double utilization = 0.0;  ///< mean busy fraction in [0, 1]
+    int peakConcurrency = 0;   ///< peak concurrent-flow count
 };
 
 /** Kind buckets for aggregate statistics. */

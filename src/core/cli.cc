@@ -1,6 +1,7 @@
 #include "core/cli.hh"
 
 #include <cmath>
+#include <ios>
 #include <map>
 #include <memory>
 
@@ -12,6 +13,7 @@
 #include "core/registry.hh"
 #include "core/report.hh"
 #include "machine/config.hh"
+#include "util/logging.hh"
 #include "util/str.hh"
 
 namespace mcscope {
@@ -26,7 +28,8 @@ const char *kUsage =
     "  sweep <workload> [flags]     numactl option x rank sweep\n"
     "  scaling <workload> [flags]   strong-scaling series\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
-    "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n";
+    "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
+    "       --audit  run under the simulation invariant auditor (run)\n";
 
 struct CliFlags
 {
@@ -37,6 +40,7 @@ struct CliFlags
     SubLayer sublayer = SubLayer::USysV;
     bool detail = false;
     bool csv = false;
+    bool audit = false;
     std::string error;
 };
 
@@ -85,6 +89,8 @@ parseFlags(const std::vector<std::string> &args, size_t start)
             }
         } else if (a == "--detail") {
             f.detail = true;
+        } else if (a == "--audit") {
+            f.audit = true;
         } else if (a == "--csv") {
             f.csv = true;
         } else {
@@ -129,6 +135,28 @@ resolveOption(const std::string &spec)
             return o;
     }
     return std::nullopt;
+}
+
+/**
+ * Audit summary for `mcscope run --audit`: re-run the experiment and
+ * check the two audited event digests match (the determinism
+ * invariant), then report the audit statistics.
+ */
+void
+printAuditSummary(std::ostream &out, const ExperimentConfig &cfg,
+                  const Workload &workload, const RunResult &first)
+{
+    RunResult replay = runExperiment(cfg, workload);
+    MCSCOPE_ASSERT(replay.audited && first.audited,
+                   "audited run lost its auditor");
+    MCSCOPE_ASSERT(replay.auditDigest == first.auditDigest,
+                   "non-deterministic simulation: digest ",
+                   first.auditDigest, " vs replay digest ",
+                   replay.auditDigest, " for workload '", workload.name(),
+                   "'");
+    out << "audit: ok (" << first.auditChecks
+        << " allocations checked, digest " << std::hex
+        << first.auditDigest << std::dec << ", replay identical)\n";
 }
 
 bool
@@ -188,6 +216,7 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
     cfg.ranks = ranks;
     cfg.impl = f.impl;
     cfg.sublayer = f.sublayer;
+    cfg.audit = f.audit;
 
     if (f.detail) {
         DetailedResult res = runExperimentDetailed(cfg, *workload);
@@ -199,6 +228,8 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
         out << workload->name() << " on " << machine.name << ", "
             << ranks << " ranks, '" << option->label << "':\n";
         out << bottleneckReport(res);
+        if (res.run.audited)
+            printAuditSummary(out, cfg, *workload, res.run);
         return 0;
     }
     RunResult res = runExperiment(cfg, *workload);
@@ -210,6 +241,8 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
     out << workload->name() << " on " << machine.name << ", " << ranks
         << " ranks, '" << option->label
         << "': " << formatFixed(res.seconds, 3) << " s\n";
+    if (res.audited)
+        printAuditSummary(out, cfg, *workload, res);
     return 0;
 }
 

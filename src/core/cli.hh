@@ -18,6 +18,7 @@
  *   --sublayer sysv|usysv         (default usysv)
  *   --detail                      include the bottleneck report (run)
  *   --csv                         machine-readable output (sweep)
+ *   --audit                       simulation invariant auditor (run)
  */
 
 #ifndef MCSCOPE_CORE_CLI_HH

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "machine/machine.hh"
+#include "sim/audit.hh"
 #include "simmpi/comm.hh"
 #include "util/logging.hh"
 
@@ -40,6 +42,8 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
 
     workload.buildTasks(machine, rt);
     Engine &engine = machine.engine();
+    if (config.audit && !engine.auditor())
+        engine.setAuditor(std::make_unique<Auditor>());
     MCSCOPE_ASSERT(engine.taskCount() == config.ranks,
                    "workload '", workload.name(), "' built ",
                    engine.taskCount(), " tasks for ", config.ranks,
@@ -54,6 +58,11 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
             res.taggedSeconds[tag] = t;
     }
     res.events = engine.eventCount();
+    if (const Auditor *auditor = engine.auditor()) {
+        res.audited = true;
+        res.auditDigest = auditor->digest();
+        res.auditChecks = auditor->allocationsChecked();
+    }
     return res;
 }
 

@@ -33,6 +33,13 @@ struct ExperimentConfig
 
     /** Latency-noise multiplier (unbound/parked studies). */
     double latencyNoise = 1.0;
+
+    /**
+     * Install a simulation invariant auditor (sim/audit.hh) for the
+     * run.  Auditing also turns on for every run when the
+     * MCSCOPE_AUDIT environment variable is set.
+     */
+    bool audit = false;
 };
 
 /** Result of one run. */
@@ -49,6 +56,15 @@ struct RunResult
 
     /** Engine events processed (diagnostics). */
     uint64_t events = 0;
+
+    /** True when the run executed under an invariant auditor. */
+    bool audited = false;
+
+    /** Order-sensitive digest of the audited event stream. */
+    uint64_t auditDigest = 0;
+
+    /** Allocator outputs validated by the auditor. */
+    uint64_t auditChecks = 0;
 
     /** Time for one tag, 0 when absent. */
     SimTime tagged(int tag) const;

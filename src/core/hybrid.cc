@@ -98,7 +98,9 @@ HybridWorkload::buildTasks(Machine &machine, const MpiRuntime &rt) const
                 join.key = kJoinBarrierBase +
                            static_cast<uint64_t>(t) * 64;
                 join.expected = threads_;
-                body.push_back(join);
+                // in_place_type emplace sidesteps a GCC 12 variant
+                // -Wmaybe-uninitialized false positive on push_back.
+                body.emplace_back(std::in_place_type<SyncAll>, join);
             }
 
             std::vector<Prim> pro;
@@ -108,7 +110,7 @@ HybridWorkload::buildTasks(Machine &machine, const MpiRuntime &rt) const
                 SyncAll start;
                 start.key = kStartBarrierKey;
                 start.expected = total;
-                pro.push_back(start);
+                pro.emplace_back(std::in_place_type<SyncAll>, start);
             }
             machine.engine().addTask(std::make_unique<LoopTask>(
                 name() + ".t" + std::to_string(t) + ".th" +

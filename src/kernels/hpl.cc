@@ -102,8 +102,6 @@ HplWorkload::body(const Machine &machine, const MpiRuntime &rt,
             pcols = d;
     }
     const int prows = p / pcols;
-    const int row = rank / pcols;
-    const int col = rank % pcols;
 
     // Average per-step, per-rank trailing-update work (the shrinking
     // trailing matrix is averaged across steps; the contention

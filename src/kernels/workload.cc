@@ -113,7 +113,9 @@ LoopWorkload::buildTasks(Machine &machine, const MpiRuntime &rt) const
             SyncAll s;
             s.key = kStartBarrierKey;
             s.expected = p;
-            pro.push_back(s);
+            // emplace with in_place_type sidesteps a GCC 12 variant
+            // -Wmaybe-uninitialized false positive on push_back.
+            pro.emplace_back(std::in_place_type<SyncAll>, s);
         }
         machine.engine().addTask(std::make_unique<LoopTask>(
             name() + ".r" + std::to_string(r), std::move(pro),

@@ -1,0 +1,202 @@
+#include "sim/audit.hh"
+
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+/** Bit pattern of a double, for hashing and exact map keys. */
+uint64_t
+doubleBits(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+} // namespace
+
+std::string
+describeAuditedFlows(const std::vector<double> &capacities,
+                     const std::vector<AuditedFlow> &flows)
+{
+    std::ostringstream oss;
+    oss << flows.size() << " flows over " << capacities.size()
+        << " resources;";
+    for (size_t i = 0; i < flows.size(); ++i) {
+        const AuditedFlow &f = flows[i];
+        oss << " flow#" << i << "(owner=" << f.owner << " tag=" << f.tag
+            << " rate=" << f.rate << " cap=" << f.rateCap
+            << " remaining=" << f.remaining << " path=[";
+        for (size_t j = 0; j < f.path.size(); ++j) {
+            if (j)
+                oss << ",";
+            oss << f.path[j];
+        }
+        oss << "])";
+    }
+    oss << " capacities=[";
+    for (size_t r = 0; r < capacities.size(); ++r) {
+        if (r)
+            oss << ",";
+        oss << capacities[r];
+    }
+    oss << "]";
+    return oss.str();
+}
+
+void
+Auditor::onAllocation(const std::vector<double> &capacities,
+                      const std::vector<AuditedFlow> &flows, SimTime now)
+{
+    ++allocations_;
+
+    // Per-resource load and per-resource maximum flow rate.
+    std::vector<double> load(capacities.size(), 0.0);
+    std::vector<double> maxRate(capacities.size(), 0.0);
+    for (const AuditedFlow &f : flows) {
+        // No starvation: a zero or negative rate stalls the engine's
+        // event loop (the flow never completes).
+        MCSCOPE_ASSERT(f.rate > 0.0 && std::isfinite(f.rate),
+                       "starvation: flow of task ", f.owner,
+                       " allocated non-positive rate ", f.rate, " at t=",
+                       now, "; ", describeAuditedFlows(capacities, flows));
+        // Cap respected.
+        MCSCOPE_ASSERT(f.rateCap <= 0.0 ||
+                           f.rate <= f.rateCap * (1.0 + kEpsilon),
+                       "cap violation: flow of task ", f.owner, " rate ",
+                       f.rate, " exceeds cap ", f.rateCap, " at t=", now,
+                       "; ", describeAuditedFlows(capacities, flows));
+        for (ResourceId r : f.path) {
+            MCSCOPE_ASSERT(r >= 0 &&
+                               static_cast<size_t>(r) < capacities.size(),
+                           "flow of task ", f.owner,
+                           " references unknown resource ", r);
+            load[r] += f.rate;
+            if (f.rate > maxRate[r])
+                maxRate[r] = f.rate;
+        }
+    }
+
+    // Rate conservation: no resource runs above capacity.
+    for (size_t r = 0; r < capacities.size(); ++r) {
+        MCSCOPE_ASSERT(load[r] <= capacities[r] * (1.0 + kEpsilon),
+                       "conservation violation: resource ", r, " loaded ",
+                       load[r], " over capacity ", capacities[r], " at t=",
+                       now, "; ", describeAuditedFlows(capacities, flows));
+    }
+
+    // Max-min optimality certificate: every flow is either cap-bound
+    // or has a bottleneck -- a saturated resource on its path where no
+    // other flow runs faster.  (Progressive filling freezes a flow
+    // exactly when one of the two holds; if neither does, the flow's
+    // rate could be raised without hurting anyone, so the allocation
+    // is not max-min fair.)
+    for (size_t i = 0; i < flows.size(); ++i) {
+        const AuditedFlow &f = flows[i];
+        if (f.rateCap > 0.0 && f.rate >= f.rateCap * (1.0 - kEpsilon))
+            continue; // cap-bound
+        bool bottlenecked = false;
+        for (ResourceId r : f.path) {
+            bool saturated = load[r] >= capacities[r] * (1.0 - kEpsilon);
+            bool maximal = f.rate >= maxRate[r] * (1.0 - kEpsilon);
+            if (saturated && maximal) {
+                bottlenecked = true;
+                break;
+            }
+        }
+        MCSCOPE_ASSERT(bottlenecked,
+                       "max-min violation: flow#", i, " of task ", f.owner,
+                       " (rate ", f.rate, ") is neither cap-bound nor "
+                       "maximal on a saturated resource at t=", now, "; ",
+                       describeAuditedFlows(capacities, flows));
+    }
+}
+
+void
+Auditor::onTimeAdvance(SimTime from, SimTime to)
+{
+    MCSCOPE_ASSERT(to >= from,
+                   "time ran backwards: advance from t=", from, " to t=",
+                   to);
+    MCSCOPE_ASSERT(std::isfinite(to), "time advanced to non-finite ", to);
+    lastNow_ = to;
+}
+
+void
+Auditor::onTraceEvent(const TraceEvent &event)
+{
+    ++events_;
+    MCSCOPE_ASSERT(event.time >= lastEventTime_,
+                   "trace timeline ran backwards: ",
+                   traceEventKindName(event.kind), " at t=", event.time,
+                   " after an event at t=", lastEventTime_);
+    lastEventTime_ = event.time;
+
+    auto key = std::make_tuple(event.task, event.tag,
+                               doubleBits(event.amount));
+    switch (event.kind) {
+      case TraceEvent::Kind::FlowStart:
+        ++open_[key];
+        ++openFlows_;
+        break;
+      case TraceEvent::Kind::FlowEnd: {
+        auto it = open_.find(key);
+        MCSCOPE_ASSERT(it != open_.end() && it->second > 0,
+                       "unpaired flow-end: task ", event.task, " tag ",
+                       event.tag, " amount ", event.amount, " at t=",
+                       event.time, " has no matching flow-start");
+        if (--it->second == 0)
+            open_.erase(it);
+        --openFlows_;
+        break;
+      }
+      case TraceEvent::Kind::DelayEnd:
+      case TraceEvent::Kind::TaskFinish:
+        break;
+    }
+
+    fold(static_cast<uint64_t>(event.kind));
+    fold(doubleBits(event.time));
+    fold(static_cast<uint64_t>(static_cast<int64_t>(event.task)));
+    fold(static_cast<uint64_t>(static_cast<int64_t>(event.tag)));
+    fold(doubleBits(event.amount));
+}
+
+void
+Auditor::onRunEnd(SimTime makespan)
+{
+    if (!open_.empty()) {
+        std::ostringstream oss;
+        for (const auto &[key, count] : open_) {
+            oss << " (task=" << std::get<0>(key) << " tag="
+                << std::get<1>(key) << " x" << count << ")";
+        }
+        MCSCOPE_PANIC("unpaired flow-start at end of run: ", openFlows_,
+                      " flows never ended:", oss.str());
+    }
+    fold(doubleBits(makespan));
+}
+
+void
+Auditor::fold(uint64_t word)
+{
+    // FNV-1a over the word's bytes: order-sensitive and cheap.
+    for (int i = 0; i < 8; ++i) {
+        digest_ ^= (word >> (8 * i)) & 0xffULL;
+        digest_ *= 1099511628211ULL;
+    }
+}
+
+bool
+auditRequestedByEnv()
+{
+    const char *v = std::getenv("MCSCOPE_AUDIT");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+} // namespace mcscope

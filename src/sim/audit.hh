@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Runtime invariant auditor for the simulation engine.
+ *
+ * The entire reproduction rests on the flow-level max-min fair
+ * simulator: a silent fairness or conservation bug in `sim/` corrupts
+ * every figure and table downstream.  The auditor is a pluggable
+ * Engine observer (Engine::setAuditor, or the MCSCOPE_AUDIT=1
+ * environment variable) that machine-checks, at every allocator rerun
+ * and event pop, the properties the fluid model promises:
+ *
+ *  - rate conservation: per resource, the summed flow rates never
+ *    exceed capacity (within a relative epsilon);
+ *  - per-flow caps respected: no flow runs above its rateCap;
+ *  - no starvation: every active flow has a strictly positive rate;
+ *  - max-min optimality certificate: every flow is either cap-bound
+ *    or crosses a saturated bottleneck resource on which its rate is
+ *    maximal -- the classic certificate that an allocation is the
+ *    max-min fair one;
+ *  - simulated-time monotonicity: time and the trace-event timeline
+ *    never run backwards;
+ *  - trace pairing: every FlowStart has a matching FlowEnd by the end
+ *    of the run;
+ *  - determinism digest: the auditor folds every observed event into
+ *    an order-sensitive 64-bit digest, so two audited runs of the same
+ *    workload can be compared bit-for-bit (see RunResult::auditDigest).
+ *
+ * Violations report through MCSCOPE_ASSERT with the full offending
+ * flow-set context, so a broken allocation is diagnosable from the
+ * panic message alone.
+ */
+
+#ifndef MCSCOPE_SIM_AUDIT_HH
+#define MCSCOPE_SIM_AUDIT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/time.hh"
+
+namespace mcscope {
+
+/** One active flow's allocation, as seen by the auditor. */
+struct AuditedFlow
+{
+    /** Resources the flow occupies concurrently. */
+    std::vector<ResourceId> path;
+
+    /** Per-flow ceiling in units/s; <= 0 means uncapped. */
+    double rateCap = 0.0;
+
+    /** Allocated rate in units/s. */
+    double rate = 0.0;
+
+    /** Units still to move. */
+    double remaining = 0.0;
+
+    /** First owning task (diagnostics only). */
+    int owner = -1;
+
+    /** Phase tag (diagnostics only). */
+    int tag = 0;
+};
+
+/** Render a flow set for violation messages. */
+std::string describeAuditedFlows(const std::vector<double> &capacities,
+                                 const std::vector<AuditedFlow> &flows);
+
+/**
+ * Engine observer that validates simulation invariants as the run
+ * executes.  Install with Engine::setAuditor(), or set MCSCOPE_AUDIT=1
+ * to have every Engine install one automatically.
+ *
+ * The check methods are public so tests can drive the auditor with
+ * hand-crafted (deliberately broken) inputs and assert that each
+ * invariant class actually panics.
+ */
+class Auditor
+{
+  public:
+    /** Relative tolerance for all capacity/rate comparisons. */
+    static constexpr double kEpsilon = 1e-6;
+
+    /**
+     * Validate one allocator output: conservation, caps, starvation,
+     * and the max-min bottleneck certificate.  Panics on violation.
+     */
+    void onAllocation(const std::vector<double> &capacities,
+                      const std::vector<AuditedFlow> &flows, SimTime now);
+
+    /** Validate one simulated-time step; panics if time runs backwards. */
+    void onTimeAdvance(SimTime from, SimTime to);
+
+    /**
+     * Observe one trace event: checks timeline monotonicity, tracks
+     * FlowStart/FlowEnd pairing, and folds the event into the digest.
+     */
+    void onTraceEvent(const TraceEvent &event);
+
+    /**
+     * End of run: every started flow must have ended.  Folds the
+     * makespan into the digest.
+     */
+    void onRunEnd(SimTime makespan);
+
+    /** Order-sensitive digest of every event observed so far. */
+    uint64_t digest() const { return digest_; }
+
+    /** Number of allocator outputs validated. */
+    uint64_t allocationsChecked() const { return allocations_; }
+
+    /** Number of trace events observed. */
+    uint64_t eventsObserved() const { return events_; }
+
+    /** Flows started but not yet ended. */
+    uint64_t openFlowCount() const { return openFlows_; }
+
+  private:
+    /** FNV-1a fold of one 64-bit word into the digest. */
+    void fold(uint64_t word);
+
+    uint64_t digest_ = 14695981039346656037ULL; // FNV-1a offset basis
+    uint64_t allocations_ = 0;
+    uint64_t events_ = 0;
+    uint64_t openFlows_ = 0;
+    SimTime lastEventTime_ = 0.0;
+    SimTime lastNow_ = 0.0;
+
+    /** Open-flow multiset keyed by (owner, tag, amount bits). */
+    std::map<std::tuple<int, int, uint64_t>, uint64_t> open_;
+};
+
+/** True when the MCSCOPE_AUDIT environment variable requests auditing. */
+bool auditRequestedByEnv();
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_AUDIT_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "sim/audit.hh"
 #include "sim/fairshare.hh"
 #include "util/logging.hh"
 
@@ -13,8 +14,28 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 } // namespace
 
-Engine::Engine() = default;
+Engine::Engine()
+{
+    if (auditRequestedByEnv())
+        auditor_ = std::make_unique<Auditor>();
+}
+
 Engine::~Engine() = default;
+
+void
+Engine::setAuditor(std::unique_ptr<Auditor> auditor)
+{
+    auditor_ = std::move(auditor);
+}
+
+void
+Engine::emitTrace(const TraceEvent &event)
+{
+    if (auditor_)
+        auditor_->onTraceEvent(event);
+    if (traceSink_)
+        traceSink_(event);
+}
 
 const char *
 traceEventKindName(TraceEvent::Kind kind)
@@ -96,6 +117,13 @@ Engine::resourceUnitsMoved(ResourceId r) const
     return stats_[r].unitsMoved;
 }
 
+int
+Engine::resourcePeakConcurrency(ResourceId r) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    return stats_[r].peakConcurrency;
+}
+
 double
 Engine::resourceUtilization(ResourceId r) const
 {
@@ -135,9 +163,9 @@ Engine::startFlow(const Work &w, std::vector<int> owners, PhaseTag tag)
     flow.remaining = w.amount;
     flow.owners = std::move(owners);
     flow.tag = tag;
-    if (traceSink_) {
-        traceSink_({TraceEvent::Kind::FlowStart, now_, flow.owners[0],
-                    tag, w.amount});
+    if (tracing()) {
+        emitTrace({TraceEvent::Kind::FlowStart, now_, flow.owners[0],
+                   tag, w.amount});
     }
     flows_.push_back(std::move(flow));
     ratesDirty_ = true;
@@ -157,9 +185,9 @@ Engine::advanceTask(int task)
             t.state = TaskState::Finished;
             t.finishTime = now_;
             --unfinished_;
-            if (traceSink_) {
-                traceSink_({TraceEvent::Kind::TaskFinish, now_, task,
-                            0, 0.0});
+            if (tracing()) {
+                emitTrace({TraceEvent::Kind::TaskFinish, now_, task,
+                           0, 0.0});
             }
             return;
         }
@@ -280,6 +308,35 @@ Engine::recomputeRates()
                        "flow got a non-positive rate");
     }
     ratesDirty_ = false;
+
+    // Track the peak concurrent-flow count per resource.  The flow set
+    // only changes between recomputations, so sampling here sees every
+    // distinct concurrency level.
+    std::vector<int> users(capacities_.size(), 0);
+    for (const auto &f : flows_) {
+        for (ResourceId r : f.work.path)
+            ++users[r];
+    }
+    for (size_t r = 0; r < users.size(); ++r) {
+        if (users[r] > stats_[r].peakConcurrency)
+            stats_[r].peakConcurrency = users[r];
+    }
+
+    if (auditor_) {
+        std::vector<AuditedFlow> audited;
+        audited.reserve(flows_.size());
+        for (const auto &f : flows_) {
+            AuditedFlow af;
+            af.path = f.work.path;
+            af.rateCap = f.work.rateCap;
+            af.rate = f.rate;
+            af.remaining = f.remaining;
+            af.owner = f.owners[0];
+            af.tag = f.tag;
+            audited.push_back(std::move(af));
+        }
+        auditor_->onAllocation(capacities_, audited, now_);
+    }
 }
 
 void
@@ -333,7 +390,10 @@ Engine::run()
             dt = 0.0;
 
         // Advance time and integrate resource statistics.
+        SimTime prev = now_;
         now_ += dt;
+        if (auditor_)
+            auditor_->onTimeAdvance(prev, now_);
         for (const auto &f : flows_) {
             double moved = f.rate * dt;
             if (moved > f.remaining)
@@ -350,9 +410,9 @@ Engine::run()
             f.remaining -= f.rate * dt;
             if (f.remaining <= tol * std::max(1.0, f.work.amount) +
                                    1e-300) {
-                if (traceSink_) {
-                    traceSink_({TraceEvent::Kind::FlowEnd, now_,
-                                f.owners[0], f.tag, f.work.amount});
+                if (tracing()) {
+                    emitTrace({TraceEvent::Kind::FlowEnd, now_,
+                               f.owners[0], f.tag, f.work.amount});
                 }
                 for (int owner : f.owners) {
                     accrueBlockedTime(owner);
@@ -372,9 +432,9 @@ Engine::run()
                delays_.begin()->first <= now_ + 1e-15) {
             int task = delays_.begin()->second;
             delays_.erase(delays_.begin());
-            if (traceSink_) {
-                traceSink_({TraceEvent::Kind::DelayEnd, now_, task,
-                            tasks_[task].blockTag, 0.0});
+            if (tracing()) {
+                emitTrace({TraceEvent::Kind::DelayEnd, now_, task,
+                           tasks_[task].blockTag, 0.0});
             }
             accrueBlockedTime(task);
             tasks_[task].state = TaskState::Ready;
@@ -393,6 +453,9 @@ Engine::run()
             }
         }
     }
+
+    if (auditor_)
+        auditor_->onRunEnd(now_);
 }
 
 } // namespace mcscope

@@ -33,14 +33,16 @@
 
 namespace mcscope {
 
+class Auditor;
+
 /** Aggregate statistics for one resource over a run. */
 struct ResourceStats
 {
     /** Total units moved through the resource. */
     double unitsMoved = 0.0;
 
-    /** Time integral of instantaneous rate (== unitsMoved). */
-    double peakConcurrency = 0.0;
+    /** Peak number of flows occupying the resource at one time. */
+    int peakConcurrency = 0;
 };
 
 /** Category tags let workloads attribute task time to program phases. */
@@ -122,6 +124,9 @@ class Engine
     /** Units moved through a resource over the whole run. */
     double resourceUnitsMoved(ResourceId r) const;
 
+    /** Peak concurrent-flow count on a resource over the whole run. */
+    int resourcePeakConcurrency(ResourceId r) const;
+
     /** Mean utilization of a resource over the makespan, in [0, 1]. */
     double resourceUtilization(ResourceId r) const;
 
@@ -143,6 +148,19 @@ class Engine
     {
         traceSink_ = std::move(sink);
     }
+
+    /**
+     * Install a runtime invariant auditor (see sim/audit.hh) that
+     * validates rate conservation, max-min optimality, time
+     * monotonicity, and trace pairing as the run executes.  Pass
+     * nullptr to disable.  An auditor is installed automatically at
+     * construction when the MCSCOPE_AUDIT environment variable is set
+     * to a non-zero value.
+     */
+    void setAuditor(std::unique_ptr<Auditor> auditor);
+
+    /** The installed auditor, or nullptr. */
+    Auditor *auditor() const { return auditor_.get(); }
 
   private:
     enum class TaskState
@@ -200,6 +218,12 @@ class Engine
     /** Attribute blocked time [blockStart, now] to the task's tag. */
     void accrueBlockedTime(int task);
 
+    /** True when trace events need to be materialized. */
+    bool tracing() const { return traceSink_ || auditor_; }
+
+    /** Deliver one trace event to the auditor and the user sink. */
+    void emitTrace(const TraceEvent &event);
+
     std::vector<std::string> resourceNames_;
     std::vector<double> capacities_;
     std::vector<ResourceStats> stats_;
@@ -213,6 +237,7 @@ class Engine
     std::vector<int> readyQueue_;
 
     std::function<void(const TraceEvent &)> traceSink_;
+    std::unique_ptr<Auditor> auditor_;
 
     SimTime now_ = 0.0;
     bool ratesDirty_ = false;

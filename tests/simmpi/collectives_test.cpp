@@ -67,8 +67,9 @@ TEST_P(CollectiveSizes, AllReduceCompletes)
                                     std::vector<Prim> &out, int rank) {
         appendAllReduce(rt, out, rank, 1024.0, 0x10000ULL);
     });
-    if (p > 1)
+    if (p > 1) {
         EXPECT_GT(t, 0.0);
+    }
 }
 
 TEST_P(CollectiveSizes, AllToAllCompletes)
@@ -78,8 +79,9 @@ TEST_P(CollectiveSizes, AllToAllCompletes)
                                     std::vector<Prim> &out, int rank) {
         appendAllToAll(rt, out, rank, 4096.0, 0x20000ULL);
     });
-    if (p > 1)
+    if (p > 1) {
         EXPECT_GT(t, 0.0);
+    }
 }
 
 TEST_P(CollectiveSizes, RingShiftCompletes)
@@ -89,8 +91,9 @@ TEST_P(CollectiveSizes, RingShiftCompletes)
                                     std::vector<Prim> &out, int rank) {
         appendRingShift(rt, out, rank, 4096.0, 0x30000ULL);
     });
-    if (p > 1)
+    if (p > 1) {
         EXPECT_GT(t, 0.0);
+    }
 }
 
 TEST_P(CollectiveSizes, ExchangeCompletes)
@@ -100,8 +103,9 @@ TEST_P(CollectiveSizes, ExchangeCompletes)
                                     std::vector<Prim> &out, int rank) {
         appendExchange(rt, out, rank, 4096.0, 0x40000ULL);
     });
-    if (p > 1)
+    if (p > 1) {
         EXPECT_GT(t, 0.0);
+    }
 }
 
 // 3, 5, 6 exercise the non-power-of-two fallbacks; odd sizes exercise

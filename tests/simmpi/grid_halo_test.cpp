@@ -53,8 +53,9 @@ TEST_P(GridHaloShapes, CompletesWithoutDeadlock)
 {
     auto [rows, cols] = GetParam();
     SimTime t = runGridHalo(rows, cols, 4096.0, 4096.0, 3);
-    if (rows * cols > 1)
+    if (rows * cols > 1) {
         EXPECT_GT(t, 0.0);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the mcscope sources using the repo .clang-tidy
+# policy.  Usage:
+#
+#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# The build directory must contain compile_commands.json (the root
+# CMakeLists exports it by default); if it does not exist the script
+# configures one.  Set CLANG_TIDY to pick a specific binary.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+if [ "${1:-}" = "--" ]; then
+    shift
+fi
+
+# Find a clang-tidy binary: $CLANG_TIDY, plain name, or versioned names.
+tidy="${CLANG_TIDY:-}"
+if [ -z "$tidy" ]; then
+    for candidate in clang-tidy clang-tidy-{21,20,19,18,17,16,15,14}; do
+        if command -v "$candidate" > /dev/null 2>&1; then
+            tidy="$candidate"
+            break
+        fi
+    done
+fi
+if [ -z "$tidy" ]; then
+    echo "run_tidy.sh: no clang-tidy binary found (set CLANG_TIDY or" \
+         "install clang-tidy); skipping" >&2
+    exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy.sh: configuring $build_dir for compile_commands.json"
+    cmake -B "$build_dir" -S "$repo_root" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+fi
+
+# All first-party translation units; headers are covered through
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
+    -name '*.cc' | sort)
+
+echo "run_tidy.sh: $tidy over ${#sources[@]} files"
+jobs="$(nproc 2> /dev/null || echo 4)"
+printf '%s\n' "${sources[@]}" |
+    xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet "$@"
+echo "run_tidy.sh: clean"
