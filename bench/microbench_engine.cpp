@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/experiment.hh"
+#include "core/parallel_for.hh"
 #include "kernels/nas_cg.hh"
 #include "kernels/stream.hh"
 #include "machine/config.hh"
@@ -20,11 +21,9 @@
 namespace mcscope {
 namespace {
 
-void
-BM_FairShare(benchmark::State &state)
+std::vector<FairShareFlow>
+syntheticFlows(int nf)
 {
-    const int nf = static_cast<int>(state.range(0));
-    std::vector<double> caps(16, 1.0e9);
     std::vector<FairShareFlow> flows;
     for (int f = 0; f < nf; ++f) {
         FairShareFlow fl;
@@ -34,12 +33,70 @@ BM_FairShare(benchmark::State &state)
             fl.rateCap = 1.0e8;
         flows.push_back(fl);
     }
+    return flows;
+}
+
+void
+BM_FairShare(benchmark::State &state)
+{
+    const int nf = static_cast<int>(state.range(0));
+    std::vector<double> caps(16, 1.0e9);
+    std::vector<FairShareFlow> flows = syntheticFlows(nf);
     for (auto _ : state) {
         auto rates = fairShareRates(caps, flows);
         benchmark::DoNotOptimize(rates);
     }
 }
 BENCHMARK(BM_FairShare)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_FairShareScratch(benchmark::State &state)
+{
+    // The engine's actual hot path: one workspace reused across every
+    // allocator rerun, so steady-state calls are allocation-free.
+    const int nf = static_cast<int>(state.range(0));
+    std::vector<double> caps(16, 1.0e9);
+    std::vector<FairShareFlow> flows = syntheticFlows(nf);
+    FairShareScratch scratch;
+    for (auto _ : state) {
+        fairShareRatesInto(caps, flows, scratch);
+        benchmark::DoNotOptimize(scratch.rates.data());
+    }
+}
+BENCHMARK(BM_FairShareScratch)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_FairShareReference(benchmark::State &state)
+{
+    // The retained allocation-per-call oracle, benchmarked so the
+    // scratch win stays visible in BENCH_engine.json.
+    const int nf = static_cast<int>(state.range(0));
+    std::vector<double> caps(16, 1.0e9);
+    std::vector<FairShareFlow> flows = syntheticFlows(nf);
+    for (auto _ : state) {
+        auto rates = fairShareRatesReference(caps, flows);
+        benchmark::DoNotOptimize(rates);
+    }
+}
+BENCHMARK(BM_FairShareReference)->Arg(16);
+
+void
+BM_PathVecCopy(benchmark::State &state)
+{
+    // Copying a Work (engine does this on every flow start and
+    // allocator rerun).  With the inline PathVec a 3-hop path never
+    // touches the heap.
+    const auto hops = static_cast<size_t>(state.range(0));
+    Work proto;
+    proto.amount = 1.0e6;
+    for (size_t h = 0; h < hops; ++h)
+        proto.path.push_back(static_cast<ResourceId>(h));
+    for (auto _ : state) {
+        Work copy = proto;
+        benchmark::DoNotOptimize(copy.path.data());
+    }
+}
+BENCHMARK(BM_PathVecCopy)->Arg(1)->Arg(3)->Arg(6);
 
 void
 BM_EngineEventThroughput(benchmark::State &state)
@@ -92,6 +149,30 @@ BM_NasCgExperiment(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NasCgExperiment)->Arg(16);
+
+void
+BM_SweepThroughput(benchmark::State &state)
+{
+    // The Table 2/3 macro shape: a full numactl-option x rank-count
+    // grid.  Arg is the parallel_for job count; grid points per
+    // second is the sweep-level throughput figure.
+    const int jobs = static_cast<int>(state.range(0));
+    StreamWorkload stream(4u << 20, 10);
+    MachineConfig machine = longsConfig();
+    const std::vector<int> ranks = {2, 4, 8, 16};
+    const size_t grid =
+        ranks.size() * table5Options().size();
+    for (auto _ : state) {
+        OptionSweepResult r =
+            sweepOptions(machine, ranks, stream, MpiImpl::OpenMpi,
+                         SubLayer::USysV, -1, jobs);
+        benchmark::DoNotOptimize(r.seconds.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(grid));
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 } // namespace
 } // namespace mcscope

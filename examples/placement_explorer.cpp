@@ -16,6 +16,7 @@
 
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "core/parallel_for.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
 #include "machine/config.hh"
@@ -39,7 +40,10 @@ main(int argc, char **argv)
     for (int r = 2; r <= machine.totalCores(); r *= 2)
         ranks.push_back(r);
 
-    OptionSweepResult sweep = sweepOptions(machine, ranks, *workload);
+    // MCSCOPE_JOBS=N runs the grid points concurrently.
+    OptionSweepResult sweep =
+        sweepOptions(machine, ranks, *workload, MpiImpl::OpenMpi,
+                     SubLayer::USysV, -1, defaultJobs());
     TextTable t(optionSweepHeader("Workload"));
     appendOptionSweepRows(t, sweep, workload_name);
     t.print(std::cout);

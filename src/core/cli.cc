@@ -7,6 +7,7 @@
 
 #include "core/analysis.hh"
 #include "core/calibration.hh"
+#include "core/parallel_for.hh"
 #include "util/csv.hh"
 #include "core/experiment.hh"
 #include "core/metrics.hh"
@@ -29,7 +30,9 @@ const char *kUsage =
     "  scaling <workload> [flags]   strong-scaling series\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
-    "       --audit  run under the simulation invariant auditor (run)\n";
+    "       --audit  run under the simulation invariant auditor (run)\n"
+    "       --jobs N run sweep/scaling grid points on N threads\n"
+    "                (default: MCSCOPE_JOBS, else 1)\n";
 
 struct CliFlags
 {
@@ -41,6 +44,7 @@ struct CliFlags
     bool detail = false;
     bool csv = false;
     bool audit = false;
+    int jobs = defaultJobs();
     std::string error;
 };
 
@@ -87,6 +91,18 @@ parseFlags(const std::vector<std::string> &args, size_t start)
                 f.error = "unknown --sublayer '" + v + "'";
                 return f;
             }
+        } else if (a == "--jobs") {
+            std::string v = next();
+            bool numeric = !v.empty();
+            for (char c : v) {
+                numeric = numeric &&
+                          std::isdigit(static_cast<unsigned char>(c));
+            }
+            if (!numeric || std::stoi(v) <= 0) {
+                f.error = "bad --jobs value '" + v + "'";
+                return f;
+            }
+            f.jobs = std::stoi(v);
         } else if (a == "--detail") {
             f.detail = true;
         } else if (a == "--audit") {
@@ -266,7 +282,8 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
     }
     auto workload = makeWorkload(args[1]);
     OptionSweepResult sweep =
-        sweepOptions(machine, ranks, *workload, f.impl, f.sublayer);
+        sweepOptions(machine, ranks, *workload, f.impl, f.sublayer,
+                     -1, f.jobs);
     if (f.csv) {
         CsvWriter csv(out);
         std::vector<std::string> header = {"ranks"};
@@ -314,7 +331,7 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
     }
     auto workload = makeWorkload(args[1]);
     std::vector<double> t =
-        defaultScalingTimes(machine, ranks, *workload);
+        defaultScalingTimes(machine, ranks, *workload, -1, f.jobs);
     std::vector<double> s = speedups(t);
     TextTable table({"ranks", "seconds", "speedup", "efficiency"});
     for (size_t i = 0; i < ranks.size(); ++i) {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "core/parallel_for.hh"
 #include "machine/machine.hh"
 #include "sim/audit.hh"
 #include "simmpi/comm.hh"
@@ -69,49 +70,56 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
 OptionSweepResult
 sweepOptions(const MachineConfig &machine,
              const std::vector<int> &rank_counts, const Workload &workload,
-             MpiImpl impl, SubLayer sublayer, int tag)
+             MpiImpl impl, SubLayer sublayer, int tag, int jobs)
 {
     OptionSweepResult out;
     out.rankCounts = rank_counts;
     out.options = table5Options();
 
-    for (int ranks : rank_counts) {
-        std::vector<double> row;
-        for (const NumactlOption &opt : out.options) {
-            ExperimentConfig cfg;
-            cfg.machine = machine;
-            cfg.option = opt;
-            cfg.ranks = ranks;
-            cfg.impl = impl;
-            cfg.sublayer = sublayer;
-            RunResult r = runExperiment(cfg, workload);
-            if (!r.valid) {
-                row.push_back(std::numeric_limits<double>::quiet_NaN());
-            } else {
-                row.push_back(tag < 0 ? r.seconds : r.tagged(tag));
-            }
+    const size_t ncols = out.options.size();
+    out.seconds.assign(rank_counts.size(),
+                       std::vector<double>(ncols, 0.0));
+
+    // Each grid point is a self-contained simulation; fan the flat
+    // (rank, option) index space out over the worker pool.  Workers
+    // write only their own preassigned cell, so the matrix ordering
+    // is deterministic whatever the job count.
+    parallelFor(rank_counts.size() * ncols, jobs, [&](size_t i) {
+        const size_t row = i / ncols;
+        const size_t col = i % ncols;
+        ExperimentConfig cfg;
+        cfg.machine = machine;
+        cfg.option = out.options[col];
+        cfg.ranks = rank_counts[row];
+        cfg.impl = impl;
+        cfg.sublayer = sublayer;
+        RunResult r = runExperiment(cfg, workload);
+        if (!r.valid) {
+            out.seconds[row][col] =
+                std::numeric_limits<double>::quiet_NaN();
+        } else {
+            out.seconds[row][col] = tag < 0 ? r.seconds : r.tagged(tag);
         }
-        out.seconds.push_back(std::move(row));
-    }
+    });
     return out;
 }
 
 std::vector<double>
 defaultScalingTimes(const MachineConfig &machine,
                     const std::vector<int> &rank_counts,
-                    const Workload &workload, int tag)
+                    const Workload &workload, int tag, int jobs)
 {
-    std::vector<double> out;
-    for (int ranks : rank_counts) {
+    std::vector<double> out(rank_counts.size(), 0.0);
+    parallelFor(rank_counts.size(), jobs, [&](size_t i) {
         ExperimentConfig cfg;
         cfg.machine = machine;
         cfg.option = table5Options().front(); // Default
-        cfg.ranks = ranks;
+        cfg.ranks = rank_counts[i];
         RunResult r = runExperiment(cfg, workload);
-        MCSCOPE_ASSERT(r.valid, "default placement rejected ", ranks,
-                       " ranks on ", machine.name);
-        out.push_back(tag < 0 ? r.seconds : r.tagged(tag));
-    }
+        MCSCOPE_ASSERT(r.valid, "default placement rejected ",
+                       rank_counts[i], " ranks on ", machine.name);
+        out[i] = tag < 0 ? r.seconds : r.tagged(tag);
+    });
     return out;
 }
 

@@ -101,24 +101,33 @@ struct OptionSweepResult
 /**
  * Run the full option sweep.
  *
- * @param tag  -1 reports makespan; otherwise the tagged phase time
- *             (e.g. tags::kFft for the Table 7 FFT phase).
+ * Grid points are independent simulations (each builds its own
+ * Machine and Engine), so they run concurrently when jobs > 1; the
+ * result matrix is ordered by (rank index, option index) regardless
+ * of the job count, and any worker exception is rethrown in the
+ * caller.
+ *
+ * @param tag   -1 reports makespan; otherwise the tagged phase time
+ *              (e.g. tags::kFft for the Table 7 FFT phase).
+ * @param jobs  worker thread budget; <= 1 runs serially (see
+ *              core/parallel_for.hh and defaultJobs()).
  */
 OptionSweepResult sweepOptions(const MachineConfig &machine,
                                const std::vector<int> &rank_counts,
                                const Workload &workload,
                                MpiImpl impl = MpiImpl::OpenMpi,
                                SubLayer sublayer = SubLayer::USysV,
-                               int tag = -1);
+                               int tag = -1, int jobs = 1);
 
 /**
  * Strong-scaling run times with the Default option (no numactl), the
- * shape of the speedup tables (4, 8, 10, 12).
+ * shape of the speedup tables (4, 8, 10, 12).  Rank counts run
+ * concurrently when jobs > 1, with deterministic result ordering.
  */
 std::vector<double> defaultScalingTimes(const MachineConfig &machine,
                                         const std::vector<int> &rank_counts,
                                         const Workload &workload,
-                                        int tag = -1);
+                                        int tag = -1, int jobs = 1);
 
 } // namespace mcscope
 

@@ -1,0 +1,76 @@
+#include "core/parallel_for.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcscope {
+
+void
+parallelFor(size_t n, int jobs, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    size_t workers = jobs <= 1 ? 1 : static_cast<size_t>(jobs);
+    if (workers > n)
+        workers = n;
+    if (workers == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<bool> abort{false};
+
+    auto body = [&]() {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n || abort.load(std::memory_order_relaxed))
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                abort.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (size_t w = 1; w < workers; ++w)
+        pool.emplace_back(body);
+    body(); // the calling thread is worker 0
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+int
+defaultJobs()
+{
+    const char *v = std::getenv("MCSCOPE_JOBS");
+    if (v == nullptr || v[0] == '\0')
+        return 1;
+    char *end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || parsed <= 0)
+        return 1;
+    if (parsed > 1024)
+        parsed = 1024;
+    return static_cast<int>(parsed);
+}
+
+} // namespace mcscope

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * A small fork-join executor for embarrassingly parallel sweeps.
+ *
+ * Every paper artifact is a grid of independent simulations (Tables
+ * 2-3 alone are 6 numactl options x 4 rank counts x 2 kernels), and
+ * each grid point builds its own Machine + Engine, so the points can
+ * run concurrently.  parallelFor() fans indices [0, n) out over a
+ * pool of worker threads; callers write results into preallocated
+ * slot i, which keeps result ordering deterministic regardless of
+ * completion order.
+ *
+ * Invariants the executor guarantees:
+ *  - fn is invoked exactly once per index;
+ *  - fn runs concurrently only with other indices, never with the
+ *    caller's post-join code (the call joins all workers before
+ *    returning);
+ *  - the first exception thrown by any fn is rethrown in the caller
+ *    after all workers drain (remaining indices are skipped);
+ *  - jobs <= 1 (or n <= 1) degrades to a plain serial loop on the
+ *    calling thread, with zero thread traffic.
+ */
+
+#ifndef MCSCOPE_CORE_PARALLEL_FOR_HH
+#define MCSCOPE_CORE_PARALLEL_FOR_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace mcscope {
+
+/**
+ * Run fn(i) for every i in [0, n) on up to `jobs` threads.
+ *
+ * @param n     number of independent work items.
+ * @param jobs  worker thread budget; <= 1 means serial.
+ * @param fn    the work item body; must be safe to call concurrently
+ *              for distinct indices.
+ */
+void parallelFor(size_t n, int jobs,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * The sweep-level job count: the MCSCOPE_JOBS environment variable
+ * when set to a positive integer, otherwise 1 (serial).  CLI --jobs
+ * overrides this.
+ */
+int defaultJobs();
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_PARALLEL_FOR_HH

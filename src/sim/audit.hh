@@ -48,7 +48,7 @@ namespace mcscope {
 struct AuditedFlow
 {
     /** Resources the flow occupies concurrently. */
-    std::vector<ResourceId> path;
+    PathVec path;
 
     /** Per-flow ceiling in units/s; <= 0 means uncapped. */
     double rateCap = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "sim/audit.hh"
@@ -14,10 +15,24 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 } // namespace
 
+namespace {
+
+/** True when MCSCOPE_REFERENCE_ALLOCATOR requests the oracle path. */
+bool
+referenceAllocatorRequestedByEnv()
+{
+    const char *v = std::getenv("MCSCOPE_REFERENCE_ALLOCATOR");
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
 Engine::Engine()
 {
     if (auditRequestedByEnv())
         auditor_ = std::make_unique<Auditor>();
+    if (referenceAllocatorRequestedByEnv())
+        allocator_ = AllocatorKind::Reference;
 }
 
 Engine::~Engine() = default;
@@ -97,8 +112,10 @@ SimTime
 Engine::taggedTime(int task, PhaseTag tag) const
 {
     MCSCOPE_ASSERT(task >= 0 && task < taskCount(), "bad task id ", task);
-    auto it = tasks_[task].taggedTime.find(tag);
-    return it == tasks_[task].taggedTime.end() ? 0.0 : it->second;
+    MCSCOPE_ASSERT(tag >= 0 && tag < kPhaseTagSlots,
+                   "phase tag ", tag, " out of range [0, ",
+                   kPhaseTagSlots, ")");
+    return tasks_[task].taggedTime[tag];
 }
 
 SimTime
@@ -152,11 +169,14 @@ void
 Engine::accrueBlockedTime(int task)
 {
     TaskEntry &t = tasks_[task];
+    MCSCOPE_ASSERT(t.blockTag >= 0 && t.blockTag < kPhaseTagSlots,
+                   "phase tag ", t.blockTag, " out of range [0, ",
+                   kPhaseTagSlots, ")");
     t.taggedTime[t.blockTag] += now_ - t.blockStart;
 }
 
 void
-Engine::startFlow(const Work &w, std::vector<int> owners, PhaseTag tag)
+Engine::startFlow(const Work &w, OwnerVec owners, PhaseTag tag)
 {
     ActiveFlow flow;
     flow.work = w;
@@ -293,38 +313,49 @@ Engine::advanceTask(int task)
 void
 Engine::recomputeRates()
 {
-    std::vector<FairShareFlow> specs;
-    specs.reserve(flows_.size());
+    // All scratch containers below persist across calls; clear() and
+    // assign() reuse their capacity, so the steady-state hot path is
+    // allocation-free.
+    specScratch_.clear();
     for (const auto &f : flows_) {
         FairShareFlow spec;
         spec.path = f.work.path;
         spec.rateCap = f.work.rateCap;
-        specs.push_back(std::move(spec));
+        specScratch_.push_back(std::move(spec));
     }
-    std::vector<double> rates = fairShareRates(capacities_, specs);
+    if (allocator_ == AllocatorKind::Reference)
+        fsScratch_.rates = fairShareRatesReference(capacities_, specScratch_);
+    else
+        fairShareRatesInto(capacities_, specScratch_, fsScratch_);
+    const std::vector<double> &rates = fsScratch_.rates;
+
+    SimTime next_finish = kInf;
     for (size_t i = 0; i < flows_.size(); ++i) {
         flows_[i].rate = rates[i];
         MCSCOPE_ASSERT(flows_[i].rate > 0.0,
                        "flow got a non-positive rate");
+        SimTime finish = now_ + flows_[i].remaining / flows_[i].rate;
+        if (finish < next_finish)
+            next_finish = finish;
     }
+    nextFlowFinish_ = next_finish;
     ratesDirty_ = false;
 
     // Track the peak concurrent-flow count per resource.  The flow set
     // only changes between recomputations, so sampling here sees every
     // distinct concurrency level.
-    std::vector<int> users(capacities_.size(), 0);
+    userScratch_.assign(capacities_.size(), 0);
     for (const auto &f : flows_) {
         for (ResourceId r : f.work.path)
-            ++users[r];
+            ++userScratch_[r];
     }
-    for (size_t r = 0; r < users.size(); ++r) {
-        if (users[r] > stats_[r].peakConcurrency)
-            stats_[r].peakConcurrency = users[r];
+    for (size_t r = 0; r < userScratch_.size(); ++r) {
+        if (userScratch_[r] > stats_[r].peakConcurrency)
+            stats_[r].peakConcurrency = userScratch_[r];
     }
 
     if (auditor_) {
-        std::vector<AuditedFlow> audited;
-        audited.reserve(flows_.size());
+        auditScratch_.clear();
         for (const auto &f : flows_) {
             AuditedFlow af;
             af.path = f.work.path;
@@ -333,9 +364,9 @@ Engine::recomputeRates()
             af.remaining = f.remaining;
             af.owner = f.owners[0];
             af.tag = f.tag;
-            audited.push_back(std::move(af));
+            auditScratch_.push_back(std::move(af));
         }
-        auditor_->onAllocation(capacities_, audited, now_);
+        auditor_->onAllocation(capacities_, auditScratch_, now_);
     }
 }
 
@@ -358,21 +389,43 @@ Engine::run()
         }
     }
 
+    std::vector<int> to_advance;
     while (unfinished_ > 0) {
         if (ratesDirty_)
             recomputeRates();
 
-        // Earliest flow completion.
+        // Earliest flow completion.  Absolute flow finish times are
+        // invariant while rates are unchanged (each flow drains at a
+        // constant rate), so the min is maintained incrementally by
+        // recomputeRates() instead of scanned every iteration.
         double dt_flow = kInf;
-        for (const auto &f : flows_) {
-            double dt = f.remaining / f.rate;
-            if (dt < dt_flow)
-                dt_flow = dt;
+        if (!flows_.empty()) {
+            dt_flow = nextFlowFinish_ - now_;
+            if (dt_flow <= 0.0) {
+                // now_ accumulates dt with different round-off than
+                // remaining accumulates rate*dt, so now_ can reach the
+                // tracked finish time while the nearest flow still
+                // carries an epsilon of work above the completion
+                // tolerance.  Fall back to the direct scan, whose
+                // remaining/rate is strictly positive, so time always
+                // advances and the flow drains on the next step.
+                dt_flow = kInf;
+                for (const auto &f : flows_) {
+                    double d = f.remaining / f.rate;
+                    if (d < dt_flow)
+                        dt_flow = d;
+                }
+            }
         }
-        // Earliest delay expiry.
+        // Earliest delay expiry.  Coincident expiries can land an
+        // epsilon in the past from float round-off; clamp at zero so
+        // time never steps backwards.
         double dt_delay = kInf;
-        if (!delays_.empty())
+        if (!delays_.empty()) {
             dt_delay = delays_.begin()->first - now_;
+            if (dt_delay < 0.0)
+                dt_delay = 0.0;
+        }
 
         double dt = std::min(dt_flow, dt_delay);
         if (!std::isfinite(dt)) {
@@ -403,7 +456,7 @@ Engine::run()
         }
 
         // Complete flows.
-        std::vector<int> to_advance;
+        to_advance.clear();
         const double tol = 1e-9;
         for (size_t i = 0; i < flows_.size();) {
             ActiveFlow &f = flows_[i];

@@ -19,6 +19,7 @@
 #ifndef MCSCOPE_SIM_ENGINE_HH
 #define MCSCOPE_SIM_ENGINE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -27,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fairshare.hh"
 #include "sim/prim.hh"
 #include "sim/task.hh"
 #include "sim/time.hh"
@@ -34,6 +36,14 @@
 namespace mcscope {
 
 class Auditor;
+struct AuditedFlow;
+
+/**
+ * Number of phase-tag slots tracked per task.  Tags are small dense
+ * integers (kernels/workload.hh uses 0-6, tests go up to 9), so
+ * per-task tagged time lives in a flat array instead of a map.
+ */
+constexpr int kPhaseTagSlots = 16;
 
 /** Aggregate statistics for one resource over a run. */
 struct ResourceStats
@@ -162,6 +172,26 @@ class Engine
     /** The installed auditor, or nullptr. */
     Auditor *auditor() const { return auditor_.get(); }
 
+    /**
+     * Which max-min allocator implementation the engine runs.
+     * Optimized is the zero-allocation workspace variant; Reference
+     * is the retained original, kept as a differential-testing oracle
+     * (identical rates, identical audit digests).  The
+     * MCSCOPE_REFERENCE_ALLOCATOR environment variable selects
+     * Reference for every engine, for whole-binary A/B runs.
+     */
+    enum class AllocatorKind
+    {
+        Optimized,
+        Reference,
+    };
+
+    /** Select the allocator implementation (default Optimized). */
+    void setAllocator(AllocatorKind kind) { allocator_ = kind; }
+
+    /** The active allocator implementation. */
+    AllocatorKind allocator() const { return allocator_; }
+
   private:
     enum class TaskState
     {
@@ -181,15 +211,20 @@ class Engine
         SimTime finishTime = 0.0;
         SimTime blockStart = 0.0;
         PhaseTag blockTag = 0;
-        std::map<PhaseTag, SimTime> taggedTime;
+
+        /** Per-tag blocked time; flat array, tags are small ints. */
+        std::array<SimTime, kPhaseTagSlots> taggedTime{};
     };
+
+    /** Owner list of a flow: one task, or two for rendezvous. */
+    using OwnerVec = SmallVec<int, 2>;
 
     struct ActiveFlow
     {
         Work work;
         double remaining = 0.0;
         double rate = 0.0;
-        std::vector<int> owners;
+        OwnerVec owners;
         PhaseTag tag = 0;
     };
 
@@ -210,7 +245,7 @@ class Engine
     void advanceTask(int task);
 
     /** Start a fluid flow owned by `owners`. */
-    void startFlow(const Work &w, std::vector<int> owners, PhaseTag tag);
+    void startFlow(const Work &w, OwnerVec owners, PhaseTag tag);
 
     /** Recompute max-min fair rates for all active flows. */
     void recomputeRates();
@@ -239,10 +274,27 @@ class Engine
     std::function<void(const TraceEvent &)> traceSink_;
     std::unique_ptr<Auditor> auditor_;
 
+    // Reusable hot-path workspaces: sized on first use, then every
+    // recomputeRates() call is allocation-free in steady state.
+    FairShareScratch fsScratch_;
+    std::vector<FairShareFlow> specScratch_;
+    std::vector<AuditedFlow> auditScratch_;
+    std::vector<int> userScratch_;
+
+    /**
+     * Earliest absolute completion time over all active flows,
+     * maintained by recomputeRates().  Between allocator reruns every
+     * flow drains at a constant rate, so absolute finish times are
+     * invariant and the per-iteration O(flows) scan reduces to one
+     * subtraction.
+     */
+    SimTime nextFlowFinish_ = 0.0;
+
     SimTime now_ = 0.0;
     bool ratesDirty_ = false;
     uint64_t events_ = 0;
     int unfinished_ = 0;
+    AllocatorKind allocator_ = AllocatorKind::Optimized;
 };
 
 } // namespace mcscope

@@ -7,9 +7,127 @@
 
 namespace mcscope {
 
+void
+fairShareRatesInto(const std::vector<double> &capacities,
+                   const std::vector<FairShareFlow> &flows,
+                   FairShareScratch &scratch)
+{
+    const size_t nr = capacities.size();
+    const size_t nf = flows.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    scratch.rates.assign(nf, 0.0);
+    scratch.frozen.assign(nf, 0);
+    scratch.residual.assign(capacities.begin(), capacities.end());
+    scratch.users.assign(nr, 0);
+    scratch.saturated.assign(nr, 0);
+
+    std::vector<double> &rates = scratch.rates;
+    std::vector<char> &frozen = scratch.frozen;
+    std::vector<double> &residual = scratch.residual;
+    std::vector<int> &users = scratch.users;
+    std::vector<char> &saturated = scratch.saturated;
+
+    size_t unfrozen = 0;
+    for (size_t f = 0; f < nf; ++f) {
+        const auto &flow = flows[f];
+        if (flow.path.empty() && flow.rateCap <= 0.0) {
+            // No constraint at all: instantaneous.
+            rates[f] = inf;
+            frozen[f] = 1;
+            continue;
+        }
+        for (ResourceId r : flow.path) {
+            MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
+                           "flow references unknown resource ", r);
+            ++users[r];
+        }
+        ++unfrozen;
+    }
+
+    // Progressive filling: all unfrozen flows rise at a common level;
+    // each round the binding constraint is the smallest of (a) a flow's
+    // cap and (b) a resource's residual fair share.  Freeze everything
+    // at that level and continue.
+    double level = 0.0;
+    while (unfrozen > 0) {
+        double next = inf;
+        for (size_t r = 0; r < nr; ++r) {
+            if (users[r] > 0) {
+                double share = residual[r] / users[r];
+                if (share < next)
+                    next = share;
+            }
+        }
+        for (size_t f = 0; f < nf; ++f) {
+            if (!frozen[f] && flows[f].rateCap > 0.0 &&
+                flows[f].rateCap < next) {
+                next = flows[f].rateCap;
+            }
+        }
+        MCSCOPE_ASSERT(std::isfinite(next),
+                       "progressive filling found no binding constraint");
+        // Guard against capacity exhaustion from earlier freezes.
+        if (next < level)
+            next = level;
+
+        const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
+
+        // Identify saturated resources at this level.
+        for (size_t r = 0; r < nr; ++r) {
+            saturated[r] =
+                users[r] > 0 && residual[r] / users[r] <= next + tol;
+        }
+
+        // Freeze flows that hit a cap or cross a saturated resource.
+        size_t frozen_this_round = 0;
+        for (size_t f = 0; f < nf; ++f) {
+            if (frozen[f])
+                continue;
+            bool freeze = flows[f].rateCap > 0.0 &&
+                          flows[f].rateCap <= next + tol;
+            if (!freeze) {
+                for (ResourceId r : flows[f].path) {
+                    if (saturated[r]) {
+                        freeze = true;
+                        break;
+                    }
+                }
+            }
+            if (freeze) {
+                double rate = next;
+                if (flows[f].rateCap > 0.0 && flows[f].rateCap < rate)
+                    rate = flows[f].rateCap;
+                rates[f] = rate;
+                frozen[f] = 1;
+                ++frozen_this_round;
+                for (ResourceId r : flows[f].path) {
+                    residual[r] -= rate;
+                    if (residual[r] < 0.0)
+                        residual[r] = 0.0;
+                    --users[r];
+                }
+                --unfrozen;
+            }
+        }
+        MCSCOPE_ASSERT(frozen_this_round > 0,
+                       "progressive filling made no progress");
+        level = next;
+    }
+}
+
 std::vector<double>
 fairShareRates(const std::vector<double> &capacities,
                const std::vector<FairShareFlow> &flows)
+{
+    FairShareScratch scratch;
+    fairShareRatesInto(capacities, flows, scratch);
+    return std::move(scratch.rates);
+}
+
+std::vector<double>
+fairShareRatesReference(const std::vector<double> &capacities,
+                        const std::vector<FairShareFlow> &flows)
 {
     const size_t nr = capacities.size();
     const size_t nf = flows.size();
@@ -37,10 +155,6 @@ fairShareRates(const std::vector<double> &capacities,
         ++unfrozen;
     }
 
-    // Progressive filling: all unfrozen flows rise at a common level;
-    // each round the binding constraint is the smallest of (a) a flow's
-    // cap and (b) a resource's residual fair share.  Freeze everything
-    // at that level and continue.
     double level = 0.0;
     while (unfrozen > 0) {
         double next = inf;

@@ -28,24 +28,69 @@ namespace mcscope {
 struct FairShareFlow
 {
     /** Resources occupied concurrently (indices into capacities). */
-    std::vector<ResourceId> path;
+    PathVec path;
 
     /** Per-flow ceiling in units/s; <= 0 means unconstrained. */
     double rateCap = 0.0;
 };
 
 /**
- * Compute max-min fair rates.
+ * Reusable workspace for the progressive-filling allocator.
+ *
+ * The engine reruns the allocator at every flow-set change -- tens of
+ * thousands of times per simulation -- and each run needs five
+ * scratch arrays.  Keeping one FairShareScratch alive across calls
+ * means the arrays are sized once and every later call is
+ * allocation-free.  A scratch carries no state between calls other
+ * than buffer capacity; it may be reused across unrelated flow sets.
+ */
+struct FairShareScratch
+{
+    /** Output: one rate per flow, valid after fairShareRatesInto. */
+    std::vector<double> rates;
+
+    // Internal working arrays (exposed so the workspace is a plain
+    // aggregate; contents are unspecified between calls).
+    std::vector<char> frozen;
+    std::vector<double> residual;
+    std::vector<int> users;
+    std::vector<char> saturated;
+};
+
+/**
+ * Compute max-min fair rates into a reusable workspace.
+ *
+ * Identical results to fairShareRatesReference(); this variant only
+ * avoids the per-call allocations.  The rates land in scratch.rates.
  *
  * @param capacities  capacity of each resource, units/s (> 0).
  * @param flows       flow descriptions; paths may be empty (such flows
  *                    receive their cap, or +inf when uncapped -- the
  *                    caller treats that as "instantaneous").
+ */
+void fairShareRatesInto(const std::vector<double> &capacities,
+                        const std::vector<FairShareFlow> &flows,
+                        FairShareScratch &scratch);
+
+/**
+ * Compute max-min fair rates (convenience wrapper over a local
+ * workspace).
+ *
  * @return one rate per flow, in units/s.
  */
 std::vector<double>
 fairShareRates(const std::vector<double> &capacities,
                const std::vector<FairShareFlow> &flows);
+
+/**
+ * The original allocation-per-call implementation, retained verbatim
+ * as the differential-testing oracle: the optimized workspace variant
+ * must match it bit for bit on every input (see
+ * tests/sim/fairshare_diff_test.cpp and Engine::setAllocator).
+ */
+std::vector<double>
+fairShareRatesReference(const std::vector<double> &capacities,
+                        const std::vector<FairShareFlow> &flows);
 
 } // namespace mcscope
 

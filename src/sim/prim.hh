@@ -25,11 +25,19 @@
 #include <vector>
 
 #include "sim/time.hh"
+#include "util/smallvec.hh"
 
 namespace mcscope {
 
 /** Index of a resource registered with an Engine. */
 using ResourceId = int;
+
+/**
+ * A flow's resource path.  Typical paths are 1-3 hops (core; core +
+ * memory controller; + one or two HyperTransport links), so the
+ * inline capacity keeps the engine's per-flow copies off the heap.
+ */
+using PathVec = SmallVec<ResourceId, 4>;
 
 /**
  * A fluid flow: `amount` units moved across all resources in `path`
@@ -42,7 +50,7 @@ struct Work
     double amount = 0.0;
 
     /** Resources this flow occupies concurrently. */
-    std::vector<ResourceId> path;
+    PathVec path;
 
     /**
      * Per-flow rate ceiling in units/s; <= 0 means uncapped.  A memory

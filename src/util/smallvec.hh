@@ -1,0 +1,199 @@
+/**
+ * @file
+ * A small-size-optimized vector for trivially copyable elements.
+ *
+ * The simulation hot path stores a resource path (1-4 resource ids)
+ * inside every Work primitive and every active flow; with std::vector
+ * each copy of a Work is a heap allocation, and the engine copies
+ * paths on every flow start and allocator rerun.  SmallVec keeps up
+ * to N elements inline (no heap traffic at all for typical paths) and
+ * falls back to the heap only for longer sequences.
+ *
+ * The element type must be trivially copyable so inline storage can
+ * be moved with memcpy-style member copies; that covers ResourceId
+ * and every other use in the tree.
+ */
+
+#ifndef MCSCOPE_UTIL_SMALLVEC_HH
+#define MCSCOPE_UTIL_SMALLVEC_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace mcscope {
+
+template <typename T, size_t N>
+class SmallVec
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVec requires trivially copyable elements");
+    static_assert(N > 0, "SmallVec needs a positive inline capacity");
+
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    SmallVec() = default;
+
+    SmallVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+    /** Implicit conversion keeps std::vector call sites compiling. */
+    SmallVec(const std::vector<T> &v) // NOLINT(google-explicit-constructor)
+    {
+        assign(v.begin(), v.end());
+    }
+
+    template <typename It>
+    SmallVec(It first, It last) { assign(first, last); }
+
+    SmallVec(const SmallVec &other) { assign(other.begin(), other.end()); }
+
+    SmallVec(SmallVec &&other) noexcept { moveFrom(other); }
+
+    SmallVec &
+    operator=(const SmallVec &other)
+    {
+        if (this != &other)
+            assign(other.begin(), other.end());
+        return *this;
+    }
+
+    SmallVec &
+    operator=(SmallVec &&other) noexcept
+    {
+        if (this != &other) {
+            releaseHeap();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallVec &
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVec() { releaseHeap(); }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        clear();
+        for (; first != last; ++first)
+            push_back(*first);
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        data_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    void
+    reserve(size_t want)
+    {
+        if (want > cap_)
+            grow(want);
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    size_t capacity() const { return cap_; }
+
+    /** True when elements live in the inline buffer (no heap). */
+    bool inlined() const { return data_ == inline_; }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+
+    T *begin() { return data_; }
+    T *end() { return data_ + size_; }
+    const T *begin() const { return data_; }
+    const T *end() const { return data_ + size_; }
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+
+    T &front() { return data_[0]; }
+    const T &front() const { return data_[0]; }
+    T &back() { return data_[size_ - 1]; }
+    const T &back() const { return data_[size_ - 1]; }
+
+    friend bool
+    operator==(const SmallVec &a, const SmallVec &b)
+    {
+        return std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+
+    friend bool
+    operator!=(const SmallVec &a, const SmallVec &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    void
+    grow(size_t want)
+    {
+        size_t cap = cap_;
+        while (cap < want)
+            cap *= 2;
+        T *fresh = new T[cap];
+        // Plain element loop: std::copy lowers to __builtin_memmove,
+        // which trips GCC 12 -Warray-bounds false positives when this
+        // call is inlined into never-taken paths.
+        for (size_t i = 0; i < size_; ++i)
+            fresh[i] = data_[i];
+        releaseHeap();
+        data_ = fresh;
+        cap_ = cap;
+    }
+
+    void
+    moveFrom(SmallVec &other) noexcept
+    {
+        if (other.inlined()) {
+            for (size_t i = 0; i < other.size_; ++i)
+                inline_[i] = other.inline_[i];
+            data_ = inline_;
+            cap_ = N;
+        } else {
+            // Steal the heap buffer.
+            data_ = other.data_;
+            cap_ = other.cap_;
+            other.data_ = other.inline_;
+            other.cap_ = N;
+        }
+        size_ = other.size_;
+        other.size_ = 0;
+    }
+
+    void
+    releaseHeap()
+    {
+        if (!inlined()) {
+            delete[] data_;
+            data_ = inline_;
+            cap_ = N;
+        }
+    }
+
+    T inline_[N];
+    T *data_ = inline_;
+    size_t size_ = 0;
+    size_t cap_ = N;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_UTIL_SMALLVEC_HH

@@ -117,6 +117,31 @@ TEST(Cli, SweepPrintsTableAndGains)
               std::string::npos);
 }
 
+TEST(Cli, SweepWithJobsMatchesSerialOutput)
+{
+    std::string serial;
+    EXPECT_EQ(cli({"sweep", "stream", "--machine", "dmz", "--ranks",
+                   "2,4"},
+                  &serial),
+              0);
+    std::string parallel;
+    EXPECT_EQ(cli({"sweep", "stream", "--machine", "dmz", "--ranks",
+                   "2,4", "--jobs", "4"},
+                  &parallel),
+              0);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Cli, RejectsBadJobsValues)
+{
+    std::string out;
+    EXPECT_EQ(cli({"sweep", "stream", "--jobs", "0"}, &out), 2);
+    EXPECT_NE(out.find("bad --jobs"), std::string::npos);
+    EXPECT_EQ(cli({"sweep", "stream", "--jobs", "-2"}, &out), 2);
+    EXPECT_EQ(cli({"sweep", "stream", "--jobs", "many"}, &out), 2);
+    EXPECT_EQ(cli({"sweep", "stream", "--jobs"}, &out), 2);
+}
+
 TEST(Cli, ScalingPrintsSeries)
 {
     std::string out;

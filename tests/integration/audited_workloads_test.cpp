@@ -15,6 +15,7 @@
 #include "core/experiment.hh"
 #include "core/registry.hh"
 #include "machine/config.hh"
+#include "machine/machine.hh"
 
 namespace mcscope {
 namespace {
@@ -61,6 +62,39 @@ TEST_P(AuditedWorkloads, PassesAuditUnderLocalAllocOnLongs)
     ASSERT_TRUE(res.valid);
     EXPECT_TRUE(res.audited);
     EXPECT_GT(res.auditChecks, 0u);
+}
+
+TEST_P(AuditedWorkloads, OptimizedHotPathKeepsDigestBitForBit)
+{
+    // The zero-allocation allocator + incremental min-tracking must
+    // be invisible to results: an audited run with the optimized hot
+    // path and one with the retained reference allocator produce the
+    // same event stream, hence the same order-sensitive digest.
+    auto workload = makeWorkload(GetParam());
+    ASSERT_NE(workload, nullptr);
+
+    ExperimentConfig cfg;
+    cfg.machine = dmzConfig();
+    cfg.option = table5Options().front(); // Default
+    cfg.ranks = 4;
+    cfg.audit = true;
+
+    Machine optimized(cfg.machine);
+    RunResult opt = runExperimentOn(optimized, cfg, *workload);
+    ASSERT_TRUE(opt.valid);
+    ASSERT_TRUE(opt.audited);
+
+    Machine reference(cfg.machine);
+    reference.engine().setAllocator(Engine::AllocatorKind::Reference);
+    RunResult ref = runExperimentOn(reference, cfg, *workload);
+    ASSERT_TRUE(ref.valid);
+    ASSERT_TRUE(ref.audited);
+
+    EXPECT_EQ(opt.auditDigest, ref.auditDigest)
+        << "optimized hot path changed the audited event stream for "
+        << GetParam();
+    EXPECT_EQ(opt.seconds, ref.seconds);
+    EXPECT_EQ(opt.events, ref.events);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
+#include "sim/audit.hh"
 #include "sim/engine.hh"
 #include "sim/task.hh"
 
@@ -228,6 +231,93 @@ TEST(Engine, InstantaneousPrimsAreSkipped)
         "t", std::vector<Prim>{zero, work(0.0, {0}), work(1.0, {})}));
     e.run();
     EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+}
+
+TEST(Engine, CoincidentDelayExpiriesNeverStepTimeBackwards)
+{
+    // Many delays expiring at the same instant: the dt for the later
+    // pops is delays_.begin()->first - now_, which float round-off
+    // can push infinitesimally negative.  With the auditor's
+    // monotonicity check armed, any backwards step panics.
+    Engine e;
+    e.setAuditor(std::make_unique<Auditor>());
+    e.addResource("r", 1.0);
+    // Accumulate to the same expiry along different summation orders
+    // so the expiry times are equal-or-ulp-apart, not identical by
+    // construction.
+    const double step = 0.1; // not exactly representable in binary
+    for (int t = 0; t < 8; ++t) {
+        std::vector<Prim> prims;
+        for (int k = 0; k < t + 1; ++k) {
+            Delay d;
+            d.seconds = step * 7.0 / (t + 1);
+            prims.push_back(d);
+        }
+        e.addTask(std::make_unique<SequenceTask>(
+            "t" + std::to_string(t), std::move(prims)));
+    }
+    e.run();
+    EXPECT_NEAR(e.makespan(), 0.7, 1e-9);
+}
+
+TEST(Engine, CoincidentDelaysInterleavedWithFlows)
+{
+    Engine e;
+    e.setAuditor(std::make_unique<Auditor>());
+    ResourceId r = e.addResource("r", 10.0);
+    for (int t = 0; t < 4; ++t) {
+        Delay d;
+        d.seconds = 0.5;
+        e.addTask(std::make_unique<SequenceTask>(
+            "t" + std::to_string(t),
+            std::vector<Prim>{d, work(5.0, {r}), d}));
+    }
+    e.run();
+    // 0.5 (delay) + 4 tasks sharing 10 units/s for 5 units each
+    // (2.0 s) + 0.5 (delay).
+    EXPECT_NEAR(e.makespan(), 3.0, 1e-9);
+}
+
+TEST(Engine, ZeroMakespanUtilizationIsZero)
+{
+    // A workload that completes instantaneously (zero-amount work,
+    // zero delays) must report utilization 0, not divide by zero.
+    Engine e;
+    ResourceId r = e.addResource("r", 100.0);
+    Delay zero;
+    zero.seconds = 0.0;
+    e.addTask(std::make_unique<SequenceTask>(
+        "t", std::vector<Prim>{zero, work(0.0, {r})}));
+    e.run();
+    EXPECT_DOUBLE_EQ(e.makespan(), 0.0);
+    double u = e.resourceUtilization(r);
+    EXPECT_FALSE(std::isnan(u));
+    EXPECT_DOUBLE_EQ(u, 0.0);
+}
+
+TEST(Engine, ReferenceAllocatorProducesIdenticalTimes)
+{
+    auto build = [](Engine &e) {
+        ResourceId r0 = e.addResource("r0", 10.0);
+        ResourceId r1 = e.addResource("r1", 7.0);
+        for (int t = 0; t < 4; ++t) {
+            e.addTask(std::make_unique<SequenceTask>(
+                "t" + std::to_string(t),
+                std::vector<Prim>{
+                    work(5.0, {r0}),
+                    work(3.0, {r0, r1}, t % 2 == 0 ? 2.0 : 0.0)}));
+        }
+    };
+    Engine opt;
+    build(opt);
+    opt.run();
+    Engine ref;
+    ref.setAllocator(Engine::AllocatorKind::Reference);
+    build(ref);
+    ref.run();
+    EXPECT_EQ(opt.makespan(), ref.makespan());
+    for (int t = 0; t < opt.taskCount(); ++t)
+        EXPECT_EQ(opt.taskFinishTime(t), ref.taskFinishTime(t));
 }
 
 TEST(EngineDeath, DeadlockedRendezvousPanics)

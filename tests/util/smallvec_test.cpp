@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for SmallVec, the inline small-vector behind PathVec.
+ * The engine copies flow paths on every flow start and allocator
+ * rerun, so the inline/heap transition and all five special members
+ * must be exactly right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "util/smallvec.hh"
+
+namespace mcscope {
+namespace {
+
+using Vec = SmallVec<int, 4>;
+
+TEST(SmallVec, StaysInlineUpToCapacity)
+{
+    Vec v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_TRUE(v.inlined());
+    for (int i = 0; i < 4; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_TRUE(v.inlined());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, SpillsToHeapBeyondInlineCapacity)
+{
+    Vec v;
+    for (int i = 0; i < 9; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 9u);
+    EXPECT_FALSE(v.inlined());
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, InitializerListAndVectorConversion)
+{
+    Vec a = {1, 2, 3};
+    EXPECT_EQ(a.size(), 3u);
+    EXPECT_EQ(a[2], 3);
+
+    std::vector<int> source = {4, 5, 6, 7, 8};
+    Vec b = source;
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_FALSE(b.inlined());
+    EXPECT_EQ(b[4], 8);
+
+    a = {9};
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0], 9);
+}
+
+TEST(SmallVec, CopySemantics)
+{
+    Vec inline_src = {1, 2};
+    Vec inline_dst(inline_src);
+    EXPECT_EQ(inline_dst, inline_src);
+    inline_src.push_back(3);
+    EXPECT_EQ(inline_dst.size(), 2u); // deep copy
+
+    Vec heap_src;
+    for (int i = 0; i < 8; ++i)
+        heap_src.push_back(i);
+    Vec heap_dst;
+    heap_dst = heap_src;
+    EXPECT_EQ(heap_dst, heap_src);
+    heap_src[0] = 99;
+    EXPECT_EQ(heap_dst[0], 0);
+
+    // Self-assignment is a no-op.
+    Vec &alias = heap_dst;
+    heap_dst = alias;
+    EXPECT_EQ(heap_dst.size(), 8u);
+}
+
+TEST(SmallVec, MoveStealsHeapBufferAndCopiesInline)
+{
+    Vec heap_src;
+    for (int i = 0; i < 8; ++i)
+        heap_src.push_back(i);
+    const int *buf = heap_src.data();
+    Vec stolen(std::move(heap_src));
+    EXPECT_EQ(stolen.data(), buf); // heap buffer stolen, not copied
+    EXPECT_EQ(stolen.size(), 8u);
+    EXPECT_TRUE(heap_src.empty());   // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(heap_src.inlined()); // source reset to inline storage
+
+    Vec inline_src = {1, 2, 3};
+    Vec moved;
+    moved = std::move(inline_src);
+    EXPECT_EQ(moved.size(), 3u);
+    EXPECT_TRUE(moved.inlined());
+    EXPECT_EQ(moved[1], 2);
+}
+
+TEST(SmallVec, MoveAssignReleasesDestinationHeap)
+{
+    Vec dst;
+    for (int i = 0; i < 16; ++i)
+        dst.push_back(i);
+    Vec src = {7};
+    dst = std::move(src);
+    EXPECT_EQ(dst.size(), 1u);
+    EXPECT_EQ(dst[0], 7);
+    EXPECT_TRUE(dst.inlined());
+}
+
+TEST(SmallVec, ClearKeepsCapacity)
+{
+    Vec v;
+    for (int i = 0; i < 10; ++i)
+        v.push_back(i);
+    const size_t cap = v.capacity();
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.capacity(), cap);
+    v.push_back(42);
+    EXPECT_EQ(v.front(), 42);
+    EXPECT_EQ(v.back(), 42);
+}
+
+TEST(SmallVec, EqualityComparesElements)
+{
+    Vec a = {1, 2, 3};
+    Vec b = {1, 2, 3};
+    Vec c = {1, 2};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(SmallVec, RangeForAndIterators)
+{
+    Vec v = {2, 4, 6};
+    int sum = 0;
+    for (int x : v)
+        sum += x;
+    EXPECT_EQ(sum, 12);
+    const Vec &cv = v;
+    EXPECT_EQ(cv.end() - cv.begin(), 3);
+}
+
+} // namespace
+} // namespace mcscope

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a microbench_engine JSON report against the checked-in baseline.
+
+Usage:
+    tools/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--max-regress 0.20]
+
+Both files are google-benchmark ``--benchmark_format=json`` reports.
+The check fails (exit 1) when any throughput benchmark
+(items_per_second) regresses by more than --max-regress relative to
+the baseline, or when any time-per-iteration benchmark slows down by
+more than the same fraction.  Improvements never fail.
+
+The tolerance is generous on purpose: the baseline was recorded on one
+machine and CI runs on another, so this gate catches structural
+regressions (an accidentally quadratic loop, a reintroduced per-event
+allocation), not single-digit noise.  MCSCOPE_BENCH_TOLERANCE
+overrides --max-regress for especially noisy runners.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        prev = out.get(name)
+        if prev is None:
+            out[name] = bench
+            continue
+        # Repetitions share a name; keep the best run so one noisy
+        # repetition cannot fail the gate.
+        if bench.get("items_per_second") is not None:
+            if bench["items_per_second"] > (prev.get("items_per_second")
+                                            or 0.0):
+                out[name] = bench
+        elif bench.get("real_time") is not None:
+            if bench["real_time"] < (prev.get("real_time")
+                                     or float("inf")):
+                out[name] = bench
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--max-regress", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    args = parser.parse_args()
+
+    tolerance = args.max_regress
+    env_tol = os.environ.get("MCSCOPE_BENCH_TOLERANCE")
+    if env_tol:
+        tolerance = float(env_tol)
+
+    current = load_benchmarks(args.current)
+    baseline = load_benchmarks(args.baseline)
+
+    failures = []
+    compared = 0
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but not in "
+                            "the current report")
+            continue
+        base_ips = base.get("items_per_second")
+        cur_ips = cur.get("items_per_second")
+        if base_ips and cur_ips:
+            compared += 1
+            ratio = cur_ips / base_ips
+            verdict = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+            print(f"{name}: {cur_ips:.3e} vs baseline {base_ips:.3e} "
+                  f"items/s ({ratio:.2f}x) {verdict}")
+            if ratio < 1.0 - tolerance:
+                failures.append(f"{name}: throughput {ratio:.2f}x of "
+                                f"baseline (floor {1.0 - tolerance:.2f}x)")
+            continue
+        base_t = base.get("real_time")
+        cur_t = cur.get("real_time")
+        if base_t and cur_t:
+            compared += 1
+            ratio = cur_t / base_t
+            verdict = "ok" if ratio <= 1.0 + tolerance else "REGRESSED"
+            print(f"{name}: {cur_t:.1f} vs baseline {base_t:.1f} "
+                  f"{base.get('time_unit', 'ns')} ({ratio:.2f}x) {verdict}")
+            if ratio > 1.0 + tolerance:
+                failures.append(f"{name}: {ratio:.2f}x slower than "
+                                f"baseline (cap {1.0 + tolerance:.2f}x)")
+
+    if compared == 0:
+        print("error: no comparable benchmarks found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} benchmark regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} compared benchmarks within "
+          f"{tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
