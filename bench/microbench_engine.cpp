@@ -121,6 +121,62 @@ BM_EngineEventThroughput(benchmark::State &state)
 BENCHMARK(BM_EngineEventThroughput)->Arg(100)->Arg(1000);
 
 void
+BM_EngineEventThroughputTraced(benchmark::State &state)
+{
+    // Same workload as BM_EngineEventThroughput but with a trace sink
+    // installed, so the cost of emitting TraceEvents (path copies
+    // included) stays visible.  Compare against the untraced variant:
+    // tracing OFF must stay within noise of it, since the hot path
+    // only pays a branch on tracing().
+    const uint64_t iters = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        Engine e;
+        ResourceId r = e.addResource("r", 1.0e9);
+        Work w;
+        w.amount = 1.0e6;
+        w.path = {r};
+        for (int t = 0; t < 4; ++t) {
+            e.addTask(std::make_unique<LoopTask>(
+                "t" + std::to_string(t), std::vector<Prim>{},
+                std::vector<Prim>{w}, iters));
+        }
+        uint64_t sunk = 0;
+        e.setTraceSink([&sunk](const TraceEvent &ev) {
+            sunk += static_cast<uint64_t>(ev.kind) + 1;
+        });
+        e.run();
+        benchmark::DoNotOptimize(sunk);
+    }
+    state.SetItemsProcessed(state.iterations() * iters * 4);
+}
+BENCHMARK(BM_EngineEventThroughputTraced)->Arg(1000);
+
+void
+BM_EngineEventThroughputTimeline(benchmark::State &state)
+{
+    // Untraced run with the utilization timeline sampling enabled:
+    // the accrual loop touches every active flow per time step.
+    const uint64_t iters = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        Engine e;
+        ResourceId r = e.addResource("r", 1.0e9);
+        Work w;
+        w.amount = 1.0e6;
+        w.path = {r};
+        for (int t = 0; t < 4; ++t) {
+            e.addTask(std::make_unique<LoopTask>(
+                "t" + std::to_string(t), std::vector<Prim>{},
+                std::vector<Prim>{w}, iters));
+        }
+        e.enableUtilizationTimeline(64);
+        e.run();
+        benchmark::DoNotOptimize(e.makespan());
+    }
+    state.SetItemsProcessed(state.iterations() * iters * 4);
+}
+BENCHMARK(BM_EngineEventThroughputTimeline)->Arg(1000);
+
+void
 BM_StreamExperiment(benchmark::State &state)
 {
     StreamWorkload stream(4u << 20, 10);

@@ -70,8 +70,10 @@ CpuSet::str() const
         if (!out.empty())
             out += ",";
         out += std::to_string(v[i]);
-        if (j > i)
-            out += "-" + std::to_string(v[j]);
+        if (j > i) {
+            out += '-';
+            out += std::to_string(v[j]);
+        }
         i = j + 1;
     }
     return out;

@@ -10,10 +10,12 @@
 #ifndef MCSCOPE_CORE_ANALYSIS_HH
 #define MCSCOPE_CORE_ANALYSIS_HH
 
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "sim/engine.hh"
 
 namespace mcscope {
 
@@ -35,6 +37,44 @@ enum class ResourceKind
     HtLink,
 };
 
+/**
+ * Per-resource utilization over time: one busy-seconds series per
+ * resource, sampled into equal-width time buckets by the engine (see
+ * Engine::enableUtilizationTimeline).  Dividing a bucket's busy time
+ * by the bucket width gives the resource's utilization in that
+ * window, so congestion that an endpoint average hides (a membind
+ * ladder saturating only during the exchange phase) is visible.
+ */
+struct TimelineReport
+{
+    /** Bucket width in simulated seconds; 0 when sampling was off. */
+    double bucketWidth = 0.0;
+
+    /** Resource names, in engine resource order. */
+    std::vector<std::string> names;
+
+    /** busy[r][b]: busy seconds of resource r in bucket b. */
+    std::vector<std::vector<double>> busy;
+
+    /** True when the engine sampled a timeline. */
+    bool enabled() const { return bucketWidth > 0.0; }
+
+    /** Number of time buckets. */
+    int buckets() const
+    {
+        return busy.empty() ? 0 : static_cast<int>(busy.front().size());
+    }
+};
+
+/** Snapshot the utilization timeline out of a finished engine. */
+TimelineReport gatherTimeline(const Engine &engine);
+
+/**
+ * Write a timeline as CSV: bucket_start, bucket_end, then one
+ * utilization column (busy / width, in [0, 1]) per resource.
+ */
+void writeTimelineCsv(std::ostream &os, const TimelineReport &timeline);
+
 /** RunResult plus the full resource usage picture. */
 struct DetailedResult
 {
@@ -42,6 +82,12 @@ struct DetailedResult
     std::vector<ResourceReport> cores;
     std::vector<ResourceReport> controllers;
     std::vector<ResourceReport> links;
+
+    /** Engine counters for the run (events, reruns, peak flows). */
+    Engine::Stats engineStats;
+
+    /** Utilization timeline (empty unless config.timelineBuckets). */
+    TimelineReport timeline;
 
     /** Mean utilization over one bucket. */
     double meanUtilization(ResourceKind kind) const;
@@ -54,8 +100,24 @@ struct DetailedResult
 DetailedResult runExperimentDetailed(const ExperimentConfig &config,
                                      const Workload &workload);
 
+/**
+ * Like runExperimentDetailed but on a caller-owned, freshly
+ * constructed Machine, so observers (a trace sink, see
+ * sim/trace_export.hh) can be installed on machine.engine() first.
+ */
+DetailedResult runExperimentDetailedOn(Machine &machine,
+                                       const ExperimentConfig &config,
+                                       const Workload &workload);
+
 /** Render a bottleneck report as text. */
 std::string bottleneckReport(const DetailedResult &result);
+
+/**
+ * Render the timeline as a compact per-kind text section: one row per
+ * bucket with the mean utilization of cores, controllers, and links.
+ * Returns "" when the timeline is empty.
+ */
+std::string timelineSection(const DetailedResult &result);
 
 } // namespace mcscope
 

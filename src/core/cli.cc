@@ -1,7 +1,11 @@
 #include "core/cli.hh"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <ios>
+#include <limits>
 #include <map>
 #include <memory>
 
@@ -14,6 +18,8 @@
 #include "core/registry.hh"
 #include "core/report.hh"
 #include "machine/config.hh"
+#include "machine/machine.hh"
+#include "sim/trace_export.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -32,7 +38,35 @@ const char *kUsage =
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
     "       --audit  run under the simulation invariant auditor (run)\n"
     "       --jobs N run sweep/scaling grid points on N threads\n"
-    "                (default: MCSCOPE_JOBS, else 1)\n";
+    "                (default: MCSCOPE_JOBS, else 1)\n"
+    "       --trace-out FILE      Chrome trace_event JSON of the run\n"
+    "       --timeline-out FILE   per-resource utilization CSV (run)\n"
+    "       --timeline-buckets N  timeline resolution (default 64)\n"
+    "       --telemetry-out FILE  sweep telemetry JSON (sweep/scaling)\n";
+
+/**
+ * Parse a digits-only string as a non-negative integer.  Returns -1
+ * on empty input, a non-digit character, or a value that does not fit
+ * in int — callers treat all three as the same user error, never as a
+ * crash (std::stoi throws std::out_of_range on long digit strings).
+ */
+int
+parseDigits(const std::string &s)
+{
+    if (s.empty())
+        return -1;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return -1;
+    }
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size() ||
+        v > std::numeric_limits<int>::max())
+        return -1;
+    return static_cast<int>(v);
+}
 
 struct CliFlags
 {
@@ -45,6 +79,10 @@ struct CliFlags
     bool csv = false;
     bool audit = false;
     int jobs = defaultJobs();
+    std::string traceOut;
+    std::string timelineOut;
+    int timelineBuckets = 0;
+    std::string telemetryOut;
     std::string error;
 };
 
@@ -93,16 +131,37 @@ parseFlags(const std::vector<std::string> &args, size_t start)
             }
         } else if (a == "--jobs") {
             std::string v = next();
-            bool numeric = !v.empty();
-            for (char c : v) {
-                numeric = numeric &&
-                          std::isdigit(static_cast<unsigned char>(c));
-            }
-            if (!numeric || std::stoi(v) <= 0) {
+            int jobs = parseDigits(v);
+            if (jobs <= 0) {
                 f.error = "bad --jobs value '" + v + "'";
                 return f;
             }
-            f.jobs = std::stoi(v);
+            f.jobs = jobs;
+        } else if (a == "--trace-out") {
+            f.traceOut = next();
+            if (f.traceOut.empty()) {
+                f.error = "--trace-out needs a file name";
+                return f;
+            }
+        } else if (a == "--timeline-out") {
+            f.timelineOut = next();
+            if (f.timelineOut.empty()) {
+                f.error = "--timeline-out needs a file name";
+                return f;
+            }
+        } else if (a == "--timeline-buckets") {
+            std::string v = next();
+            f.timelineBuckets = parseDigits(v);
+            if (f.timelineBuckets <= 0) {
+                f.error = "bad --timeline-buckets value '" + v + "'";
+                return f;
+            }
+        } else if (a == "--telemetry-out") {
+            f.telemetryOut = next();
+            if (f.telemetryOut.empty()) {
+                f.error = "--telemetry-out needs a file name";
+                return f;
+            }
         } else if (a == "--detail") {
             f.detail = true;
         } else if (a == "--audit") {
@@ -122,13 +181,15 @@ std::optional<NumactlOption>
 resolveOption(const std::string &spec)
 {
     auto options = table5Options();
-    // Numeric index?
+    // Numeric index?  parseDigits rejects overflow, so an absurdly
+    // long digit string falls through to "not found" instead of
+    // throwing out of std::stoul.
     bool numeric = !spec.empty();
     for (char c : spec)
         numeric = numeric && std::isdigit(static_cast<unsigned char>(c));
     if (numeric) {
-        size_t idx = std::stoul(spec);
-        if (idx < options.size())
+        int idx = parseDigits(spec);
+        if (idx >= 0 && static_cast<size_t>(idx) < options.size())
             return options[idx];
         return std::nullopt;
     }
@@ -173,16 +234,6 @@ printAuditSummary(std::ostream &out, const ExperimentConfig &cfg,
     out << "audit: ok (" << first.auditChecks
         << " allocations checked, digest " << std::hex
         << first.auditDigest << std::dec << ", replay identical)\n";
-}
-
-bool
-knownWorkload(const std::string &name)
-{
-    for (const std::string &w : registeredWorkloads()) {
-        if (w == name)
-            return true;
-    }
-    return false;
 }
 
 int
@@ -233,33 +284,90 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
     cfg.impl = f.impl;
     cfg.sublayer = f.sublayer;
     cfg.audit = f.audit;
+    // --timeline-out implies sampling; --timeline-buckets alone also
+    // turns it on (the table shows under --detail).
+    if (f.timelineBuckets > 0)
+        cfg.timelineBuckets = f.timelineBuckets;
+    else if (!f.timelineOut.empty())
+        cfg.timelineBuckets = 64;
 
-    if (f.detail) {
-        DetailedResult res = runExperimentDetailed(cfg, *workload);
-        if (!res.run.valid) {
-            out << "infeasible: '" << option->label << "' cannot host "
-                << ranks << " ranks on " << machine.name << "\n";
-            return 1;
+    // Observers must be on the engine before the run, so own the
+    // Machine here instead of letting runExperiment build one.
+    Machine sim(cfg.machine);
+    std::ofstream trace_file;
+    std::unique_ptr<ChromeTraceWriter> tracer;
+    if (!f.traceOut.empty()) {
+        trace_file.open(f.traceOut,
+                        std::ios::out | std::ios::trunc);
+        if (!trace_file) {
+            out << "run: cannot open '" << f.traceOut
+                << "' for writing\n";
+            return 2;
         }
-        out << workload->name() << " on " << machine.name << ", "
-            << ranks << " ranks, '" << option->label << "':\n";
-        out << bottleneckReport(res);
-        if (res.run.audited)
-            printAuditSummary(out, cfg, *workload, res.run);
-        return 0;
+        tracer = std::make_unique<ChromeTraceWriter>(trace_file);
+        tracer->attach(sim.engine());
     }
-    RunResult res = runExperiment(cfg, *workload);
-    if (!res.valid) {
+
+    DetailedResult res = runExperimentDetailedOn(sim, cfg, *workload);
+    if (tracer)
+        tracer->finish();
+    if (!res.run.valid) {
         out << "infeasible: '" << option->label << "' cannot host "
             << ranks << " ranks on " << machine.name << "\n";
         return 1;
     }
-    out << workload->name() << " on " << machine.name << ", " << ranks
-        << " ranks, '" << option->label
-        << "': " << formatFixed(res.seconds, 3) << " s\n";
-    if (res.audited)
-        printAuditSummary(out, cfg, *workload, res);
+
+    if (f.detail) {
+        out << workload->name() << " on " << machine.name << ", "
+            << ranks << " ranks, '" << option->label << "':\n";
+        out << bottleneckReport(res);
+        out << timelineSection(res);
+    } else {
+        out << workload->name() << " on " << machine.name << ", "
+            << ranks << " ranks, '" << option->label
+            << "': " << formatFixed(res.run.seconds, 3) << " s\n";
+    }
+    if (tracer) {
+        out << "trace: " << tracer->recordsWritten() << " records -> "
+            << f.traceOut << "\n";
+    }
+    if (!f.timelineOut.empty()) {
+        std::ofstream timeline_file(f.timelineOut,
+                                    std::ios::out | std::ios::trunc);
+        if (!timeline_file) {
+            out << "run: cannot open '" << f.timelineOut
+                << "' for writing\n";
+            return 2;
+        }
+        writeTimelineCsv(timeline_file, res.timeline);
+        out << "timeline: " << res.timeline.buckets() << " buckets -> "
+            << f.timelineOut << "\n";
+    }
+    if (res.run.audited)
+        printAuditSummary(out, cfg, *workload, res.run);
     return 0;
+}
+
+/**
+ * Print the telemetry summary line and, when --telemetry-out was
+ * given, dump the JSON.  Returns false on an unwritable file.
+ */
+bool
+writeTelemetry(std::ostream &out, const char *cmd, const CliFlags &f,
+               const SweepTelemetry &telemetry)
+{
+    out << "telemetry: " << telemetry.summary() << "\n";
+    if (f.telemetryOut.empty())
+        return true;
+    std::ofstream json(f.telemetryOut, std::ios::out | std::ios::trunc);
+    if (!json) {
+        out << cmd << ": cannot open '" << f.telemetryOut
+            << "' for writing\n";
+        return false;
+    }
+    telemetry.writeJson(json);
+    out << "telemetry: wrote " << f.telemetryOut << "\n";
+    return true;
 }
 
 int
@@ -281,9 +389,14 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
             ranks.push_back(r);
     }
     auto workload = makeWorkload(args[1]);
+    SweepTelemetry telemetry;
+    SweepTelemetry *telemetry_ptr =
+        (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
     OptionSweepResult sweep =
         sweepOptions(machine, ranks, *workload, f.impl, f.sublayer,
-                     -1, f.jobs);
+                     -1, f.jobs, telemetry_ptr);
+    if (telemetry_ptr && !writeTelemetry(out, "sweep", f, telemetry))
+        return 2;
     if (f.csv) {
         CsvWriter csv(out);
         std::vector<std::string> header = {"ranks"};
@@ -330,8 +443,13 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
             ranks.push_back(r);
     }
     auto workload = makeWorkload(args[1]);
-    std::vector<double> t =
-        defaultScalingTimes(machine, ranks, *workload, -1, f.jobs);
+    SweepTelemetry telemetry;
+    SweepTelemetry *telemetry_ptr =
+        (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
+    std::vector<double> t = defaultScalingTimes(
+        machine, ranks, *workload, -1, f.jobs, telemetry_ptr);
+    if (telemetry_ptr && !writeTelemetry(out, "scaling", f, telemetry))
+        return 2;
     std::vector<double> s = speedups(t);
     TextTable table({"ranks", "seconds", "speedup", "efficiency"});
     for (size_t i = 0; i < ranks.size(); ++i) {
@@ -353,13 +471,11 @@ parseRankList(const std::string &arg)
     std::vector<int> out;
     for (const std::string &part : split(arg, ',')) {
         std::string p = trim(part);
-        if (p.empty())
-            return {};
-        for (char c : p) {
-            if (!std::isdigit(static_cast<unsigned char>(c)))
-                return {};
-        }
-        int v = std::stoi(p);
+        // parseDigits handles the non-digit and does-not-fit-in-int
+        // cases in one place; values like "99999999999999999999" are
+        // all digits, so the old std::stoi path threw
+        // std::out_of_range straight through main().
+        int v = parseDigits(p);
         if (v <= 0)
             return {};
         out.push_back(v);

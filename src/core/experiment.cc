@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -45,6 +46,8 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
     Engine &engine = machine.engine();
     if (config.audit && !engine.auditor())
         engine.setAuditor(std::make_unique<Auditor>());
+    if (config.timelineBuckets > 0 && !engine.timelineEnabled())
+        engine.enableUtilizationTimeline(config.timelineBuckets);
     MCSCOPE_ASSERT(engine.taskCount() == config.ranks,
                    "workload '", workload.name(), "' built ",
                    engine.taskCount(), " tasks for ", config.ranks,
@@ -67,10 +70,39 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
     return res;
 }
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Seconds elapsed since `start`. */
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Fill one telemetry slot; `sample` is the worker's preassigned cell. */
+void
+recordSample(GridPointSample *sample, int ranks, const std::string &label,
+             const RunResult &r, double wall_seconds)
+{
+    if (!sample)
+        return;
+    sample->ranks = ranks;
+    sample->label = label;
+    sample->valid = r.valid;
+    sample->wallSeconds = wall_seconds;
+    sample->simSeconds = r.valid ? r.seconds : 0.0;
+    sample->events = r.events;
+}
+
+} // namespace
+
 OptionSweepResult
 sweepOptions(const MachineConfig &machine,
              const std::vector<int> &rank_counts, const Workload &workload,
-             MpiImpl impl, SubLayer sublayer, int tag, int jobs)
+             MpiImpl impl, SubLayer sublayer, int tag, int jobs,
+             SweepTelemetry *telemetry)
 {
     OptionSweepResult out;
     out.rankCounts = rank_counts;
@@ -79,11 +111,17 @@ sweepOptions(const MachineConfig &machine,
     const size_t ncols = out.options.size();
     out.seconds.assign(rank_counts.size(),
                        std::vector<double>(ncols, 0.0));
+    if (telemetry) {
+        telemetry->jobs = jobs < 1 ? 1 : jobs;
+        telemetry->points.assign(rank_counts.size() * ncols, {});
+    }
+    const Clock::time_point sweep_start = Clock::now();
 
     // Each grid point is a self-contained simulation; fan the flat
     // (rank, option) index space out over the worker pool.  Workers
-    // write only their own preassigned cell, so the matrix ordering
-    // is deterministic whatever the job count.
+    // write only their own preassigned cell (result and telemetry
+    // slot alike), so ordering is deterministic whatever the job
+    // count.
     parallelFor(rank_counts.size() * ncols, jobs, [&](size_t i) {
         const size_t row = i / ncols;
         const size_t col = i % ncols;
@@ -93,7 +131,11 @@ sweepOptions(const MachineConfig &machine,
         cfg.ranks = rank_counts[row];
         cfg.impl = impl;
         cfg.sublayer = sublayer;
+        const Clock::time_point point_start = Clock::now();
         RunResult r = runExperiment(cfg, workload);
+        recordSample(telemetry ? &telemetry->points[i] : nullptr,
+                     rank_counts[row], out.options[col].label, r,
+                     secondsSince(point_start));
         if (!r.valid) {
             out.seconds[row][col] =
                 std::numeric_limits<double>::quiet_NaN();
@@ -101,25 +143,39 @@ sweepOptions(const MachineConfig &machine,
             out.seconds[row][col] = tag < 0 ? r.seconds : r.tagged(tag);
         }
     });
+    if (telemetry)
+        telemetry->wallSeconds = secondsSince(sweep_start);
     return out;
 }
 
 std::vector<double>
 defaultScalingTimes(const MachineConfig &machine,
                     const std::vector<int> &rank_counts,
-                    const Workload &workload, int tag, int jobs)
+                    const Workload &workload, int tag, int jobs,
+                    SweepTelemetry *telemetry)
 {
     std::vector<double> out(rank_counts.size(), 0.0);
+    if (telemetry) {
+        telemetry->jobs = jobs < 1 ? 1 : jobs;
+        telemetry->points.assign(rank_counts.size(), {});
+    }
+    const Clock::time_point sweep_start = Clock::now();
     parallelFor(rank_counts.size(), jobs, [&](size_t i) {
         ExperimentConfig cfg;
         cfg.machine = machine;
         cfg.option = table5Options().front(); // Default
         cfg.ranks = rank_counts[i];
+        const Clock::time_point point_start = Clock::now();
         RunResult r = runExperiment(cfg, workload);
+        recordSample(telemetry ? &telemetry->points[i] : nullptr,
+                     rank_counts[i], "default", r,
+                     secondsSince(point_start));
         MCSCOPE_ASSERT(r.valid, "default placement rejected ",
                        rank_counts[i], " ranks on ", machine.name);
         out[i] = tag < 0 ? r.seconds : r.tagged(tag);
     });
+    if (telemetry)
+        telemetry->wallSeconds = secondsSince(sweep_start);
     return out;
 }
 

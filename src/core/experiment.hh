@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "affinity/placement.hh"
+#include "core/telemetry.hh"
 #include "kernels/workload.hh"
 #include "machine/config.hh"
 #include "simmpi/implementation.hh"
@@ -40,6 +41,14 @@ struct ExperimentConfig
      * MCSCOPE_AUDIT environment variable is set.
      */
     bool audit = false;
+
+    /**
+     * When positive, enable the engine's per-resource utilization
+     * timeline with this bucket target before running (see
+     * Engine::enableUtilizationTimeline).  Read the result through
+     * runExperimentDetailedOn / gatherTimeline (core/analysis.hh).
+     */
+    int timelineBuckets = 0;
 };
 
 /** Result of one run. */
@@ -111,23 +120,28 @@ struct OptionSweepResult
  *              (e.g. tags::kFft for the Table 7 FFT phase).
  * @param jobs  worker thread budget; <= 1 runs serially (see
  *              core/parallel_for.hh and defaultJobs()).
+ * @param telemetry  optional out-param: per-grid-point wall time,
+ *              event counts, and pool occupancy (core/telemetry.hh).
  */
 OptionSweepResult sweepOptions(const MachineConfig &machine,
                                const std::vector<int> &rank_counts,
                                const Workload &workload,
                                MpiImpl impl = MpiImpl::OpenMpi,
                                SubLayer sublayer = SubLayer::USysV,
-                               int tag = -1, int jobs = 1);
+                               int tag = -1, int jobs = 1,
+                               SweepTelemetry *telemetry = nullptr);
 
 /**
  * Strong-scaling run times with the Default option (no numactl), the
  * shape of the speedup tables (4, 8, 10, 12).  Rank counts run
  * concurrently when jobs > 1, with deterministic result ordering.
+ * When `telemetry` is non-null it is filled like sweepOptions().
  */
 std::vector<double> defaultScalingTimes(const MachineConfig &machine,
                                         const std::vector<int> &rank_counts,
                                         const Workload &workload,
-                                        int tag = -1, int jobs = 1);
+                                        int tag = -1, int jobs = 1,
+                                        SweepTelemetry *telemetry = nullptr);
 
 } // namespace mcscope
 

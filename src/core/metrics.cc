@@ -1,6 +1,7 @@
 #include "core/metrics.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -28,6 +29,8 @@ efficiencies(const std::vector<double> &times, const std::vector<int> &ranks,
 {
     MCSCOPE_ASSERT(times.size() == ranks.size(),
                    "times/ranks size mismatch");
+    for (int r : ranks)
+        MCSCOPE_ASSERT(r > 0, "rank counts must be positive, got ", r);
     std::vector<double> s = speedups(times, base_index);
     std::vector<double> out;
     out.reserve(s.size());

@@ -12,15 +12,16 @@
 namespace mcscope {
 
 /**
- * Speedups relative to the first entry's rank count.
- * speedup[i] = t[0] * ranks[0] ... no scaling assumptions: plain
- * t_base / t_i where t_base is the time at the base index.
+ * Speedups relative to the base entry: speedup[i] = t[base] / t[i].
+ * No scaling assumptions are baked in; a non-positive t[i] yields
+ * NaN.  The base time must be positive.
  */
 std::vector<double> speedups(const std::vector<double> &times,
                              int base_index = 0);
 
 /**
- * Parallel efficiency: speedup / (ranks / base_ranks).
+ * Parallel efficiency: speedup[i] / (ranks[i] / ranks[base]).  All
+ * rank counts must be positive.
  */
 std::vector<double> efficiencies(const std::vector<double> &times,
                                  const std::vector<int> &ranks,

@@ -34,10 +34,25 @@ registeredWorkloads()
     };
 }
 
+bool
+knownWorkload(const std::string &name)
+{
+    if (name == "stream-triad") // alias, see makeWorkload()
+        return true;
+    for (const std::string &w : registeredWorkloads()) {
+        if (w == name)
+            return true;
+    }
+    return false;
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name)
 {
-    if (name == "stream")
+    // "stream-triad" is accepted as an alias: the STREAM workload
+    // models the triad kernel, and scripts written against other
+    // STREAM harnesses tend to spell it out.
+    if (name == "stream" || name == "stream-triad")
         return std::make_unique<StreamWorkload>(8u << 20, 20);
     if (name == "daxpy-acml")
         return std::make_unique<DaxpyWorkload>(4u << 20, 50,

@@ -19,6 +19,12 @@ namespace mcscope {
 std::vector<std::string> registeredWorkloads();
 
 /**
+ * True when makeWorkload accepts `name` -- a registered name or one
+ * of the accepted aliases (e.g. "stream-triad" for "stream").
+ */
+bool knownWorkload(const std::string &name);
+
+/**
  * Instantiate a workload by name with its paper-default parameters.
  * Known names include: stream, daxpy-acml, daxpy-vanilla, dgemm-acml,
  * dgemm-vanilla, hpcc-fft, randomaccess, mpi-randomaccess, ptrans,

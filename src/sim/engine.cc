@@ -185,9 +185,11 @@ Engine::startFlow(const Work &w, OwnerVec owners, PhaseTag tag)
     flow.tag = tag;
     if (tracing()) {
         emitTrace({TraceEvent::Kind::FlowStart, now_, flow.owners[0],
-                   tag, w.amount});
+                   tag, w.amount, w.path});
     }
     flows_.push_back(std::move(flow));
+    if (static_cast<int>(flows_.size()) > counters_.peakActiveFlows)
+        counters_.peakActiveFlows = static_cast<int>(flows_.size());
     ratesDirty_ = true;
 }
 
@@ -207,7 +209,7 @@ Engine::advanceTask(int task)
             --unfinished_;
             if (tracing()) {
                 emitTrace({TraceEvent::Kind::TaskFinish, now_, task,
-                           0, 0.0});
+                           0, 0.0, {}});
             }
             return;
         }
@@ -313,6 +315,7 @@ Engine::advanceTask(int task)
 void
 Engine::recomputeRates()
 {
+    ++counters_.allocatorReruns;
     // All scratch containers below persist across calls; clear() and
     // assign() reuse their capacity, so the steady-state hot path is
     // allocation-free.
@@ -371,6 +374,98 @@ Engine::recomputeRates()
 }
 
 void
+Engine::enableUtilizationTimeline(int target_buckets)
+{
+    MCSCOPE_ASSERT(target_buckets > 0,
+                   "timeline needs a positive bucket target, got ",
+                   target_buckets);
+    MCSCOPE_ASSERT(now_ == 0.0 && counters_.timeSteps == 0,
+                   "timeline must be enabled before run()");
+    timelineTarget_ = target_buckets;
+    timelineWidth_ = 0.0;
+    timelineBuckets_ = 0;
+    timelineBusy_.clear();
+}
+
+double
+Engine::timelineBusyTime(ResourceId r, int b) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    MCSCOPE_ASSERT(b >= 0 && static_cast<size_t>(b) < timelineBuckets_,
+                   "bad timeline bucket ", b, " of ", timelineBuckets_);
+    return timelineBusy_[static_cast<size_t>(b) * capacities_.size() + r];
+}
+
+void
+Engine::rebinTimeline()
+{
+    const size_t nres = capacities_.size();
+    const size_t merged = (timelineBuckets_ + 1) / 2;
+    for (size_t b = 0; b < merged; ++b) {
+        double *dst = &timelineBusy_[b * nres];
+        const double *lo = &timelineBusy_[2 * b * nres];
+        for (size_t r = 0; r < nres; ++r)
+            dst[r] = lo[r];
+        if (2 * b + 1 < timelineBuckets_) {
+            const double *hi = &timelineBusy_[(2 * b + 1) * nres];
+            for (size_t r = 0; r < nres; ++r)
+                dst[r] += hi[r];
+        }
+    }
+    timelineBuckets_ = merged;
+    timelineBusy_.resize(merged * nres);
+    timelineWidth_ *= 2.0;
+}
+
+void
+Engine::accrueTimeline(SimTime t0, SimTime t1)
+{
+    const size_t nres = capacities_.size();
+    if (timelineWidth_ <= 0.0)
+        timelineWidth_ = (t1 - t0); // first non-zero step sets the scale
+
+    // Make sure the bucket covering t1 exists, doubling the width
+    // until the populated count stays within 2 * target.
+    size_t need = static_cast<size_t>(t1 / timelineWidth_) + 1;
+    while (need > 2 * static_cast<size_t>(timelineTarget_)) {
+        if (timelineBuckets_ > 0)
+            rebinTimeline();
+        else
+            timelineWidth_ *= 2.0;
+        need = static_cast<size_t>(t1 / timelineWidth_) + 1;
+    }
+    if (need > timelineBuckets_) {
+        timelineBusy_.resize(need * nres, 0.0);
+        timelineBuckets_ = need;
+    }
+
+    // Split [t0, t1] over the buckets it overlaps; each flow moved
+    // rate * overlap units through every resource on its path, which
+    // is overlap-weighted busy time after dividing by capacity.
+    const double span = t1 - t0;
+    size_t b0 = static_cast<size_t>(t0 / timelineWidth_);
+    size_t b1 = need - 1;
+    for (size_t b = b0; b <= b1; ++b) {
+        double lo = std::max(t0, static_cast<double>(b) * timelineWidth_);
+        double hi = std::min(
+            t1, static_cast<double>(b + 1) * timelineWidth_);
+        double overlap = hi - lo;
+        if (overlap <= 0.0)
+            continue;
+        double frac = overlap / span;
+        double *bucket = &timelineBusy_[b * nres];
+        for (const auto &f : flows_) {
+            double moved = f.rate * span;
+            if (moved > f.remaining)
+                moved = f.remaining;
+            double busy = moved * frac;
+            for (ResourceId r : f.work.path)
+                bucket[r] += busy / capacities_[r];
+        }
+    }
+}
+
+void
 Engine::run()
 {
     unfinished_ = taskCount();
@@ -409,6 +504,7 @@ Engine::run()
                 // tolerance.  Fall back to the direct scan, whose
                 // remaining/rate is strictly positive, so time always
                 // advances and the flow drains on the next step.
+                ++counters_.fallbackScans;
                 dt_flow = kInf;
                 for (const auto &f : flows_) {
                     double d = f.remaining / f.rate;
@@ -445,6 +541,7 @@ Engine::run()
         // Advance time and integrate resource statistics.
         SimTime prev = now_;
         now_ += dt;
+        ++counters_.timeSteps;
         if (auditor_)
             auditor_->onTimeAdvance(prev, now_);
         for (const auto &f : flows_) {
@@ -454,6 +551,8 @@ Engine::run()
             for (ResourceId r : f.work.path)
                 stats_[r].unitsMoved += moved;
         }
+        if (timelineTarget_ > 0 && dt > 0.0)
+            accrueTimeline(prev, now_);
 
         // Complete flows.
         to_advance.clear();
@@ -465,7 +564,8 @@ Engine::run()
                                    1e-300) {
                 if (tracing()) {
                     emitTrace({TraceEvent::Kind::FlowEnd, now_,
-                               f.owners[0], f.tag, f.work.amount});
+                               f.owners[0], f.tag, f.work.amount,
+                               f.work.path});
                 }
                 for (int owner : f.owners) {
                     accrueBlockedTime(owner);
@@ -487,7 +587,7 @@ Engine::run()
             delays_.erase(delays_.begin());
             if (tracing()) {
                 emitTrace({TraceEvent::Kind::DelayEnd, now_, task,
-                           tasks_[task].blockTag, 0.0});
+                           tasks_[task].blockTag, 0.0, {}});
             }
             accrueBlockedTime(task);
             tasks_[task].state = TaskState::Ready;

@@ -74,6 +74,9 @@ struct TraceEvent
     int task = -1;       ///< owning task (first owner for joint flows)
     PhaseTag tag = 0;    ///< phase tag of the primitive
     double amount = 0.0; ///< flow amount (FlowStart/FlowEnd only)
+
+    /** Resource path of the flow (FlowStart/FlowEnd only). */
+    PathVec path;
 };
 
 /** Display name of a trace-event kind. */
@@ -148,6 +151,74 @@ class Engine
 
     /** Number of processed engine events (for engine benchmarks). */
     uint64_t eventCount() const { return events_; }
+
+    /**
+     * Run-level engine counters, cheap enough to maintain
+     * unconditionally.  They answer "what did the engine actually do"
+     * questions (was the allocator rerun per event? did the
+     * incremental finish-time tracker fall back to scans?) without a
+     * profiler.
+     */
+    struct Stats
+    {
+        /** Primitives popped from tasks (same as eventCount()). */
+        uint64_t events = 0;
+
+        /** Max-min allocator executions. */
+        uint64_t allocatorReruns = 0;
+
+        /**
+         * Times the incremental next-flow-finish tracker hit float
+         * round-off and fell back to the direct O(flows) scan.
+         */
+        uint64_t fallbackScans = 0;
+
+        /** Main-loop time steps taken. */
+        uint64_t timeSteps = 0;
+
+        /** Peak size of the active-flow set. */
+        int peakActiveFlows = 0;
+    };
+
+    /** Engine counters accumulated so far (complete after run()). */
+    Stats stats() const
+    {
+        Stats s = counters_;
+        s.events = events_;
+        return s;
+    }
+
+    /**
+     * Enable per-resource utilization-timeline sampling.  The engine
+     * accumulates each resource's busy time (units moved divided by
+     * capacity, i.e. equivalent seconds at full speed) into
+     * fixed-width time buckets; the bucket width starts at the first
+     * time step and doubles (merging neighbor buckets pairwise)
+     * whenever the count would exceed 2 * target_buckets, so a run of
+     * any makespan ends up with between target_buckets and
+     * 2 * target_buckets buckets.  Sampling is exact, not statistical:
+     * summing a resource's buckets reproduces
+     * resourceUtilization(r) * makespan() to round-off.
+     *
+     * Must be called before run().  Disabled by default; the hot loop
+     * pays only one branch when disabled.
+     */
+    void enableUtilizationTimeline(int target_buckets);
+
+    /** True when utilization-timeline sampling is on. */
+    bool timelineEnabled() const { return timelineTarget_ > 0; }
+
+    /** Width of one timeline bucket in simulated seconds. */
+    double timelineBucketWidth() const { return timelineWidth_; }
+
+    /** Number of populated timeline buckets. */
+    int timelineBucketCount() const
+    {
+        return static_cast<int>(timelineBuckets_);
+    }
+
+    /** Busy seconds of resource `r` inside bucket `b`. */
+    double timelineBusyTime(ResourceId r, int b) const;
 
     /**
      * Install a timeline observer invoked on every flow start/end,
@@ -259,6 +330,17 @@ class Engine
     /** Deliver one trace event to the auditor and the user sink. */
     void emitTrace(const TraceEvent &event);
 
+    /**
+     * Fold the busy time of the interval [t0, t1] into the timeline
+     * buckets.  Called from run() only while the timeline is enabled;
+     * flow rates are constant over the interval, so splitting each
+     * flow's moved units by bucket overlap is exact.
+     */
+    void accrueTimeline(SimTime t0, SimTime t1);
+
+    /** Double the timeline bucket width, merging buckets pairwise. */
+    void rebinTimeline();
+
     std::vector<std::string> resourceNames_;
     std::vector<double> capacities_;
     std::vector<ResourceStats> stats_;
@@ -295,6 +377,16 @@ class Engine
     uint64_t events_ = 0;
     int unfinished_ = 0;
     AllocatorKind allocator_ = AllocatorKind::Optimized;
+
+    Stats counters_;
+
+    // Utilization-timeline state (see enableUtilizationTimeline()).
+    // busy times live in one flat [bucket * resources + resource]
+    // array so rebinning is a cache-friendly linear pass.
+    int timelineTarget_ = 0;
+    double timelineWidth_ = 0.0;
+    size_t timelineBuckets_ = 0;
+    std::vector<double> timelineBusy_;
 };
 
 } // namespace mcscope

@@ -1,0 +1,191 @@
+#include "sim/trace_export.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+/** Trace pids: task slices vs resource counter tracks. */
+constexpr int kTaskPid = 1;
+constexpr int kResourcePid = 2;
+
+/** Format a double compactly for JSON (never NaN/inf at call sites). */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream &os) : os_(os)
+{
+}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    finish();
+}
+
+void
+ChromeTraceWriter::writeRecord(const std::string &body)
+{
+    if (!headerWritten_) {
+        os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+        headerWritten_ = true;
+    }
+    if (records_ > 0)
+        os_ << ",\n";
+    os_ << "{" << body << "}";
+    ++records_;
+}
+
+void
+ChromeTraceWriter::attach(Engine &engine)
+{
+    resourceNames_.clear();
+    for (ResourceId r = 0; r < engine.resourceCount(); ++r)
+        resourceNames_.push_back(engine.resourceName(r));
+    activeFlows_.assign(resourceNames_.size(), 0);
+
+    writeRecord("\"ph\":\"M\",\"pid\":" + std::to_string(kTaskPid) +
+                ",\"name\":\"process_name\",\"args\":{\"name\":\"tasks\"}");
+    writeRecord("\"ph\":\"M\",\"pid\":" + std::to_string(kResourcePid) +
+                ",\"name\":\"process_name\","
+                "\"args\":{\"name\":\"resources\"}");
+
+    engine.setTraceSink(
+        [this](const TraceEvent &ev) { onEvent(ev); });
+}
+
+void
+ChromeTraceWriter::ensureTaskTrack(int task)
+{
+    if (task < 0)
+        return;
+    if (static_cast<size_t>(task) >= taskTrackNamed_.size())
+        taskTrackNamed_.resize(task + 1, 0);
+    if (taskTrackNamed_[task])
+        return;
+    taskTrackNamed_[task] = 1;
+    writeRecord("\"ph\":\"M\",\"pid\":" + std::to_string(kTaskPid) +
+                ",\"tid\":" + std::to_string(task) +
+                ",\"name\":\"thread_name\",\"args\":{\"name\":\"task " +
+                std::to_string(task) + "\"}");
+}
+
+void
+ChromeTraceWriter::writeCounter(ResourceId r, double ts_us)
+{
+    writeRecord("\"ph\":\"C\",\"pid\":" + std::to_string(kResourcePid) +
+                ",\"tid\":0,\"ts\":" + num(ts_us) + ",\"name\":\"" +
+                jsonEscape(resourceNames_[r]) +
+                "\",\"args\":{\"active\":" +
+                std::to_string(activeFlows_[r]) + "}");
+}
+
+void
+ChromeTraceWriter::onEvent(const TraceEvent &event)
+{
+    MCSCOPE_ASSERT(!finished_, "trace event after finish()");
+    const double ts = event.time * 1e6; // seconds -> microseconds
+    const std::string tid = std::to_string(event.task);
+    ensureTaskTrack(event.task);
+
+    switch (event.kind) {
+      case TraceEvent::Kind::FlowStart: {
+        std::string path;
+        for (ResourceId r : event.path) {
+            if (!path.empty())
+                path += ',';
+            path += jsonEscape(resourceNames_[r]);
+        }
+        writeRecord("\"ph\":\"B\",\"pid\":" + std::to_string(kTaskPid) +
+                    ",\"tid\":" + tid + ",\"ts\":" + num(ts) +
+                    ",\"name\":\"flow tag " + std::to_string(event.tag) +
+                    "\",\"args\":{\"amount\":" + num(event.amount) +
+                    ",\"path\":\"" + path + "\"}");
+        for (ResourceId r : event.path) {
+            ++activeFlows_[r];
+            writeCounter(r, ts);
+        }
+        break;
+      }
+      case TraceEvent::Kind::FlowEnd: {
+        writeRecord("\"ph\":\"E\",\"pid\":" + std::to_string(kTaskPid) +
+                    ",\"tid\":" + tid + ",\"ts\":" + num(ts));
+        for (ResourceId r : event.path) {
+            --activeFlows_[r];
+            writeCounter(r, ts);
+        }
+        break;
+      }
+      case TraceEvent::Kind::DelayEnd:
+        writeRecord("\"ph\":\"i\",\"pid\":" + std::to_string(kTaskPid) +
+                    ",\"tid\":" + tid + ",\"ts\":" + num(ts) +
+                    ",\"s\":\"t\",\"name\":\"delay tag " +
+                    std::to_string(event.tag) + "\"");
+        break;
+      case TraceEvent::Kind::TaskFinish:
+        writeRecord("\"ph\":\"i\",\"pid\":" + std::to_string(kTaskPid) +
+                    ",\"tid\":" + tid + ",\"ts\":" + num(ts) +
+                    ",\"s\":\"t\",\"name\":\"task finish\"");
+        break;
+    }
+}
+
+void
+ChromeTraceWriter::finish()
+{
+    if (finished_)
+        return;
+    if (!headerWritten_)
+        os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    os_ << "\n]}\n";
+    os_.flush();
+    finished_ = true;
+}
+
+} // namespace mcscope

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Chrome trace_event (JSON) export of the engine's timeline trace.
+ *
+ * The engine already emits TraceEvents into an observer sink
+ * (Engine::setTraceSink); this module turns that stream into the
+ * trace_event JSON format that chrome://tracing, Perfetto, and
+ * speedscope load directly, so a single simulated run can be inspected
+ * as a timeline instead of an endpoint table:
+ *
+ *  - every flow becomes a paired B/E duration slice on its owning
+ *    task's track (pid "tasks", tid = task index), named by phase tag
+ *    and annotated with the flow amount and resource path;
+ *  - delay expiries and task completions are instant events on the
+ *    same track;
+ *  - every resource gets a counter track (pid "resources") recording
+ *    its active-flow count over time, which is where ladder congestion
+ *    and membind pathologies show up as plateaus.
+ *
+ * Simulated seconds are exported as trace microseconds (the format's
+ * native unit).
+ */
+
+#ifndef MCSCOPE_SIM_TRACE_EXPORT_HH
+#define MCSCOPE_SIM_TRACE_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace mcscope {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming trace_event JSON writer.
+ *
+ * Usage: construct with the output stream, attach() to an engine
+ * before run(), run the engine, then finish() (or let the destructor
+ * do it).  The writer streams events as they happen; it never buffers
+ * the trace, so arbitrarily long runs export in O(1) memory.
+ */
+class ChromeTraceWriter
+{
+  public:
+    /** Write to `os`; the stream must outlive the writer. */
+    explicit ChromeTraceWriter(std::ostream &os);
+
+    /** finish() if the caller has not already. */
+    ~ChromeTraceWriter();
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /**
+     * Snapshot the engine's resource table (for counter-track names)
+     * and install this writer as the engine's trace sink.  Call after
+     * the machine/resources are built and before run().  Replaces any
+     * previously installed sink.
+     */
+    void attach(Engine &engine);
+
+    /**
+     * Consume one engine trace event.  attach() routes the engine
+     * here; tests may call it directly.
+     */
+    void onEvent(const TraceEvent &event);
+
+    /** Close the JSON document.  Idempotent. */
+    void finish();
+
+    /** Number of trace_event records written (metadata included). */
+    uint64_t recordsWritten() const { return records_; }
+
+  private:
+    /** Emit one raw trace_event object (body without braces). */
+    void writeRecord(const std::string &body);
+
+    /** Emit thread_name metadata for a task track once. */
+    void ensureTaskTrack(int task);
+
+    /** Emit a counter sample for resource `r` at time `ts_us`. */
+    void writeCounter(ResourceId r, double ts_us);
+
+    std::ostream &os_;
+    std::vector<std::string> resourceNames_;
+    std::vector<int> activeFlows_;      // per-resource open-flow count
+    std::vector<char> taskTrackNamed_;  // grows on demand
+    uint64_t records_ = 0;
+    bool headerWritten_ = false;
+    bool finished_ = false;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_TRACE_EXPORT_HH

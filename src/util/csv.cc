@@ -1,5 +1,6 @@
 #include "util/csv.hh"
 
+#include <cmath>
 #include <cstdio>
 
 namespace mcscope {
@@ -44,6 +45,10 @@ CsvWriter::writeNumericRow(const std::vector<double> &cells)
     for (size_t i = 0; i < cells.size(); ++i) {
         if (i)
             os_ << ",";
+        // Non-finite values become empty cells: "%.9g" would print
+        // bare nan/inf tokens, which most CSV consumers reject.
+        if (!std::isfinite(cells[i]))
+            continue;
         std::snprintf(buf, sizeof(buf), "%.9g", cells[i]);
         os_ << buf;
     }

@@ -28,7 +28,12 @@ class CsvWriter
     /** Write one row of raw string cells. */
     void writeRow(const std::vector<std::string> &cells);
 
-    /** Write one row of numeric cells with full precision. */
+    /**
+     * Write one row of numeric cells with full precision ("%.9g").
+     * NaN and infinities are written as empty cells -- the common
+     * CSV convention for missing data -- rather than bare nan/inf
+     * tokens that spreadsheet and pandas readers choke on.
+     */
     void writeNumericRow(const std::vector<double> &cells);
 
     /** Number of rows written so far. */

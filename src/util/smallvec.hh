@@ -25,6 +25,21 @@
 
 namespace mcscope {
 
+// GCC 12's -Wmaybe-uninitialized mis-reasons about variant copies of
+// aggregates holding a SmallVec (std::variant<Work, ...> alternatives
+// look "maybe uninitialized" on paths where another alternative is
+// active) and flags data_/size_/cap_ despite their member
+// initializers.  The diagnostics are attributed to this header, so
+// the suppression lives here rather than at every variant call site.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+// Same story for -Warray-bounds: inlining moveFrom()/grow() into
+// never-taken branches makes GCC reason about inline_ as a zero-size
+// array (see the comment in grow()).
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+
 template <typename T, size_t N>
 class SmallVec
 {
@@ -193,6 +208,10 @@ class SmallVec
     size_t size_ = 0;
     size_t cap_ = N;
 };
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 } // namespace mcscope
 

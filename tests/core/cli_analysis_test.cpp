@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/analysis.hh"
@@ -159,6 +161,121 @@ TEST(Cli, ParseRankList)
     EXPECT_TRUE(parseRankList("2,x").empty());
     EXPECT_TRUE(parseRankList("-3").empty());
     EXPECT_TRUE(parseRankList("0").empty());
+}
+
+TEST(Cli, ParseRankListRejectsOverflowInsteadOfThrowing)
+{
+    // All-digits strings beyond int range used to reach std::stoi and
+    // escape as std::out_of_range; they must read as invalid input.
+    EXPECT_TRUE(parseRankList("99999999999999999999").empty());
+    EXPECT_TRUE(parseRankList("2147483648").empty()); // INT_MAX + 1
+    EXPECT_TRUE(parseRankList("4,99999999999999999999").empty());
+    EXPECT_EQ(parseRankList("2147483647"),
+              (std::vector<int>{2147483647}));
+}
+
+TEST(Cli, NumericFlagsRejectOverflowInsteadOfThrowing)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--ranks",
+                   "99999999999999999999"},
+                  &out),
+              2);
+    EXPECT_NE(out.find("bad --ranks"), std::string::npos);
+    EXPECT_EQ(cli({"sweep", "stream", "--jobs",
+                   "99999999999999999999"},
+                  &out),
+              2);
+    EXPECT_NE(out.find("bad --jobs"), std::string::npos);
+    EXPECT_EQ(cli({"run", "stream", "--option",
+                   "99999999999999999999"},
+                  &out),
+              2);
+    EXPECT_NE(out.find("unknown --option"), std::string::npos);
+    EXPECT_EQ(cli({"run", "stream", "--timeline-buckets",
+                   "99999999999999999999"},
+                  &out),
+              2);
+    EXPECT_NE(out.find("bad --timeline-buckets"), std::string::npos);
+}
+
+TEST(Cli, TraceOutWritesParseableRecords)
+{
+    const std::string path =
+        testing::TempDir() + "mcscope_cli_trace.json";
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream-triad", "--machine", "dmz",
+                   "--ranks", "2", "--trace-out", path},
+                  &out),
+              0);
+    EXPECT_NE(out.find("trace: "), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(body.str().find("\"ph\":\"B\""), std::string::npos);
+    EXPECT_NE(body.str().find("\"ph\":\"E\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, TimelineOutWritesCsv)
+{
+    const std::string path =
+        testing::TempDir() + "mcscope_cli_timeline.csv";
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "dmz", "--ranks",
+                   "2", "--timeline-out", path, "--timeline-buckets",
+                   "8"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("timeline: "), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header.rfind("bucket_start,bucket_end,", 0), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Cli, DetailIncludesEngineCountersAndTimeline)
+{
+    std::string out;
+    EXPECT_EQ(cli({"run", "stream", "--machine", "dmz", "--ranks",
+                   "2", "--detail", "--timeline-buckets", "8"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("engine: "), std::string::npos);
+    EXPECT_NE(out.find("allocator reruns"), std::string::npos);
+    EXPECT_NE(out.find("utilization timeline"), std::string::npos);
+}
+
+TEST(Cli, SweepTelemetryJsonAndSummary)
+{
+    const std::string path =
+        testing::TempDir() + "mcscope_cli_telemetry.json";
+    std::string out;
+    EXPECT_EQ(cli({"sweep", "stream", "--machine", "dmz", "--ranks",
+                   "2,4", "--telemetry-out", path},
+                  &out),
+              0);
+    EXPECT_NE(out.find("telemetry: "), std::string::npos);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream body;
+    body << in.rdbuf();
+    EXPECT_NE(body.str().find("\"grid_points\": 12"),
+              std::string::npos);
+    EXPECT_NE(body.str().find("\"points\": ["), std::string::npos);
+    std::remove(path.c_str());
+
+    // --detail alone prints the summary without needing a file.
+    EXPECT_EQ(cli({"scaling", "stream", "--machine", "dmz",
+                   "--ranks", "1,2", "--detail"},
+                  &out),
+              0);
+    EXPECT_NE(out.find("telemetry: "), std::string::npos);
+    EXPECT_NE(out.find("grid points"), std::string::npos);
 }
 
 TEST(Analysis, StreamIsControllerBound)

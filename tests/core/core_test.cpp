@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "core/calibration.hh"
 #include "core/experiment.hh"
@@ -74,6 +75,13 @@ TEST(Metrics, SpeedupsAndEfficiencies)
     EXPECT_NEAR(e[2], (100.0 / 30.0) / 4.0, 1e-12);
 }
 
+TEST(Metrics, EfficienciesRejectNonPositiveRanks)
+{
+    std::vector<double> times = {100.0, 50.0};
+    EXPECT_DEATH(efficiencies(times, {1, 0}), "positive");
+    EXPECT_DEATH(efficiencies(times, {-2, 4}), "positive");
+}
+
 TEST(Metrics, SingleStarRatioAndPlacementGain)
 {
     EXPECT_DOUBLE_EQ(singleToStarRatio(1.0, 2.5), 2.5);
@@ -82,6 +90,58 @@ TEST(Metrics, SingleStarRatioAndPlacementGain)
     // NaN cells (invalid options) are ignored.
     EXPECT_NEAR(placementGain({100.0, std::nan(""), 50.0}), 0.5,
                 1e-12);
+}
+
+TEST(Telemetry, SweepRecordsEveryGridPoint)
+{
+    StreamWorkload stream(1u << 20, 2);
+    SweepTelemetry telemetry;
+    OptionSweepResult sweep =
+        sweepOptions(dmzConfig(), {2, 4}, stream, MpiImpl::OpenMpi,
+                     SubLayer::USysV, -1, 2, &telemetry);
+    ASSERT_EQ(telemetry.points.size(),
+              2 * sweep.options.size());
+    EXPECT_EQ(telemetry.jobs, 2);
+    EXPECT_GT(telemetry.wallSeconds, 0.0);
+    EXPECT_GT(telemetry.totalEvents(), 0u);
+    EXPECT_GT(telemetry.eventsPerSecond(), 0.0);
+    EXPECT_GT(telemetry.occupancy(), 0.0);
+    EXPECT_LE(telemetry.occupancy(), 1.0 + 1e-9);
+    // Samples line up with the sweep grid, row-major.
+    for (size_t row = 0; row < 2; ++row) {
+        for (size_t col = 0; col < sweep.options.size(); ++col) {
+            const GridPointSample &p =
+                telemetry.points[row * sweep.options.size() + col];
+            EXPECT_EQ(p.ranks, sweep.rankCounts[row]);
+            EXPECT_EQ(p.label, sweep.options[col].label);
+            EXPECT_EQ(p.valid,
+                      !std::isnan(sweep.seconds[row][col]));
+            if (p.valid) {
+                EXPECT_DOUBLE_EQ(p.simSeconds,
+                                 sweep.seconds[row][col]);
+            }
+        }
+    }
+    EXPECT_NE(telemetry.summary().find("grid points"),
+              std::string::npos);
+}
+
+TEST(Telemetry, JsonDumpHasAllFields)
+{
+    SweepTelemetry t;
+    t.jobs = 2;
+    t.wallSeconds = 1.5;
+    t.points.push_back({4, "Default", true, 0.5, 2.5, 100});
+    t.points.push_back({8, "Inter\"leave", false, 0.25, 0.0, 0});
+    std::ostringstream oss;
+    t.writeJson(oss);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"grid_points\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"total_events\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"valid\": false"), std::string::npos);
+    // Labels pass through the JSON string escaper.
+    EXPECT_NE(json.find("Inter\\\"leave"), std::string::npos);
 }
 
 TEST(Report, OptionSweepTablePrintsDashesForInvalid)

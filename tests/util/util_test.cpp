@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/csv.hh"
@@ -87,6 +88,19 @@ TEST(Csv, WritesRows)
     w.writeRow({"a", "b,c"});
     w.writeNumericRow({1.5, 2.0});
     EXPECT_EQ(oss.str(), "a,\"b,c\"\n1.5,2\n");
+    EXPECT_EQ(w.rowsWritten(), 2u);
+}
+
+TEST(Csv, NonFiniteNumbersBecomeEmptyCells)
+{
+    std::ostringstream oss;
+    CsvWriter w(oss);
+    const double inf = std::numeric_limits<double>::infinity();
+    w.writeNumericRow({std::nan(""), 1.0, inf, -inf});
+    w.writeNumericRow({std::nan("")});
+    // Bare "nan"/"inf" tokens would poison downstream readers; the
+    // cells must be empty instead.
+    EXPECT_EQ(oss.str(), ",1,,\n\n");
     EXPECT_EQ(w.rowsWritten(), 2u);
 }
 
