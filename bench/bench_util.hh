@@ -14,7 +14,9 @@
 
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "core/plan.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "machine/config.hh"
 #include "util/str.hh"
 #include "util/table.hh"
@@ -72,6 +74,51 @@ run(const MachineConfig &machine, const NumactlOption &option, int ranks,
     cfg.impl = impl;
     cfg.sublayer = sublayer;
     return runExperiment(cfg, workload);
+}
+
+/** One row-group of a combined option-sweep table. */
+struct SweepRow
+{
+    std::string workload; ///< registry name (core/registry.hh)
+    std::string label;    ///< row label the paper uses ("CG", "FFT")
+};
+
+/**
+ * Expand (workloads x ranks x Table 5 options) on one machine preset
+ * through the scenario pipeline, execute it (sharing the process
+ * result cache with every other sweep in the binary), and print the
+ * combined table with one separated row-group per workload --
+ * the Tables 2/3 layout.  Returns the per-workload (rank x option)
+ * slices in row order so callers can compute observation ratios.
+ */
+inline std::vector<OptionSweepResult>
+printPlannedSweep(const std::string &machine_preset,
+                  const std::vector<SweepRow> &rows,
+                  const std::vector<int> &ranks,
+                  const std::string &header_label = "Kernel",
+                  int precision = 2)
+{
+    SweepAxes axes;
+    axes.machinePreset = machine_preset;
+    for (const SweepRow &row : rows)
+        axes.workloads.push_back(row.workload);
+    axes.rankCounts = ranks;
+    SweepPlan plan = SweepPlan::expand(axes);
+    RunnerOptions opts;
+    PlanResults results = runPlan(plan, opts);
+
+    TextTable t(optionSweepHeader(header_label));
+    std::vector<OptionSweepResult> slices;
+    for (size_t w = 0; w < rows.size(); ++w) {
+        if (w > 0)
+            t.addSeparator();
+        OptionSweepResult slice =
+            optionSweepSlice(plan, results, w, 0, 0);
+        appendOptionSweepRows(t, slice, rows[w].label, precision);
+        slices.push_back(std::move(slice));
+    }
+    t.print(std::cout);
+    return slices;
 }
 
 /**

@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.hh"
 #include "kernels/stream.hh"
@@ -53,23 +55,45 @@ main()
          SubLayer::SysV},
     };
 
-    std::printf("%-18s  %-10s %-10s %-12s\n", "option",
-                "Single", "Star", "Single:Star");
+    // Figure 10's point set is irregular (each option pairs a Single
+    // and a Star run, with a Packed transform for Single), so it is a
+    // SweepPlan::fromSpecs plan rather than an axis grid: grid points
+    // map 1:1 onto the spec list below, two per combo.
+    std::vector<ScenarioSpec> specs;
     for (const Combo &c : combos) {
         NumactlOption single_opt = c.option;
         if (single_opt.scheme == TaskScheme::TwoTasksPerSocket)
             single_opt.scheme = TaskScheme::Packed;
-        RunResult s = run(longs, single_opt, 1, stream, MpiImpl::Lam,
-                          c.sublayer);
-        RunResult x = run(longs, c.option, 16, stream, MpiImpl::Lam,
-                          c.sublayer);
+        ScenarioSpec spec;
+        spec.workload = stream.name();
+        spec.machinePreset = "longs";
+        spec.impl = MpiImpl::Lam;
+        spec.sublayer = c.sublayer;
+        spec.option = single_opt;
+        spec.ranks = 1;
+        specs.push_back(spec);
+        spec.option = c.option;
+        spec.ranks = 16;
+        specs.push_back(spec);
+    }
+    SweepPlan plan = SweepPlan::fromSpecs(specs);
+    RunnerOptions opts;
+    opts.workloadOverride = &stream;
+    PlanResults results = runPlan(plan, opts);
+
+    std::printf("%-18s  %-10s %-10s %-12s\n", "option",
+                "Single", "Star", "Single:Star");
+    for (size_t i = 0; i < std::size(combos); ++i) {
+        const RunResult &s = results.at(plan, 2 * i);
+        const RunResult &x = results.at(plan, 2 * i + 1);
         double bw_s =
             stream.bytesPerIteration() * 10 / s.seconds / 1e9;
         double bw_x =
             stream.bytesPerIteration() * 10 / x.seconds / 1e9;
         std::printf("%-18s  %-10.2f %-10.2f %-12.2f   [GB/s per "
                     "core]\n",
-                    c.label, bw_s, bw_x, x.seconds / s.seconds);
+                    combos[i].label, bw_s, bw_x,
+                    x.seconds / s.seconds);
     }
 
     RunResult s = run(longs, pinnedSpread(), 1, stream);

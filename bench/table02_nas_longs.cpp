@@ -9,8 +9,6 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "kernels/nas_cg.hh"
-#include "kernels/nas_ft.hh"
 
 using namespace mcscope;
 using namespace mcscope::bench;
@@ -24,19 +22,11 @@ main()
            "8-16 tasks; interleave worst at scale; '-' where one-per-"
            "socket cannot host the job");
 
-    MachineConfig longs = longsConfig();
-    std::vector<int> ranks = {2, 4, 8, 16};
-
-    NasCgWorkload cg(nasCgClassB());
-    NasFtWorkload ft(nasFtClassB());
-
-    TextTable t(optionSweepHeader("Kernel"));
-    OptionSweepResult cg_sweep = sweepOptions(longs, ranks, cg);
-    appendOptionSweepRows(t, cg_sweep, "CG");
-    t.addSeparator();
-    OptionSweepResult ft_sweep = sweepOptions(longs, ranks, ft);
-    appendOptionSweepRows(t, ft_sweep, "FFT");
-    t.print(std::cout);
+    std::vector<OptionSweepResult> slices = printPlannedSweep(
+        "longs", {{"nas-cg-b", "CG"}, {"nas-ft-b", "FFT"}},
+        {2, 4, 8, 16});
+    const OptionSweepResult &cg_sweep = slices[0];
+    const OptionSweepResult &ft_sweep = slices[1];
 
     std::cout << "\n";
     observe("CG 8-task membind/localalloc (paper: 109.11/51.15 = "

@@ -9,8 +9,6 @@
 #include <iostream>
 
 #include "bench_util.hh"
-#include "kernels/nas_cg.hh"
-#include "kernels/nas_ft.hh"
 
 using namespace mcscope;
 using namespace mcscope::bench;
@@ -23,19 +21,9 @@ main()
            "default is near-optimal on the simple 2-socket topology; "
            "'-' for one-per-socket at 4 tasks");
 
-    MachineConfig dmz = dmzConfig();
-    std::vector<int> ranks = {2, 4};
-
-    NasCgWorkload cg(nasCgClassB());
-    NasFtWorkload ft(nasFtClassB());
-
-    TextTable t(optionSweepHeader("Kernel"));
-    OptionSweepResult cg_sweep = sweepOptions(dmz, ranks, cg);
-    appendOptionSweepRows(t, cg_sweep, "CG");
-    t.addSeparator();
-    OptionSweepResult ft_sweep = sweepOptions(dmz, ranks, ft);
-    appendOptionSweepRows(t, ft_sweep, "FFT");
-    t.print(std::cout);
+    std::vector<OptionSweepResult> slices = printPlannedSweep(
+        "dmz", {{"nas-cg-b", "CG"}, {"nas-ft-b", "FFT"}}, {2, 4});
+    const OptionSweepResult &cg_sweep = slices[0];
 
     std::cout << "\n";
     double best_cg2 = 1e300;

@@ -14,11 +14,12 @@
 #include <iostream>
 #include <string>
 
-#include "core/experiment.hh"
 #include "core/metrics.hh"
 #include "core/parallel_for.hh"
+#include "core/plan.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
 #include "machine/config.hh"
 #include "util/str.hh"
 
@@ -30,20 +31,29 @@ main(int argc, char **argv)
     std::string workload_name = argc > 1 ? argv[1] : "nas-cg-b";
     std::string machine_name = argc > 2 ? argv[2] : "longs";
 
-    auto workload = makeWorkload(workload_name);
+    if (!knownWorkload(workload_name)) {
+        std::cout << unknownWorkloadMessage(workload_name) << "\n";
+        return 2;
+    }
     MachineConfig machine = configByName(machine_name);
 
-    std::cout << "Placement exploration: " << workload->name() << " on "
+    std::cout << "Placement exploration: " << workload_name << " on "
               << machine.name << "\n\n";
 
-    std::vector<int> ranks;
-    for (int r = 2; r <= machine.totalCores(); r *= 2)
-        ranks.push_back(r);
+    // The exploration grid as a declarative plan: empty rank/option
+    // axes take the documented defaults (powers of two up to the
+    // machine's core count, the six Table 5 options).
+    SweepAxes axes;
+    axes.machinePreset = machine_name;
+    axes.workloads = {canonicalWorkloadName(workload_name)};
+    SweepPlan plan = SweepPlan::expand(axes);
 
-    // MCSCOPE_JOBS=N runs the grid points concurrently.
-    OptionSweepResult sweep =
-        sweepOptions(machine, ranks, *workload, MpiImpl::OpenMpi,
-                     SubLayer::USysV, -1, defaultJobs());
+    // MCSCOPE_JOBS=N runs the grid points concurrently, and
+    // MCSCOPE_CACHE_DIR persists results so re-exploring is free.
+    RunnerOptions opts;
+    opts.jobs = defaultJobs();
+    PlanResults results = runPlan(plan, opts);
+    OptionSweepResult sweep = optionSweepSlice(plan, results, 0, 0, 0);
     TextTable t(optionSweepHeader("Workload"));
     appendOptionSweepRows(t, sweep, workload_name);
     t.print(std::cout);

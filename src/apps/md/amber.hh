@@ -53,6 +53,14 @@ class AmberWorkload : public LoopWorkload
     explicit AmberWorkload(AmberBenchmark bench);
 
     std::string name() const override { return "amber." + bench_.name; }
+    std::string signature() const override
+    {
+        return "amber(bench=" + bench_.name +
+               ",atoms=" + std::to_string(bench_.atoms) +
+               ",technique=" + mdTechniqueName(bench_.technique) +
+               ",pme_grid=" + std::to_string(bench_.pmeGrid) +
+               ",steps=" + std::to_string(bench_.steps) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

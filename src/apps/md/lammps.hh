@@ -44,6 +44,13 @@ class LammpsWorkload : public LoopWorkload
     explicit LammpsWorkload(LammpsBenchmark bench);
 
     std::string name() const override { return "lammps." + bench_.name; }
+    std::string signature() const override
+    {
+        return "lammps(bench=" + bench_.name +
+               ",style=" + std::to_string(static_cast<int>(bench_.style)) +
+               ",atoms=" + std::to_string(bench_.atoms) +
+               ",steps=" + std::to_string(bench_.steps) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

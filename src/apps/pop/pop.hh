@@ -48,6 +48,14 @@ class PopWorkload : public LoopWorkload
     explicit PopWorkload(PopConfig cfg);
 
     std::string name() const override { return "pop." + cfg_.name; }
+    std::string signature() const override
+    {
+        return "pop(cfg=" + cfg_.name + ",nx=" + std::to_string(cfg_.nx) +
+               ",ny=" + std::to_string(cfg_.ny) +
+               ",levels=" + std::to_string(cfg_.levels) +
+               ",steps=" + std::to_string(cfg_.steps) +
+               ",solver_iters=" + std::to_string(cfg_.solverIters) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -15,11 +15,15 @@
 #include "util/csv.hh"
 #include "core/experiment.hh"
 #include "core/metrics.hh"
+#include "core/plan.hh"
 #include "core/registry.hh"
 #include "core/report.hh"
+#include "core/runner.hh"
+#include "core/scenario.hh"
 #include "machine/config.hh"
 #include "machine/machine.hh"
 #include "sim/trace_export.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -29,20 +33,25 @@ namespace {
 
 const char *kUsage =
     "usage: mcscope <command> [args]\n"
-    "  list                         workloads, machines, options\n"
+    "  list [--json]                workloads, machines, options\n"
     "  calibration                  calibrated model constants\n"
     "  run <workload> [flags]       one experiment\n"
     "  sweep <workload> [flags]     numactl option x rank sweep\n"
     "  scaling <workload> [flags]   strong-scaling series\n"
+    "  batch <spec.json> [flags]    execute a sweep-plan spec file\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
-    "       --audit  run under the simulation invariant auditor (run)\n"
-    "       --jobs N run sweep/scaling grid points on N threads\n"
+    "       --audit  run under the simulation invariant auditor\n"
+    "                (run/batch; batch also validates cache hits)\n"
+    "       --jobs N run sweep/scaling/batch grid points on N threads\n"
     "                (default: MCSCOPE_JOBS, else 1)\n"
+    "       --cache-dir D    persist results under D and reuse them\n"
+    "                        (default: MCSCOPE_CACHE_DIR, else memory)\n"
+    "       --cache-stats    print hit/miss counters after the run\n"
     "       --trace-out FILE      Chrome trace_event JSON of the run\n"
     "       --timeline-out FILE   per-resource utilization CSV (run)\n"
     "       --timeline-buckets N  timeline resolution (default 64)\n"
-    "       --telemetry-out FILE  sweep telemetry JSON (sweep/scaling)\n";
+    "       --telemetry-out FILE  sweep telemetry JSON\n";
 
 /**
  * Parse a digits-only string as a non-negative integer.  Returns -1
@@ -83,6 +92,8 @@ struct CliFlags
     std::string timelineOut;
     int timelineBuckets = 0;
     std::string telemetryOut;
+    std::string cacheDir;
+    bool cacheStats = false;
     std::string error;
 };
 
@@ -162,6 +173,14 @@ parseFlags(const std::vector<std::string> &args, size_t start)
                 f.error = "--telemetry-out needs a file name";
                 return f;
             }
+        } else if (a == "--cache-dir") {
+            f.cacheDir = next();
+            if (f.cacheDir.empty()) {
+                f.error = "--cache-dir needs a directory";
+                return f;
+            }
+        } else if (a == "--cache-stats") {
+            f.cacheStats = true;
         } else if (a == "--detail") {
             f.detail = true;
         } else if (a == "--audit") {
@@ -180,38 +199,21 @@ parseFlags(const std::vector<std::string> &args, size_t start)
 std::optional<NumactlOption>
 resolveOption(const std::string &spec)
 {
-    auto options = table5Options();
-    // Numeric index?  parseDigits rejects overflow, so an absurdly
-    // long digit string falls through to "not found" instead of
-    // throwing out of std::stoul.
-    bool numeric = !spec.empty();
-    for (char c : spec)
-        numeric = numeric && std::isdigit(static_cast<unsigned char>(c));
-    if (numeric) {
-        int idx = parseDigits(spec);
-        if (idx >= 0 && static_cast<size_t>(idx) < options.size())
-            return options[idx];
-        return std::nullopt;
-    }
-    // Case-insensitive label substring, ignoring spaces and '+' so
-    // "localalloc" matches "One MPI + Local Alloc".
-    auto canon = [](const std::string &s) {
-        std::string out;
-        for (char c : s) {
-            if (std::isalnum(static_cast<unsigned char>(c)))
-                out.push_back(static_cast<char>(
-                    std::tolower(static_cast<unsigned char>(c))));
-        }
-        return out;
-    };
-    std::string want = canon(spec);
-    if (want.empty())
-        return std::nullopt;
-    for (const NumactlOption &o : options) {
-        if (canon(o.label).find(want) != std::string::npos)
-            return o;
-    }
-    return std::nullopt;
+    // Shared with batch spec files: core/scenario.hh.
+    return resolveOptionSpec(spec);
+}
+
+/**
+ * Open the cache the flags ask for: an owned on-disk cache for
+ * --cache-dir, otherwise nullptr (the runner then uses processCache,
+ * which itself honors MCSCOPE_CACHE_DIR).
+ */
+std::unique_ptr<ResultCache>
+openFlagCache(const CliFlags &f)
+{
+    if (f.cacheDir.empty())
+        return nullptr;
+    return std::make_unique<ResultCache>(f.cacheDir);
 }
 
 /**
@@ -236,9 +238,55 @@ printAuditSummary(std::ostream &out, const ExperimentConfig &cfg,
         << first.auditDigest << std::dec << ", replay identical)\n";
 }
 
-int
-cmdList(std::ostream &out)
+/** Machine-readable `list --json` document. */
+JsonValue
+listJson()
 {
+    JsonValue doc = JsonValue::object();
+    JsonValue workloads = JsonValue::array();
+    for (const std::string &w : registeredWorkloads())
+        workloads.append(JsonValue::str(w));
+    doc.set("workloads", std::move(workloads));
+    JsonValue machines = JsonValue::array();
+    for (const std::string &m : presetNames()) {
+        MachineConfig c = configByName(m);
+        JsonValue machine = JsonValue::object();
+        machine.set("name", JsonValue::str(toLower(m)));
+        machine.set("sockets", JsonValue::number(c.sockets));
+        machine.set("cores_per_socket",
+                    JsonValue::number(c.coresPerSocket));
+        machine.set("total_cores", JsonValue::number(c.totalCores()));
+        machine.set("opteron_model", JsonValue::str(c.opteronModel));
+        machines.append(std::move(machine));
+    }
+    doc.set("machines", std::move(machines));
+    JsonValue options = JsonValue::array();
+    auto table5 = table5Options();
+    for (size_t i = 0; i < table5.size(); ++i) {
+        JsonValue option = JsonValue::object();
+        option.set("index", JsonValue::number(static_cast<double>(i)));
+        option.set("label", JsonValue::str(table5[i].label));
+        option.set("scheme",
+                   JsonValue::str(taskSchemeName(table5[i].scheme)));
+        option.set("policy",
+                   JsonValue::str(memPolicyName(table5[i].policy)));
+        options.append(std::move(option));
+    }
+    doc.set("options", std::move(options));
+    return doc;
+}
+
+int
+cmdList(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() > 1 && args[1] == "--json") {
+        out << listJson().dump(2) << "\n";
+        return 0;
+    }
+    if (args.size() > 1) {
+        out << "list: unknown flag '" << args[1] << "'\n" << kUsage;
+        return 2;
+    }
     out << "workloads:\n";
     for (const std::string &w : registeredWorkloads())
         out << "  " << w << "\n";
@@ -259,8 +307,12 @@ cmdList(std::ostream &out)
 int
 cmdRun(const std::vector<std::string> &args, std::ostream &out)
 {
-    if (args.size() < 2 || !knownWorkload(args[1])) {
-        out << "run: unknown workload\n" << kUsage;
+    if (args.size() < 2) {
+        out << "run: missing workload\n" << kUsage;
+        return 2;
+    }
+    if (!knownWorkload(args[1])) {
+        out << "run: " << unknownWorkloadMessage(args[1]) << "\n";
         return 2;
     }
     CliFlags f = parseFlags(args, 2);
@@ -373,8 +425,12 @@ writeTelemetry(std::ostream &out, const char *cmd, const CliFlags &f,
 int
 cmdSweep(const std::vector<std::string> &args, std::ostream &out)
 {
-    if (args.size() < 2 || !knownWorkload(args[1])) {
-        out << "sweep: unknown workload\n" << kUsage;
+    if (args.size() < 2) {
+        out << "sweep: missing workload\n" << kUsage;
+        return 2;
+    }
+    if (!knownWorkload(args[1])) {
+        out << "sweep: " << unknownWorkloadMessage(args[1]) << "\n";
         return 2;
     }
     CliFlags f = parseFlags(args, 2);
@@ -388,15 +444,26 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
         for (int r = 2; r <= machine.totalCores(); r *= 2)
             ranks.push_back(r);
     }
-    auto workload = makeWorkload(args[1]);
+    SweepAxes axes;
+    axes.machinePreset = f.machine;
+    axes.workloads = {canonicalWorkloadName(args[1])};
+    axes.rankCounts = ranks;
+    axes.impls = {f.impl};
+    axes.sublayers = {f.sublayer};
+    SweepPlan plan = SweepPlan::expand(axes);
     SweepTelemetry telemetry;
-    SweepTelemetry *telemetry_ptr =
+    RunnerOptions opts;
+    opts.jobs = f.jobs;
+    opts.telemetry =
         (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
-    OptionSweepResult sweep =
-        sweepOptions(machine, ranks, *workload, f.impl, f.sublayer,
-                     -1, f.jobs, telemetry_ptr);
-    if (telemetry_ptr && !writeTelemetry(out, "sweep", f, telemetry))
+    std::unique_ptr<ResultCache> disk_cache = openFlagCache(f);
+    opts.cache = disk_cache.get();
+    PlanResults results = runPlan(plan, opts);
+    OptionSweepResult sweep = optionSweepSlice(plan, results, 0, 0, 0);
+    if (opts.telemetry && !writeTelemetry(out, "sweep", f, telemetry))
         return 2;
+    if (f.cacheStats)
+        out << "cache: " << results.stats.summary() << "\n";
     if (f.csv) {
         CsvWriter csv(out);
         std::vector<std::string> header = {"ranks"};
@@ -426,8 +493,12 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
 int
 cmdScaling(const std::vector<std::string> &args, std::ostream &out)
 {
-    if (args.size() < 2 || !knownWorkload(args[1])) {
-        out << "scaling: unknown workload\n" << kUsage;
+    if (args.size() < 2) {
+        out << "scaling: missing workload\n" << kUsage;
+        return 2;
+    }
+    if (!knownWorkload(args[1])) {
+        out << "scaling: " << unknownWorkloadMessage(args[1]) << "\n";
         return 2;
     }
     CliFlags f = parseFlags(args, 2);
@@ -442,14 +513,35 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
         for (int r = 2; r <= machine.totalCores(); r *= 2)
             ranks.push_back(r);
     }
-    auto workload = makeWorkload(args[1]);
+    SweepAxes axes;
+    axes.machinePreset = f.machine;
+    axes.workloads = {canonicalWorkloadName(args[1])};
+    axes.rankCounts = ranks;
+    axes.options = {table5Options().front()}; // Default
+    SweepPlan plan = SweepPlan::expand(axes);
     SweepTelemetry telemetry;
-    SweepTelemetry *telemetry_ptr =
+    RunnerOptions opts;
+    opts.jobs = f.jobs;
+    opts.telemetry =
         (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
-    std::vector<double> t = defaultScalingTimes(
-        machine, ranks, *workload, -1, f.jobs, telemetry_ptr);
-    if (telemetry_ptr && !writeTelemetry(out, "scaling", f, telemetry))
+    std::unique_ptr<ResultCache> disk_cache = openFlagCache(f);
+    opts.cache = disk_cache.get();
+    PlanResults results = runPlan(plan, opts);
+    std::vector<double> t(ranks.size(), 0.0);
+    for (size_t i = 0; i < ranks.size(); ++i) {
+        const RunResult &r =
+            results.at(plan, plan.pointIndex(0, 0, 0, i, 0));
+        MCSCOPE_ASSERT(r.valid, "default placement rejected ",
+                       ranks[i], " ranks on ", machine.name);
+        t[i] = r.seconds;
+    }
+    // Scaling telemetry keeps its historical "default" label.
+    for (GridPointSample &sample : telemetry.points)
+        sample.label = "default";
+    if (opts.telemetry && !writeTelemetry(out, "scaling", f, telemetry))
         return 2;
+    if (f.cacheStats)
+        out << "cache: " << results.stats.summary() << "\n";
     std::vector<double> s = speedups(t);
     TextTable table({"ranks", "seconds", "speedup", "efficiency"});
     for (size_t i = 0; i < ranks.size(); ++i) {
@@ -460,6 +552,136 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
                            2)});
     }
     table.print(out);
+    return 0;
+}
+
+/** Short token for a batch row label. */
+std::string
+implToken(MpiImpl impl)
+{
+    switch (impl) {
+      case MpiImpl::Mpich2: return "mpich2";
+      case MpiImpl::Lam: return "lam";
+      case MpiImpl::OpenMpi: return "openmpi";
+    }
+    return "?";
+}
+
+int
+cmdBatch(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() < 2) {
+        out << "batch: missing spec file\n" << kUsage;
+        return 2;
+    }
+    CliFlags f = parseFlags(args, 2);
+    if (!f.error.empty()) {
+        out << "batch: " << f.error << "\n";
+        return 2;
+    }
+    std::ifstream in(args[1]);
+    if (!in) {
+        out << "batch: cannot read '" << args[1] << "'\n";
+        return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    std::optional<JsonValue> doc = parseJson(text, &error);
+    if (!doc) {
+        out << "batch: " << args[1] << ": " << error << "\n";
+        return 2;
+    }
+    std::optional<SweepPlan> plan = SweepPlan::fromJson(*doc, &error);
+    if (!plan) {
+        out << "batch: " << args[1] << ": " << error << "\n";
+        return 2;
+    }
+
+    SweepTelemetry telemetry;
+    RunnerOptions opts;
+    opts.jobs = f.jobs;
+    opts.audit = f.audit;
+    opts.telemetry =
+        (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
+    std::unique_ptr<ResultCache> disk_cache = openFlagCache(f);
+    opts.cache = disk_cache.get();
+    PlanResults results = runPlan(*plan, opts);
+    if (opts.telemetry && !writeTelemetry(out, "batch", f, telemetry))
+        return 2;
+
+    const SweepAxes &axes = plan->axes();
+    const MachineConfig machine = axes.resolvedMachine();
+    // One row label per (workload, impl, sublayer) combo; the
+    // impl/sublayer suffix appears only when that axis actually
+    // varies, so the common one-impl case reads like Table 2.
+    const bool tag_impl = axes.impls.size() > 1;
+    const bool tag_sublayer = axes.sublayers.size() > 1;
+    auto rowLabel = [&](size_t w, size_t i, size_t s) {
+        std::string label = axes.workloads[w];
+        if (tag_impl)
+            label += " [" + implToken(axes.impls[i]) + "]";
+        if (tag_sublayer)
+            label += " [" +
+                     std::string(axes.sublayers[s] == SubLayer::SysV
+                                     ? "sysv"
+                                     : "usysv") +
+                     "]";
+        return label;
+    };
+
+    if (f.csv) {
+        CsvWriter csv(out);
+        std::vector<std::string> header = {"machine", "workload",
+                                           "impl", "sublayer",
+                                           "ranks"};
+        for (const NumactlOption &o : axes.options)
+            header.push_back(o.label);
+        csv.writeRow(header);
+        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+            for (size_t i = 0; i < axes.impls.size(); ++i) {
+                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
+                    OptionSweepResult slice =
+                        optionSweepSlice(*plan, results, w, i, s);
+                    for (size_t r = 0; r < slice.rankCounts.size();
+                         ++r) {
+                        std::vector<std::string> row = {
+                            machine.name, axes.workloads[w],
+                            implToken(axes.impls[i]),
+                            axes.sublayers[s] == SubLayer::SysV
+                                ? "sysv"
+                                : "usysv",
+                            std::to_string(slice.rankCounts[r])};
+                        for (double v : slice.seconds[r])
+                            row.push_back(std::isnan(v)
+                                              ? ""
+                                              : formatFixed(v, 6));
+                        csv.writeRow(row);
+                    }
+                }
+            }
+        }
+    } else {
+        out << "machine: " << machine.name << " (" << machine.sockets
+            << " sockets x " << machine.coresPerSocket << " cores)\n";
+        TextTable t(optionSweepHeader("Workload"));
+        bool first = true;
+        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+            for (size_t i = 0; i < axes.impls.size(); ++i) {
+                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
+                    if (!first)
+                        t.addSeparator();
+                    first = false;
+                    appendOptionSweepRows(
+                        t, optionSweepSlice(*plan, results, w, i, s),
+                        rowLabel(w, i, s));
+                }
+            }
+        }
+        t.print(out);
+    }
+    if (f.cacheStats)
+        out << "cache: " << results.stats.summary() << "\n";
     return 0;
 }
 
@@ -492,7 +714,7 @@ runCli(const std::vector<std::string> &args, std::ostream &out)
     }
     const std::string &cmd = args[0];
     if (cmd == "list")
-        return cmdList(out);
+        return cmdList(args, out);
     if (cmd == "calibration") {
         out << calibrationReport();
         return 0;
@@ -503,6 +725,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out)
         return cmdSweep(args, out);
     if (cmd == "scaling")
         return cmdScaling(args, out);
+    if (cmd == "batch")
+        return cmdBatch(args, out);
     out << "unknown command '" << cmd << "'\n" << kUsage;
     return 2;
 }

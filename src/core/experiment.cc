@@ -1,11 +1,9 @@
 #include "core/experiment.hh"
 
-#include <chrono>
-#include <cmath>
-#include <limits>
 #include <memory>
 
-#include "core/parallel_for.hh"
+#include "core/plan.hh"
+#include "core/runner.hh"
 #include "machine/machine.hh"
 #include "sim/audit.hh"
 #include "simmpi/comm.hh"
@@ -72,28 +70,25 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-/** Seconds elapsed since `start`. */
-double
-secondsSince(Clock::time_point start)
+/**
+ * Axes shared by both legacy adapters: one caller-owned workload on
+ * one machine.  The workload's display name stands in for a registry
+ * name; the runner executes through RunnerOptions::workloadOverride,
+ * so the name never reaches the registry.
+ */
+SweepAxes
+adapterAxes(const MachineConfig &machine,
+            const std::vector<int> &rank_counts, const Workload &workload,
+            MpiImpl impl, SubLayer sublayer)
 {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/** Fill one telemetry slot; `sample` is the worker's preassigned cell. */
-void
-recordSample(GridPointSample *sample, int ranks, const std::string &label,
-             const RunResult &r, double wall_seconds)
-{
-    if (!sample)
-        return;
-    sample->ranks = ranks;
-    sample->label = label;
-    sample->valid = r.valid;
-    sample->wallSeconds = wall_seconds;
-    sample->simSeconds = r.valid ? r.seconds : 0.0;
-    sample->events = r.events;
+    SweepAxes axes;
+    axes.machinePreset.clear();
+    axes.machine = machine;
+    axes.workloads = {workload.name()};
+    axes.rankCounts = rank_counts;
+    axes.impls = {impl};
+    axes.sublayers = {sublayer};
+    return axes;
 }
 
 } // namespace
@@ -104,48 +99,24 @@ sweepOptions(const MachineConfig &machine,
              MpiImpl impl, SubLayer sublayer, int tag, int jobs,
              SweepTelemetry *telemetry)
 {
-    OptionSweepResult out;
-    out.rankCounts = rank_counts;
-    out.options = table5Options();
-
-    const size_t ncols = out.options.size();
-    out.seconds.assign(rank_counts.size(),
-                       std::vector<double>(ncols, 0.0));
-    if (telemetry) {
-        telemetry->jobs = jobs < 1 ? 1 : jobs;
-        telemetry->points.assign(rank_counts.size() * ncols, {});
-    }
-    const Clock::time_point sweep_start = Clock::now();
-
-    // Each grid point is a self-contained simulation; fan the flat
-    // (rank, option) index space out over the worker pool.  Workers
-    // write only their own preassigned cell (result and telemetry
-    // slot alike), so ordering is deterministic whatever the job
-    // count.
-    parallelFor(rank_counts.size() * ncols, jobs, [&](size_t i) {
-        const size_t row = i / ncols;
-        const size_t col = i % ncols;
-        ExperimentConfig cfg;
-        cfg.machine = machine;
-        cfg.option = out.options[col];
-        cfg.ranks = rank_counts[row];
-        cfg.impl = impl;
-        cfg.sublayer = sublayer;
-        const Clock::time_point point_start = Clock::now();
-        RunResult r = runExperiment(cfg, workload);
-        recordSample(telemetry ? &telemetry->points[i] : nullptr,
-                     rank_counts[row], out.options[col].label, r,
-                     secondsSince(point_start));
-        if (!r.valid) {
-            out.seconds[row][col] =
-                std::numeric_limits<double>::quiet_NaN();
-        } else {
-            out.seconds[row][col] = tag < 0 ? r.seconds : r.tagged(tag);
+    if (rank_counts.empty()) {
+        OptionSweepResult out;
+        out.options = table5Options();
+        if (telemetry) {
+            telemetry->jobs = jobs < 1 ? 1 : jobs;
+            telemetry->points.clear();
+            telemetry->wallSeconds = 0.0;
         }
-    });
-    if (telemetry)
-        telemetry->wallSeconds = secondsSince(sweep_start);
-    return out;
+        return out;
+    }
+    SweepPlan plan = SweepPlan::expand(
+        adapterAxes(machine, rank_counts, workload, impl, sublayer));
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.workloadOverride = &workload;
+    opts.telemetry = telemetry;
+    PlanResults results = runPlan(plan, opts);
+    return optionSweepSlice(plan, results, 0, 0, 0, tag);
 }
 
 std::vector<double>
@@ -155,27 +126,36 @@ defaultScalingTimes(const MachineConfig &machine,
                     SweepTelemetry *telemetry)
 {
     std::vector<double> out(rank_counts.size(), 0.0);
-    if (telemetry) {
-        telemetry->jobs = jobs < 1 ? 1 : jobs;
-        telemetry->points.assign(rank_counts.size(), {});
+    if (rank_counts.empty()) {
+        if (telemetry) {
+            telemetry->jobs = jobs < 1 ? 1 : jobs;
+            telemetry->points.clear();
+            telemetry->wallSeconds = 0.0;
+        }
+        return out;
     }
-    const Clock::time_point sweep_start = Clock::now();
-    parallelFor(rank_counts.size(), jobs, [&](size_t i) {
-        ExperimentConfig cfg;
-        cfg.machine = machine;
-        cfg.option = table5Options().front(); // Default
-        cfg.ranks = rank_counts[i];
-        const Clock::time_point point_start = Clock::now();
-        RunResult r = runExperiment(cfg, workload);
-        recordSample(telemetry ? &telemetry->points[i] : nullptr,
-                     rank_counts[i], "default", r,
-                     secondsSince(point_start));
+    SweepAxes axes = adapterAxes(machine, rank_counts, workload,
+                                 MpiImpl::OpenMpi, SubLayer::USysV);
+    axes.options = {table5Options().front()}; // Default
+    SweepPlan plan = SweepPlan::expand(axes);
+    RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.workloadOverride = &workload;
+    opts.telemetry = telemetry;
+    PlanResults results = runPlan(plan, opts);
+    for (size_t i = 0; i < rank_counts.size(); ++i) {
+        const RunResult &r =
+            results.at(plan, plan.pointIndex(0, 0, 0, i, 0));
         MCSCOPE_ASSERT(r.valid, "default placement rejected ",
                        rank_counts[i], " ranks on ", machine.name);
         out[i] = tag < 0 ? r.seconds : r.tagged(tag);
-    });
-    if (telemetry)
-        telemetry->wallSeconds = secondsSince(sweep_start);
+    }
+    // The scaling tables historically label telemetry "default"
+    // rather than the Table 5 option label.
+    if (telemetry) {
+        for (GridPointSample &sample : telemetry->points)
+            sample.label = "default";
+    }
     return out;
 }
 

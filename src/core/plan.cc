@@ -1,0 +1,287 @@
+#include "core/plan.hh"
+
+#include <map>
+
+#include "core/registry.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mcscope {
+
+namespace {
+
+bool
+setError(std::string *err, const std::string &msg)
+{
+    if (err)
+        *err = msg;
+    return false;
+}
+
+/** Apply the documented defaults to unset axes. */
+SweepAxes
+withDefaults(SweepAxes axes)
+{
+    if (!axes.machinePreset.empty()) {
+        axes.machinePreset = toLower(axes.machinePreset);
+        axes.machine = configByName(axes.machinePreset);
+    }
+    if (axes.options.empty())
+        axes.options = table5Options();
+    if (axes.rankCounts.empty()) {
+        for (int r = 2; r <= axes.machine.totalCores(); r *= 2)
+            axes.rankCounts.push_back(r);
+        if (axes.rankCounts.empty())
+            axes.rankCounts.push_back(1);
+    }
+    if (axes.impls.empty())
+        axes.impls = {MpiImpl::OpenMpi};
+    if (axes.sublayers.empty())
+        axes.sublayers = {SubLayer::USysV};
+    return axes;
+}
+
+} // namespace
+
+MachineConfig
+SweepAxes::resolvedMachine() const
+{
+    if (!machinePreset.empty())
+        return configByName(machinePreset);
+    return machine;
+}
+
+size_t
+SweepPlan::specIndex(size_t point) const
+{
+    MCSCOPE_ASSERT(point < pointSpec_.size(), "grid point ", point,
+                   " out of range (", pointSpec_.size(), " points)");
+    return pointSpec_[point];
+}
+
+const ScenarioSpec &
+SweepPlan::pointSpec(size_t point) const
+{
+    return specs_[specIndex(point)];
+}
+
+size_t
+SweepPlan::pointIndex(size_t w, size_t i, size_t s, size_t r,
+                      size_t o) const
+{
+    MCSCOPE_ASSERT(hasAxes_, "pointIndex needs an axes-based plan");
+    const size_t I = axes_.impls.size();
+    const size_t S = axes_.sublayers.size();
+    const size_t R = axes_.rankCounts.size();
+    const size_t O = axes_.options.size();
+    MCSCOPE_ASSERT(w < axes_.workloads.size() && i < I && s < S &&
+                       r < R && o < O,
+                   "grid coordinate out of range");
+    return ((((w * I + i) * S + s) * R + r) * O + o);
+}
+
+SweepPlan
+SweepPlan::fromSpecs(const std::vector<ScenarioSpec> &specs)
+{
+    SweepPlan plan;
+    // Keyed by canonical text, not digest: exact, and independent of
+    // workload instantiation.
+    std::map<std::string, size_t> seen;
+    for (const ScenarioSpec &raw : specs) {
+        ScenarioSpec spec = raw;
+        spec.canonicalize();
+        std::string key = spec.canonicalText();
+        auto [it, inserted] = seen.emplace(key, plan.specs_.size());
+        if (inserted)
+            plan.specs_.push_back(std::move(spec));
+        plan.pointSpec_.push_back(it->second);
+    }
+    return plan;
+}
+
+SweepPlan
+SweepPlan::expand(const SweepAxes &axes)
+{
+    SweepAxes full = withDefaults(axes);
+    MCSCOPE_ASSERT(!full.workloads.empty(),
+                   "sweep axes need at least one workload");
+    // Workload names are deliberately not validated here: the legacy
+    // sweepOptions adapter expands plans around caller-owned Workload
+    // instances whose display names (e.g. "nas-cg.B") are not registry
+    // names.  Entry points that will instantiate from the registry
+    // (fromJson, the CLI) validate before expanding.
+
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(full.workloads.size() * full.impls.size() *
+                  full.sublayers.size() * full.rankCounts.size() *
+                  full.options.size());
+    for (const std::string &workload : full.workloads) {
+        for (MpiImpl impl : full.impls) {
+            for (SubLayer sublayer : full.sublayers) {
+                for (int ranks : full.rankCounts) {
+                    for (const NumactlOption &option : full.options) {
+                        ScenarioSpec s;
+                        s.workload = workload;
+                        s.machinePreset = full.machinePreset;
+                        s.machine = full.machine;
+                        s.option = option;
+                        s.ranks = ranks;
+                        s.impl = impl;
+                        s.sublayer = sublayer;
+                        s.latencyNoise = full.latencyNoise;
+                        specs.push_back(std::move(s));
+                    }
+                }
+            }
+        }
+    }
+    SweepPlan plan = fromSpecs(specs);
+    plan.axes_ = std::move(full);
+    plan.hasAxes_ = true;
+    return plan;
+}
+
+std::optional<SweepPlan>
+SweepPlan::fromJson(const JsonValue &doc, std::string *error)
+{
+    if (!doc.isObject()) {
+        setError(error, "batch spec must be a JSON object");
+        return std::nullopt;
+    }
+    SweepAxes axes;
+    for (const auto &[key, v] : doc.members()) {
+        if (key == "machine") {
+            if (v.isString()) {
+                std::string preset = toLower(v.asString());
+                bool known = false;
+                for (const std::string &p : presetNames())
+                    known = known || toLower(p) == preset;
+                if (!known) {
+                    setError(error, "unknown machine preset '" +
+                                        v.asString() + "'");
+                    return std::nullopt;
+                }
+                axes.machinePreset = preset;
+            } else {
+                auto m = parseMachineConfig(v, error);
+                if (!m)
+                    return std::nullopt;
+                axes.machinePreset.clear();
+                axes.machine = *m;
+            }
+        } else if (key == "workloads") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error,
+                         "workloads must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &w : v.items()) {
+                if (!w.isString()) {
+                    setError(error, "workloads entries must be strings");
+                    return std::nullopt;
+                }
+                if (!knownWorkload(w.asString())) {
+                    setError(error,
+                             unknownWorkloadMessage(w.asString()));
+                    return std::nullopt;
+                }
+                axes.workloads.push_back(
+                    canonicalWorkloadName(w.asString()));
+            }
+        } else if (key == "ranks") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error, "ranks must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &r : v.items()) {
+                if (!r.isNumber() || r.asNumber() < 1.0) {
+                    setError(error,
+                             "ranks entries must be positive numbers");
+                    return std::nullopt;
+                }
+                axes.rankCounts.push_back(
+                    static_cast<int>(r.asNumber()));
+            }
+        } else if (key == "options") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error, "options must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &o : v.items()) {
+                std::optional<NumactlOption> option;
+                if (o.isNumber()) {
+                    option = resolveOptionSpec(
+                        std::to_string(static_cast<int>(o.asNumber())));
+                } else if (o.isString()) {
+                    option = resolveOptionSpec(o.asString());
+                } else {
+                    option = parseNumactlOption(o, error);
+                    if (!option)
+                        return std::nullopt;
+                }
+                if (!option) {
+                    setError(error, "unknown option '" + o.dump() +
+                                        "'");
+                    return std::nullopt;
+                }
+                axes.options.push_back(*option);
+            }
+        } else if (key == "impls") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error, "impls must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &entry : v.items()) {
+                std::string token =
+                    entry.isString() ? toLower(entry.asString()) : "";
+                if (token == "mpich2")
+                    axes.impls.push_back(MpiImpl::Mpich2);
+                else if (token == "lam")
+                    axes.impls.push_back(MpiImpl::Lam);
+                else if (token == "openmpi")
+                    axes.impls.push_back(MpiImpl::OpenMpi);
+                else {
+                    setError(error,
+                             "unknown impl '" + entry.dump() +
+                                 "' (have: mpich2, lam, openmpi)");
+                    return std::nullopt;
+                }
+            }
+        } else if (key == "sublayers") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error, "sublayers must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &entry : v.items()) {
+                std::string token =
+                    entry.isString() ? toLower(entry.asString()) : "";
+                if (token == "sysv")
+                    axes.sublayers.push_back(SubLayer::SysV);
+                else if (token == "usysv")
+                    axes.sublayers.push_back(SubLayer::USysV);
+                else {
+                    setError(error, "unknown sublayer '" + entry.dump() +
+                                        "' (have: sysv, usysv)");
+                    return std::nullopt;
+                }
+            }
+        } else if (key == "latency_noise") {
+            if (!v.isNumber() || v.asNumber() <= 0.0) {
+                setError(error,
+                         "latency_noise must be a positive number");
+                return std::nullopt;
+            }
+            axes.latencyNoise = v.asNumber();
+        } else {
+            setError(error, "unknown batch spec key '" + key + "'");
+            return std::nullopt;
+        }
+    }
+    if (axes.workloads.empty()) {
+        setError(error, "batch spec needs a \"workloads\" array");
+        return std::nullopt;
+    }
+    return expand(axes);
+}
+
+} // namespace mcscope

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SweepPlan: the grid expander of the scenario pipeline.
+ *
+ * A plan turns axis lists (workloads x MPI implementations x
+ * sub-layers x rank counts x numactl options on one machine) into a
+ * flat, deduplicated vector of ScenarioSpecs plus an index that maps
+ * every grid point back to its spec.  Deduplication means a batch
+ * that mentions the same point twice -- or a spec file regenerated
+ * with overlapping axes -- costs one simulation, and the runner
+ * (core/runner.hh) sees only unique work.
+ *
+ * Grid-point ordering is fixed and documented: workloads outermost,
+ * then impls, sublayers, rank counts, and options innermost.  The
+ * legacy sweepOptions() (rank, option) matrix is the two innermost
+ * axes of a single-workload plan, which is how core/experiment.cc
+ * reimplements it.
+ */
+
+#ifndef MCSCOPE_CORE_PLAN_HH
+#define MCSCOPE_CORE_PLAN_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hh"
+
+namespace mcscope {
+
+/** Axis lists a plan expands; empty axes get the documented default. */
+struct SweepAxes
+{
+    /** Preset name, or empty + inline `machine`. */
+    std::string machinePreset = "longs";
+    MachineConfig machine;
+
+    /** Registry workload names; must be non-empty. */
+    std::vector<std::string> workloads;
+
+    /** Default: the six Table 5 options. */
+    std::vector<NumactlOption> options;
+
+    /** Default: powers of two up to the machine's core count. */
+    std::vector<int> rankCounts;
+
+    /** Default: {OpenMPI}. */
+    std::vector<MpiImpl> impls;
+
+    /** Default: {USysV}. */
+    std::vector<SubLayer> sublayers;
+
+    double latencyNoise = 1.0;
+
+    /** The machine config the axes describe (preset resolved). */
+    MachineConfig resolvedMachine() const;
+};
+
+/** A deduplicated, executable expansion of a sweep. */
+class SweepPlan
+{
+  public:
+    /** Expand a full grid; fatal() on unknown workload names. */
+    static SweepPlan expand(const SweepAxes &axes);
+
+    /**
+     * Build a plan from an explicit spec list (for irregular point
+     * sets like Figure 10's option/sublayer combos).  Specs are
+     * canonicalized and deduplicated; grid points map 1:1 onto the
+     * input order.
+     */
+    static SweepPlan fromSpecs(const std::vector<ScenarioSpec> &specs);
+
+    /**
+     * Parse a batch spec file:
+     *
+     *   {
+     *     "machine": "longs" | { ...inline config... },
+     *     "workloads": ["nas-cg-b", "nas-ft-b"],
+     *     "ranks": [2, 4, 8, 16],
+     *     "options": [0, "membind"],          // default: all six
+     *     "impls": ["openmpi"],               // default
+     *     "sublayers": ["usysv"],             // default
+     *     "latency_noise": 1.0                // default
+     *   }
+     *
+     * Returns nullopt and sets `error` on malformed input; unknown
+     * keys and unknown workload names are errors (with a nearest-name
+     * suggestion).
+     */
+    static std::optional<SweepPlan> fromJson(const JsonValue &doc,
+                                            std::string *error);
+
+    /** Unique specs, in first-appearance order. */
+    const std::vector<ScenarioSpec> &specs() const { return specs_; }
+
+    /** Grid points (>= specs().size(); duplicates share a spec). */
+    size_t pointCount() const { return pointSpec_.size(); }
+
+    /** Spec index behind grid point `point`. */
+    size_t specIndex(size_t point) const;
+
+    /** Spec behind grid point `point`. */
+    const ScenarioSpec &pointSpec(size_t point) const;
+
+    /** Axes (only meaningful for expand()/fromJson() plans). */
+    const SweepAxes &axes() const { return axes_; }
+    bool hasAxes() const { return hasAxes_; }
+
+    /**
+     * Flat index of grid coordinate (workload w, impl i, sublayer s,
+     * rank r, option o) for an axes-based plan.
+     */
+    size_t pointIndex(size_t w, size_t i, size_t s, size_t r,
+                      size_t o) const;
+
+  private:
+    std::vector<ScenarioSpec> specs_;
+    std::vector<size_t> pointSpec_; // grid point -> spec index
+    SweepAxes axes_;
+    bool hasAxes_ = false;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_CORE_PLAN_HH

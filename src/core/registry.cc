@@ -16,6 +16,7 @@
 #include "kernels/randomaccess.hh"
 #include "kernels/stream.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace mcscope {
 
@@ -34,16 +35,34 @@ registeredWorkloads()
     };
 }
 
+std::string
+canonicalWorkloadName(const std::string &name)
+{
+    if (name == "stream-triad") // alias, see makeWorkload()
+        return "stream";
+    return name;
+}
+
 bool
 knownWorkload(const std::string &name)
 {
-    if (name == "stream-triad") // alias, see makeWorkload()
-        return true;
+    std::string canonical = canonicalWorkloadName(name);
     for (const std::string &w : registeredWorkloads()) {
-        if (w == name)
+        if (w == canonical)
             return true;
     }
     return false;
+}
+
+std::string
+unknownWorkloadMessage(const std::string &name)
+{
+    std::string msg = "unknown workload '" + name + "'";
+    std::string hint = closestMatch(name, registeredWorkloads());
+    if (!hint.empty())
+        msg += "; did you mean '" + hint + "'?";
+    msg += "\nknown workloads: " + join(registeredWorkloads(), ", ");
+    return msg;
 }
 
 std::unique_ptr<Workload>
@@ -113,7 +132,7 @@ makeWorkload(const std::string &name)
             lammpsBenchmarkByName("eam"));
     if (name == "pop-x1")
         return std::make_unique<PopWorkload>(popX1Config());
-    fatal("unknown workload '", name, "'");
+    fatal(unknownWorkloadMessage(name));
 }
 
 } // namespace mcscope

@@ -25,6 +25,21 @@ std::vector<std::string> registeredWorkloads();
 bool knownWorkload(const std::string &name);
 
 /**
+ * Resolve accepted aliases to the registry name ("stream-triad" ->
+ * "stream"); unknown names pass through unchanged.  Scenario specs
+ * canonicalize through this so aliased spellings share one cache
+ * digest.
+ */
+std::string canonicalWorkloadName(const std::string &name);
+
+/**
+ * Human-readable help for an unknown workload name: the full known-
+ * workload list plus, when a registered name is within a small edit
+ * distance, a "did you mean" suggestion.
+ */
+std::string unknownWorkloadMessage(const std::string &name);
+
+/**
  * Instantiate a workload by name with its paper-default parameters.
  * Known names include: stream, daxpy-acml, daxpy-vanilla, dgemm-acml,
  * dgemm-vanilla, hpcc-fft, randomaccess, mpi-randomaccess, ptrans,

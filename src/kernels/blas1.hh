@@ -44,6 +44,12 @@ class DaxpyWorkload : public LoopWorkload
     DaxpyWorkload(size_t n_per_rank, int iterations, BlasVariant variant);
 
     std::string name() const override;
+    std::string signature() const override
+    {
+        return "daxpy(n=" + std::to_string(n_) +
+               ",iters=" + std::to_string(iterations_) +
+               ",variant=" + blasVariantName(variant_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

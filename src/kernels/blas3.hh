@@ -46,6 +46,12 @@ class DgemmWorkload : public LoopWorkload
     DgemmWorkload(size_t n_per_rank, int iterations, BlasVariant variant);
 
     std::string name() const override;
+    std::string signature() const override
+    {
+        return "dgemm(n=" + std::to_string(n_) +
+               ",iters=" + std::to_string(iterations_) +
+               ",variant=" + blasVariantName(variant_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

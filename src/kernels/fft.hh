@@ -47,6 +47,11 @@ class FftWorkload : public LoopWorkload
     FftWorkload(size_t n_per_rank, int iterations);
 
     std::string name() const override { return "hpcc-fft"; }
+    std::string signature() const override
+    {
+        return "hpcc-fft(n=" + std::to_string(n_) +
+               ",iters=" + std::to_string(iterations_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -39,6 +39,11 @@ class HplWorkload : public LoopWorkload
     HplWorkload(size_t n_global, size_t block);
 
     std::string name() const override { return "hpl"; }
+    std::string signature() const override
+    {
+        return "hpl(n=" + std::to_string(n_) +
+               ",block=" + std::to_string(block_) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

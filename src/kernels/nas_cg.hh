@@ -49,6 +49,14 @@ class NasCgWorkload : public LoopWorkload
     explicit NasCgWorkload(NasCgClass klass);
 
     std::string name() const override { return "nas-cg." + klass_.name; }
+    std::string signature() const override
+    {
+        return "nas-cg(class=" + klass_.name +
+               ",na=" + std::to_string(klass_.na) +
+               ",nnz=" + std::to_string(klass_.nnz) +
+               ",outer=" + std::to_string(klass_.outerIters) +
+               ",inner=" + std::to_string(klass_.innerIters) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -57,6 +57,11 @@ class NasEpWorkload : public LoopWorkload
     explicit NasEpWorkload(NasEpClass klass);
 
     std::string name() const override { return "nas-ep." + klass_.name; }
+    std::string signature() const override
+    {
+        return "nas-ep(class=" + klass_.name +
+               ",pairs=" + std::to_string(klass_.pairs) + ")";
+    }
     uint64_t iterations() const override { return 1; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

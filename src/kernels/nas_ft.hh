@@ -43,6 +43,14 @@ class NasFtWorkload : public LoopWorkload
     explicit NasFtWorkload(NasFtClass klass);
 
     std::string name() const override { return "nas-ft." + klass_.name; }
+    std::string signature() const override
+    {
+        return "nas-ft(class=" + klass_.name +
+               ",nx=" + std::to_string(klass_.nx) +
+               ",ny=" + std::to_string(klass_.ny) +
+               ",nz=" + std::to_string(klass_.nz) +
+               ",iters=" + std::to_string(klass_.iters) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

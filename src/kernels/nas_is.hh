@@ -53,6 +53,13 @@ class NasIsWorkload : public LoopWorkload
     explicit NasIsWorkload(NasIsClass klass);
 
     std::string name() const override { return "nas-is." + klass_.name; }
+    std::string signature() const override
+    {
+        return "nas-is(class=" + klass_.name +
+               ",keys=" + std::to_string(klass_.keys) +
+               ",max_key=" + std::to_string(klass_.maxKey) +
+               ",iters=" + std::to_string(klass_.iters) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

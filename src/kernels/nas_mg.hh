@@ -88,6 +88,12 @@ class NasMgWorkload : public LoopWorkload
     explicit NasMgWorkload(NasMgClass klass);
 
     std::string name() const override { return "nas-mg." + klass_.name; }
+    std::string signature() const override
+    {
+        return "nas-mg(class=" + klass_.name +
+               ",edge=" + std::to_string(klass_.edge) +
+               ",iters=" + std::to_string(klass_.iters) + ")";
+    }
     uint64_t iterations() const override;
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

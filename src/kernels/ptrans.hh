@@ -33,6 +33,11 @@ class PtransWorkload : public LoopWorkload
     PtransWorkload(size_t n_global, int iterations);
 
     std::string name() const override { return "ptrans"; }
+    std::string signature() const override
+    {
+        return "ptrans(n=" + std::to_string(n_) +
+               ",iters=" + std::to_string(iterations_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -50,6 +50,12 @@ class RandomAccessWorkload : public LoopWorkload
                          double updates_per_iteration, int iterations);
 
     std::string name() const override { return "randomaccess"; }
+    std::string signature() const override
+    {
+        return "randomaccess(table=" + std::to_string(tableBytes_) +
+               ",updates=" + std::to_string(updates_) +
+               ",iters=" + std::to_string(iterations_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
@@ -78,6 +84,12 @@ class MpiRandomAccessWorkload : public LoopWorkload
                             double updates_per_iteration, int iterations);
 
     std::string name() const override { return "mpi-randomaccess"; }
+    std::string signature() const override
+    {
+        return "mpi-randomaccess(table=" + std::to_string(tableBytes_) +
+               ",updates=" + std::to_string(updates_) +
+               ",iters=" + std::to_string(iterations_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -74,6 +74,12 @@ class StreamWorkload : public LoopWorkload
     {
         return "stream-" + streamOpName(op_);
     }
+    std::string signature() const override
+    {
+        return "stream(op=" + streamOpName(op_) +
+               ",elements=" + std::to_string(elementsPerRank_) +
+               ",iters=" + std::to_string(iterations_) + ")";
+    }
     uint64_t iterations() const override { return iterations_; }
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;

@@ -107,6 +107,19 @@ class Workload
     virtual std::string name() const = 0;
 
     /**
+     * Parameter signature for content-addressed result caching
+     * (core/scenario.hh): a string encoding every constructor
+     * parameter that influences the simulated result.  The default --
+     * an empty string -- marks the workload as *not*
+     * content-addressable, and the runner then bypasses the cache
+     * rather than risk serving a result for differently-parameterized
+     * instances that share a name.  Implementations must fold in every
+     * model input, and changing a workload's cost model without
+     * bumping kScenarioModelVersion is a cache-poisoning bug.
+     */
+    virtual std::string signature() const { return ""; }
+
+    /**
      * Add one task per rank to machine.engine().  `rt` supplies the
      * placement, MPI personality, and sub-layer.
      */

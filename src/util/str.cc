@@ -97,4 +97,41 @@ startsWith(const std::string &s, const std::string &prefix)
            s.compare(0, prefix.size(), prefix) == 0;
 }
 
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Two-row Wagner-Fischer; names are short so O(|a|*|b|) is fine.
+    std::vector<size_t> prev(b.size() + 1);
+    std::vector<size_t> cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::string
+closestMatch(const std::string &name,
+             const std::vector<std::string> &candidates,
+             size_t max_distance)
+{
+    std::string want = toLower(name);
+    std::string best;
+    size_t best_distance = max_distance + 1;
+    for (const std::string &c : candidates) {
+        size_t d = editDistance(want, toLower(c));
+        if (d < best_distance) {
+            best_distance = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
 } // namespace mcscope

@@ -39,6 +39,22 @@ std::string formatGiBps(double bytes_per_second);
 /** True if `s` starts with `prefix`. */
 bool startsWith(const std::string &s, const std::string &prefix);
 
+/**
+ * Levenshtein edit distance (insert/delete/substitute, unit costs).
+ * Used for nearest-name suggestions on unknown workload or machine
+ * names.
+ */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to `name` by case-insensitive edit distance,
+ * or an empty string when nothing is within `max_distance` (so a
+ * wild typo does not produce a nonsense suggestion).
+ */
+std::string closestMatch(const std::string &name,
+                         const std::vector<std::string> &candidates,
+                         size_t max_distance = 5);
+
 } // namespace mcscope
 
 #endif // MCSCOPE_UTIL_STR_HH

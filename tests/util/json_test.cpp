@@ -1,0 +1,117 @@
+/**
+ * @file
+ * util/json.hh: parser, serializer, and round-trip behavior the
+ * scenario pipeline depends on (canonical key ordering, exact double
+ * round-trips, strict trailing-garbage rejection).
+ */
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+#include "util/rng.hh"
+
+using namespace mcscope;
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->asBool());
+    EXPECT_FALSE(parseJson("false")->asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42")->asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->asNumber(), -1500.0);
+    EXPECT_EQ(parseJson("\"hi\"")->asString(), "hi");
+}
+
+TEST(Json, ParsesNested)
+{
+    auto doc = parseJson(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *a = doc->find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    ASSERT_NE(a->items()[2].find("b"), nullptr);
+    EXPECT_EQ(a->items()[2].find("b")->asString(), "c");
+    EXPECT_TRUE(doc->find("d")->isObject());
+    EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(Json, StringEscapes)
+{
+    auto doc = parseJson(R"("a\"b\\c\n\tA")");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->asString(), "a\"b\\c\n\tA");
+
+    // Serialization escapes what JSON requires and round-trips.
+    JsonValue v = JsonValue::str("x\"\\\n\x01y");
+    auto back = parseJson(v.dump());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->asString(), "x\"\\\n\x01y");
+}
+
+TEST(Json, RejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("", &err).has_value());
+    EXPECT_FALSE(parseJson("{", &err).has_value());
+    EXPECT_FALSE(parseJson("[1,]", &err).has_value());
+    EXPECT_FALSE(parseJson("{\"a\" 1}", &err).has_value());
+    EXPECT_FALSE(parseJson("nul", &err).has_value());
+    EXPECT_FALSE(parseJson("\"unterminated", &err).has_value());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, RejectsTrailingGarbage)
+{
+    // A truncated-then-concatenated cache file must not parse.
+    EXPECT_FALSE(parseJson("{} {}").has_value());
+    EXPECT_FALSE(parseJson("1 2").has_value());
+    EXPECT_TRUE(parseJson("  {}  ").has_value());
+}
+
+TEST(Json, RejectsRunawayDepth)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(parseJson(deep).has_value());
+}
+
+TEST(Json, DoublesRoundTripExactly)
+{
+    // The result cache stores simulated seconds as JSON numbers; a
+    // cache hit must reproduce them bit-for-bit.
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        double v = rng.uniform(-1e6, 1e6) *
+                   std::pow(10.0, static_cast<double>(rng.below(13)) - 6);
+        auto parsed = parseJson(JsonValue::number(v).dump());
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->asNumber(), v) << "value " << v;
+    }
+}
+
+TEST(Json, SortedKeysAreCanonical)
+{
+    JsonValue a = JsonValue::object();
+    a.set("z", JsonValue::number(1));
+    a.set("a", JsonValue::number(2));
+    JsonValue b = JsonValue::object();
+    b.set("a", JsonValue::number(2));
+    b.set("z", JsonValue::number(1));
+    // Insertion order differs...
+    EXPECT_NE(a.dump(), b.dump());
+    // ...but the canonical form does not.
+    EXPECT_EQ(a.dump(-1, true), b.dump(-1, true));
+}
+
+TEST(Json, SetReplacesExistingKey)
+{
+    JsonValue o = JsonValue::object();
+    o.set("k", JsonValue::number(1));
+    o.set("k", JsonValue::number(2));
+    ASSERT_EQ(o.members().size(), 1u);
+    EXPECT_DOUBLE_EQ(o.find("k")->asNumber(), 2.0);
+}
