@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <ios>
+#include <iostream>
 #include <limits>
 #include <map>
 #include <memory>
@@ -39,6 +40,8 @@ const char *kUsage =
     "  sweep <workload> [flags]     numactl option x rank sweep\n"
     "  scaling <workload> [flags]   strong-scaling series\n"
     "  batch <spec.json> [flags]    execute a sweep-plan spec file\n"
+    "  worker [--manifest FILE]     shard worker (internal; manifest\n"
+    "                               read from stdin by default)\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
     "       --audit  run under the simulation invariant auditor\n"
@@ -51,7 +54,18 @@ const char *kUsage =
     "       --trace-out FILE      Chrome trace_event JSON of the run\n"
     "       --timeline-out FILE   per-resource utilization CSV (run)\n"
     "       --timeline-buckets N  timeline resolution (default 64)\n"
-    "       --telemetry-out FILE  sweep telemetry JSON\n";
+    "       --telemetry-out FILE  sweep telemetry JSON\n"
+    "batch fault tolerance (DESIGN.md §10):\n"
+    "       --shards N       run the plan across N worker processes\n"
+    "       --journal FILE   write-ahead journal of completed points\n"
+    "       --resume FILE    skip points already in FILE, append new\n"
+    "                        ones to it (unless --journal differs)\n"
+    "       --point-timeout S  kill a worker stuck >S seconds on one\n"
+    "                          point and retry it (default: off)\n"
+    "       --max-retries N  attempts before a point becomes a gap\n"
+    "                        (default 2)\n"
+    "       --backoff S      base worker respawn delay, doubled per\n"
+    "                        retry (default 0.05)\n";
 
 /**
  * Parse a digits-only string as a non-negative integer.  Returns -1
@@ -94,8 +108,29 @@ struct CliFlags
     std::string telemetryOut;
     std::string cacheDir;
     bool cacheStats = false;
+    int shards = 0; // 0 = in-process runPlan path
+    std::string journal;
+    std::string resume;
+    double pointTimeout = 0.0;
+    int maxRetries = 2;
+    double backoff = 0.05;
     std::string error;
 };
+
+/** Parse a non-negative decimal seconds value; NaN on bad input. */
+double
+parseSeconds(const std::string &s)
+{
+    if (s.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE || end != s.c_str() + s.size() ||
+        !std::isfinite(v) || v < 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return v;
+}
 
 CliFlags
 parseFlags(const std::vector<std::string> &args, size_t start)
@@ -181,6 +216,46 @@ parseFlags(const std::vector<std::string> &args, size_t start)
             }
         } else if (a == "--cache-stats") {
             f.cacheStats = true;
+        } else if (a == "--shards") {
+            std::string v = next();
+            f.shards = parseDigits(v);
+            if (f.shards <= 0) {
+                f.error = "bad --shards value '" + v + "'";
+                return f;
+            }
+        } else if (a == "--journal") {
+            f.journal = next();
+            if (f.journal.empty()) {
+                f.error = "--journal needs a file name";
+                return f;
+            }
+        } else if (a == "--resume") {
+            f.resume = next();
+            if (f.resume.empty()) {
+                f.error = "--resume needs a journal file";
+                return f;
+            }
+        } else if (a == "--point-timeout") {
+            std::string v = next();
+            f.pointTimeout = parseSeconds(v);
+            if (std::isnan(f.pointTimeout) || f.pointTimeout <= 0.0) {
+                f.error = "bad --point-timeout value '" + v + "'";
+                return f;
+            }
+        } else if (a == "--max-retries") {
+            std::string v = next();
+            f.maxRetries = parseDigits(v);
+            if (f.maxRetries < 0) {
+                f.error = "bad --max-retries value '" + v + "'";
+                return f;
+            }
+        } else if (a == "--backoff") {
+            std::string v = next();
+            f.backoff = parseSeconds(v);
+            if (std::isnan(f.backoff)) {
+                f.error = "bad --backoff value '" + v + "'";
+                return f;
+            }
         } else if (a == "--detail") {
             f.detail = true;
         } else if (a == "--audit") {
@@ -599,15 +674,47 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
     }
 
     SweepTelemetry telemetry;
-    RunnerOptions opts;
-    opts.jobs = f.jobs;
-    opts.audit = f.audit;
-    opts.telemetry =
+    SweepTelemetry *want_telemetry =
         (!f.telemetryOut.empty() || f.detail) ? &telemetry : nullptr;
-    std::unique_ptr<ResultCache> disk_cache = openFlagCache(f);
-    opts.cache = disk_cache.get();
-    PlanResults results = runPlan(*plan, opts);
-    if (opts.telemetry && !writeTelemetry(out, "batch", f, telemetry))
+    const bool sharded =
+        f.shards > 0 || !f.journal.empty() || !f.resume.empty();
+    PlanResults results;
+    if (sharded) {
+        ShardOptions sh;
+        sh.shards = f.shards > 0 ? f.shards : 1;
+        sh.pointTimeoutSeconds = f.pointTimeout;
+        sh.maxRetries = f.maxRetries;
+        sh.backoffSeconds = f.backoff;
+        sh.audit = f.audit;
+        sh.cacheDir = f.cacheDir;
+        if (sh.cacheDir.empty()) {
+            if (const char *env = std::getenv("MCSCOPE_CACHE_DIR"))
+                sh.cacheDir = env;
+        }
+        sh.resumeFrom = f.resume;
+        sh.journalPath = !f.journal.empty() ? f.journal : f.resume;
+        if (f.resume.empty() && !sh.journalPath.empty()) {
+            // A fresh run must not silently append behind someone
+            // else's records; that is what --resume is for.
+            std::ifstream probe(sh.journalPath);
+            if (probe && probe.peek() != EOF) {
+                out << "batch: journal '" << sh.journalPath
+                    << "' already exists; use --resume to continue "
+                       "it or remove it first\n";
+                return 2;
+            }
+        }
+        results = runPlanSharded(*plan, sh, want_telemetry);
+    } else {
+        RunnerOptions opts;
+        opts.jobs = f.jobs;
+        opts.audit = f.audit;
+        opts.telemetry = want_telemetry;
+        std::unique_ptr<ResultCache> disk_cache = openFlagCache(f);
+        opts.cache = disk_cache.get();
+        results = runPlan(*plan, opts);
+    }
+    if (want_telemetry && !writeTelemetry(out, "batch", f, telemetry))
         return 2;
 
     const SweepAxes &axes = plan->axes();
@@ -680,9 +787,36 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
         }
         t.print(out);
     }
-    if (f.cacheStats)
-        out << "cache: " << results.stats.summary() << "\n";
+    if (f.cacheStats) {
+        if (sharded)
+            out << "journal: " << results.shard.summary() << "\n";
+        else
+            out << "cache: " << results.stats.summary() << "\n";
+    }
     return 0;
+}
+
+/**
+ * Shard worker: consume a manifest (stdin, or --manifest FILE) and
+ * stream one record per completed point.  Spawned by the batch
+ * supervisor; usable by hand for debugging a single shard.
+ */
+int
+cmdWorker(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() == 1)
+        return runShardWorker(std::cin, out);
+    if (args.size() == 3 && args[1] == "--manifest") {
+        std::ifstream in(args[2]);
+        if (!in) {
+            out << "worker: cannot read '" << args[2] << "'\n";
+            return 2;
+        }
+        return runShardWorker(in, out);
+    }
+    out << "worker: expected no arguments or --manifest FILE\n"
+        << kUsage;
+    return 2;
 }
 
 } // namespace
@@ -727,6 +861,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out)
         return cmdScaling(args, out);
     if (cmd == "batch")
         return cmdBatch(args, out);
+    if (cmd == "worker")
+        return cmdWorker(args, out);
     out << "unknown command '" << cmd << "'\n" << kUsage;
     return 2;
 }

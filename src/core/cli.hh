@@ -9,6 +9,10 @@
  *   run <workload> [flags]        one experiment (+ bottleneck view)
  *   sweep <workload> [flags]      Table 5 option x rank-count sweep
  *   scaling <workload> [flags]    strong-scaling series
+ *   batch <spec.json> [flags]     execute a sweep-plan spec file;
+ *                                 --shards/--journal/--resume add
+ *                                 multi-process fault tolerance
+ *   worker [--manifest FILE]      shard worker (internal protocol)
  *
  * Flags:
  *   --machine tiger|dmz|longs     (default longs)

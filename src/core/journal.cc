@@ -1,0 +1,193 @@
+#include "core/journal.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/runner.hh" // runResultToJson / parseRunResult / digest hex
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace mcscope {
+
+namespace {
+
+/** True when `pid` names a live process we could signal. */
+bool
+pidAlive(long pid)
+{
+    if (pid <= 0)
+        return false;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0)
+        return true;
+    return errno == EPERM; // alive, owned by someone else
+}
+
+/** The pid recorded in a lock file, or -1 when unreadable. */
+long
+lockHolder(const std::string &lock_path)
+{
+    std::ifstream in(lock_path);
+    long pid = -1;
+    if (!(in >> pid))
+        return -1;
+    return pid;
+}
+
+/** write(2) the whole buffer; fatal on error (journal loss = data loss). */
+void
+writeAllOrDie(int fd, const std::string &data, const std::string &path)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("cannot append to journal '", path,
+                  "': ", std::strerror(errno));
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string path)
+    : path_(std::move(path)), lock_path_(path_ + ".lock")
+{
+    MCSCOPE_ASSERT(!path_.empty(), "journal needs a path");
+
+    // Take the lock: O_EXCL creation is the atomic claim.  One retry
+    // after clearing a stale (dead-pid) lock; losing the race twice
+    // means a live contender either way.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        lock_fd_ = ::open(lock_path_.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (lock_fd_ >= 0)
+            break;
+        if (errno != EEXIST) {
+            fatal("cannot create journal lock '", lock_path_,
+                  "': ", std::strerror(errno));
+        }
+        long holder = lockHolder(lock_path_);
+        if (pidAlive(holder)) {
+            fatal("journal '", path_,
+                  "' is locked by a live supervisor (pid ", holder,
+                  "); refusing to attach");
+        }
+        warn("removing stale journal lock ", lock_path_, " (pid ",
+             holder, " is gone)");
+        ::unlink(lock_path_.c_str());
+    }
+    if (lock_fd_ < 0) {
+        fatal("journal '", path_, "' is locked (", lock_path_,
+              "); refusing to attach");
+    }
+    std::string pid_line =
+        std::to_string(static_cast<long>(::getpid())) + "\n";
+    writeAllOrDie(lock_fd_, pid_line, lock_path_);
+
+    const bool fresh = ::access(path_.c_str(), F_OK) != 0;
+    fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    if (fd_ < 0) {
+        int saved = errno;
+        ::close(lock_fd_);
+        ::unlink(lock_path_.c_str());
+        fatal("cannot open journal '", path_,
+              "': ", std::strerror(saved));
+    }
+    if (fresh) {
+        JsonValue header = JsonValue::object();
+        header.set("format", JsonValue::str(kJournalFormat));
+        header.set("model", JsonValue::str(kScenarioModelVersion));
+        writeAllOrDie(fd_, header.dump() + "\n", path_);
+        ::fsync(fd_);
+    }
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    if (lock_fd_ >= 0) {
+        ::close(lock_fd_);
+        ::unlink(lock_path_.c_str());
+    }
+}
+
+void
+SweepJournal::append(uint64_t digest, const RunResult &result)
+{
+    // One line per record, fsync'd: the write-ahead guarantee.  A
+    // single write(2) of a short line is atomic enough in practice
+    // (O_APPEND, one writer enforced by the lock); the reader
+    // tolerates a torn tail regardless.
+    writeAllOrDie(fd_, runResultToJson(digest, result).dump() + "\n",
+                  path_);
+    if (::fsync(fd_) != 0) {
+        fatal("fsync failed on journal '", path_,
+              "': ", std::strerror(errno));
+    }
+    ++appended_;
+}
+
+std::optional<std::pair<uint64_t, RunResult>>
+parseJournalRecord(const std::string &line)
+{
+    std::optional<JsonValue> doc = parseJson(line);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    if (doc->find("format"))
+        return std::nullopt; // header line
+    const JsonValue *digest = doc->find("digest");
+    if (!digest || !digest->isString())
+        return std::nullopt;
+    std::optional<uint64_t> d = parseDigestHex(digest->asString());
+    if (!d)
+        return std::nullopt;
+    std::optional<RunResult> r = parseRunResult(*doc, *d);
+    if (!r)
+        return std::nullopt;
+    return std::make_pair(*d, *r);
+}
+
+std::unordered_map<uint64_t, RunResult>
+loadJournal(const std::string &path, JournalLoadStats *stats)
+{
+    std::unordered_map<uint64_t, RunResult> out;
+    JournalLoadStats local;
+    std::ifstream in(path);
+    if (in) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::optional<JsonValue> doc = parseJson(line);
+            if (doc && doc->isObject() && doc->find("format"))
+                continue; // header
+            std::optional<std::pair<uint64_t, RunResult>> rec =
+                parseJournalRecord(line);
+            if (!rec) {
+                ++local.corrupt;
+                warn("journal ", path,
+                     ": skipping malformed record line");
+                continue;
+            }
+            out[rec->first] = rec->second;
+            ++local.records;
+        }
+    }
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace mcscope

@@ -1,23 +1,33 @@
 #include "core/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <istream>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <sstream>
+
+#include <poll.h>
 #include <unistd.h>
 
+#include "core/journal.hh"
 #include "core/parallel_for.hh"
 #include "core/registry.hh"
 #include "sim/audit.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
+#include "util/subprocess.hh"
 
 namespace mcscope {
 
@@ -25,13 +35,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/** Format stamp on shard manifests (supervisor -> worker). */
+constexpr const char *kShardManifestFormat = "mcscope-shard-1";
+
 double
 secondsSince(Clock::time_point start)
 {
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Fixed-width hex spelling used for file names and digest fields. */
+} // namespace
+
 std::string
 digestHex(uint64_t digest)
 {
@@ -58,8 +72,6 @@ parseDigestHex(const std::string &s)
     }
     return v;
 }
-
-} // namespace
 
 JsonValue
 runResultToJson(uint64_t digest, const RunResult &result)
@@ -395,6 +407,520 @@ runPlan(const SweepPlan &plan, const RunnerOptions &opts)
             sample.wallSeconds = out.specWallSeconds[si];
             sample.simSeconds = r.valid ? r.seconds : 0.0;
             sample.events = r.events;
+        }
+    }
+    return out;
+}
+
+std::optional<std::vector<FaultSpec>>
+parseFaultPlan(const std::string &text, std::string *error)
+{
+    std::vector<FaultSpec> out;
+    if (trim(text).empty())
+        return out;
+    for (const std::string &part : split(text, ',')) {
+        std::string p = trim(part);
+        size_t colon = p.find(':');
+        if (colon == std::string::npos) {
+            if (error)
+                *error = "expected kind:point in '" + p + "'";
+            return std::nullopt;
+        }
+        FaultSpec f;
+        std::string kind = toLower(trim(p.substr(0, colon)));
+        if (kind == "crash") {
+            f.kind = FaultSpec::Kind::Crash;
+        } else if (kind == "hang") {
+            f.kind = FaultSpec::Kind::Hang;
+        } else {
+            if (error)
+                *error = "unknown fault kind '" + kind +
+                         "' (expected crash or hang)";
+            return std::nullopt;
+        }
+        std::string idx = trim(p.substr(colon + 1));
+        if (idx.empty() ||
+            !std::all_of(idx.begin(), idx.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c));
+            })) {
+            if (error)
+                *error = "bad fault point '" + idx + "'";
+            return std::nullopt;
+        }
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(idx.c_str(), &end, 10);
+        if (errno == ERANGE || end != idx.c_str() + idx.size()) {
+            if (error)
+                *error = "bad fault point '" + idx + "'";
+            return std::nullopt;
+        }
+        f.point = v;
+        out.push_back(f);
+    }
+    return out;
+}
+
+std::string
+ShardRunStats::summary() const
+{
+    std::string out = std::to_string(journaled) + " from journal, " +
+                      std::to_string(executed) + " executed, " +
+                      std::to_string(gaps) + " gaps, " +
+                      std::to_string(retries) + " retries (" +
+                      std::to_string(crashes) + " crashes, " +
+                      std::to_string(timeouts) + " timeouts)";
+    if (workerCacheHits)
+        out += ", " + std::to_string(workerCacheHits) +
+               " worker cache hits";
+    return out;
+}
+
+int
+runShardWorker(std::istream &in, std::ostream &out)
+{
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    std::optional<JsonValue> doc = parseJson(text, &error);
+    if (!doc || !doc->isObject()) {
+        warn("worker: malformed shard manifest: ", error);
+        return 2;
+    }
+    const JsonValue *fmt = doc->find("format");
+    if (!fmt || !fmt->isString() ||
+        fmt->asString() != kShardManifestFormat) {
+        warn("worker: manifest is not ", kShardManifestFormat);
+        return 2;
+    }
+    bool audit = false;
+    if (const JsonValue *a = doc->find("audit"); a && a->isBool())
+        audit = a->asBool();
+    std::string cache_dir;
+    if (const JsonValue *c = doc->find("cache_dir");
+        c && c->isString())
+        cache_dir = c->asString();
+    const JsonValue *points = doc->find("points");
+    if (!points || !points->isArray()) {
+        warn("worker: manifest has no points array");
+        return 2;
+    }
+
+    std::vector<FaultSpec> faults;
+    if (const char *env = std::getenv("MCSCOPE_FAULT_INJECT")) {
+        std::optional<std::vector<FaultSpec>> parsed =
+            parseFaultPlan(env, &error);
+        if (!parsed) {
+            warn("worker: bad MCSCOPE_FAULT_INJECT: ", error);
+            return 2;
+        }
+        faults = *parsed;
+    }
+
+    std::unique_ptr<ResultCache> cache;
+    if (!cache_dir.empty())
+        cache = std::make_unique<ResultCache>(cache_dir);
+
+    uint64_t cache_hits = 0;
+    for (const JsonValue &p : points->items()) {
+        const JsonValue *idx = p.find("index");
+        const JsonValue *spec_doc = p.find("spec");
+        if (!idx || !idx->isNumber() || !spec_doc) {
+            warn("worker: malformed manifest point");
+            return 2;
+        }
+        const uint64_t index = static_cast<uint64_t>(idx->asNumber());
+        std::optional<ScenarioSpec> spec =
+            parseScenarioSpec(*spec_doc, &error);
+        if (!spec) {
+            warn("worker: bad spec for point ", index, ": ", error);
+            return 2;
+        }
+
+        // Deterministic fault injection: die or stall exactly when
+        // told to, *before* the point's record exists, so the
+        // supervisor's recovery path sees a genuinely lost point.
+        for (const FaultSpec &f : faults) {
+            if (f.point != index)
+                continue;
+            if (f.kind == FaultSpec::Kind::Crash) {
+                ::raise(SIGKILL);
+            } else {
+                for (;;)
+                    ::sleep(3600); // until the watchdog kills us
+            }
+        }
+
+        std::unique_ptr<Workload> workload =
+            makeWorkload(spec->workload);
+        std::optional<uint64_t> digest = spec->digestWith(*workload);
+        const Clock::time_point start = Clock::now();
+        RunResult result;
+        bool hit = false;
+        // Audit mode always simulates (the auditor must see the run);
+        // plain mode may serve the point from the shared disk cache.
+        if (cache && digest && !audit) {
+            if (std::optional<ResultCache::Hit> h =
+                    cache->lookup(*digest)) {
+                result = h->result;
+                hit = true;
+                ++cache_hits;
+            }
+        }
+        if (!hit) {
+            ExperimentConfig cfg = spec->toExperiment();
+            cfg.audit = audit;
+            result = runExperiment(cfg, *workload);
+            if (cache && digest)
+                cache->store(*digest, result);
+        }
+
+        JsonValue rec = JsonValue::object();
+        rec.set("index",
+                JsonValue::number(static_cast<double>(index)));
+        rec.set("wall_seconds",
+                JsonValue::number(secondsSince(start)));
+        rec.set("result",
+                runResultToJson(digest ? *digest : 0, result));
+        out << rec.dump() << "\n";
+        out.flush();
+    }
+    JsonValue done = JsonValue::object();
+    done.set("done", JsonValue::boolean(true));
+    done.set("cache_hits",
+             JsonValue::number(static_cast<double>(cache_hits)));
+    out << done.dump() << "\n";
+    out.flush();
+    return 0;
+}
+
+namespace {
+
+/** One worker slot of the sharded supervisor. */
+struct ShardSlot
+{
+    std::deque<size_t> queue; ///< spec indices still owed, in order
+    std::unique_ptr<Subprocess> proc;
+    std::string buf; ///< partial stdout line
+    Clock::time_point lastProgress;
+    Clock::time_point respawnAt = Clock::time_point::min();
+    uint64_t points = 0;
+    double busySeconds = 0.0;
+    uint64_t respawns = 0;
+    uint64_t launches = 0;
+};
+
+} // namespace
+
+PlanResults
+runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
+               SweepTelemetry *telemetry)
+{
+    const size_t n = plan.specs().size();
+    const int shard_count = std::max(1, sopts.shards);
+
+    PlanResults out;
+    out.bySpec.assign(n, RunResult{});
+    out.specWallSeconds.assign(n, 0.0);
+    out.stats.points = plan.pointCount();
+    out.stats.uniqueSpecs = n;
+
+    // Content digests drive both the journal and resume matching.  A
+    // spec without one (non-content-addressable workload) is always
+    // executed and never journaled.
+    std::vector<std::optional<uint64_t>> digests(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::unique_ptr<Workload> w =
+            makeWorkload(plan.specs()[i].workload);
+        digests[i] = plan.specs()[i].digestWith(*w);
+    }
+
+    std::vector<bool> done(n, false);
+    if (!sopts.resumeFrom.empty()) {
+        JournalLoadStats jstats;
+        std::unordered_map<uint64_t, RunResult> journaled =
+            loadJournal(sopts.resumeFrom, &jstats);
+        for (size_t i = 0; i < n; ++i) {
+            if (!digests[i])
+                continue;
+            auto it = journaled.find(*digests[i]);
+            if (it == journaled.end())
+                continue;
+            out.bySpec[i] = it->second;
+            done[i] = true;
+            ++out.shard.journaled;
+        }
+    }
+
+    // The journal is opened (and the lock taken) after the resume
+    // load so resuming into the same file appends behind the records
+    // just read.
+    std::unique_ptr<SweepJournal> journal;
+    if (!sopts.journalPath.empty())
+        journal = std::make_unique<SweepJournal>(sopts.journalPath);
+
+    std::vector<ShardSlot> slots(
+        static_cast<size_t>(shard_count));
+    {
+        // Round-robin keeps neighboring (often similarly sized)
+        // points spread across workers.
+        size_t next = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!done[i])
+                slots[next++ % slots.size()].queue.push_back(i);
+        }
+    }
+
+    std::vector<int> retries(n, 0);
+    const std::string exe = sopts.workerExe.empty()
+                                ? selfExecutablePath()
+                                : sopts.workerExe;
+    const Clock::time_point plan_start = Clock::now();
+
+    auto buildManifest = [&](const std::deque<size_t> &queue) {
+        JsonValue doc = JsonValue::object();
+        doc.set("format", JsonValue::str(kShardManifestFormat));
+        doc.set("audit", JsonValue::boolean(sopts.audit));
+        if (!sopts.cacheDir.empty())
+            doc.set("cache_dir", JsonValue::str(sopts.cacheDir));
+        JsonValue pts = JsonValue::array();
+        for (size_t i : queue) {
+            JsonValue p = JsonValue::object();
+            p.set("index",
+                  JsonValue::number(static_cast<double>(i)));
+            p.set("spec", plan.specs()[i].toJson());
+            pts.append(std::move(p));
+        }
+        doc.set("points", std::move(pts));
+        return doc.dump();
+    };
+
+    auto spawnSlot = [&](ShardSlot &slot) {
+        slot.proc = std::make_unique<Subprocess>(
+            std::vector<std::string>{exe, "worker"},
+            buildManifest(slot.queue));
+        slot.buf.clear();
+        slot.lastProgress = Clock::now();
+        if (slot.launches++ > 0)
+            ++slot.respawns;
+    };
+
+    auto handleLine = [&](ShardSlot &slot, const std::string &line) {
+        std::optional<JsonValue> doc = parseJson(line);
+        if (!doc || !doc->isObject()) {
+            warn("supervisor: unparseable worker record ignored");
+            return;
+        }
+        if (doc->find("done")) {
+            if (const JsonValue *h = doc->find("cache_hits");
+                h && h->isNumber())
+                out.shard.workerCacheHits +=
+                    static_cast<uint64_t>(h->asNumber());
+            return;
+        }
+        const JsonValue *idx = doc->find("index");
+        const JsonValue *res = doc->find("result");
+        if (!idx || !idx->isNumber() || !res) {
+            warn("supervisor: malformed worker record ignored");
+            return;
+        }
+        const size_t i = static_cast<size_t>(idx->asNumber());
+        if (i >= n || done[i]) {
+            warn("supervisor: unexpected record for spec ", i);
+            return;
+        }
+        std::optional<RunResult> r =
+            parseRunResult(*res, digests[i] ? *digests[i] : 0);
+        if (!r) {
+            // Ignored, so the point stays owed; the worker's exit
+            // will trigger the retry path.
+            warn("supervisor: corrupt record for spec ", i,
+                 "; the point will be retried");
+            return;
+        }
+        auto it =
+            std::find(slot.queue.begin(), slot.queue.end(), i);
+        if (it == slot.queue.end()) {
+            warn("supervisor: record for spec ", i,
+                 " from the wrong shard ignored");
+            return;
+        }
+        slot.queue.erase(it);
+        done[i] = true;
+        out.bySpec[i] = *r;
+        double wall = 0.0;
+        if (const JsonValue *w = doc->find("wall_seconds");
+            w && w->isNumber())
+            wall = w->asNumber();
+        out.specWallSeconds[i] = wall;
+        slot.busySeconds += wall;
+        ++slot.points;
+        slot.lastProgress = Clock::now();
+        ++out.shard.executed;
+        // Write-ahead guarantee: the record is durable before the
+        // sweep counts the point as complete.
+        if (journal && digests[i])
+            journal->append(*digests[i], *r);
+    };
+
+    auto processBuffer = [&](ShardSlot &slot) {
+        size_t pos;
+        while ((pos = slot.buf.find('\n')) != std::string::npos) {
+            std::string line = slot.buf.substr(0, pos);
+            slot.buf.erase(0, pos + 1);
+            if (!line.empty())
+                handleLine(slot, line);
+        }
+    };
+
+    // A worker died (or was killed): decide between finished, retry,
+    // and gap.  The worker emits records strictly in manifest order,
+    // so the first still-owed point is the one that took it down.
+    auto handleDeath = [&](ShardSlot &slot, bool timed_out) {
+        slot.proc->kill();
+        slot.proc->wait();
+        const bool clean =
+            !timed_out && slot.proc->exitCode() == 0;
+        slot.proc.reset();
+        slot.buf.clear();
+        if (slot.queue.empty() && clean)
+            return;
+        ++out.shard.crashes;
+        if (timed_out)
+            ++out.shard.timeouts;
+        const size_t suspect = slot.queue.front();
+        ++retries[suspect];
+        const double delay =
+            sopts.backoffSeconds *
+            static_cast<double>(
+                1u << std::min(retries[suspect] - 1, 6));
+        if (retries[suspect] > sopts.maxRetries) {
+            warn("point ", suspect, " (",
+                 plan.specs()[suspect].canonicalText(), ") ",
+                 timed_out ? "hung" : "crashed", " its worker ",
+                 retries[suspect],
+                 " time(s); recording a gap and moving on");
+            slot.queue.pop_front();
+            done[suspect] = true; // stays an invalid RunResult
+            ++out.shard.gaps;
+        } else {
+            ++out.shard.retries;
+        }
+        if (!slot.queue.empty()) {
+            slot.respawnAt =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(delay));
+        }
+    };
+
+    for (;;) {
+        Clock::time_point now = Clock::now();
+        bool active = false;
+        for (ShardSlot &slot : slots) {
+            if (!slot.proc && !slot.queue.empty() &&
+                slot.respawnAt <= now)
+                spawnSlot(slot);
+            if (slot.proc || !slot.queue.empty())
+                active = true;
+        }
+        if (!active)
+            break;
+
+        std::vector<struct pollfd> fds;
+        std::vector<size_t> fd_slot;
+        for (size_t s = 0; s < slots.size(); ++s) {
+            if (slots[s].proc && slots[s].proc->outFd() >= 0) {
+                fds.push_back({slots[s].proc->outFd(), POLLIN, 0});
+                fd_slot.push_back(s);
+            }
+        }
+        // Wake early enough for the nearest watchdog deadline or
+        // pending respawn; 200 ms bounds the idle re-check either way.
+        int timeout_ms = 200;
+        auto considerDeadline = [&](Clock::time_point when) {
+            double ms = std::chrono::duration<double, std::milli>(
+                            when - now)
+                            .count();
+            timeout_ms = std::max(
+                1, std::min(timeout_ms, static_cast<int>(ms) + 1));
+        };
+        for (ShardSlot &slot : slots) {
+            if (slot.proc && sopts.pointTimeoutSeconds > 0.0) {
+                considerDeadline(
+                    slot.lastProgress +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            sopts.pointTimeoutSeconds)));
+            }
+            if (!slot.proc && !slot.queue.empty())
+                considerDeadline(slot.respawnAt);
+        }
+        ::poll(fds.empty() ? nullptr : fds.data(), fds.size(),
+               timeout_ms);
+
+        now = Clock::now();
+        for (size_t s = 0; s < slots.size(); ++s) {
+            ShardSlot &slot = slots[s];
+            if (!slot.proc)
+                continue;
+            const bool open = slot.proc->readAvailable(slot.buf);
+            processBuffer(slot);
+            if (!open) {
+                handleDeath(slot, false);
+                continue;
+            }
+            if (sopts.pointTimeoutSeconds > 0.0 &&
+                std::chrono::duration<double>(now -
+                                              slot.lastProgress)
+                        .count() > sopts.pointTimeoutSeconds) {
+                // Hung: kill, salvage already-piped records, then
+                // run the normal death protocol.
+                slot.proc->kill();
+                slot.proc->readAvailable(slot.buf);
+                processBuffer(slot);
+                handleDeath(slot, true);
+            }
+        }
+    }
+    out.wallSeconds = secondsSince(plan_start);
+
+    for (size_t i = 0; i < n; ++i)
+        MCSCOPE_ASSERT(done[i], "sharded run left spec ", i,
+                       " unresolved");
+
+    out.stats.misses = out.shard.executed;
+    out.stats.simulations =
+        out.shard.executed -
+        std::min(out.shard.executed, out.shard.workerCacheHits);
+
+    if (telemetry) {
+        telemetry->jobs = shard_count;
+        telemetry->wallSeconds = out.wallSeconds;
+        telemetry->journaled = out.shard.journaled;
+        telemetry->retries = out.shard.retries;
+        telemetry->gaps = out.shard.gaps;
+        telemetry->points.assign(plan.pointCount(), {});
+        for (size_t p = 0; p < plan.pointCount(); ++p) {
+            const size_t si = plan.specIndex(p);
+            const ScenarioSpec &spec = plan.specs()[si];
+            const RunResult &r = out.bySpec[si];
+            GridPointSample &sample = telemetry->points[p];
+            sample.ranks = spec.ranks;
+            sample.label = spec.option.label;
+            sample.valid = r.valid;
+            sample.wallSeconds = out.specWallSeconds[si];
+            sample.simSeconds = r.valid ? r.seconds : 0.0;
+            sample.events = r.events;
+        }
+        telemetry->shards.clear();
+        for (size_t s = 0; s < slots.size(); ++s) {
+            ShardSample sample;
+            sample.shard = static_cast<int>(s);
+            sample.points = slots[s].points;
+            sample.busySeconds = slots[s].busySeconds;
+            sample.respawns = slots[s].respawns;
+            telemetry->shards.push_back(sample);
         }
     }
     return out;

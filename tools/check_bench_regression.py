@@ -52,11 +52,31 @@ OVERHEAD_PAIRS = [
 ]
 
 
-def load_benchmarks(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        report = json.load(fh)
+class ReportError(Exception):
+    """A report file is missing or not a google-benchmark JSON dump."""
+
+
+def load_benchmarks(path, role):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except OSError as err:
+        raise ReportError(f"cannot read {role} report '{path}': "
+                          f"{err.strerror or err}") from err
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{role} report '{path}' is not valid JSON "
+                          f"(line {err.lineno}: {err.msg}); regenerate "
+                          "it with --benchmark_format=json") from err
+    if not isinstance(report, dict) or \
+            not isinstance(report.get("benchmarks"), list):
+        raise ReportError(f"{role} report '{path}' has no 'benchmarks' "
+                          "array; it does not look like a "
+                          "google-benchmark JSON report")
     out = {}
-    for bench in report.get("benchmarks", []):
+    for bench in report["benchmarks"]:
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise ReportError(f"{role} report '{path}' contains a "
+                              "benchmark entry without a name")
         if bench.get("run_type") == "aggregate":
             continue
         name = bench["name"]
@@ -114,12 +134,21 @@ def main():
     tolerance = args.max_regress
     env_tol = os.environ.get("MCSCOPE_BENCH_TOLERANCE")
     if env_tol:
-        tolerance = float(env_tol)
+        try:
+            tolerance = float(env_tol)
+        except ValueError:
+            print(f"error: MCSCOPE_BENCH_TOLERANCE='{env_tol}' is not "
+                  "a number", file=sys.stderr)
+            return 2
     hot_tolerance = max(args.hot_max_regress,
-                        float(env_tol) if env_tol else 0.0)
+                        tolerance if env_tol else 0.0)
 
-    current = load_benchmarks(args.current)
-    baseline = load_benchmarks(args.baseline)
+    try:
+        current = load_benchmarks(args.current, "current")
+        baseline = load_benchmarks(args.baseline, "baseline")
+    except ReportError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
     failures = []
     compared = 0

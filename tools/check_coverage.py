@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate line coverage against the recorded baseline.
+
+Usage:
+    tools/check_coverage.py SUMMARY.json tools/coverage_baseline.json \
+        [--margin 2.0]
+
+SUMMARY.json is a gcovr ``--json-summary`` report produced from a
+MCSCOPE_COVERAGE=ON build after running the test suite.  The baseline
+file records, per source prefix (src/core, src/sim), the line-coverage
+percentage measured when the gate was introduced; the check fails
+(exit 1) when any group's current coverage drops more than --margin
+percentage points below its recorded floor.
+
+The margin absorbs toolchain drift (gcov versions attribute a handful
+of lines differently); genuine coverage loss from untested new code is
+far larger than two points.  Raising a floor is always welcome: rerun
+the coverage build and copy the new numbers into the baseline.
+"""
+
+import argparse
+import json
+import sys
+
+
+class ReportError(Exception):
+    """Input file is missing or not the expected JSON shape."""
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except OSError as err:
+        raise ReportError(f"cannot read {what} '{path}': "
+                          f"{err.strerror or err}") from err
+    except json.JSONDecodeError as err:
+        raise ReportError(f"{what} '{path}' is not valid JSON "
+                          f"(line {err.lineno}: {err.msg})") from err
+
+
+def group_coverage(summary, prefix):
+    """(covered, total) lines over files under `prefix`."""
+    files = summary.get("files")
+    if not isinstance(files, list):
+        raise ReportError("coverage summary has no 'files' array; "
+                          "generate it with gcovr --json-summary")
+    covered = 0
+    total = 0
+    for entry in files:
+        name = entry.get("filename", "")
+        if not name.startswith(prefix):
+            continue
+        covered += int(entry.get("line_covered", 0))
+        total += int(entry.get("line_total", 0))
+    return covered, total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("summary")
+    parser.add_argument("baseline")
+    parser.add_argument("--margin", type=float, default=2.0,
+                        help="allowed drop below the recorded floor, "
+                             "in percentage points (default 2.0)")
+    args = parser.parse_args()
+
+    try:
+        summary = load_json(args.summary, "coverage summary")
+        baseline = load_json(args.baseline, "coverage baseline")
+        floors = baseline.get("line_coverage_floor")
+        if not isinstance(floors, dict) or not floors:
+            raise ReportError(
+                f"baseline '{args.baseline}' has no "
+                "'line_coverage_floor' object")
+
+        failures = []
+        for prefix, floor in sorted(floors.items()):
+            covered, total = group_coverage(summary, prefix)
+            if total == 0:
+                raise ReportError(
+                    f"no lines found under '{prefix}' in the summary; "
+                    "was gcovr run with the right --filter?")
+            pct = 100.0 * covered / total
+            verdict = "ok" if pct >= floor - args.margin else "REGRESSED"
+            print(f"{prefix}: {pct:.1f}% line coverage "
+                  f"({covered}/{total}); floor {floor:.1f}% "
+                  f"- {args.margin:.1f} margin: {verdict}")
+            if pct < floor - args.margin:
+                failures.append(
+                    f"{prefix}: {pct:.1f}% < floor {floor:.1f}% "
+                    f"- {args.margin:.1f}")
+    except ReportError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if failures:
+        print(f"\ncoverage regressed in {len(failures)} group(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\ncoverage at or above the recorded baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
