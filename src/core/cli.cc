@@ -693,9 +693,10 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
         }
         sh.resumeFrom = f.resume;
         sh.journalPath = !f.journal.empty() ? f.journal : f.resume;
-        if (f.resume.empty() && !sh.journalPath.empty()) {
-            // A fresh run must not silently append behind someone
-            // else's records; that is what --resume is for.
+        if (!sh.journalPath.empty() && sh.journalPath != f.resume) {
+            // A run must not silently append behind records it is not
+            // resuming from; continuing an existing journal is what
+            // --resume <journal> is for.
             std::ifstream probe(sh.journalPath);
             if (probe && probe.peek() != EOF) {
                 out << "batch: journal '" << sh.journalPath

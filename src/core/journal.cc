@@ -70,7 +70,8 @@ SweepJournal::SweepJournal(std::string path)
     // means a live contender either way.
     for (int attempt = 0; attempt < 2; ++attempt) {
         lock_fd_ = ::open(lock_path_.c_str(),
-                          O_CREAT | O_EXCL | O_WRONLY, 0644);
+                          O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                          0644);
         if (lock_fd_ >= 0)
             break;
         if (errno != EEXIST) {
@@ -79,9 +80,14 @@ SweepJournal::SweepJournal(std::string path)
         }
         long holder = lockHolder(lock_path_);
         if (pidAlive(holder)) {
+            // pidAlive treats EPERM as alive, so a recycled pid owned
+            // by another user also lands here; tell the user how to
+            // recover from that by hand.
             fatal("journal '", path_,
                   "' is locked by a live supervisor (pid ", holder,
-                  "); refusing to attach");
+                  "); refusing to attach.  If pid ", holder,
+                  " is not an mcscope supervisor, remove '",
+                  lock_path_, "' and retry");
         }
         warn("removing stale journal lock ", lock_path_, " (pid ",
              holder, " is gone)");
@@ -96,7 +102,8 @@ SweepJournal::SweepJournal(std::string path)
     writeAllOrDie(lock_fd_, pid_line, lock_path_);
 
     const bool fresh = ::access(path_.c_str(), F_OK) != 0;
-    fd_ = ::open(path_.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+    fd_ = ::open(path_.c_str(),
+                 O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
     if (fd_ < 0) {
         int saved = errno;
         ::close(lock_fd_);

@@ -783,8 +783,15 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
             !timed_out && slot.proc->exitCode() == 0;
         slot.proc.reset();
         slot.buf.clear();
-        if (slot.queue.empty() && clean)
+        // A worker can die uncleanly after delivering its last record
+        // (e.g. SIGKILL between the final write and exit, or a
+        // post-timeout salvage read draining the pipe); with no point
+        // still owed there is nothing to retry.
+        if (slot.queue.empty()) {
+            if (!clean)
+                ++out.shard.crashes;
             return;
+        }
         ++out.shard.crashes;
         if (timed_out)
             ++out.shard.timeouts;

@@ -146,8 +146,13 @@ Subprocess::readAvailable(std::string &buf)
         }
         if (errno == EINTR)
             continue;
-        // EAGAIN: nothing more right now, pipe still open.
-        return true;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true; // nothing more right now, pipe still open
+        // Any other errno is a dead pipe: close it so the caller
+        // runs the death/retry path instead of polling forever.
+        ::close(out_fd_);
+        out_fd_ = -1;
+        return false;
     }
 }
 

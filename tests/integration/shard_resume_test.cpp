@@ -224,6 +224,20 @@ TEST(ShardResume, RefusesToOverwriteJournalWithoutResume)
     EXPECT_EQ(second.exit, 2);
     EXPECT_NE(second.out.find("--resume"), std::string::npos)
         << second.out;
+
+    // Resuming from A while journaling into pre-existing B must also
+    // refuse: B's foreign records were never vouched for by --resume.
+    ToolRun crossed = runTool(
+        {"batch", spec, "--csv", "--shards", "2", "--resume",
+         dir.file("other.journal"), "--journal", journal});
+    EXPECT_EQ(crossed.exit, 2);
+    EXPECT_NE(crossed.out.find("--resume"), std::string::npos)
+        << crossed.out;
+
+    // Resuming the same journal it appends to stays allowed.
+    ToolRun resumed = runTool({"batch", spec, "--csv", "--shards",
+                               "2", "--resume", journal});
+    EXPECT_EQ(resumed.exit, 0) << resumed.out;
 }
 
 } // namespace
