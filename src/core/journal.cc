@@ -4,14 +4,13 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "core/runner.hh" // runResultToJson / parseRunResult / digest hex
+#include "util/fdio.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -34,9 +33,13 @@ pidAlive(long pid)
 long
 lockHolder(const std::string &lock_path)
 {
-    std::ifstream in(lock_path);
-    long pid = -1;
-    if (!(in >> pid))
+    std::string text;
+    if (!readWholeFile(lock_path, text))
+        return -1;
+    errno = 0;
+    char *end = nullptr;
+    const long pid = std::strtol(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str())
         return -1;
     return pid;
 }
@@ -169,12 +172,23 @@ parseJournalRecord(const std::string &line)
 std::unordered_map<uint64_t, RunResult>
 loadJournal(const std::string &path, JournalLoadStats *stats)
 {
+    // Keyed by digest for O(1) resume lookups.  Callers only ever
+    // .find() into this map: iterating it would feed
+    // implementation-defined hash order into resume-path output,
+    // which mcscope-lint rule DET-2 forbids in this unit.
     std::unordered_map<uint64_t, RunResult> out;
     JournalLoadStats local;
-    std::ifstream in(path);
-    if (in) {
-        std::string line;
-        while (std::getline(in, line)) {
+    // readWholeFile() opens with O_CLOEXEC (FD-1): the supervisor
+    // that calls this also forks workers.
+    std::string text;
+    if (readWholeFile(path, text)) {
+        size_t pos = 0;
+        while (pos < text.size()) {
+            const size_t nl = text.find('\n', pos);
+            const size_t len =
+                (nl == std::string::npos ? text.size() : nl) - pos;
+            std::string line = text.substr(pos, len);
+            pos = (nl == std::string::npos) ? text.size() : nl + 1;
             if (line.empty())
                 continue;
             std::optional<JsonValue> doc = parseJson(line);

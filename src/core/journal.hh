@@ -93,6 +93,10 @@ struct JournalLoadStats
  * digests (they are re-executions of the same point and must agree,
  * but the latest is the one the supervisor most recently vouched
  * for).
+ *
+ * The map is for .find() lookups during resume only; never iterate it
+ * (hash order is implementation-defined, and this unit's output must
+ * be byte-identical across runs -- lint rule DET-2).
  */
 std::unordered_map<uint64_t, RunResult>
 loadJournal(const std::string &path, JournalLoadStats *stats = nullptr);

@@ -9,14 +9,13 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <filesystem>
-#include <fstream>
 #include <istream>
 #include <iterator>
 #include <limits>
 #include <memory>
-#include <sstream>
 
 #include <poll.h>
 #include <unistd.h>
@@ -25,6 +24,7 @@
 #include "core/parallel_for.hh"
 #include "core/registry.hh"
 #include "sim/audit.hh"
+#include "util/fdio.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/subprocess.hh"
@@ -188,18 +188,18 @@ ResultCache::lookup(uint64_t digest)
     }
 
     // Disk probe outside the lock: file I/O must not serialize the
-    // worker pool.
+    // worker pool.  readWholeFile() opens with O_CLOEXEC, so the
+    // descriptor cannot leak into workers the supervisor forks while
+    // another thread sits in this read (FD-1).
     std::string path = dir_ + "/" + digestHex(digest) + ".json";
-    std::ifstream in(path);
-    if (!in) {
+    std::string text;
+    if (!readWholeFile(path, text)) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.misses;
         return std::nullopt;
     }
-    std::ostringstream text;
-    text << in.rdbuf();
     std::optional<RunResult> r;
-    if (std::optional<JsonValue> doc = parseJson(text.str()))
+    if (std::optional<JsonValue> doc = parseJson(text))
         r = parseRunResult(*doc, digest);
     std::lock_guard<std::mutex> lock(mu_);
     if (!r) {
@@ -224,28 +224,18 @@ ResultCache::store(uint64_t digest, const RunResult &result)
     }
     if (dir_.empty())
         return;
-    // Write-then-rename keeps concurrent readers (and concurrent
-    // processes sharing the directory) from ever seeing a torn file.
+    // Atomic replace-by-rename keeps concurrent readers (and
+    // concurrent writers, in-process or cross-process) from ever
+    // seeing a torn file.  writeFileAtomic() draws a unique mkostemp
+    // temp per call -- the old shared ".tmp.<pid>" path let two
+    // threads storing the same digest interleave writes -- and its
+    // descriptor carries O_CLOEXEC (FD-1).
     std::string final_path = dir_ + "/" + digestHex(digest) + ".json";
-    std::string tmp_path =
-        final_path + ".tmp." +
-        std::to_string(
-            static_cast<unsigned long>(::getpid()));
-    {
-        std::ofstream out(tmp_path,
-                          std::ios::out | std::ios::trunc);
-        if (!out) {
-            warn("cannot write cache entry ", tmp_path);
-            return;
-        }
-        out << runResultToJson(digest, result).dump(2) << "\n";
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp_path, final_path, ec);
-    if (ec) {
+    std::string payload = runResultToJson(digest, result).dump(2);
+    payload += "\n";
+    if (!writeFileAtomic(final_path, payload)) {
         warn("cannot publish cache entry ", final_path, ": ",
-             ec.message());
-        std::filesystem::remove(tmp_path, ec);
+             std::strerror(errno));
     }
 }
 

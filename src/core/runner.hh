@@ -99,6 +99,12 @@ class ResultCache
 
   private:
     mutable std::mutex mu_;
+
+    /**
+     * Digest-keyed memory tier; accessed by .find()/operator[] only.
+     * Never iterate it -- hash order is implementation-defined and
+     * this unit feeds digest/serialization paths (lint rule DET-2).
+     */
     std::unordered_map<uint64_t, RunResult> entries_;
     std::string dir_;
     CacheStats stats_;

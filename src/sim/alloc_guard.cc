@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Counting operator new / operator delete for the debug allocation
+ * guard (see alloc_guard.hh).
+ *
+ * The replaced operators forward to malloc/free (posix_memalign for
+ * over-aligned requests) and bump per-thread counters while the
+ * current thread is armed and not inside a Pause scope.  Because the
+ * definitions live in the same archive member as the arm()/disarm()
+ * entry points the engine calls, linking mcscope_sim pulls them in and
+ * they replace the standard-library operators program-wide -- which is
+ * exactly the point: the engine cannot tell "its own" allocations from
+ * ones hidden behind standard containers, so everything is counted and
+ * the engine excludes user-code boundaries with Pause.
+ */
+
+#include "sim/alloc_guard.hh"
+
+namespace mcscope::alloc_guard {
+
+bool
+compiledIn()
+{
+#ifdef MCSCOPE_ALLOC_GUARD
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace mcscope::alloc_guard
+
+#ifdef MCSCOPE_ALLOC_GUARD
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+struct GuardState
+{
+    bool armed = false;
+    int pauseDepth = 0;
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+};
+
+thread_local GuardState tl_guard;
+
+inline void
+recordAlloc()
+{
+    GuardState &s = tl_guard;
+    if (s.armed && s.pauseDepth == 0)
+        ++s.allocs;
+}
+
+inline void
+recordFree()
+{
+    GuardState &s = tl_guard;
+    if (s.armed && s.pauseDepth == 0)
+        ++s.frees;
+}
+
+void *
+guardedAllocate(std::size_t size, std::size_t align) noexcept
+{
+    recordAlloc();
+    if (size == 0)
+        size = 1;
+    if (align > alignof(std::max_align_t)) {
+        void *p = nullptr;
+        if (::posix_memalign(&p, align, size) != 0)
+            return nullptr;
+        return p;
+    }
+    return std::malloc(size);
+}
+
+void
+guardedFree(void *p) noexcept
+{
+    if (p == nullptr)
+        return;
+    recordFree();
+    std::free(p);
+}
+
+} // namespace
+
+namespace mcscope::alloc_guard {
+
+void
+arm()
+{
+    tl_guard.armed = true;
+}
+
+void
+disarm()
+{
+    tl_guard.armed = false;
+}
+
+bool
+armed()
+{
+    return tl_guard.armed;
+}
+
+uint64_t
+allocationCount()
+{
+    return tl_guard.allocs;
+}
+
+uint64_t
+deallocationCount()
+{
+    return tl_guard.frees;
+}
+
+Pause::Pause()
+{
+    ++tl_guard.pauseDepth;
+}
+
+Pause::~Pause()
+{
+    --tl_guard.pauseDepth;
+}
+
+} // namespace mcscope::alloc_guard
+
+// ---------------------------------------------------------------------
+// Global operator replacements.  Every variant funnels into
+// guardedAllocate/guardedFree so mixed new/delete forms stay
+// consistent (all memory comes from malloc/posix_memalign).
+
+void *
+operator new(std::size_t size)
+{
+    void *p = guardedAllocate(size, 0);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    void *p = guardedAllocate(size, 0);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    void *p = guardedAllocate(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    void *p = guardedAllocate(size, static_cast<std::size_t>(align));
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return guardedAllocate(size, 0);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return guardedAllocate(size, 0);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align,
+             const std::nothrow_t &) noexcept
+{
+    return guardedAllocate(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align,
+               const std::nothrow_t &) noexcept
+{
+    return guardedAllocate(size, static_cast<std::size_t>(align));
+}
+
+void
+operator delete(void *p) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    guardedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    guardedFree(p);
+}
+
+#endif // MCSCOPE_ALLOC_GUARD

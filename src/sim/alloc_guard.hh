@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Debug-build heap-allocation guard for the engine's steady-state
+ * loop.
+ *
+ * PR 2 made the hot loop allocation-free, but until now the contract
+ * was only guarded by a ±2% benchmark gate -- a regression had to be
+ * large enough to move wall-clock time before anyone noticed.  This
+ * guard turns the contract into a hard failure: when compiled in
+ * (MCSCOPE_ALLOC_GUARD, on by default for Debug builds), the global
+ * operator new / operator delete are replaced with counting versions,
+ * and Engine::run() asserts that no iteration of the steady-state loop
+ * allocates unless a scratch buffer legitimately grew its capacity
+ * that same iteration.
+ *
+ * Counting is per-thread (thread_local) so engines running
+ * concurrently under parallel_for guard independently.  Counting is
+ * active only between arm() and disarm() and is suspended inside any
+ * live Pause scope -- the engine pauses around user-code boundaries
+ * (task programs, trace sinks, the auditor) whose allocations are not
+ * part of the steady-state contract.
+ *
+ * The lexical counterpart is mcscope-lint rule HOT-1, which bans
+ * allocating constructs between the MCSCOPE_HOT_BEGIN and MCSCOPE_HOT_END
+ * markers in engine.cc; see DESIGN §12 for how the two layers divide
+ * the work.
+ *
+ * When the macro is off (non-debug builds) everything here collapses
+ * to no-op inlines and the replaced operators are not compiled at all.
+ */
+
+#ifndef MCSCOPE_SIM_ALLOC_GUARD_HH
+#define MCSCOPE_SIM_ALLOC_GUARD_HH
+
+#include <cstdint>
+
+namespace mcscope::alloc_guard {
+
+/** True when the library was built with the guard compiled in. */
+bool compiledIn();
+
+#ifdef MCSCOPE_ALLOC_GUARD
+
+/** Compile-time mirror of compiledIn() for this translation unit. */
+inline constexpr bool kEnabled = true;
+
+/** Start counting this thread's allocations. */
+void arm();
+
+/** Stop counting this thread's allocations. */
+void disarm();
+
+/** True while this thread is armed. */
+bool armed();
+
+/** Allocations observed on this thread while armed and not paused. */
+uint64_t allocationCount();
+
+/** Deallocations observed on this thread while armed and not paused. */
+uint64_t deallocationCount();
+
+/**
+ * RAII scope that suspends counting on this thread.  Nests; counting
+ * resumes when the outermost Pause dies.
+ */
+class Pause
+{
+  public:
+    Pause();
+    ~Pause();
+
+    Pause(const Pause &) = delete;
+    Pause &operator=(const Pause &) = delete;
+};
+
+#else // !MCSCOPE_ALLOC_GUARD
+
+inline constexpr bool kEnabled = false;
+
+inline void
+arm()
+{
+}
+
+inline void
+disarm()
+{
+}
+
+inline bool
+armed()
+{
+    return false;
+}
+
+inline uint64_t
+allocationCount()
+{
+    return 0;
+}
+
+inline uint64_t
+deallocationCount()
+{
+    return 0;
+}
+
+class Pause
+{
+  public:
+    Pause() noexcept {}
+    ~Pause() {}
+
+    Pause(const Pause &) = delete;
+    Pause &operator=(const Pause &) = delete;
+};
+
+#endif // MCSCOPE_ALLOC_GUARD
+
+} // namespace mcscope::alloc_guard
+
+#endif // MCSCOPE_SIM_ALLOC_GUARD_HH

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "sim/alloc_guard.hh"
 #include "sim/audit.hh"
 #include "sim/fairshare.hh"
 #include "util/logging.hh"
@@ -31,8 +32,14 @@ Engine::Engine()
 {
     if (auditRequestedByEnv())
         auditor_ = std::make_unique<Auditor>();
-    if (referenceAllocatorRequestedByEnv())
+    if (referenceAllocatorRequestedByEnv()) {
         allocator_ = AllocatorKind::Reference;
+        // The oracle reallocates per rerun by design; an env-forced
+        // A/B session must not trip the Debug zero-allocation guard.
+        // Explicit setAllocator(Reference) keeps enforcement on so
+        // tests can prove the guard fires.
+        allocGuardEnforced_ = false;
+    }
 }
 
 Engine::~Engine() = default;
@@ -46,6 +53,9 @@ Engine::setAuditor(std::unique_ptr<Auditor> auditor)
 void
 Engine::emitTrace(const TraceEvent &event)
 {
+    // Auditor and sink are diagnostic/user code, outside the
+    // steady-state zero-allocation contract.
+    alloc_guard::Pause pause;
     if (auditor_)
         auditor_->onTraceEvent(event);
     if (traceSink_)
@@ -196,6 +206,13 @@ Engine::startFlow(const Work &w, OwnerVec owners, PhaseTag tag)
 void
 Engine::advanceTask(int task)
 {
+    // Task programs are user code (generators may allocate freely),
+    // and the blocking-structure mutations here (delay/rendezvous/
+    // barrier map nodes, flow starts) are event-driven rather than
+    // per-time-step, so the whole section sits outside the
+    // steady-state zero-allocation contract.
+    alloc_guard::Pause pause;
+
     TaskEntry &t = tasks_[task];
     MCSCOPE_ASSERT(t.state != TaskState::Finished,
                    "advancing finished task ", task);
@@ -358,6 +375,8 @@ Engine::recomputeRates()
     }
 
     if (auditor_) {
+        // Runtime auditing is a validation layer, not steady state.
+        alloc_guard::Pause pause;
         auditScratch_.clear();
         for (const auto &f : flows_) {
             AuditedFlow af;
@@ -465,6 +484,32 @@ Engine::accrueTimeline(SimTime t0, SimTime t1)
     }
 }
 
+[[noreturn]] void
+Engine::panicDeadlock() const
+{
+    std::string diag;
+    for (int i = 0; i < taskCount(); ++i) {
+        if (tasks_[i].state == TaskState::Finished)
+            continue;
+        diag += " task " + std::to_string(i) + "(" +
+                tasks_[i].task->name() + ") state " +
+                std::to_string(static_cast<int>(tasks_[i].state));
+    }
+    MCSCOPE_PANIC("simulation deadlock:", diag);
+}
+
+size_t
+Engine::allocGuardCapacitySum(const std::vector<int> &to_advance) const
+{
+    return specScratch_.capacity() + fsScratch_.rates.capacity() +
+           fsScratch_.frozen.capacity() +
+           fsScratch_.residual.capacity() +
+           fsScratch_.users.capacity() +
+           fsScratch_.saturated.capacity() + userScratch_.capacity() +
+           auditScratch_.capacity() + timelineBusy_.capacity() +
+           readyQueue_.capacity() + to_advance.capacity();
+}
+
 void
 Engine::run()
 {
@@ -485,6 +530,28 @@ Engine::run()
     }
 
     std::vector<int> to_advance;
+
+    // Debug zero-allocation guard (sim/alloc_guard.hh): count this
+    // thread's heap allocations across each loop iteration and demand
+    // zero unless a tracked scratch buffer grew its capacity that
+    // same iteration (capacities are monotone, so the sum grows iff
+    // some buffer grew -- that is the legitimate warm-up path).
+    // Compiled out entirely in non-Debug builds.
+    const bool guard_on = alloc_guard::kEnabled && allocGuardEnforced_;
+    const bool guard_outermost = guard_on && !alloc_guard::armed();
+    uint64_t guard_allocs = 0;
+    size_t guard_capacity = 0;
+    if (guard_on) {
+        if (guard_outermost)
+            alloc_guard::arm();
+        guard_allocs = alloc_guard::allocationCount();
+        guard_capacity = allocGuardCapacitySum(to_advance);
+    }
+
+    // MCSCOPE_HOT_BEGIN: Engine::run steady-state loop.  No heap
+    // allocation below (mcscope-lint rule HOT-1; runtime counterpart
+    // above).  Event-driven work is funneled through advanceTask() /
+    // emitTrace(), which pause the guard and are exempt by design.
     while (unfinished_ > 0) {
         if (ratesDirty_)
             recomputeRates();
@@ -524,17 +591,8 @@ Engine::run()
         }
 
         double dt = std::min(dt_flow, dt_delay);
-        if (!std::isfinite(dt)) {
-            std::string diag;
-            for (int i = 0; i < taskCount(); ++i) {
-                if (tasks_[i].state == TaskState::Finished)
-                    continue;
-                diag += " task " + std::to_string(i) + "(" +
-                        tasks_[i].task->name() + ") state " +
-                        std::to_string(static_cast<int>(tasks_[i].state));
-            }
-            MCSCOPE_PANIC("simulation deadlock:", diag);
-        }
+        if (!std::isfinite(dt))
+            panicDeadlock();
         if (dt < 0.0)
             dt = 0.0;
 
@@ -542,8 +600,10 @@ Engine::run()
         SimTime prev = now_;
         now_ += dt;
         ++counters_.timeSteps;
-        if (auditor_)
+        if (auditor_) {
+            alloc_guard::Pause pause;
             auditor_->onTimeAdvance(prev, now_);
+        }
         for (const auto &f : flows_) {
             double moved = f.rate * dt;
             if (moved > f.remaining)
@@ -570,6 +630,7 @@ Engine::run()
                 for (int owner : f.owners) {
                     accrueBlockedTime(owner);
                     tasks_[owner].state = TaskState::Ready;
+                    // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
                     to_advance.push_back(owner);
                 }
                 flows_[i] = std::move(flows_.back());
@@ -591,6 +652,7 @@ Engine::run()
             }
             accrueBlockedTime(task);
             tasks_[task].state = TaskState::Ready;
+            // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
             to_advance.push_back(task);
         }
 
@@ -601,14 +663,36 @@ Engine::run()
                 continue;
             advanceTask(task);
             while (!readyQueue_.empty()) {
+                // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
                 to_advance.push_back(readyQueue_.back());
                 readyQueue_.pop_back();
             }
         }
-    }
 
-    if (auditor_)
+        if (guard_on) {
+            const uint64_t allocs = alloc_guard::allocationCount();
+            const size_t capacity = allocGuardCapacitySum(to_advance);
+            MCSCOPE_ASSERT(
+                capacity > guard_capacity || allocs == guard_allocs,
+                "zero-allocation contract violated: steady-state loop "
+                "made ", allocs - guard_allocs, " heap allocation(s) "
+                "on time step ", counters_.timeSteps, " without "
+                "scratch-capacity growth (DESIGN 'Enforced "
+                "invariants'; call setAllocGuardEnforced(false) for "
+                "intentionally allocating configurations)");
+            guard_allocs = allocs;
+            guard_capacity = capacity;
+        }
+    }
+    // MCSCOPE_HOT_END: Engine::run steady-state loop.
+
+    if (guard_outermost)
+        alloc_guard::disarm();
+
+    if (auditor_) {
+        alloc_guard::Pause pause;
         auditor_->onRunEnd(now_);
+    }
 }
 
 } // namespace mcscope

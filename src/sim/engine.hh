@@ -263,6 +263,22 @@ class Engine
     /** The active allocator implementation. */
     AllocatorKind allocator() const { return allocator_; }
 
+    /**
+     * Enable or disable the debug-build zero-allocation assert for
+     * this engine's run() (see sim/alloc_guard.hh).  Enforcement is
+     * on by default; tests that deliberately exercise an allocating
+     * configuration -- the Reference allocator oracle, chiefly --
+     * turn it off.  No effect when the guard is compiled out
+     * (non-Debug builds).
+     */
+    void setAllocGuardEnforced(bool enforced)
+    {
+        allocGuardEnforced_ = enforced;
+    }
+
+    /** True when run() asserts the zero-allocation contract. */
+    bool allocGuardEnforced() const { return allocGuardEnforced_; }
+
   private:
     enum class TaskState
     {
@@ -341,6 +357,19 @@ class Engine
     /** Double the timeline bucket width, merging buckets pairwise. */
     void rebinTimeline();
 
+    /** Panic with a per-task diagnostic of a simulation deadlock. */
+    [[noreturn]] void panicDeadlock() const;
+
+    /**
+     * Sum of the capacities of every buffer the steady-state loop may
+     * legitimately grow (hot-path scratch, the ready/advance queues,
+     * and the timeline).  Capacities are monotone, so the sum grows
+     * iff some buffer grew; the alloc-guard check in run() excuses an
+     * iteration's allocations only when it did.
+     */
+    size_t allocGuardCapacitySum(
+        const std::vector<int> &to_advance) const;
+
     std::vector<std::string> resourceNames_;
     std::vector<double> capacities_;
     std::vector<ResourceStats> stats_;
@@ -377,6 +406,7 @@ class Engine
     uint64_t events_ = 0;
     int unfinished_ = 0;
     AllocatorKind allocator_ = AllocatorKind::Optimized;
+    bool allocGuardEnforced_ = true;
 
     Stats counters_;
 

@@ -34,10 +34,15 @@ using ResourceId = int;
 
 /**
  * A flow's resource path.  Typical paths are 1-3 hops (core; core +
- * memory controller; + one or two HyperTransport links), so the
- * inline capacity keeps the engine's per-flow copies off the heap.
+ * memory controller; + one or two HyperTransport links), and the
+ * longest any modeled machine produces today is 5 (memory plus a
+ * 4-link route across the 8-socket ladder), so an inline capacity of
+ * 8 keeps the engine's per-flow copies off the heap for every real
+ * topology -- a spilled path would otherwise allocate on each
+ * allocator rerun and trip the sim/alloc_guard zero-allocation
+ * assert.
  */
-using PathVec = SmallVec<ResourceId, 4>;
+using PathVec = SmallVec<ResourceId, 8>;
 
 /**
  * A fluid flow: `amount` units moved across all resources in `path`

@@ -1,0 +1,79 @@
+#include "util/fdio.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mcscope {
+
+bool
+readWholeFile(const std::string &path, std::string &out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        return false;
+    out.clear();
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            out.append(chunk, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            break;
+        if (errno == EINTR)
+            continue;
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return false;
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &data)
+{
+    std::string tmpl = path + ".tmpXXXXXX";
+    const int fd = ::mkostemp(tmpl.data(), O_CLOEXEC);
+    if (fd < 0)
+        return false;
+    // mkostemp creates 0600; published files should be readable like
+    // any other artifact (cache directories are shared across runs).
+    ::fchmod(fd, 0644);
+
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int saved = errno;
+            ::close(fd);
+            ::unlink(tmpl.c_str());
+            errno = saved;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::close(fd) != 0) {
+        const int saved = errno;
+        ::unlink(tmpl.c_str());
+        errno = saved;
+        return false;
+    }
+    if (::rename(tmpl.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmpl.c_str());
+        errno = saved;
+        return false;
+    }
+    return true;
+}
+
+} // namespace mcscope

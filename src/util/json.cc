@@ -168,6 +168,8 @@ numberToString(double v)
     for (int prec = 9; prec <= 17; ++prec) {
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        // The input is our own snprintf output and the == round-trip
+        // comparison is the check. MCSCOPE_LINT_ALLOW(PARSE-1)
         if (std::strtod(buf, nullptr) == v)
             return buf;
     }

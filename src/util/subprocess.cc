@@ -16,14 +16,6 @@ namespace mcscope {
 namespace {
 
 void
-setCloexec(int fd)
-{
-    int flags = ::fcntl(fd, F_GETFD);
-    if (flags >= 0)
-        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
-}
-
-void
 setNonBlocking(int fd)
 {
     int flags = ::fcntl(fd, F_GETFL);
@@ -60,7 +52,13 @@ Subprocess::Subprocess(const std::vector<std::string> &argv,
 
     int in_pipe[2];  // parent writes -> child stdin
     int out_pipe[2]; // child stdout -> parent reads
-    if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0)
+    // O_CLOEXEC at creation (not fcntl afterwards) closes the race
+    // where another thread forks between pipe() and fork() and its
+    // child inherits our pipe ends forever; the dup2 below clears the
+    // flag on the child's own stdin/stdout copies, which is the only
+    // place these descriptors should survive exec.
+    if (::pipe2(in_pipe, O_CLOEXEC) != 0 ||
+        ::pipe2(out_pipe, O_CLOEXEC) != 0)
         fatal("cannot create subprocess pipes: ", std::strerror(errno));
 
     pid_ = ::fork();
@@ -96,11 +94,11 @@ Subprocess::Subprocess(const std::vector<std::string> &argv,
         ::_exit(127);
     }
 
-    // Parent.
+    // Parent.  The surviving ends already carry O_CLOEXEC from
+    // pipe2().
     ::close(in_pipe[0]);
     ::close(out_pipe[1]);
     out_fd_ = out_pipe[0];
-    setCloexec(out_fd_);
     setNonBlocking(out_fd_);
 
     // Writing the whole manifest before reading anything is safe

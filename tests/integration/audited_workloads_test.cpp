@@ -86,6 +86,9 @@ TEST_P(AuditedWorkloads, OptimizedHotPathKeepsDigestBitForBit)
 
     Machine reference(cfg.machine);
     reference.engine().setAllocator(Engine::AllocatorKind::Reference);
+    // The Reference oracle allocates per rerun by design; don't let
+    // the Debug alloc guard abort this intentional A/B run.
+    reference.engine().setAllocGuardEnforced(false);
     RunResult ref = runExperimentOn(reference, cfg, *workload);
     ASSERT_TRUE(ref.valid);
     ASSERT_TRUE(ref.audited);

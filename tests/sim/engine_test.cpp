@@ -313,6 +313,9 @@ TEST(Engine, ReferenceAllocatorProducesIdenticalTimes)
     opt.run();
     Engine ref;
     ref.setAllocator(Engine::AllocatorKind::Reference);
+    // The Reference oracle allocates per rerun by design; don't let
+    // the Debug alloc guard abort this intentional A/B run.
+    ref.setAllocGuardEnforced(false);
     build(ref);
     ref.run();
     EXPECT_EQ(opt.makespan(), ref.makespan());

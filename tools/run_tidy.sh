@@ -2,7 +2,12 @@
 # Run clang-tidy over the mcscope sources using the repo .clang-tidy
 # policy.  Usage:
 #
-#   tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#   tools/run_tidy.sh [--diff] [build-dir] [-- extra clang-tidy args]
+#
+# Covers every first-party translation unit: src/, tools/, tests/ and
+# bench/ (both .cc and .cpp).  With --diff, only files changed
+# relative to the merge-base with origin/main are linted -- the cheap
+# pre-push mode; CI runs the full sweep.
 #
 # The build directory must contain compile_commands.json (the root
 # CMakeLists exports it by default); if it does not exist the script
@@ -10,6 +15,13 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+diff_mode=0
+if [ "${1:-}" = "--diff" ]; then
+    diff_mode=1
+    shift
+fi
+
 build_dir="${1:-$repo_root/build}"
 shift || true
 if [ "${1:-}" = "--" ]; then
@@ -41,7 +53,35 @@ fi
 # All first-party translation units; headers are covered through
 # HeaderFilterRegex in .clang-tidy.
 mapfile -t sources < <(find "$repo_root/src" "$repo_root/tools" \
-    -name '*.cc' | sort)
+    "$repo_root/tests" "$repo_root/bench" \
+    \( -name '*.cc' -o -name '*.cpp' \) | sort)
+
+if [ "$diff_mode" = 1 ]; then
+    base="$(git -C "$repo_root" merge-base HEAD origin/main \
+        2> /dev/null || true)"
+    if [ -z "$base" ]; then
+        echo "run_tidy.sh: --diff needs an origin/main ref;" \
+             "falling back to full sweep" >&2
+    else
+        mapfile -t changed < <(git -C "$repo_root" diff --name-only \
+            "$base" -- '*.cc' '*.cpp' | sed "s|^|$repo_root/|")
+        filtered=()
+        for f in "${sources[@]}"; do
+            for c in "${changed[@]+"${changed[@]}"}"; do
+                if [ "$f" = "$c" ] && [ -f "$f" ]; then
+                    filtered+=("$f")
+                    break
+                fi
+            done
+        done
+        sources=("${filtered[@]+"${filtered[@]}"}")
+        if [ "${#sources[@]}" = 0 ]; then
+            echo "run_tidy.sh: --diff found no changed sources; clean"
+            exit 0
+        fi
+        echo "run_tidy.sh: --diff vs $base"
+    fi
+fi
 
 echo "run_tidy.sh: $tidy over ${#sources[@]} files"
 jobs="$(nproc 2> /dev/null || echo 4)"
