@@ -15,8 +15,10 @@
 #include "kernels/nas_cg.hh"
 #include "kernels/stream.hh"
 #include "machine/config.hh"
+#include "sim/calqueue.hh"
 #include "sim/fairshare.hh"
 #include "sim/task.hh"
+#include "util/rng.hh"
 
 namespace mcscope {
 namespace {
@@ -177,6 +179,97 @@ BM_EngineEventThroughputTimeline(benchmark::State &state)
 BENCHMARK(BM_EngineEventThroughputTimeline)->Arg(1000);
 
 void
+BM_CalQueueChurn(benchmark::State &state)
+{
+    // Steady-state calendar-queue load: keep nf finish times live,
+    // repeatedly pop the earliest and re-insert it a deterministic
+    // pseudo-random span later (exactly what a completing flow whose
+    // rate changes does).  Per-op cost should stay flat as nf grows;
+    // a binary heap would drift up as log(nf).
+    const int nf = static_cast<int>(state.range(0));
+    CalendarQueue q;
+    q.reserveSlots(nf);
+    Rng rng(0x5eedULL);
+    double now = 0.0;
+    for (int s = 0; s < nf; ++s)
+        q.insert(s, now + rng.uniform(0.5, 1.5));
+    for (auto _ : state) {
+        // minTime() never returns infinity here: the queue stays at
+        // nf live entries throughout.
+        benchmark::DoNotOptimize(q.minTime());
+        // Rate change on a random survivor: remove + re-insert later.
+        // `now` advances ~1/nf per op so each slot turns over about
+        // once per nf ops and the live density stays constant.
+        now += 1.0 / nf;
+        const int moved = static_cast<int>(rng.below(nf));
+        q.update(moved, now + rng.uniform(0.5, 1.5));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalQueueChurn)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_FairShareSubsetSolve(benchmark::State &state)
+{
+    // The incremental-solve primitive: re-solve a 4-flow closure out
+    // of nf total flows.  Cost must track the closure size, not nf --
+    // this is the whole point of the dirty-set path.
+    const int nf = static_cast<int>(state.range(0));
+    std::vector<double> caps(16, 1.0e9);
+    std::vector<FairShareFlow> all = syntheticFlows(nf);
+    std::vector<PathVec> paths;
+    std::vector<double> rateCaps;
+    for (const FairShareFlow &f : all) {
+        paths.push_back(f.path);
+        rateCaps.push_back(f.rateCap);
+    }
+    // A closed 4-flow subset: flows sharing resources 0 and 7 only.
+    const int slots[4] = {0, 1, 2, 3};
+    for (int k = 0; k < 4; ++k)
+        paths[slots[k]] = {static_cast<ResourceId>(0),
+                           static_cast<ResourceId>(7)};
+    const ResourceId res[2] = {0, 7};
+    FairShareScratch scratch;
+    for (auto _ : state) {
+        fairShareSolveSubset(caps, paths, rateCaps, slots, 4, res, 2,
+                             scratch);
+        benchmark::DoNotOptimize(scratch.rates.data());
+    }
+}
+BENCHMARK(BM_FairShareSubsetSolve)->Arg(64)->Arg(1024)->Arg(16384);
+
+void
+BM_EngineManyComponents(benchmark::State &state)
+{
+    // Sub-linearity showcase: nt tasks each looping Work on a private
+    // resource.  Every arrival/departure dirties exactly one resource,
+    // so the incremental solver re-solves a 1-flow closure regardless
+    // of nt.  Events-per-second should stay roughly flat as nt grows;
+    // the old global re-solve made each event cost O(nt).
+    const int nt = static_cast<int>(state.range(0));
+    const uint64_t iters = 50;
+    for (auto _ : state) {
+        Engine e;
+        std::vector<Prim> body(1);
+        for (int t = 0; t < nt; ++t) {
+            ResourceId r =
+                e.addResource("r" + std::to_string(t), 1.0e9);
+            Work w;
+            w.amount = 1.0e6 * (1.0 + 0.1 * (t % 7));
+            w.path = {r};
+            e.addTask(std::make_unique<LoopTask>(
+                "t" + std::to_string(t), std::vector<Prim>{},
+                std::vector<Prim>{w}, iters));
+        }
+        e.run();
+        benchmark::DoNotOptimize(e.makespan());
+    }
+    state.SetItemsProcessed(state.iterations() * iters *
+                            static_cast<uint64_t>(nt));
+}
+BENCHMARK(BM_EngineManyComponents)->Arg(4)->Arg(32)->Arg(256);
+
+void
 BM_StreamExperiment(benchmark::State &state)
 {
     StreamWorkload stream(4u << 20, 10);
@@ -233,4 +326,23 @@ BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(2)->Arg(8)
 } // namespace
 } // namespace mcscope
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Stamp the report with the build flavor of *this* translation
+    // unit (google-benchmark's own library_build_type key reflects how
+    // the benchmark library was compiled, which can differ).
+    // tools/check_bench_regression.py refuses to compare reports whose
+    // harness was built with assertions enabled.
+#ifdef NDEBUG
+    benchmark::AddCustomContext("mcscope_build_type", "release");
+#else
+    benchmark::AddCustomContext("mcscope_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

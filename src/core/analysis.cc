@@ -133,10 +133,13 @@ bottleneckReport(const DetailedResult &result)
     oss << "makespan: " << formatFixed(result.run.seconds, 3) << " s, "
         << result.run.events << " events\n";
     const Engine::Stats &es = result.engineStats;
-    oss << "engine: " << es.allocatorReruns << " allocator reruns, "
-        << es.timeSteps << " time steps, " << es.fallbackScans
-        << " fallback scans, peak " << es.peakActiveFlows
-        << " active flows\n";
+    oss << "engine: " << es.allocatorReruns << " allocator reruns ("
+        << es.incrementalSolves << " incremental, " << es.fullSolves
+        << " full), " << es.timeSteps << " time steps, "
+        << es.fallbackScans << " fallback scans, "
+        << es.calqueueOps << " calqueue ops ("
+        << es.calqueueResizes << " resizes), peak "
+        << es.peakActiveFlows << " active flows\n";
 
     auto bucketLine = [&oss](const char *label,
                              const std::vector<ResourceReport> &bucket) {

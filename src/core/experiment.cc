@@ -60,6 +60,11 @@ runExperimentOn(Machine &machine, const ExperimentConfig &config,
             res.taggedSeconds[tag] = t;
     }
     res.events = engine.eventCount();
+    const Engine::Stats stats = engine.stats();
+    res.incrementalSolves = stats.incrementalSolves;
+    res.fullSolves = stats.fullSolves;
+    res.calqueueOps = stats.calqueueOps;
+    res.calqueueResizes = stats.calqueueResizes;
     if (const Auditor *auditor = engine.auditor()) {
         res.audited = true;
         res.auditDigest = auditor->digest();

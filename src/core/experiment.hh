@@ -66,6 +66,18 @@ struct RunResult
     /** Engine events processed (diagnostics). */
     uint64_t events = 0;
 
+    /** Allocator reruns solved incrementally (dirty-set closure). */
+    uint64_t incrementalSolves = 0;
+
+    /** Allocator reruns that re-solved the whole flow set. */
+    uint64_t fullSolves = 0;
+
+    /** Calendar-queue operations (inserts + removes). */
+    uint64_t calqueueOps = 0;
+
+    /** Calendar-queue bucket resizes / width retunes. */
+    uint64_t calqueueResizes = 0;
+
     /** True when the run executed under an invariant auditor. */
     bool audited = false;
 

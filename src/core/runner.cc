@@ -87,6 +87,16 @@ runResultToJson(uint64_t digest, const RunResult &result)
     o.set("tagged", std::move(tagged));
     o.set("events",
           JsonValue::number(static_cast<double>(result.events)));
+    o.set("incremental_solves",
+          JsonValue::number(
+              static_cast<double>(result.incrementalSolves)));
+    o.set("full_solves",
+          JsonValue::number(static_cast<double>(result.fullSolves)));
+    o.set("calqueue_ops",
+          JsonValue::number(static_cast<double>(result.calqueueOps)));
+    o.set("calqueue_resizes",
+          JsonValue::number(
+              static_cast<double>(result.calqueueResizes)));
     o.set("audited", JsonValue::boolean(result.audited));
     if (result.audited) {
         o.set("audit_digest",
@@ -140,6 +150,25 @@ parseRunResult(const JsonValue &doc, uint64_t expect_digest)
     if (ev < 0.0 || !std::isfinite(ev))
         return std::nullopt;
     r.events = static_cast<uint64_t>(ev);
+
+    // Engine-counter fields arrived after the cache/journal format
+    // shipped; absent fields (old entries) default to zero.
+    auto optionalCounter = [&doc](const char *key,
+                                  uint64_t &out) -> bool {
+        const JsonValue *v = doc.find(key);
+        if (!v)
+            return true;
+        if (!v->isNumber() || !std::isfinite(v->asNumber()) ||
+            v->asNumber() < 0.0)
+            return false;
+        out = static_cast<uint64_t>(v->asNumber());
+        return true;
+    };
+    if (!optionalCounter("incremental_solves", r.incrementalSolves) ||
+        !optionalCounter("full_solves", r.fullSolves) ||
+        !optionalCounter("calqueue_ops", r.calqueueOps) ||
+        !optionalCounter("calqueue_resizes", r.calqueueResizes))
+        return std::nullopt;
 
     if (const JsonValue *audited = doc.find("audited")) {
         if (!audited->isBool())
@@ -397,6 +426,10 @@ runPlan(const SweepPlan &plan, const RunnerOptions &opts)
             sample.wallSeconds = out.specWallSeconds[si];
             sample.simSeconds = r.valid ? r.seconds : 0.0;
             sample.events = r.events;
+            sample.incrementalSolves = r.incrementalSolves;
+            sample.fullSolves = r.fullSolves;
+            sample.calqueueOps = r.calqueueOps;
+            sample.calqueueResizes = r.calqueueResizes;
         }
     }
     return out;
@@ -909,6 +942,10 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
             sample.wallSeconds = out.specWallSeconds[si];
             sample.simSeconds = r.valid ? r.seconds : 0.0;
             sample.events = r.events;
+            sample.incrementalSolves = r.incrementalSolves;
+            sample.fullSolves = r.fullSolves;
+            sample.calqueueOps = r.calqueueOps;
+            sample.calqueueResizes = r.calqueueResizes;
         }
         telemetry->shards.clear();
         for (size_t s = 0; s < slots.size(); ++s) {

@@ -118,6 +118,33 @@ presetTokens()
     return tokens;
 }
 
+/**
+ * Per-preset canonical machine JSON (single line, sorted keys) --
+ * exactly what canonicalize() compares inline machines against and
+ * what canonicalText() expands.  Dumping a MachineConfig is the
+ * hottest part of plan canonicalization (profile: >half of sweep
+ * setup), and the presets never change after startup, so compute
+ * each text once.
+ */
+struct PresetMachine
+{
+    std::string token;
+    std::string canonicalJson;
+};
+
+const std::vector<PresetMachine> &
+presetMachines()
+{
+    static const std::vector<PresetMachine> machines = [] {
+        std::vector<PresetMachine> out;
+        for (const std::string &token : presetTokens())
+            out.push_back({token, machineConfigToJson(configByName(token))
+                                      .dump(-1, true)});
+        return out;
+    }();
+    return machines;
+}
+
 /** Set `*err` (if non-null) and return nullopt-compatible false. */
 bool
 setError(std::string *err, const std::string &msg)
@@ -395,11 +422,10 @@ ScenarioSpec::canonicalize()
     // so spec files that spell out Table 1 by hand dedup against
     // preset-based sweeps.
     std::string mine = machineConfigToJson(machine).dump(-1, true);
-    for (const std::string &preset : presetTokens()) {
-        if (machineConfigToJson(configByName(preset)).dump(-1, true) ==
-            mine) {
-            machinePreset = preset;
-            machine = configByName(preset);
+    for (const PresetMachine &preset : presetMachines()) {
+        if (preset.canonicalJson == mine) {
+            machinePreset = preset.token;
+            machine = configByName(preset.token);
             return;
         }
     }

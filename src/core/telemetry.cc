@@ -120,7 +120,11 @@ SweepTelemetry::writeJson(std::ostream &os) const
            << (p.valid ? "true" : "false")
            << ", \"wall_seconds\": " << jsonNum(p.wallSeconds)
            << ", \"sim_seconds\": " << jsonNum(p.simSeconds)
-           << ", \"events\": " << p.events << "}"
+           << ", \"events\": " << p.events
+           << ", \"incremental_solves\": " << p.incrementalSolves
+           << ", \"full_solves\": " << p.fullSolves
+           << ", \"calqueue_ops\": " << p.calqueueOps
+           << ", \"calqueue_resizes\": " << p.calqueueResizes << "}"
            << (i + 1 < points.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";

@@ -16,6 +16,10 @@
 
 #include "sim/alloc_guard.hh"
 
+#include <cstdlib>
+#include <execinfo.h>
+#include <unistd.h>
+
 namespace mcscope::alloc_guard {
 
 bool
@@ -52,8 +56,22 @@ inline void
 recordAlloc()
 {
     GuardState &s = tl_guard;
-    if (s.armed && s.pauseDepth == 0)
+    if (s.armed && s.pauseDepth == 0) {
         ++s.allocs;
+        // MCSCOPE_ALLOC_GUARD_TRACE=1 prints a backtrace for every
+        // counted allocation, turning a "contract violated: N
+        // allocation(s)" panic into the call sites responsible.
+        // Debugging aid only: counted allocations are already a bug,
+        // so this never fires on the passing path.
+        static const bool trace =
+            std::getenv("MCSCOPE_ALLOC_GUARD_TRACE") != nullptr;
+        if (trace) {
+            void *frames[16];
+            int n = backtrace(frames, 16);
+            backtrace_symbols_fd(frames, n, 2);
+            write(2, "----\n", 5);
+        }
+    }
 }
 
 inline void

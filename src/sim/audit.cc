@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "sim/fairshare.hh"
 #include "util/logging.hh"
 
 namespace mcscope {
@@ -114,6 +115,30 @@ Auditor::onAllocation(const std::vector<double> &capacities,
                        " (rate ", f.rate, ") is neither cap-bound nor "
                        "maximal on a saturated resource at t=", now, "; ",
                        describeAuditedFlows(capacities, flows));
+    }
+
+    // Exact-rate cross-check (opt-in, see setExactRateCheck): rebuild
+    // the whole allocation through the reference oracle and demand
+    // bitwise agreement.  This is what pins the engine's dirty-set
+    // incremental solver to the global solve -- an epsilon tolerance
+    // would let component-local drift hide inside kEpsilon.
+    if (exactRates_) {
+        std::vector<FairShareFlow> specs(flows.size());
+        for (size_t i = 0; i < flows.size(); ++i) {
+            specs[i].path = flows[i].path;
+            specs[i].rateCap = flows[i].rateCap;
+        }
+        const std::vector<double> oracle =
+            fairShareRatesReference(capacities, specs);
+        for (size_t i = 0; i < flows.size(); ++i) {
+            MCSCOPE_ASSERT(
+                doubleBits(oracle[i]) == doubleBits(flows[i].rate),
+                "exact-rate violation: flow#", i, " of task ",
+                flows[i].owner, " carries rate ", flows[i].rate,
+                " but the reference oracle solves ", oracle[i],
+                " (bit difference) at t=", now, "; ",
+                describeAuditedFlows(capacities, flows));
+        }
     }
 }
 

@@ -107,6 +107,21 @@ class Auditor
      */
     void onRunEnd(SimTime makespan);
 
+    /**
+     * Enable the exact-rate cross-check: every onAllocation() rebuilds
+     * the allocation through fairShareRatesReference() and demands
+     * bitwise equality with the rates the engine assigned.  This is
+     * the strong determinism gate for the dirty-set incremental solver
+     * -- not an epsilon certificate but bit-for-bit agreement with the
+     * whole-set oracle.  The engine turns it on for its own audited
+     * runs; it stays off by default so tests can still drive the
+     * epsilon checks with hand-crafted (merely near-fair) allocations.
+     */
+    void setExactRateCheck(bool on) { exactRates_ = on; }
+
+    /** True when onAllocation() cross-checks rates bit-for-bit. */
+    bool exactRateCheck() const { return exactRates_; }
+
     /** Order-sensitive digest of every event observed so far. */
     uint64_t digest() const { return digest_; }
 
@@ -127,6 +142,7 @@ class Auditor
     uint64_t allocations_ = 0;
     uint64_t events_ = 0;
     uint64_t openFlows_ = 0;
+    bool exactRates_ = false;
     SimTime lastEventTime_ = 0.0;
     SimTime lastNow_ = 0.0;
 

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Calendar queue over flow slots: the engine's next-flow-finish
+ * structure.
+ *
+ * The steady-state event loop needs, every time step, the earliest
+ * absolute finish time over all active flows -- and the dirty-set
+ * incremental allocator re-keys only the flows whose rates actually
+ * changed.  A binary heap would pay O(log n) per re-key and percolate
+ * through unrelated entries; the classic calendar queue (Brown 1988)
+ * pays O(1): entries hash into time buckets of width `width_`, the
+ * minimum is found by walking buckets forward from a monotone lower
+ * bound, and removal unlinks a doubly-linked node.
+ *
+ * Rate-change tolerance is the design driver: update() is
+ * remove-then-insert on intrusive links, so a re-rated flow costs two
+ * pointer splices regardless of where it sits in time.
+ *
+ * Zero-allocation contract: all storage is slot-indexed arrays plus a
+ * power-of-two bucket-head array.  Arrays only grow (reserveSlots from
+ * the engine, bucket doubling when occupancy exceeds 2 entries per
+ * bucket), so capacitySum() is monotone and the engine's debug alloc
+ * guard (sim/alloc_guard.hh) can excuse exactly the growth steps.
+ */
+
+#ifndef MCSCOPE_SIM_CALQUEUE_HH
+#define MCSCOPE_SIM_CALQUEUE_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+/**
+ * Min-queue of (flow slot, absolute time) with O(1) amortized insert,
+ * remove, re-key, and min query.  Slots are small dense integers (the
+ * engine's stable flow-slot ids); each slot holds at most one entry.
+ */
+class CalendarQueue
+{
+  public:
+    /** Counters for the engine's Stats surface. */
+    struct Stats
+    {
+        /** Inserts + removes (an update counts as one of each). */
+        uint64_t ops = 0;
+
+        /** Bucket-array doublings / width re-estimations. */
+        uint64_t resizes = 0;
+
+        /**
+         * Min queries that fell off the calendar (entries more than
+         * one bucket revolution ahead) and scanned every entry.
+         */
+        uint64_t directScans = 0;
+    };
+
+    /** Ensure per-slot storage for slots [0, slots). */
+    void
+    reserveSlots(int slots)
+    {
+        if (static_cast<size_t>(slots) <= time_.size())
+            return;
+        time_.resize(slots, 0.0);
+        next_.resize(slots, -1);
+        prev_.resize(slots, -1);
+        bucket_.resize(slots, -1);
+    }
+
+    /** True when `slot` currently has an entry. */
+    bool
+    contains(int slot) const
+    {
+        return static_cast<size_t>(slot) < bucket_.size() &&
+               bucket_[slot] >= 0;
+    }
+
+    /** Number of queued entries. */
+    size_t size() const { return count_; }
+
+    // MCSCOPE_HOT_BEGIN: calendar-queue steady-state operations.  The
+    // fast paths below run inside the Engine::run hot loop and must
+    // not allocate; growth is confined to grow() / reserveSlots().
+    /** Queue `slot` at absolute time `t`.  The slot must be absent. */
+    void
+    insert(int slot, double t)
+    {
+        MCSCOPE_ASSERT(static_cast<size_t>(slot) < time_.size(),
+                       "calqueue slot ", slot, " not reserved");
+        MCSCOPE_ASSERT(bucket_[slot] < 0, "calqueue slot ", slot,
+                       " inserted twice");
+        if (head_.empty())
+            seed(t);
+        if (count_ == 0 || t < lastTime_)
+            lastTime_ = t;
+        link(slot, t);
+        ++count_;
+        ++stats_.ops;
+        // Keep the cached min coherent instead of invalidating: an
+        // insert can only lower it.
+        if (minSlot_ >= 0 && t < time_[minSlot_])
+            minSlot_ = slot;
+        if (count_ > 2 * head_.size())
+            grow();
+    }
+
+    /** Remove the entry for `slot`.  The slot must be present. */
+    void
+    remove(int slot)
+    {
+        MCSCOPE_ASSERT(contains(slot), "calqueue slot ", slot,
+                       " removed while absent");
+        unlink(slot);
+        --count_;
+        ++stats_.ops;
+        if (minSlot_ == slot)
+            minSlot_ = -1;
+    }
+
+    /** Re-key `slot` to time `t` (the rate-change path). */
+    void
+    update(int slot, double t)
+    {
+        remove(slot);
+        insert(slot, t);
+    }
+
+    /**
+     * Earliest queued time, +inf when empty.  Amortized O(1): the
+     * search starts from a monotone lower bound (the last returned
+     * minimum or the earliest insert since), so buckets are walked
+     * forward at most once per bucket revolution of simulated time.
+     */
+    double
+    minTime()
+    {
+        if (count_ == 0)
+            return std::numeric_limits<double>::infinity();
+        if (minSlot_ < 0)
+            findMin();
+        lastTime_ = time_[minSlot_];
+        return lastTime_;
+    }
+    // MCSCOPE_HOT_END: calendar-queue steady-state operations.
+
+    /** Operation counters (monotone over the queue's lifetime). */
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Summed capacity of every internal buffer, for the engine's
+     * alloc-guard capacity signature.  Monotone: buffers never shrink.
+     */
+    size_t
+    capacitySum() const
+    {
+        return time_.capacity() + next_.capacity() + prev_.capacity() +
+               bucket_.capacity() + head_.capacity();
+    }
+
+    /** Bucket count (test/diagnostic surface). */
+    size_t bucketCount() const { return head_.size(); }
+
+    /** Bucket width in seconds (test/diagnostic surface). */
+    double bucketWidth() const { return width_; }
+
+  private:
+    static constexpr size_t kInitialBuckets = 16;
+
+    /** Epoch (absolute bucket ordinal) of time `t`. */
+    uint64_t
+    epochOf(double t) const
+    {
+        double q = t / width_;
+        // Finish times can sit arbitrarily far out (tiny rates on
+        // huge amounts); clamp before the cast so the ordinal stays
+        // well-defined instead of overflowing.
+        if (q >= 9.0e18)
+            return UINT64_C(9000000000000000000);
+        if (q <= 0.0)
+            return 0;
+        return static_cast<uint64_t>(q);
+    }
+
+    /** First use: size the bucket array and anchor the lower bound. */
+    void
+    seed(double t)
+    {
+        head_.assign(kInitialBuckets, -1);
+        lastTime_ = t;
+    }
+
+    void
+    link(int slot, double t)
+    {
+        const size_t b = epochOf(t) & (head_.size() - 1);
+        time_[slot] = t;
+        prev_[slot] = -1;
+        next_[slot] = head_[b];
+        if (head_[b] >= 0)
+            prev_[head_[b]] = slot;
+        head_[b] = static_cast<int>(slot);
+        bucket_[slot] = static_cast<int>(b);
+    }
+
+    void
+    unlink(int slot)
+    {
+        const int b = bucket_[slot];
+        if (prev_[slot] >= 0)
+            next_[prev_[slot]] = next_[slot];
+        else
+            head_[b] = next_[slot];
+        if (next_[slot] >= 0)
+            prev_[next_[slot]] = prev_[slot];
+        bucket_[slot] = -1;
+    }
+
+    /**
+     * Locate the minimum entry.  Walk epochs forward from the lower
+     * bound; every live entry's time is >= lastTime_, so the first
+     * epoch (== bucket) holding a matching entry holds the minimum.
+     * Entries further than one revolution ahead are invisible to the
+     * walk; fall back to a direct scan over all entries, and take the
+     * hint that the bucket width is far too small for the current
+     * event spacing.
+     */
+    void
+    findMin()
+    {
+        const size_t nb = head_.size();
+        const uint64_t e0 = epochOf(lastTime_);
+        for (size_t k = 0; k < nb; ++k) {
+            const size_t b = (e0 + k) & (nb - 1);
+            int best = -1;
+            for (int s = head_[b]; s >= 0; s = next_[s]) {
+                if (epochOf(time_[s]) != e0 + k)
+                    continue; // a later revolution's entry
+                if (best < 0 || time_[s] < time_[best])
+                    best = s;
+            }
+            if (best >= 0) {
+                minSlot_ = best;
+                return;
+            }
+        }
+        ++stats_.directScans;
+        int best = -1;
+        for (size_t b = 0; b < nb; ++b) {
+            for (int s = head_[b]; s >= 0; s = next_[s]) {
+                if (best < 0 || time_[s] < time_[best])
+                    best = s;
+            }
+        }
+        MCSCOPE_ASSERT(best >= 0, "calqueue lost an entry: count ",
+                       count_, " but no slot found");
+        minSlot_ = best;
+        // The whole population lives beyond one revolution: re-spread
+        // it with a width matched to the observed span.
+        retune();
+    }
+
+    /** Double the bucket array and re-estimate the width. */
+    void
+    grow()
+    {
+        rebuild(head_.size() * 2);
+    }
+
+    /** Re-estimate width at the current size (direct-scan recovery). */
+    void
+    retune()
+    {
+        rebuild(head_.size());
+    }
+
+    void
+    rebuild(size_t nb)
+    {
+        ++stats_.resizes;
+        // Span of the live population decides the width: aim for ~one
+        // entry per bucket so the forward walk touches O(1) entries.
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -std::numeric_limits<double>::infinity();
+        for (size_t s = 0; s < bucket_.size(); ++s) {
+            if (bucket_[s] < 0)
+                continue;
+            if (time_[s] < lo)
+                lo = time_[s];
+            if (time_[s] > hi)
+                hi = time_[s];
+        }
+        if (count_ > 1 && hi > lo)
+            width_ = (hi - lo) / static_cast<double>(count_);
+        head_.assign(nb, -1);
+        for (size_t s = 0; s < bucket_.size(); ++s) {
+            if (bucket_[s] < 0)
+                continue;
+            bucket_[s] = -1;
+            link(static_cast<int>(s), time_[s]);
+        }
+    }
+
+    std::vector<int> head_;   ///< bucket -> first slot, -1 empty
+    std::vector<double> time_; ///< per-slot queued time
+    std::vector<int> next_;   ///< per-slot bucket-list link
+    std::vector<int> prev_;   ///< per-slot bucket-list link
+    std::vector<int> bucket_; ///< per-slot bucket index, -1 absent
+
+    double width_ = 1.0;    ///< bucket width in seconds
+    double lastTime_ = 0.0; ///< lower bound on every queued time
+    size_t count_ = 0;
+    int minSlot_ = -1; ///< cached min entry, -1 when unknown
+
+    Stats stats_;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_SIM_CALQUEUE_HH

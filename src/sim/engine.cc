@@ -87,6 +87,9 @@ Engine::addResource(std::string name, double capacity)
     resourceNames_.push_back(std::move(name));
     capacities_.push_back(capacity);
     stats_.emplace_back();
+    resFlows_.emplace_back();
+    resDirty_.push_back(0);
+    resInClosure_.push_back(0);
     return static_cast<ResourceId>(capacities_.size() - 1);
 }
 
@@ -186,21 +189,618 @@ Engine::accrueBlockedTime(int task)
 }
 
 void
+Engine::markResourceDirty(ResourceId r)
+{
+    if (!resDirty_[r]) {
+        resDirty_[r] = 1;
+        dirtyRes_.push_back(r);
+    }
+}
+
+void
 Engine::startFlow(const Work &w, OwnerVec owners, PhaseTag tag)
 {
-    ActiveFlow flow;
-    flow.work = w;
-    flow.remaining = w.amount;
-    flow.owners = std::move(owners);
-    flow.tag = tag;
     if (tracing()) {
-        emitTrace({TraceEvent::Kind::FlowStart, now_, flow.owners[0],
-                   tag, w.amount, w.path});
+        emitTrace({TraceEvent::Kind::FlowStart, now_, owners[0], tag,
+                   w.amount, w.path});
     }
-    flows_.push_back(std::move(flow));
-    if (static_cast<int>(flows_.size()) > counters_.peakActiveFlows)
-        counters_.peakActiveFlows = static_cast<int>(flows_.size());
+
+    FlowSlot slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<FlowSlot>(slotCount());
+        flowRemaining_.push_back(kInf);
+        flowRate_.push_back(0.0);
+        flowFinish_.push_back(kInf);
+        flowThresh_.push_back(-1.0);
+        flowAmount_.push_back(0.0);
+        flowRateCap_.push_back(0.0);
+        flowPath_.emplace_back();
+        flowOwners_.emplace_back();
+        flowTag_.push_back(0);
+        flowAlive_.push_back(0);
+        flowPosInRes_.emplace_back();
+        flowInClosure_.push_back(0);
+        calq_.reserveSlots(slot + 1);
+    }
+
+    flowRemaining_[slot] = w.amount;
+    flowRate_[slot] = 0.0;
+    flowFinish_[slot] = kInf;
+    flowThresh_[slot] = 1e-9 * std::max(1.0, w.amount) + 1e-300;
+    flowAmount_[slot] = w.amount;
+    flowRateCap_[slot] = w.rateCap;
+    flowPath_[slot] = w.path;
+    flowOwners_[slot] = std::move(owners);
+    flowTag_[slot] = tag;
+    flowAlive_[slot] = 1;
+
+    // Wire up per-resource incidence and dirty the path.  The running
+    // incidence counts also track peak concurrency exactly: the count
+    // only changes by one per arrival/departure, so every peak is
+    // attained immediately after some arrival.
+    flowPosInRes_[slot].clear();
+    for (ResourceId r : w.path) {
+        flowPosInRes_[slot].push_back(
+            static_cast<int>(resFlows_[r].size()));
+        resFlows_[r].push_back(slot);
+        const int users = static_cast<int>(resFlows_[r].size());
+        if (users > stats_[r].peakConcurrency)
+            stats_[r].peakConcurrency = users;
+        markResourceDirty(r);
+    }
+    newFlows_.push_back(slot);
+    ++activeFlows_;
+    if (activeFlows_ > counters_.peakActiveFlows)
+        counters_.peakActiveFlows = activeFlows_;
     ratesDirty_ = true;
+}
+
+void
+Engine::removeFlow(FlowSlot slot)
+{
+    const PathVec &path = flowPath_[slot];
+    for (size_t h = 0; h < path.size(); ++h) {
+        const ResourceId r = path[h];
+        auto &list = resFlows_[r];
+        const int pos = flowPosInRes_[slot][h];
+        const int backIdx = static_cast<int>(list.size()) - 1;
+        const FlowSlot moved = list[backIdx];
+        list[pos] = moved;
+        list.pop_back();
+        if (pos != backIdx) {
+            // Fix the moved flow's position handle for resource r.
+            // With duplicate resources on a path the flow holds one
+            // handle per hop; match on the handle that pointed at the
+            // vacated back index.
+            const PathVec &mp = flowPath_[moved];
+            for (size_t mh = 0; mh < mp.size(); ++mh) {
+                if (mp[mh] == r &&
+                    flowPosInRes_[moved][mh] == backIdx) {
+                    flowPosInRes_[moved][mh] = pos;
+                    break;
+                }
+            }
+        }
+        markResourceDirty(r);
+    }
+
+    // Neutralize the slot for the flat hot-loop scans: zero rate moves
+    // nothing, infinite remaining never crosses a negative threshold.
+    flowAlive_[slot] = 0;
+    flowRemaining_[slot] = kInf;
+    flowRate_[slot] = 0.0;
+    flowFinish_[slot] = kInf;
+    flowThresh_[slot] = -1.0;
+    flowPath_[slot].clear();
+    flowOwners_[slot].clear();
+    flowPosInRes_[slot].clear();
+    if (calq_.contains(slot))
+        calq_.remove(slot);
+    // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+    freeSlots_.push_back(slot);
+    --activeFlows_;
+    ratesDirty_ = true;
+}
+
+void
+Engine::applyRates(const FlowSlot *slots, size_t count,
+                   const double *rates)
+{
+    for (size_t k = 0; k < count; ++k) {
+        const FlowSlot s = slots[k];
+        const double rate = rates[k];
+        MCSCOPE_ASSERT(rate > 0.0, "flow got a non-positive rate");
+        if (rate == flowRate_[s])
+            continue;
+        // Re-anchor the absolute finish estimate only when the rate
+        // actually changed: both allocator paths then derive identical
+        // finish-time bit patterns from identical rate bit patterns,
+        // which is what keeps their event sequences -- and hence the
+        // determinism digests -- bit-identical.
+        flowRate_[s] = rate;
+        const double finish = now_ + flowRemaining_[s] / rate;
+        flowFinish_[s] = finish;
+        if (calq_.contains(s))
+            calq_.update(s, finish);
+        else
+            calq_.insert(s, finish);
+    }
+}
+
+void
+Engine::solveOptimized()
+{
+    // Closure of the dirty resources: alternate resource -> incident
+    // flows -> their other path resources until the component of
+    // every changed flow is covered.  Flows outside the closure share
+    // no resource (transitively) with any changed flow, so their
+    // max-min rates are provably unchanged and are left untouched.
+    closureRes_.clear();
+    closureFlows_.clear();
+    for (ResourceId r : dirtyRes_) {
+        if (!resInClosure_[r]) {
+            resInClosure_[r] = 1;
+            // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+            closureRes_.push_back(r);
+        }
+    }
+    for (size_t i = 0; i < closureRes_.size(); ++i) {
+        const ResourceId r = closureRes_[i];
+        for (FlowSlot s : resFlows_[r]) {
+            if (flowInClosure_[s])
+                continue;
+            flowInClosure_[s] = 1;
+            // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+            closureFlows_.push_back(s);
+            for (ResourceId rr : flowPath_[s]) {
+                if (!resInClosure_[rr]) {
+                    resInClosure_[rr] = 1;
+                    // MCSCOPE_LINT_ALLOW(HOT-1): amortized reuse.
+                    closureRes_.push_back(rr);
+                }
+            }
+        }
+    }
+    for (ResourceId r : closureRes_)
+        resInClosure_[r] = 0;
+    for (FlowSlot s : closureFlows_)
+        flowInClosure_[s] = 0;
+
+    // Incremental pays off while the closure is a minority of the
+    // population; past half, the subset bookkeeping costs more than
+    // the flows it skips, so solve globally.
+    const bool incremental =
+        2 * closureFlows_.size() <= static_cast<size_t>(activeFlows_);
+    if (incremental) {
+        // Slot order makes the subset's per-round residual-update
+        // sequence match a whole-set solve (see fairShareSolveSubset).
+        std::sort(closureFlows_.begin(), closureFlows_.end());
+        ++counters_.incrementalSolves;
+    } else {
+        closureRes_.clear();
+        closureFlows_.clear();
+        for (ResourceId r = 0; r < resourceCount(); ++r)
+            closureRes_.push_back(r);
+        for (size_t s = 0; s < slotCount(); ++s) {
+            if (flowAlive_[s])
+                closureFlows_.push_back(static_cast<FlowSlot>(s));
+        }
+        ++counters_.fullSolves;
+    }
+
+    fairShareSolveSubset(capacities_, flowPath_, flowRateCap_,
+                         closureFlows_.data(), closureFlows_.size(),
+                         closureRes_.data(), closureRes_.size(),
+                         fsScratch_);
+    applyRates(closureFlows_.data(), closureFlows_.size(),
+               fsScratch_.rates.data());
+
+    if (incremental) {
+        // Empty-path capped arrivals touch no resource, so no closure
+        // reaches them; their max-min rate is simply their cap.
+        for (FlowSlot s : newFlows_) {
+            if (!flowAlive_[s] || !flowPath_[s].empty() ||
+                flowRate_[s] != 0.0) {
+                continue;
+            }
+            const double cap = flowRateCap_[s];
+            applyRates(&s, 1, &cap);
+        }
+    }
+}
+
+void
+Engine::solveReference()
+{
+    specScratch_.clear();
+    closureFlows_.clear();
+    for (size_t s = 0; s < slotCount(); ++s) {
+        if (!flowAlive_[s])
+            continue;
+        closureFlows_.push_back(static_cast<FlowSlot>(s));
+        FairShareFlow spec;
+        spec.path = flowPath_[s];
+        spec.rateCap = flowRateCap_[s];
+        specScratch_.push_back(std::move(spec));
+    }
+    fsScratch_.rates = fairShareRatesReference(capacities_, specScratch_);
+    applyRates(closureFlows_.data(), closureFlows_.size(),
+               fsScratch_.rates.data());
+    ++counters_.fullSolves;
+}
+
+void
+Engine::recomputeRates()
+{
+    ++counters_.allocatorReruns;
+    // All scratch containers below persist across calls; clear() and
+    // push_back() reuse their capacity, so the steady-state hot path
+    // is allocation-free.
+    if (allocator_ == AllocatorKind::Reference)
+        solveReference();
+    else
+        solveOptimized();
+
+    for (ResourceId r : dirtyRes_)
+        resDirty_[r] = 0;
+    dirtyRes_.clear();
+    newFlows_.clear();
+    ratesDirty_ = false;
+
+    if (auditor_) {
+        // Runtime auditing is a validation layer, not steady state.
+        alloc_guard::Pause pause;
+        auditScratch_.clear();
+        for (size_t s = 0; s < slotCount(); ++s) {
+            if (!flowAlive_[s])
+                continue;
+            AuditedFlow af;
+            af.path = flowPath_[s];
+            af.rateCap = flowRateCap_[s];
+            af.rate = flowRate_[s];
+            af.remaining = flowRemaining_[s];
+            af.owner = flowOwners_[s][0];
+            af.tag = flowTag_[s];
+            auditScratch_.push_back(std::move(af));
+        }
+        auditor_->onAllocation(capacities_, auditScratch_, now_);
+    }
+}
+
+void
+Engine::enableUtilizationTimeline(int target_buckets)
+{
+    MCSCOPE_ASSERT(target_buckets > 0,
+                   "timeline needs a positive bucket target, got ",
+                   target_buckets);
+    MCSCOPE_ASSERT(now_ == 0.0 && counters_.timeSteps == 0,
+                   "timeline must be enabled before run()");
+    timelineTarget_ = target_buckets;
+    timelineWidth_ = 0.0;
+    timelineBuckets_ = 0;
+    timelineBusy_.clear();
+}
+
+double
+Engine::timelineBusyTime(ResourceId r, int b) const
+{
+    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
+    MCSCOPE_ASSERT(b >= 0 && static_cast<size_t>(b) < timelineBuckets_,
+                   "bad timeline bucket ", b, " of ", timelineBuckets_);
+    return timelineBusy_[static_cast<size_t>(b) * capacities_.size() + r];
+}
+
+void
+Engine::rebinTimeline()
+{
+    const size_t nres = capacities_.size();
+    const size_t merged = (timelineBuckets_ + 1) / 2;
+    for (size_t b = 0; b < merged; ++b) {
+        double *dst = &timelineBusy_[b * nres];
+        const double *lo = &timelineBusy_[2 * b * nres];
+        for (size_t r = 0; r < nres; ++r)
+            dst[r] = lo[r];
+        if (2 * b + 1 < timelineBuckets_) {
+            const double *hi = &timelineBusy_[(2 * b + 1) * nres];
+            for (size_t r = 0; r < nres; ++r)
+                dst[r] += hi[r];
+        }
+    }
+    timelineBuckets_ = merged;
+    timelineBusy_.resize(merged * nres);
+    timelineWidth_ *= 2.0;
+}
+
+void
+Engine::accrueTimeline(SimTime t0, SimTime t1)
+{
+    const size_t nres = capacities_.size();
+    if (timelineWidth_ <= 0.0)
+        timelineWidth_ = (t1 - t0); // first non-zero step sets the scale
+
+    // Make sure the bucket covering t1 exists, doubling the width
+    // until the populated count stays within 2 * target.
+    size_t need = static_cast<size_t>(t1 / timelineWidth_) + 1;
+    while (need > 2 * static_cast<size_t>(timelineTarget_)) {
+        if (timelineBuckets_ > 0)
+            rebinTimeline();
+        else
+            timelineWidth_ *= 2.0;
+        need = static_cast<size_t>(t1 / timelineWidth_) + 1;
+    }
+    if (need > timelineBuckets_) {
+        timelineBusy_.resize(need * nres, 0.0);
+        timelineBuckets_ = need;
+    }
+
+    // Split [t0, t1] over the buckets it overlaps; each flow moved
+    // rate * overlap units through every resource on its path, which
+    // is overlap-weighted busy time after dividing by capacity.  Dead
+    // slots are inert: rate 0 and an empty path contribute nothing.
+    const double span = t1 - t0;
+    size_t b0 = static_cast<size_t>(t0 / timelineWidth_);
+    size_t b1 = need - 1;
+    for (size_t b = b0; b <= b1; ++b) {
+        double lo = std::max(t0, static_cast<double>(b) * timelineWidth_);
+        double hi = std::min(
+            t1, static_cast<double>(b + 1) * timelineWidth_);
+        double overlap = hi - lo;
+        if (overlap <= 0.0)
+            continue;
+        double frac = overlap / span;
+        double *bucket = &timelineBusy_[b * nres];
+        for (size_t s = 0; s < slotCount(); ++s) {
+            double moved = flowRate_[s] * span;
+            if (moved > flowRemaining_[s])
+                moved = flowRemaining_[s];
+            double busy = moved * frac;
+            for (ResourceId r : flowPath_[s])
+                bucket[r] += busy / capacities_[r];
+        }
+    }
+}
+
+[[noreturn]] void
+Engine::panicDeadlock() const
+{
+    std::string diag;
+    for (int i = 0; i < taskCount(); ++i) {
+        if (tasks_[i].state == TaskState::Finished)
+            continue;
+        diag += " task " + std::to_string(i) + "(" +
+                tasks_[i].task->name() + ") state " +
+                std::to_string(static_cast<int>(tasks_[i].state));
+    }
+    MCSCOPE_PANIC("simulation deadlock:", diag);
+}
+
+size_t
+Engine::allocGuardCapacitySum(const std::vector<int> &to_advance) const
+{
+    size_t incidence = resFlows_.capacity();
+    for (const auto &list : resFlows_)
+        incidence += list.capacity();
+    return specScratch_.capacity() + fsScratch_.rates.capacity() +
+           fsScratch_.frozen.capacity() +
+           fsScratch_.residual.capacity() +
+           fsScratch_.users.capacity() +
+           fsScratch_.saturated.capacity() +
+           auditScratch_.capacity() + timelineBusy_.capacity() +
+           readyQueue_.capacity() + to_advance.capacity() +
+           flowRemaining_.capacity() + flowPath_.capacity() +
+           flowOwners_.capacity() + flowPosInRes_.capacity() +
+           freeSlots_.capacity() + newFlows_.capacity() +
+           dirtyRes_.capacity() + closureRes_.capacity() +
+           closureFlows_.capacity() + completedScratch_.capacity() +
+           delayHeap_.capacity() + incidence + calq_.capacitySum();
+}
+
+void
+Engine::run()
+{
+    unfinished_ = taskCount();
+    MCSCOPE_ASSERT(unfinished_ > 0, "run() with no tasks");
+
+    if (auditor_) {
+        // Audited runs double as bit-identity gates for the dirty-set
+        // incremental allocator: every allocation is cross-checked
+        // against a fresh whole-set reference solve, bit for bit.
+        auditor_->setExactRateCheck(true);
+    }
+
+    for (int i = 0; i < taskCount(); ++i) {
+        if (tasks_[i].state == TaskState::Unstarted) {
+            tasks_[i].state = TaskState::Ready;
+            advanceTask(i);
+            while (!readyQueue_.empty()) {
+                int r = readyQueue_.back();
+                readyQueue_.pop_back();
+                if (tasks_[r].state == TaskState::Ready)
+                    advanceTask(r);
+            }
+        }
+    }
+
+    std::vector<int> to_advance;
+
+    // Debug zero-allocation guard (sim/alloc_guard.hh): count this
+    // thread's heap allocations across each loop iteration and demand
+    // zero unless a tracked scratch buffer grew its capacity that
+    // same iteration (capacities are monotone, so the sum grows iff
+    // some buffer grew -- that is the legitimate warm-up path).
+    // Compiled out entirely in non-Debug builds.
+    const bool guard_on = alloc_guard::kEnabled && allocGuardEnforced_;
+    const bool guard_outermost = guard_on && !alloc_guard::armed();
+    uint64_t guard_allocs = 0;
+    size_t guard_capacity = 0;
+    if (guard_on) {
+        if (guard_outermost)
+            alloc_guard::arm();
+        guard_allocs = alloc_guard::allocationCount();
+        guard_capacity = allocGuardCapacitySum(to_advance);
+    }
+
+    // MCSCOPE_HOT_BEGIN: Engine::run steady-state loop.  No heap
+    // allocation below (mcscope-lint rule HOT-1; runtime counterpart
+    // above).  Event-driven work is funneled through advanceTask() /
+    // emitTrace(), which pause the guard and are exempt by design.
+    while (unfinished_ > 0) {
+        if (ratesDirty_)
+            recomputeRates();
+
+        // Earliest flow completion, from the calendar queue of
+        // absolute finish times.  Absolute finish times are invariant
+        // while rates are unchanged (each flow drains at a constant
+        // rate), so entries are only re-keyed on rate changes.
+        double dt_flow = kInf;
+        if (activeFlows_ > 0) {
+            dt_flow = calq_.minTime() - now_;
+            if (dt_flow <= 0.0) {
+                // now_ accumulates dt with different round-off than
+                // remaining accumulates rate*dt, so now_ can reach the
+                // queued finish time while the nearest flow still
+                // carries an epsilon of work above the completion
+                // tolerance.  Fall back to the direct scan, whose
+                // remaining/rate is strictly positive, so time always
+                // advances and the flow drains on the next step.
+                ++counters_.fallbackScans;
+                dt_flow = kInf;
+                for (size_t s = 0; s < slotCount(); ++s) {
+                    if (!flowAlive_[s])
+                        continue;
+                    double d = flowRemaining_[s] / flowRate_[s];
+                    if (d < dt_flow)
+                        dt_flow = d;
+                }
+            }
+        }
+        // Earliest delay expiry.  Coincident expiries can land an
+        // epsilon in the past from float round-off; clamp at zero so
+        // time never steps backwards.
+        double dt_delay = kInf;
+        if (!delayHeap_.empty()) {
+            dt_delay = delayHeap_.front().time - now_;
+            if (dt_delay < 0.0)
+                dt_delay = 0.0;
+        }
+
+        double dt = std::min(dt_flow, dt_delay);
+        if (!std::isfinite(dt))
+            panicDeadlock();
+        if (dt < 0.0)
+            dt = 0.0;
+
+        // Advance time and integrate resource statistics.
+        SimTime prev = now_;
+        now_ += dt;
+        ++counters_.timeSteps;
+        if (auditor_) {
+            alloc_guard::Pause pause;
+            auditor_->onTimeAdvance(prev, now_);
+        }
+        for (size_t s = 0; s < slotCount(); ++s) {
+            double moved = flowRate_[s] * dt;
+            if (moved > flowRemaining_[s])
+                moved = flowRemaining_[s];
+            for (ResourceId r : flowPath_[s])
+                stats_[r].unitsMoved += moved;
+        }
+        if (timelineTarget_ > 0 && dt > 0.0)
+            accrueTimeline(prev, now_);
+
+        // Drain and complete flows.  The structure-of-arrays layout
+        // splits this into a branch-free vectorizable drain pass and a
+        // comparison scan; dead slots are inert (rate 0, remaining
+        // +inf, threshold -1), so neither pass needs an alive test.
+        to_advance.clear();
+        completedScratch_.clear();
+        {
+            const size_t n = slotCount();
+            double *rem = flowRemaining_.data();
+            const double *rate = flowRate_.data();
+            for (size_t s = 0; s < n; ++s)
+                rem[s] -= rate[s] * dt;
+            const double *thresh = flowThresh_.data();
+            for (size_t s = 0; s < n; ++s) {
+                if (rem[s] <= thresh[s]) {
+                    // MCSCOPE_LINT_ALLOW(HOT-1): amortized reuse.
+                    completedScratch_.push_back(
+                        static_cast<FlowSlot>(s));
+                }
+            }
+        }
+        for (FlowSlot slot : completedScratch_) {
+            if (tracing()) {
+                emitTrace({TraceEvent::Kind::FlowEnd, now_,
+                           flowOwners_[slot][0], flowTag_[slot],
+                           flowAmount_[slot], flowPath_[slot]});
+            }
+            for (int owner : flowOwners_[slot]) {
+                accrueBlockedTime(owner);
+                tasks_[owner].state = TaskState::Ready;
+                // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+                to_advance.push_back(owner);
+            }
+            removeFlow(slot);
+        }
+
+        // Expire delays, in (time, insertion) order.
+        while (!delayHeap_.empty() &&
+               delayHeap_.front().time <= now_ + 1e-15) {
+            const int task = delayHeap_.front().task;
+            std::pop_heap(delayHeap_.begin(), delayHeap_.end(),
+                          DelayAfter{});
+            delayHeap_.pop_back();
+            if (tracing()) {
+                emitTrace({TraceEvent::Kind::DelayEnd, now_, task,
+                           tasks_[task].blockTag, 0.0, {}});
+            }
+            accrueBlockedTime(task);
+            tasks_[task].state = TaskState::Ready;
+            // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+            to_advance.push_back(task);
+        }
+
+        // Advance released tasks (which may release further tasks).
+        for (size_t i = 0; i < to_advance.size(); ++i) {
+            int task = to_advance[i];
+            if (tasks_[task].state != TaskState::Ready)
+                continue;
+            advanceTask(task);
+            while (!readyQueue_.empty()) {
+                // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
+                to_advance.push_back(readyQueue_.back());
+                readyQueue_.pop_back();
+            }
+        }
+
+        if (guard_on) {
+            const uint64_t allocs = alloc_guard::allocationCount();
+            const size_t capacity = allocGuardCapacitySum(to_advance);
+            MCSCOPE_ASSERT(
+                capacity > guard_capacity || allocs == guard_allocs,
+                "zero-allocation contract violated: steady-state loop "
+                "made ", allocs - guard_allocs, " heap allocation(s) "
+                "on time step ", counters_.timeSteps, " without "
+                "scratch-capacity growth (DESIGN 'Enforced "
+                "invariants'; call setAllocGuardEnforced(false) for "
+                "intentionally allocating configurations)");
+            guard_allocs = allocs;
+            guard_capacity = capacity;
+        }
+    }
+    // MCSCOPE_HOT_END: Engine::run steady-state loop.
+
+    if (guard_outermost)
+        alloc_guard::disarm();
+
+    if (auditor_) {
+        alloc_guard::Pause pause;
+        auditor_->onRunEnd(now_);
+    }
 }
 
 void
@@ -249,7 +849,9 @@ Engine::advanceTask(int task)
             t.state = TaskState::BlockedOnDelay;
             t.blockStart = now_;
             t.blockTag = d->tag;
-            delays_.emplace(now_ + d->seconds, task);
+            delayHeap_.push_back({now_ + d->seconds, delaySeq_++, task});
+            std::push_heap(delayHeap_.begin(), delayHeap_.end(),
+                           DelayAfter{});
             return;
         }
 
@@ -326,372 +928,6 @@ Engine::advanceTask(int task)
         }
 
         MCSCOPE_PANIC("unhandled primitive kind");
-    }
-}
-
-void
-Engine::recomputeRates()
-{
-    ++counters_.allocatorReruns;
-    // All scratch containers below persist across calls; clear() and
-    // assign() reuse their capacity, so the steady-state hot path is
-    // allocation-free.
-    specScratch_.clear();
-    for (const auto &f : flows_) {
-        FairShareFlow spec;
-        spec.path = f.work.path;
-        spec.rateCap = f.work.rateCap;
-        specScratch_.push_back(std::move(spec));
-    }
-    if (allocator_ == AllocatorKind::Reference)
-        fsScratch_.rates = fairShareRatesReference(capacities_, specScratch_);
-    else
-        fairShareRatesInto(capacities_, specScratch_, fsScratch_);
-    const std::vector<double> &rates = fsScratch_.rates;
-
-    SimTime next_finish = kInf;
-    for (size_t i = 0; i < flows_.size(); ++i) {
-        flows_[i].rate = rates[i];
-        MCSCOPE_ASSERT(flows_[i].rate > 0.0,
-                       "flow got a non-positive rate");
-        SimTime finish = now_ + flows_[i].remaining / flows_[i].rate;
-        if (finish < next_finish)
-            next_finish = finish;
-    }
-    nextFlowFinish_ = next_finish;
-    ratesDirty_ = false;
-
-    // Track the peak concurrent-flow count per resource.  The flow set
-    // only changes between recomputations, so sampling here sees every
-    // distinct concurrency level.
-    userScratch_.assign(capacities_.size(), 0);
-    for (const auto &f : flows_) {
-        for (ResourceId r : f.work.path)
-            ++userScratch_[r];
-    }
-    for (size_t r = 0; r < userScratch_.size(); ++r) {
-        if (userScratch_[r] > stats_[r].peakConcurrency)
-            stats_[r].peakConcurrency = userScratch_[r];
-    }
-
-    if (auditor_) {
-        // Runtime auditing is a validation layer, not steady state.
-        alloc_guard::Pause pause;
-        auditScratch_.clear();
-        for (const auto &f : flows_) {
-            AuditedFlow af;
-            af.path = f.work.path;
-            af.rateCap = f.work.rateCap;
-            af.rate = f.rate;
-            af.remaining = f.remaining;
-            af.owner = f.owners[0];
-            af.tag = f.tag;
-            auditScratch_.push_back(std::move(af));
-        }
-        auditor_->onAllocation(capacities_, auditScratch_, now_);
-    }
-}
-
-void
-Engine::enableUtilizationTimeline(int target_buckets)
-{
-    MCSCOPE_ASSERT(target_buckets > 0,
-                   "timeline needs a positive bucket target, got ",
-                   target_buckets);
-    MCSCOPE_ASSERT(now_ == 0.0 && counters_.timeSteps == 0,
-                   "timeline must be enabled before run()");
-    timelineTarget_ = target_buckets;
-    timelineWidth_ = 0.0;
-    timelineBuckets_ = 0;
-    timelineBusy_.clear();
-}
-
-double
-Engine::timelineBusyTime(ResourceId r, int b) const
-{
-    MCSCOPE_ASSERT(r >= 0 && r < resourceCount(), "bad resource id ", r);
-    MCSCOPE_ASSERT(b >= 0 && static_cast<size_t>(b) < timelineBuckets_,
-                   "bad timeline bucket ", b, " of ", timelineBuckets_);
-    return timelineBusy_[static_cast<size_t>(b) * capacities_.size() + r];
-}
-
-void
-Engine::rebinTimeline()
-{
-    const size_t nres = capacities_.size();
-    const size_t merged = (timelineBuckets_ + 1) / 2;
-    for (size_t b = 0; b < merged; ++b) {
-        double *dst = &timelineBusy_[b * nres];
-        const double *lo = &timelineBusy_[2 * b * nres];
-        for (size_t r = 0; r < nres; ++r)
-            dst[r] = lo[r];
-        if (2 * b + 1 < timelineBuckets_) {
-            const double *hi = &timelineBusy_[(2 * b + 1) * nres];
-            for (size_t r = 0; r < nres; ++r)
-                dst[r] += hi[r];
-        }
-    }
-    timelineBuckets_ = merged;
-    timelineBusy_.resize(merged * nres);
-    timelineWidth_ *= 2.0;
-}
-
-void
-Engine::accrueTimeline(SimTime t0, SimTime t1)
-{
-    const size_t nres = capacities_.size();
-    if (timelineWidth_ <= 0.0)
-        timelineWidth_ = (t1 - t0); // first non-zero step sets the scale
-
-    // Make sure the bucket covering t1 exists, doubling the width
-    // until the populated count stays within 2 * target.
-    size_t need = static_cast<size_t>(t1 / timelineWidth_) + 1;
-    while (need > 2 * static_cast<size_t>(timelineTarget_)) {
-        if (timelineBuckets_ > 0)
-            rebinTimeline();
-        else
-            timelineWidth_ *= 2.0;
-        need = static_cast<size_t>(t1 / timelineWidth_) + 1;
-    }
-    if (need > timelineBuckets_) {
-        timelineBusy_.resize(need * nres, 0.0);
-        timelineBuckets_ = need;
-    }
-
-    // Split [t0, t1] over the buckets it overlaps; each flow moved
-    // rate * overlap units through every resource on its path, which
-    // is overlap-weighted busy time after dividing by capacity.
-    const double span = t1 - t0;
-    size_t b0 = static_cast<size_t>(t0 / timelineWidth_);
-    size_t b1 = need - 1;
-    for (size_t b = b0; b <= b1; ++b) {
-        double lo = std::max(t0, static_cast<double>(b) * timelineWidth_);
-        double hi = std::min(
-            t1, static_cast<double>(b + 1) * timelineWidth_);
-        double overlap = hi - lo;
-        if (overlap <= 0.0)
-            continue;
-        double frac = overlap / span;
-        double *bucket = &timelineBusy_[b * nres];
-        for (const auto &f : flows_) {
-            double moved = f.rate * span;
-            if (moved > f.remaining)
-                moved = f.remaining;
-            double busy = moved * frac;
-            for (ResourceId r : f.work.path)
-                bucket[r] += busy / capacities_[r];
-        }
-    }
-}
-
-[[noreturn]] void
-Engine::panicDeadlock() const
-{
-    std::string diag;
-    for (int i = 0; i < taskCount(); ++i) {
-        if (tasks_[i].state == TaskState::Finished)
-            continue;
-        diag += " task " + std::to_string(i) + "(" +
-                tasks_[i].task->name() + ") state " +
-                std::to_string(static_cast<int>(tasks_[i].state));
-    }
-    MCSCOPE_PANIC("simulation deadlock:", diag);
-}
-
-size_t
-Engine::allocGuardCapacitySum(const std::vector<int> &to_advance) const
-{
-    return specScratch_.capacity() + fsScratch_.rates.capacity() +
-           fsScratch_.frozen.capacity() +
-           fsScratch_.residual.capacity() +
-           fsScratch_.users.capacity() +
-           fsScratch_.saturated.capacity() + userScratch_.capacity() +
-           auditScratch_.capacity() + timelineBusy_.capacity() +
-           readyQueue_.capacity() + to_advance.capacity();
-}
-
-void
-Engine::run()
-{
-    unfinished_ = taskCount();
-    MCSCOPE_ASSERT(unfinished_ > 0, "run() with no tasks");
-
-    for (int i = 0; i < taskCount(); ++i) {
-        if (tasks_[i].state == TaskState::Unstarted) {
-            tasks_[i].state = TaskState::Ready;
-            advanceTask(i);
-            while (!readyQueue_.empty()) {
-                int r = readyQueue_.back();
-                readyQueue_.pop_back();
-                if (tasks_[r].state == TaskState::Ready)
-                    advanceTask(r);
-            }
-        }
-    }
-
-    std::vector<int> to_advance;
-
-    // Debug zero-allocation guard (sim/alloc_guard.hh): count this
-    // thread's heap allocations across each loop iteration and demand
-    // zero unless a tracked scratch buffer grew its capacity that
-    // same iteration (capacities are monotone, so the sum grows iff
-    // some buffer grew -- that is the legitimate warm-up path).
-    // Compiled out entirely in non-Debug builds.
-    const bool guard_on = alloc_guard::kEnabled && allocGuardEnforced_;
-    const bool guard_outermost = guard_on && !alloc_guard::armed();
-    uint64_t guard_allocs = 0;
-    size_t guard_capacity = 0;
-    if (guard_on) {
-        if (guard_outermost)
-            alloc_guard::arm();
-        guard_allocs = alloc_guard::allocationCount();
-        guard_capacity = allocGuardCapacitySum(to_advance);
-    }
-
-    // MCSCOPE_HOT_BEGIN: Engine::run steady-state loop.  No heap
-    // allocation below (mcscope-lint rule HOT-1; runtime counterpart
-    // above).  Event-driven work is funneled through advanceTask() /
-    // emitTrace(), which pause the guard and are exempt by design.
-    while (unfinished_ > 0) {
-        if (ratesDirty_)
-            recomputeRates();
-
-        // Earliest flow completion.  Absolute flow finish times are
-        // invariant while rates are unchanged (each flow drains at a
-        // constant rate), so the min is maintained incrementally by
-        // recomputeRates() instead of scanned every iteration.
-        double dt_flow = kInf;
-        if (!flows_.empty()) {
-            dt_flow = nextFlowFinish_ - now_;
-            if (dt_flow <= 0.0) {
-                // now_ accumulates dt with different round-off than
-                // remaining accumulates rate*dt, so now_ can reach the
-                // tracked finish time while the nearest flow still
-                // carries an epsilon of work above the completion
-                // tolerance.  Fall back to the direct scan, whose
-                // remaining/rate is strictly positive, so time always
-                // advances and the flow drains on the next step.
-                ++counters_.fallbackScans;
-                dt_flow = kInf;
-                for (const auto &f : flows_) {
-                    double d = f.remaining / f.rate;
-                    if (d < dt_flow)
-                        dt_flow = d;
-                }
-            }
-        }
-        // Earliest delay expiry.  Coincident expiries can land an
-        // epsilon in the past from float round-off; clamp at zero so
-        // time never steps backwards.
-        double dt_delay = kInf;
-        if (!delays_.empty()) {
-            dt_delay = delays_.begin()->first - now_;
-            if (dt_delay < 0.0)
-                dt_delay = 0.0;
-        }
-
-        double dt = std::min(dt_flow, dt_delay);
-        if (!std::isfinite(dt))
-            panicDeadlock();
-        if (dt < 0.0)
-            dt = 0.0;
-
-        // Advance time and integrate resource statistics.
-        SimTime prev = now_;
-        now_ += dt;
-        ++counters_.timeSteps;
-        if (auditor_) {
-            alloc_guard::Pause pause;
-            auditor_->onTimeAdvance(prev, now_);
-        }
-        for (const auto &f : flows_) {
-            double moved = f.rate * dt;
-            if (moved > f.remaining)
-                moved = f.remaining;
-            for (ResourceId r : f.work.path)
-                stats_[r].unitsMoved += moved;
-        }
-        if (timelineTarget_ > 0 && dt > 0.0)
-            accrueTimeline(prev, now_);
-
-        // Complete flows.
-        to_advance.clear();
-        const double tol = 1e-9;
-        for (size_t i = 0; i < flows_.size();) {
-            ActiveFlow &f = flows_[i];
-            f.remaining -= f.rate * dt;
-            if (f.remaining <= tol * std::max(1.0, f.work.amount) +
-                                   1e-300) {
-                if (tracing()) {
-                    emitTrace({TraceEvent::Kind::FlowEnd, now_,
-                               f.owners[0], f.tag, f.work.amount,
-                               f.work.path});
-                }
-                for (int owner : f.owners) {
-                    accrueBlockedTime(owner);
-                    tasks_[owner].state = TaskState::Ready;
-                    // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
-                    to_advance.push_back(owner);
-                }
-                flows_[i] = std::move(flows_.back());
-                flows_.pop_back();
-                ratesDirty_ = true;
-            } else {
-                ++i;
-            }
-        }
-
-        // Expire delays.
-        while (!delays_.empty() &&
-               delays_.begin()->first <= now_ + 1e-15) {
-            int task = delays_.begin()->second;
-            delays_.erase(delays_.begin());
-            if (tracing()) {
-                emitTrace({TraceEvent::Kind::DelayEnd, now_, task,
-                           tasks_[task].blockTag, 0.0, {}});
-            }
-            accrueBlockedTime(task);
-            tasks_[task].state = TaskState::Ready;
-            // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
-            to_advance.push_back(task);
-        }
-
-        // Advance released tasks (which may release further tasks).
-        for (size_t i = 0; i < to_advance.size(); ++i) {
-            int task = to_advance[i];
-            if (tasks_[task].state != TaskState::Ready)
-                continue;
-            advanceTask(task);
-            while (!readyQueue_.empty()) {
-                // MCSCOPE_LINT_ALLOW(HOT-1): amortized capacity reuse.
-                to_advance.push_back(readyQueue_.back());
-                readyQueue_.pop_back();
-            }
-        }
-
-        if (guard_on) {
-            const uint64_t allocs = alloc_guard::allocationCount();
-            const size_t capacity = allocGuardCapacitySum(to_advance);
-            MCSCOPE_ASSERT(
-                capacity > guard_capacity || allocs == guard_allocs,
-                "zero-allocation contract violated: steady-state loop "
-                "made ", allocs - guard_allocs, " heap allocation(s) "
-                "on time step ", counters_.timeSteps, " without "
-                "scratch-capacity growth (DESIGN 'Enforced "
-                "invariants'; call setAllocGuardEnforced(false) for "
-                "intentionally allocating configurations)");
-            guard_allocs = allocs;
-            guard_capacity = capacity;
-        }
-    }
-    // MCSCOPE_HOT_END: Engine::run steady-state loop.
-
-    if (guard_outermost)
-        alloc_guard::disarm();
-
-    if (auditor_) {
-        alloc_guard::Pause pause;
-        auditor_->onRunEnd(now_);
     }
 }
 

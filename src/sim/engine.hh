@@ -14,6 +14,13 @@
  * HyperTransport ladder rungs, and serialization at lock services all
  * emerge from shared-resource fair sharing rather than from
  * cycle-accurate modeling.
+ *
+ * Steady-state complexity (DESIGN §13): flow state is a structure of
+ * arrays over stable slots, the next flow finish comes from a calendar
+ * queue, and a flow arrival/departure re-solves only the connected
+ * component of flows reachable from the resources it touched (the
+ * dirty-set closure) -- so per-event cost is proportional to the
+ * affected component, not the whole flow population.
  */
 
 #ifndef MCSCOPE_SIM_ENGINE_HH
@@ -28,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/calqueue.hh"
 #include "sim/fairshare.hh"
 #include "sim/prim.hh"
 #include "sim/task.hh"
@@ -155,9 +163,9 @@ class Engine
     /**
      * Run-level engine counters, cheap enough to maintain
      * unconditionally.  They answer "what did the engine actually do"
-     * questions (was the allocator rerun per event? did the
-     * incremental finish-time tracker fall back to scans?) without a
-     * profiler.
+     * questions (was the allocator rerun per event? did the dirty-set
+     * solver stay incremental or keep falling back to global solves?)
+     * without a profiler.
      */
     struct Stats
     {
@@ -168,13 +176,33 @@ class Engine
         uint64_t allocatorReruns = 0;
 
         /**
-         * Times the incremental next-flow-finish tracker hit float
-         * round-off and fell back to the direct O(flows) scan.
+         * Times the next-flow-finish tracker hit float round-off and
+         * fell back to the direct O(flows) scan.
          */
         uint64_t fallbackScans = 0;
 
         /** Main-loop time steps taken. */
         uint64_t timeSteps = 0;
+
+        /**
+         * Allocator reruns solved incrementally: only the dirty-set
+         * closure (the connected component of flows reachable from
+         * resources whose flow set changed) was re-solved.
+         */
+        uint64_t incrementalSolves = 0;
+
+        /**
+         * Allocator reruns that solved the whole flow set -- the
+         * closure exceeded the incremental threshold, or the Reference
+         * oracle allocator was active (it always solves globally).
+         */
+        uint64_t fullSolves = 0;
+
+        /** Calendar-queue operations (inserts + removes). */
+        uint64_t calqueueOps = 0;
+
+        /** Calendar-queue bucket resizes / width retunes. */
+        uint64_t calqueueResizes = 0;
 
         /** Peak size of the active-flow set. */
         int peakActiveFlows = 0;
@@ -185,6 +213,8 @@ class Engine
     {
         Stats s = counters_;
         s.events = events_;
+        s.calqueueOps = calq_.stats().ops;
+        s.calqueueResizes = calq_.stats().resizes;
         return s;
     }
 
@@ -245,11 +275,12 @@ class Engine
 
     /**
      * Which max-min allocator implementation the engine runs.
-     * Optimized is the zero-allocation workspace variant; Reference
-     * is the retained original, kept as a differential-testing oracle
-     * (identical rates, identical audit digests).  The
-     * MCSCOPE_REFERENCE_ALLOCATOR environment variable selects
-     * Reference for every engine, for whole-binary A/B runs.
+     * Optimized is the dirty-set incremental solver over the
+     * structure-of-arrays flow state; Reference re-solves the whole
+     * flow set through the retained original allocator, kept as a
+     * differential-testing oracle (identical rates, identical audit
+     * digests).  The MCSCOPE_REFERENCE_ALLOCATOR environment variable
+     * selects Reference for every engine, for whole-binary A/B runs.
      */
     enum class AllocatorKind
     {
@@ -306,15 +337,6 @@ class Engine
     /** Owner list of a flow: one task, or two for rendezvous. */
     using OwnerVec = SmallVec<int, 2>;
 
-    struct ActiveFlow
-    {
-        Work work;
-        double remaining = 0.0;
-        double rate = 0.0;
-        OwnerVec owners;
-        PhaseTag tag = 0;
-    };
-
     struct PendingRendezvous
     {
         int task = -1;
@@ -328,14 +350,60 @@ class Engine
         int expected = 0;
     };
 
+    /**
+     * One pending Delay expiry.  `seq` is a monotone insertion counter
+     * so coincident expiries release tasks in insertion order, exactly
+     * like the std::multimap this heap replaced.
+     */
+    struct DelayEntry
+    {
+        SimTime time = 0.0;
+        uint64_t seq = 0;
+        int task = -1;
+    };
+
+    /** Min-heap comparator for DelayEntry ((time, seq) lexicographic). */
+    struct DelayAfter
+    {
+        bool
+        operator()(const DelayEntry &a, const DelayEntry &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
     /** Drive a task until it blocks or finishes. */
     void advanceTask(int task);
 
     /** Start a fluid flow owned by `owners`. */
     void startFlow(const Work &w, OwnerVec owners, PhaseTag tag);
 
-    /** Recompute max-min fair rates for all active flows. */
+    /** Tear down a completed flow's slot and incidence entries. */
+    void removeFlow(FlowSlot slot);
+
+    /** Queue `r` for the next dirty-set closure (idempotent). */
+    void markResourceDirty(ResourceId r);
+
+    /** Recompute max-min fair rates for the dirty flow set. */
     void recomputeRates();
+
+    /** Dirty-set closure solve (Optimized allocator). */
+    void solveOptimized();
+
+    /** Whole-flow-set solve through the oracle (Reference allocator). */
+    void solveReference();
+
+    /**
+     * Adopt freshly solved rates for `slots[0..count)`; rates[k]
+     * belongs to slots[k].  A flow's absolute finish time (and its
+     * calendar-queue entry) is updated only when its assigned rate
+     * actually changes -- the policy that keeps Optimized and
+     * Reference time sequences bit-identical (DESIGN §13).
+     */
+    void applyRates(const FlowSlot *slots, size_t count,
+                    const double *rates);
 
     /** Attribute blocked time [blockStart, now] to the task's tag. */
     void accrueBlockedTime(int task);
@@ -363,20 +431,71 @@ class Engine
     /**
      * Sum of the capacities of every buffer the steady-state loop may
      * legitimately grow (hot-path scratch, the ready/advance queues,
-     * and the timeline).  Capacities are monotone, so the sum grows
-     * iff some buffer grew; the alloc-guard check in run() excuses an
-     * iteration's allocations only when it did.
+     * the calendar queue, and the timeline).  Capacities are monotone,
+     * so the sum grows iff some buffer grew; the alloc-guard check in
+     * run() excuses an iteration's allocations only when it did.
      */
     size_t allocGuardCapacitySum(
         const std::vector<int> &to_advance) const;
+
+    /** Number of flow slots ever created (alive + free-listed). */
+    size_t slotCount() const { return flowAlive_.size(); }
 
     std::vector<std::string> resourceNames_;
     std::vector<double> capacities_;
     std::vector<ResourceStats> stats_;
 
     std::vector<TaskEntry> tasks_;
-    std::vector<ActiveFlow> flows_;
-    std::multimap<SimTime, int> delays_;
+
+    // --- Structure-of-arrays flow state ------------------------------
+    // One entry per slot; a slot is recycled through freeSlots_ after
+    // its flow completes.  Dead slots are inert for the hot loop's flat
+    // scans: rate 0, remaining +inf, threshold -1, empty path.
+    std::vector<double> flowRemaining_; ///< units left to move
+    std::vector<double> flowRate_;      ///< current fair-share rate
+    std::vector<double> flowFinish_;    ///< absolute finish estimate
+    std::vector<double> flowThresh_;    ///< completion tolerance
+    std::vector<double> flowAmount_;    ///< original Work amount
+    std::vector<double> flowRateCap_;   ///< per-flow rate ceiling
+    std::vector<PathVec> flowPath_;     ///< resource path
+    std::vector<OwnerVec> flowOwners_;  ///< owning task(s)
+    std::vector<int> flowTag_;          ///< phase tag
+    std::vector<char> flowAlive_;       ///< slot holds a live flow
+    std::vector<FlowSlot> freeSlots_;   ///< recycled slot ids (LIFO)
+    int activeFlows_ = 0;               ///< live-flow count
+
+    /**
+     * Per-resource incidence: the slots of the flows crossing each
+     * resource, in arbitrary order with O(1) removal --
+     * flowPosInRes_[s][h] is slot s's index inside
+     * resFlows_[flowPath_[s][h]], maintained by swap-remove fixups.
+     * This is the bottleneck-membership structure the dirty-set
+     * closure walks.
+     */
+    std::vector<std::vector<FlowSlot>> resFlows_;
+    std::vector<PathVec> flowPosInRes_;
+
+    // Dirty-set state between allocator reruns.
+    std::vector<char> resDirty_;        ///< resource queued in dirtyRes_
+    std::vector<ResourceId> dirtyRes_;  ///< resources with changed flows
+    std::vector<FlowSlot> newFlows_;    ///< slots started since last solve
+
+    // Closure scratch (valid only inside recomputeRates()).
+    std::vector<char> resInClosure_;
+    std::vector<char> flowInClosure_;
+    std::vector<ResourceId> closureRes_;
+    std::vector<FlowSlot> closureFlows_;
+
+    /** Calendar queue of absolute flow-finish times, keyed by slot. */
+    CalendarQueue calq_;
+
+    /** Slots whose remaining work crossed the completion tolerance. */
+    std::vector<FlowSlot> completedScratch_;
+
+    /** Pending delays as a binary min-heap on (time, seq). */
+    std::vector<DelayEntry> delayHeap_;
+    uint64_t delaySeq_ = 0;
+
     std::map<uint64_t, PendingRendezvous> rendezvous_;
     std::map<uint64_t, PendingBarrier> barriers_;
 
@@ -390,16 +509,6 @@ class Engine
     FairShareScratch fsScratch_;
     std::vector<FairShareFlow> specScratch_;
     std::vector<AuditedFlow> auditScratch_;
-    std::vector<int> userScratch_;
-
-    /**
-     * Earliest absolute completion time over all active flows,
-     * maintained by recomputeRates().  Between allocator reruns every
-     * flow drains at a constant rate, so absolute finish times are
-     * invariant and the per-iteration O(flows) scan reduces to one
-     * subtraction.
-     */
-    SimTime nextFlowFinish_ = 0.0;
 
     SimTime now_ = 0.0;
     bool ratesDirty_ = false;

@@ -116,6 +116,125 @@ fairShareRatesInto(const std::vector<double> &capacities,
     }
 }
 
+void
+fairShareSolveSubset(const std::vector<double> &capacities,
+                     const std::vector<PathVec> &paths,
+                     const std::vector<double> &rateCaps,
+                     const int *flowSlots, size_t flowCount,
+                     const ResourceId *resources, size_t resourceCount,
+                     FairShareScratch &scratch)
+{
+    const size_t nr = capacities.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    scratch.rates.assign(flowCount, 0.0);
+    scratch.frozen.assign(flowCount, 0);
+    // Full-size sparse arrays: only subset entries are (re)initialized,
+    // the rest hold stale junk that is never read.  resize() instead of
+    // assign() keeps the per-call cost proportional to the subset.
+    if (scratch.residual.size() < nr) {
+        scratch.residual.resize(nr, 0.0);
+        scratch.users.resize(nr, 0);
+        scratch.saturated.resize(nr, 0);
+    }
+
+    std::vector<double> &rates = scratch.rates;
+    std::vector<char> &frozen = scratch.frozen;
+    std::vector<double> &residual = scratch.residual;
+    std::vector<int> &users = scratch.users;
+    std::vector<char> &saturated = scratch.saturated;
+
+    for (size_t i = 0; i < resourceCount; ++i) {
+        const ResourceId r = resources[i];
+        MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
+                       "subset references unknown resource ", r);
+        residual[r] = capacities[r];
+        users[r] = 0;
+        saturated[r] = 0;
+    }
+
+    size_t unfrozen = 0;
+    for (size_t k = 0; k < flowCount; ++k) {
+        const int s = flowSlots[k];
+        if (paths[s].empty() && rateCaps[s] <= 0.0) {
+            // No constraint at all: instantaneous.
+            rates[k] = inf;
+            frozen[k] = 1;
+            continue;
+        }
+        for (ResourceId r : paths[s])
+            ++users[r];
+        ++unfrozen;
+    }
+
+    double level = 0.0;
+    while (unfrozen > 0) {
+        double next = inf;
+        for (size_t i = 0; i < resourceCount; ++i) {
+            const ResourceId r = resources[i];
+            if (users[r] > 0) {
+                double share = residual[r] / users[r];
+                if (share < next)
+                    next = share;
+            }
+        }
+        for (size_t k = 0; k < flowCount; ++k) {
+            const int s = flowSlots[k];
+            if (!frozen[k] && rateCaps[s] > 0.0 && rateCaps[s] < next)
+                next = rateCaps[s];
+        }
+        MCSCOPE_ASSERT(std::isfinite(next),
+                       "progressive filling found no binding constraint");
+        // Guard against capacity exhaustion from earlier freezes.
+        if (next < level)
+            next = level;
+
+        const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
+
+        // Identify saturated resources at this level.
+        for (size_t i = 0; i < resourceCount; ++i) {
+            const ResourceId r = resources[i];
+            saturated[r] =
+                users[r] > 0 && residual[r] / users[r] <= next + tol;
+        }
+
+        // Freeze flows that hit a cap or cross a saturated resource.
+        size_t frozen_this_round = 0;
+        for (size_t k = 0; k < flowCount; ++k) {
+            if (frozen[k])
+                continue;
+            const int s = flowSlots[k];
+            bool freeze = rateCaps[s] > 0.0 && rateCaps[s] <= next + tol;
+            if (!freeze) {
+                for (ResourceId r : paths[s]) {
+                    if (saturated[r]) {
+                        freeze = true;
+                        break;
+                    }
+                }
+            }
+            if (freeze) {
+                double rate = next;
+                if (rateCaps[s] > 0.0 && rateCaps[s] < rate)
+                    rate = rateCaps[s];
+                rates[k] = rate;
+                frozen[k] = 1;
+                ++frozen_this_round;
+                for (ResourceId r : paths[s]) {
+                    residual[r] -= rate;
+                    if (residual[r] < 0.0)
+                        residual[r] = 0.0;
+                    --users[r];
+                }
+                --unfrozen;
+            }
+        }
+        MCSCOPE_ASSERT(frozen_this_round > 0,
+                       "progressive filling made no progress");
+        level = next;
+    }
+}
+
 std::vector<double>
 fairShareRates(const std::vector<double> &capacities,
                const std::vector<FairShareFlow> &flows)

@@ -92,6 +92,37 @@ std::vector<double>
 fairShareRatesReference(const std::vector<double> &capacities,
                         const std::vector<FairShareFlow> &flows);
 
+/**
+ * Progressive filling restricted to a subset of flows and resources --
+ * the dirty-set incremental solver behind Engine's Optimized
+ * allocator.
+ *
+ * Flows live in slot-indexed parallel arrays (the engine's
+ * structure-of-arrays state): `paths[s]` and `rateCaps[s]` describe
+ * the flow in slot s.  `flowSlots[0..flowCount)` selects the flows to
+ * solve and `resources[0..resourceCount)` the resources they may
+ * touch.  Rates land in scratch.rates[k] for the k-th selected flow.
+ *
+ * Caller contract -- this is what makes a subset solve bit-identical
+ * to the full solve (see DESIGN §13):
+ *  - the subset is closed: every resource on a selected flow's path
+ *    appears in `resources`, and every flow crossing a selected
+ *    resource appears in `flowSlots`;
+ *  - `flowSlots` is sorted ascending, so the per-round residual
+ *    subtraction order matches a full solve over all slots.
+ *
+ * The arithmetic is line-for-line the reference algorithm; only the
+ * iteration domain shrinks.  scratch.residual/users/saturated are
+ * used as full-size (one per resource id) arrays with only the subset
+ * entries initialized, so no per-call O(total resources) work occurs.
+ */
+void fairShareSolveSubset(const std::vector<double> &capacities,
+                          const std::vector<PathVec> &paths,
+                          const std::vector<double> &rateCaps,
+                          const int *flowSlots, size_t flowCount,
+                          const ResourceId *resources, size_t resourceCount,
+                          FairShareScratch &scratch);
+
 } // namespace mcscope
 
 #endif // MCSCOPE_SIM_FAIRSHARE_HH

@@ -33,6 +33,18 @@ namespace mcscope {
 using ResourceId = int;
 
 /**
+ * Index of an active-flow slot inside an Engine.
+ *
+ * The engine keeps flow state in parallel slot-indexed arrays
+ * (structure of arrays); a slot id stays valid for a flow's whole
+ * lifetime and is recycled through a free list afterwards, so
+ * cross-referencing structures -- per-resource incidence lists, the
+ * calendar queue of finish times -- hold slot ids instead of
+ * pointers.
+ */
+using FlowSlot = int;
+
+/**
  * A flow's resource path.  Typical paths are 1-3 hops (core; core +
  * memory controller; + one or two HyperTransport links), and the
  * longest any modeled machine produces today is 5 (memory plus a

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "util/logging.hh"
 
@@ -161,15 +163,44 @@ numberToString(double v)
     if (!std::isfinite(v))
         return "null"; // JSON has no Inf/NaN; null is the convention
     if (v == std::floor(v) && std::abs(v) < 1e15) {
+        // Integral values fit int64 exactly below 1e15; to_chars on
+        // the integer emits the same digits as "%.0f" at a fraction
+        // of the cost.  (-0.0 still needs the sign printf gives it.)
+        if (v == 0.0)
+            return std::signbit(v) ? "-0" : "0";
         char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.0f", v);
-        return buf;
+        auto res = std::to_chars(buf, buf + sizeof(buf),
+                                 static_cast<long long>(v));
+        return std::string(buf, res.ptr);
     }
-    for (int prec = 9; prec <= 17; ++prec) {
+    // std::to_chars yields the shortest round-tripping digit string;
+    // its length bounds the "%.*g" precision that first round-trips,
+    // so one verified snprintf replaces the old 9..17 trial loop.
+    // The output stays byte-identical: "%.*g" is correctly rounded
+    // and strips trailing zeros, so any precision >= the shortest
+    // digit count prints the same text.
+    {
+        char digits[64];
+        auto res = std::to_chars(digits, digits + sizeof(digits), v,
+                                 std::chars_format::scientific);
+        int shortest = 0;
+        for (char *p = digits; p != res.ptr && *p != 'e'; ++p)
+            if (*p >= '0' && *p <= '9')
+                ++shortest;
         char buf[64];
+        int prec = std::clamp(shortest, 9, 17);
         std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
         // The input is our own snprintf output and the == round-trip
         // comparison is the check. MCSCOPE_LINT_ALLOW(PARSE-1)
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    // Cold fallback: the historical trial loop, kept as the authority
+    // on output shape in case the bound above ever misses.
+    for (int prec = 9; prec <= 17; ++prec) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        // MCSCOPE_LINT_ALLOW(PARSE-1)
         if (std::strtod(buf, nullptr) == v)
             return buf;
     }

@@ -241,6 +241,48 @@ void f()
         << run.out;
 }
 
+TEST(Lint, Hot2FlagsEngineUnitWithoutMarkers)
+{
+    TempTree t("hot2");
+    // The designated steady-state units must carry hot regions; a
+    // marker-free engine.cc is exactly the rot HOT-2 exists to catch.
+    t.write("src/sim/engine.cc", R"lint(
+void run()
+{
+}
+)lint");
+    t.write("src/sim/calqueue.hh", R"lint(
+struct CalendarQueue
+{
+};
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 1) << run.out;
+    EXPECT_EQ(countOccurrences(run.out, "HOT-2"), 2u) << run.out;
+}
+
+TEST(Lint, Hot2AcceptsEngineUnitWithMarkersAndIgnoresOtherFiles)
+{
+    TempTree t("hot2ok");
+    t.write("src/sim/engine.cc", R"lint(
+void run()
+{
+    // MCSCOPE_HOT_BEGIN: steady-state loop
+    int x = 0;
+    (void)x;
+    // MCSCOPE_HOT_END
+}
+)lint");
+    // A different sim unit without markers is fine.
+    t.write("src/sim/other.cc", R"lint(
+void helper()
+{
+}
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 0) << run.out;
+}
+
 TEST(Lint, Fd1FlagsCloexecAndSpawnViolations)
 {
     TempTree t("fd1");

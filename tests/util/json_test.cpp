@@ -6,6 +6,9 @@
  */
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -90,6 +93,67 @@ TEST(Json, DoublesRoundTripExactly)
         auto parsed = parseJson(JsonValue::number(v).dump());
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(parsed->asNumber(), v) << "value " << v;
+    }
+}
+
+// The historical number serialization: "%.0f" for integral values,
+// otherwise the first precision in 9..17 whose "%.*g" output reparses
+// to the same bits.  Scenario digests hash the serialized text, so
+// the production formatter (now a single to_chars-bounded snprintf)
+// must stay byte-identical to this forever.
+static std::string
+referenceNumberText(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+        return buf;
+    }
+    for (int prec = 9; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        // Round-trip check against our own snprintf output.
+        // MCSCOPE_LINT_ALLOW(PARSE-1)
+        if (std::strtod(buf, nullptr) == v)
+            return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+TEST(Json, NumberTextMatchesHistoricalFormatting)
+{
+    // Directed values that straddle every branch: integral, -0.0,
+    // short decimals, full-precision ties, subnormals, and the 1e15
+    // integral cutoff.
+    const double directed[] = {0.0,     -0.0,    1.0,     -5.0,
+                               1e15,    -1e15,   9.99e14, 0.1,
+                               1.0 / 3, 1.2e-7,  2.66e9,  1e300,
+                               5e-324,  1e-308,  0.3,     1024.5,
+                               1e15 + 2.0,       123456.789};
+    for (double v : directed)
+        EXPECT_EQ(JsonValue::number(v).dump(), referenceNumberText(v))
+            << "value " << v;
+
+    // Fuzz with random bit patterns (finite ones) and random decimal
+    // magnitudes; any divergence here silently moves every scenario
+    // digest, so this is load-bearing, not belt-and-braces.
+    Rng rng(0x5eedf00dULL);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t bits = rng.next();
+        double v;
+        std::memcpy(&v, &bits, sizeof v);
+        if (!std::isfinite(v))
+            continue;
+        ASSERT_EQ(JsonValue::number(v).dump(), referenceNumberText(v))
+            << "bits " << bits;
+    }
+    for (int i = 0; i < 20000; ++i) {
+        double v = rng.uniform(-1e6, 1e6) *
+                   std::pow(10.0, static_cast<double>(rng.below(25)) - 12);
+        ASSERT_EQ(JsonValue::number(v).dump(), referenceNumberText(v))
+            << "value " << v;
     }
 }
 

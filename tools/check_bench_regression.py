@@ -38,8 +38,15 @@ import sys
 
 # Benchmarks on the engine's per-event hot path: tracing and timeline
 # hooks are compiled in but disabled here, so any slowdown is pure
-# observability overhead.  Matched on the name before the '/'.
-HOT_PATH_BENCHES = {"BM_EngineEventThroughput"}
+# observability overhead.  The calendar-queue and incremental-solve
+# benches are steady-state per-event machinery too, so they share the
+# strict cap.  Matched on the name before the '/'.
+HOT_PATH_BENCHES = {
+    "BM_EngineEventThroughput",
+    "BM_CalQueueChurn",
+    "BM_FairShareSubsetSolve",
+    "BM_EngineManyComponents",
+}
 
 # (variant, reference, allowed fractional slowdown) triples checked
 # within the current report.  The variant runs the same simulated
@@ -54,6 +61,30 @@ OVERHEAD_PAIRS = [
 
 class ReportError(Exception):
     """A report file is missing or not a google-benchmark JSON dump."""
+
+
+def check_build_type(report, path, role):
+    """Reject reports recorded from a debug build.
+
+    Debug numbers are meaningless as a performance baseline (asserts,
+    no optimization), and comparing against one silently passes every
+    gate.  The harness stamps ``mcscope_build_type`` into the report
+    context (bench/microbench_engine.cpp); older reports fall back to
+    google-benchmark's own ``library_build_type``.  Reports with
+    neither key predate the stamp and are accepted as-is.
+    """
+    context = report.get("context")
+    if not isinstance(context, dict):
+        return
+    build = context.get("mcscope_build_type",
+                        context.get("library_build_type"))
+    if not isinstance(build, str):
+        return
+    if "debug" in build.lower():
+        raise ReportError(
+            f"{role} report '{path}' was recorded from a debug build "
+            f"(build type '{build}'); re-record it from a Release "
+            "build (cmake -DCMAKE_BUILD_TYPE=Release)")
 
 
 def load_benchmarks(path, role):
@@ -72,6 +103,7 @@ def load_benchmarks(path, role):
         raise ReportError(f"{role} report '{path}' has no 'benchmarks' "
                           "array; it does not look like a "
                           "google-benchmark JSON report")
+    check_build_type(report, path, role)
     out = {}
     for bench in report["benchmarks"]:
         if not isinstance(bench, dict) or "name" not in bench:

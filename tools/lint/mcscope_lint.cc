@@ -25,6 +25,11 @@
  *           no push_back/insert/resize on non-SmallVec containers.
  *           The markers bracket the Engine::run steady-state loop; the
  *           runtime counterpart is sim/alloc_guard.
+ *   HOT-2   designated steady-state units (src/sim/engine.cc,
+ *           src/sim/calqueue.hh) must contain at least one
+ *           MCSCOPE_HOT_BEGIN ... MCSCOPE_HOT_END region -- deleting
+ *           the markers would silently disable every HOT-1 check on
+ *           the engine's actual hot loop.
  *   FD-1    every open/openat/creat/mkstemp call site carries
  *           O_CLOEXEC (mkstemp cannot, so it is always flagged toward
  *           mkostemp), and fork/exec* appear only in
@@ -92,6 +97,8 @@ constexpr RuleDoc kRuleCatalog[] = {
               "plan, json)"},
     {"HOT-1", "no heap allocation between MCSCOPE_HOT_BEGIN/END "
               "markers"},
+    {"HOT-2", "designated steady-state units must contain hot "
+              "markers (src/sim/engine.cc, src/sim/calqueue.hh)"},
     {"FD-1", "open/openat/creat need O_CLOEXEC; mkstemp is "
              "forbidden; fork/exec only in src/util/subprocess.cc"},
     {"PARSE-1", "strto* call sites must check errno or the end "
@@ -140,6 +147,18 @@ const std::set<std::string> kHotGrowCalls = {
 /** Container types whose growth is exempt from HOT-1. */
 const std::set<std::string> kSmallVecTypes = {"SmallVec", "PathVec",
                                               "OwnerVec"};
+
+/**
+ * Files that MUST carry at least one hot region (HOT-2).  These hold
+ * the engine's steady-state event loop and the calendar queue's fast
+ * paths; without markers, HOT-1 has nothing to check there and the
+ * zero-allocation contract is only enforced at runtime in debug
+ * builds.  Matched as path suffixes.
+ */
+const char *const kHotRequiredFiles[] = {
+    "src/sim/engine.cc",
+    "src/sim/calqueue.hh",
+};
 
 /** strto* family checked by PARSE-1 (all take the end pointer 2nd). */
 const std::set<std::string> kParseCalls = {
@@ -521,6 +540,28 @@ collectHotRegions(const std::string &path, const SourceModel &m,
                             "MCSCOPE_HOT_END"});
     }
     return regions;
+}
+
+/** HOT-2: designated steady-state units must carry hot markers. */
+void
+checkHot2(const std::string &path,
+          const std::vector<std::pair<int, int>> &regions,
+          std::vector<Finding> &out)
+{
+    if (!regions.empty())
+        return;
+    for (const char *frag : kHotRequiredFiles) {
+        const size_t flen = std::string(frag).size();
+        if (path.size() >= flen &&
+            path.compare(path.size() - flen, flen, frag) == 0) {
+            out.push_back(
+                {path, 1, "HOT-2",
+                 "steady-state unit has no MCSCOPE_HOT_BEGIN/END "
+                 "region; the engine hot loop must stay under HOT-1 "
+                 "coverage"});
+            return;
+        }
+    }
 }
 
 bool
@@ -909,6 +950,7 @@ analyzeFile(const std::string &path, const std::string &text)
     checkDet1(path, toks, raw);
     checkDet2(path, toks, raw);
     checkHot1(path, toks, hot, raw);
+    checkHot2(path, hot, raw);
     checkFd1(path, toks, raw);
     checkParse1(path, toks, raw);
 

@@ -17,14 +17,17 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       "check_bench_regression.py")
 
 
-def bench_report(items_per_second):
-    return {
+def bench_report(items_per_second, context=None):
+    report = {
         "benchmarks": [
             {"name": f"BM_Example/{i}", "run_type": "iteration",
              "items_per_second": ips}
             for i, ips in enumerate(items_per_second)
         ]
     }
+    if context is not None:
+        report["context"] = context
+    return report
 
 
 class CheckBenchRegressionTest(unittest.TestCase):
@@ -121,6 +124,46 @@ class CheckBenchRegressionTest(unittest.TestCase):
         proc = self.run_check(cur, base,
                               env={"MCSCOPE_BENCH_TOLERANCE": "0.5"})
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_debug_current_report_is_a_clean_error(self):
+        cur = self.write_json(
+            "cur.json",
+            bench_report([100.0],
+                         context={"mcscope_build_type": "debug"}))
+        base = self.write_json("base.json", bench_report([100.0]))
+        proc = self.run_check(cur, base)
+        self.assert_clean_error(proc, "current report", "debug build",
+                                "Release")
+
+    def test_debug_baseline_report_is_a_clean_error(self):
+        cur = self.write_json("cur.json", bench_report([100.0]))
+        base = self.write_json(
+            "base.json",
+            bench_report([100.0],
+                         context={"library_build_type": "debug"}))
+        proc = self.run_check(cur, base)
+        self.assert_clean_error(proc, "baseline report", "debug build")
+
+    def test_release_stamped_reports_pass(self):
+        ctx = {"mcscope_build_type": "release",
+               "library_build_type": "release"}
+        cur = self.write_json("cur.json",
+                              bench_report([100.0], context=ctx))
+        base = self.write_json("base.json",
+                               bench_report([100.0], context=ctx))
+        proc = self.run_check(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_harness_stamp_wins_over_library_stamp(self):
+        # A Release harness linked against a debug-built benchmark
+        # library is still a valid measurement of mcscope code.
+        ctx = {"mcscope_build_type": "release",
+               "library_build_type": "debug"}
+        cur = self.write_json("cur.json",
+                              bench_report([100.0], context=ctx))
+        base = self.write_json("base.json", bench_report([100.0]))
+        proc = self.run_check(cur, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
 
     def test_empty_overlap_is_an_error(self):
         cur = self.write_json("cur.json", {"benchmarks": []})
