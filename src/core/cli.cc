@@ -10,6 +10,8 @@
 #include <map>
 #include <memory>
 
+#include <unistd.h>
+
 #include "core/analysis.hh"
 #include "core/calibration.hh"
 #include "core/parallel_for.hh"
@@ -21,12 +23,14 @@
 #include "core/report.hh"
 #include "core/runner.hh"
 #include "core/scenario.hh"
+#include "core/serve.hh"
 #include "machine/config.hh"
 #include "machine/machine.hh"
 #include "sim/trace_export.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
+#include "util/transport.hh"
 
 namespace mcscope {
 
@@ -40,8 +44,13 @@ const char *kUsage =
     "  sweep <workload> [flags]     numactl option x rank sweep\n"
     "  scaling <workload> [flags]   strong-scaling series\n"
     "  batch <spec.json> [flags]    execute a sweep-plan spec file\n"
+    "  serve [flags]                sweep service daemon (TCP)\n"
+    "  submit <spec.json> --connect HOST:PORT [--csv] [--cache-stats]\n"
+    "                               run a spec on a serve daemon\n"
     "  worker [--manifest FILE]     shard worker (internal; manifest\n"
     "                               read from stdin by default)\n"
+    "  worker --framed              framed worker loop on stdin/stdout\n"
+    "  worker --connect HOST:PORT   join a serve daemon's worker pool\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
     "       --audit  run under the simulation invariant auditor\n"
@@ -65,7 +74,16 @@ const char *kUsage =
     "       --max-retries N  attempts before a point becomes a gap\n"
     "                        (default 2)\n"
     "       --backoff S      base worker respawn delay, doubled per\n"
-    "                        retry (default 0.05)\n";
+    "                        retry (default 0.05)\n"
+    "serve flags (DESIGN.md §14):\n"
+    "       --host H         bind address (default 127.0.0.1)\n"
+    "       --port P         TCP port; 0 picks one (printed at start)\n"
+    "       --shards N       local worker subprocesses (default 1;\n"
+    "                        0 relies on connected workers only)\n"
+    "       --max-batches N  exit after N submissions (default: run\n"
+    "                        forever)\n"
+    "       plus --journal --cache-dir --audit --point-timeout\n"
+    "       --max-retries --backoff with batch semantics\n";
 
 /**
  * Parse a digits-only string as a non-negative integer.  Returns -1
@@ -630,18 +648,6 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
-/** Short token for a batch row label. */
-std::string
-implToken(MpiImpl impl)
-{
-    switch (impl) {
-      case MpiImpl::Mpich2: return "mpich2";
-      case MpiImpl::Lam: return "lam";
-      case MpiImpl::OpenMpi: return "openmpi";
-    }
-    return "?";
-}
-
 int
 cmdBatch(const std::vector<std::string> &args, std::ostream &out)
 {
@@ -718,76 +724,7 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
     if (want_telemetry && !writeTelemetry(out, "batch", f, telemetry))
         return 2;
 
-    const SweepAxes &axes = plan->axes();
-    const MachineConfig machine = axes.resolvedMachine();
-    // One row label per (workload, impl, sublayer) combo; the
-    // impl/sublayer suffix appears only when that axis actually
-    // varies, so the common one-impl case reads like Table 2.
-    const bool tag_impl = axes.impls.size() > 1;
-    const bool tag_sublayer = axes.sublayers.size() > 1;
-    auto rowLabel = [&](size_t w, size_t i, size_t s) {
-        std::string label = axes.workloads[w];
-        if (tag_impl)
-            label += " [" + implToken(axes.impls[i]) + "]";
-        if (tag_sublayer)
-            label += " [" +
-                     std::string(axes.sublayers[s] == SubLayer::SysV
-                                     ? "sysv"
-                                     : "usysv") +
-                     "]";
-        return label;
-    };
-
-    if (f.csv) {
-        CsvWriter csv(out);
-        std::vector<std::string> header = {"machine", "workload",
-                                           "impl", "sublayer",
-                                           "ranks"};
-        for (const NumactlOption &o : axes.options)
-            header.push_back(o.label);
-        csv.writeRow(header);
-        for (size_t w = 0; w < axes.workloads.size(); ++w) {
-            for (size_t i = 0; i < axes.impls.size(); ++i) {
-                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
-                    OptionSweepResult slice =
-                        optionSweepSlice(*plan, results, w, i, s);
-                    for (size_t r = 0; r < slice.rankCounts.size();
-                         ++r) {
-                        std::vector<std::string> row = {
-                            machine.name, axes.workloads[w],
-                            implToken(axes.impls[i]),
-                            axes.sublayers[s] == SubLayer::SysV
-                                ? "sysv"
-                                : "usysv",
-                            std::to_string(slice.rankCounts[r])};
-                        for (double v : slice.seconds[r])
-                            row.push_back(std::isnan(v)
-                                              ? ""
-                                              : formatFixed(v, 6));
-                        csv.writeRow(row);
-                    }
-                }
-            }
-        }
-    } else {
-        out << "machine: " << machine.name << " (" << machine.sockets
-            << " sockets x " << machine.coresPerSocket << " cores)\n";
-        TextTable t(optionSweepHeader("Workload"));
-        bool first = true;
-        for (size_t w = 0; w < axes.workloads.size(); ++w) {
-            for (size_t i = 0; i < axes.impls.size(); ++i) {
-                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
-                    if (!first)
-                        t.addSeparator();
-                    first = false;
-                    appendOptionSweepRows(
-                        t, optionSweepSlice(*plan, results, w, i, s),
-                        rowLabel(w, i, s));
-                }
-            }
-        }
-        t.print(out);
-    }
+    renderBatchResults(*plan, results, f.csv, out);
     if (f.cacheStats) {
         if (sharded)
             out << "journal: " << results.shard.summary() << "\n";
@@ -800,13 +737,27 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
 /**
  * Shard worker: consume a manifest (stdin, or --manifest FILE) and
  * stream one record per completed point.  Spawned by the batch
- * supervisor; usable by hand for debugging a single shard.
+ * supervisor (--framed), attachable to a serve daemon (--connect);
+ * the bare line-protocol form stays usable by hand for debugging a
+ * single shard.
  */
 int
 cmdWorker(const std::vector<std::string> &args, std::ostream &out)
 {
     if (args.size() == 1)
         return runShardWorker(std::cin, out);
+    if (args.size() == 2 && args[1] == "--framed")
+        return runFramedShardWorker(STDIN_FILENO, STDOUT_FILENO);
+    if (args.size() == 3 && args[1] == "--connect") {
+        std::string host;
+        int port = 0;
+        if (!splitHostPort(args[2], &host, &port)) {
+            out << "worker: bad --connect address '" << args[2]
+                << "' (want HOST:PORT)\n";
+            return 2;
+        }
+        return runConnectedWorker(host, port);
+    }
     if (args.size() == 3 && args[1] == "--manifest") {
         std::ifstream in(args[2]);
         if (!in) {
@@ -815,9 +766,136 @@ cmdWorker(const std::vector<std::string> &args, std::ostream &out)
         }
         return runShardWorker(in, out);
     }
-    out << "worker: expected no arguments or --manifest FILE\n"
+    out << "worker: expected no arguments, --framed, "
+           "--connect HOST:PORT, or --manifest FILE\n"
         << kUsage;
     return 2;
+}
+
+int
+cmdServe(const std::vector<std::string> &args, std::ostream &out)
+{
+    ServeOptions o;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                return "";
+            return args[++i];
+        };
+        if (a == "--host") {
+            o.host = next();
+            if (o.host.empty()) {
+                out << "serve: --host needs an address\n";
+                return 2;
+            }
+        } else if (a == "--port") {
+            std::string v = next();
+            o.port = parseDigits(v);
+            if (o.port < 0 || o.port > 65535) {
+                out << "serve: bad --port value '" << v << "'\n";
+                return 2;
+            }
+        } else if (a == "--shards") {
+            std::string v = next();
+            o.shards = parseDigits(v);
+            if (o.shards < 0) {
+                out << "serve: bad --shards value '" << v << "'\n";
+                return 2;
+            }
+        } else if (a == "--max-batches") {
+            std::string v = next();
+            int n = parseDigits(v);
+            if (n < 0) {
+                out << "serve: bad --max-batches value '" << v
+                    << "'\n";
+                return 2;
+            }
+            o.maxBatches = static_cast<uint64_t>(n);
+        } else if (a == "--journal") {
+            o.journalPath = next();
+            if (o.journalPath.empty()) {
+                out << "serve: --journal needs a file name\n";
+                return 2;
+            }
+        } else if (a == "--cache-dir") {
+            o.cacheDir = next();
+            if (o.cacheDir.empty()) {
+                out << "serve: --cache-dir needs a directory\n";
+                return 2;
+            }
+        } else if (a == "--audit") {
+            o.audit = true;
+        } else if (a == "--point-timeout") {
+            std::string v = next();
+            o.pointTimeoutSeconds = parseSeconds(v);
+            if (std::isnan(o.pointTimeoutSeconds) ||
+                o.pointTimeoutSeconds <= 0.0) {
+                out << "serve: bad --point-timeout value '" << v
+                    << "'\n";
+                return 2;
+            }
+        } else if (a == "--max-retries") {
+            std::string v = next();
+            o.maxRetries = parseDigits(v);
+            if (o.maxRetries < 0) {
+                out << "serve: bad --max-retries value '" << v
+                    << "'\n";
+                return 2;
+            }
+        } else if (a == "--backoff") {
+            std::string v = next();
+            o.backoffSeconds = parseSeconds(v);
+            if (std::isnan(o.backoffSeconds)) {
+                out << "serve: bad --backoff value '" << v << "'\n";
+                return 2;
+            }
+        } else {
+            out << "serve: unknown flag '" << a << "'\n" << kUsage;
+            return 2;
+        }
+    }
+    if (o.cacheDir.empty()) {
+        if (const char *env = std::getenv("MCSCOPE_CACHE_DIR"))
+            o.cacheDir = env;
+    }
+    return runServe(o, out);
+}
+
+int
+cmdSubmit(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() < 2) {
+        out << "submit: missing spec file\n" << kUsage;
+        return 2;
+    }
+    SubmitOptions o;
+    o.specPath = args[1];
+    bool connected = false;
+    for (size_t i = 2; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        if (a == "--connect") {
+            if (i + 1 >= args.size() ||
+                !splitHostPort(args[++i], &o.host, &o.port)) {
+                out << "submit: bad --connect address (want "
+                       "HOST:PORT)\n";
+                return 2;
+            }
+            connected = true;
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--cache-stats") {
+            o.cacheStats = true;
+        } else {
+            out << "submit: unknown flag '" << a << "'\n" << kUsage;
+            return 2;
+        }
+    }
+    if (!connected) {
+        out << "submit: missing --connect HOST:PORT\n" << kUsage;
+        return 2;
+    }
+    return runSubmit(o, out);
 }
 
 } // namespace
@@ -862,6 +940,10 @@ runCli(const std::vector<std::string> &args, std::ostream &out)
         return cmdScaling(args, out);
     if (cmd == "batch")
         return cmdBatch(args, out);
+    if (cmd == "serve")
+        return cmdServe(args, out);
+    if (cmd == "submit")
+        return cmdSubmit(args, out);
     if (cmd == "worker")
         return cmdWorker(args, out);
     out << "unknown command '" << cmd << "'\n" << kUsage;

@@ -1,10 +1,100 @@
 #include "core/report.hh"
 
 #include <cmath>
+#include <ostream>
 
+#include "util/csv.hh"
 #include "util/logging.hh"
+#include "util/str.hh"
 
 namespace mcscope {
+
+std::string
+implToken(MpiImpl impl)
+{
+    switch (impl) {
+      case MpiImpl::Mpich2: return "mpich2";
+      case MpiImpl::Lam: return "lam";
+      case MpiImpl::OpenMpi: return "openmpi";
+    }
+    return "?";
+}
+
+void
+renderBatchResults(const SweepPlan &plan, const PlanResults &results,
+                   bool csv, std::ostream &out)
+{
+    const SweepAxes &axes = plan.axes();
+    const MachineConfig machine = axes.resolvedMachine();
+    // One row label per (workload, impl, sublayer) combo; the
+    // impl/sublayer suffix appears only when that axis actually
+    // varies, so the common one-impl case reads like Table 2.
+    const bool tag_impl = axes.impls.size() > 1;
+    const bool tag_sublayer = axes.sublayers.size() > 1;
+    auto rowLabel = [&](size_t w, size_t i, size_t s) {
+        std::string label = axes.workloads[w];
+        if (tag_impl)
+            label += " [" + implToken(axes.impls[i]) + "]";
+        if (tag_sublayer)
+            label += " [" +
+                     std::string(axes.sublayers[s] == SubLayer::SysV
+                                     ? "sysv"
+                                     : "usysv") +
+                     "]";
+        return label;
+    };
+
+    if (csv) {
+        CsvWriter writer(out);
+        std::vector<std::string> header = {"machine", "workload",
+                                           "impl", "sublayer",
+                                           "ranks"};
+        for (const NumactlOption &o : axes.options)
+            header.push_back(o.label);
+        writer.writeRow(header);
+        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+            for (size_t i = 0; i < axes.impls.size(); ++i) {
+                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
+                    OptionSweepResult slice =
+                        optionSweepSlice(plan, results, w, i, s);
+                    for (size_t r = 0; r < slice.rankCounts.size();
+                         ++r) {
+                        std::vector<std::string> row = {
+                            machine.name, axes.workloads[w],
+                            implToken(axes.impls[i]),
+                            axes.sublayers[s] == SubLayer::SysV
+                                ? "sysv"
+                                : "usysv",
+                            std::to_string(slice.rankCounts[r])};
+                        for (double v : slice.seconds[r])
+                            row.push_back(std::isnan(v)
+                                              ? ""
+                                              : formatFixed(v, 6));
+                        writer.writeRow(row);
+                    }
+                }
+            }
+        }
+    } else {
+        out << "machine: " << machine.name << " (" << machine.sockets
+            << " sockets x " << machine.coresPerSocket << " cores)\n";
+        TextTable t(optionSweepHeader("Workload"));
+        bool first = true;
+        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+            for (size_t i = 0; i < axes.impls.size(); ++i) {
+                for (size_t s = 0; s < axes.sublayers.size(); ++s) {
+                    if (!first)
+                        t.addSeparator();
+                    first = false;
+                    appendOptionSweepRows(
+                        t, optionSweepSlice(plan, results, w, i, s),
+                        rowLabel(w, i, s));
+                }
+            }
+        }
+        t.print(out);
+    }
+}
 
 std::vector<std::string>
 optionSweepHeader(const std::string &row_label)

@@ -8,10 +8,12 @@
 #ifndef MCSCOPE_CORE_REPORT_HH
 #define MCSCOPE_CORE_REPORT_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/runner.hh"
 #include "util/table.hh"
 
 namespace mcscope {
@@ -38,6 +40,20 @@ void appendOptionSweepRows(TextTable &table, const OptionSweepResult &sweep,
 
 /** Header row matching the Table 5 option order. */
 std::vector<std::string> optionSweepHeader(const std::string &row_label);
+
+/** Short row-label token for an MPI implementation axis value. */
+std::string implToken(MpiImpl impl);
+
+/**
+ * Render an executed batch plan the way `mcscope batch` prints it:
+ * the machine banner + per-(workload, impl, sublayer) option-sweep
+ * table, or (csv) one flat CSV with a column per numactl option.
+ * Shared by `mcscope batch` and `mcscope submit`, which must stay
+ * byte-identical (tests/integration/serve_test.cpp holds them to it).
+ */
+void renderBatchResults(const SweepPlan &plan,
+                        const PlanResults &results, bool csv,
+                        std::ostream &out);
 
 /**
  * Render a speedup table like Tables 8/10/12: one row per rank count,

@@ -17,6 +17,7 @@
 #include <limits>
 #include <memory>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <unistd.h>
 
@@ -28,6 +29,7 @@
 #include "util/logging.hh"
 #include "util/str.hh"
 #include "util/subprocess.hh"
+#include "util/transport.hh"
 
 namespace mcscope {
 
@@ -144,7 +146,19 @@ parseRunResult(const JsonValue &doc, uint64_t expect_digest)
             if (!std::isdigit(static_cast<unsigned char>(c)))
                 return std::nullopt;
         }
-        r.taggedSeconds[std::stoi(key)] = v.asNumber();
+        // Checked parse (PARSE-1): this key comes from journal/cache
+        // files and worker records, any of which can be corrupt or
+        // adversarial.  std::stoi would throw std::out_of_range on a
+        // huge digit string straight through --resume; a corrupt
+        // entry must instead read as "not a result" so the point is
+        // re-simulated.
+        errno = 0;
+        char *end = nullptr;
+        long tag = std::strtol(key.c_str(), &end, 10);
+        if (errno == ERANGE || end != key.c_str() + key.size() ||
+            tag > std::numeric_limits<int>::max())
+            return std::nullopt;
+        r.taggedSeconds[static_cast<int>(tag)] = v.asNumber();
     }
     double ev = events->asNumber();
     if (ev < 0.0 || !std::isfinite(ev))
@@ -499,72 +513,113 @@ ShardRunStats::summary() const
     return out;
 }
 
-int
-runShardWorker(std::istream &in, std::ostream &out)
+namespace {
+
+/** One decoded shard-manifest point. */
+struct ManifestPoint
 {
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-    std::string error;
-    std::optional<JsonValue> doc = parseJson(text, &error);
-    if (!doc || !doc->isObject()) {
-        warn("worker: malformed shard manifest: ", error);
-        return 2;
+    uint64_t index = 0;
+    ScenarioSpec spec;
+};
+
+/** One decoded mcscope-shard-1 manifest. */
+struct ShardManifest
+{
+    bool audit = false;
+    std::string cacheDir;
+    std::vector<ManifestPoint> points;
+};
+
+/** Decode a manifest document; nullopt + `error` on any defect. */
+std::optional<ShardManifest>
+parseShardManifest(const JsonValue &doc, std::string *error)
+{
+    if (!doc.isObject()) {
+        *error = "manifest is not an object";
+        return std::nullopt;
     }
-    const JsonValue *fmt = doc->find("format");
+    const JsonValue *fmt = doc.find("format");
     if (!fmt || !fmt->isString() ||
         fmt->asString() != kShardManifestFormat) {
-        warn("worker: manifest is not ", kShardManifestFormat);
-        return 2;
+        *error = std::string("manifest is not ") + kShardManifestFormat;
+        return std::nullopt;
     }
-    bool audit = false;
-    if (const JsonValue *a = doc->find("audit"); a && a->isBool())
-        audit = a->asBool();
-    std::string cache_dir;
-    if (const JsonValue *c = doc->find("cache_dir");
+    ShardManifest m;
+    if (const JsonValue *a = doc.find("audit"); a && a->isBool())
+        m.audit = a->asBool();
+    if (const JsonValue *c = doc.find("cache_dir");
         c && c->isString())
-        cache_dir = c->asString();
-    const JsonValue *points = doc->find("points");
+        m.cacheDir = c->asString();
+    const JsonValue *points = doc.find("points");
     if (!points || !points->isArray()) {
-        warn("worker: manifest has no points array");
-        return 2;
+        *error = "manifest has no points array";
+        return std::nullopt;
     }
-
-    std::vector<FaultSpec> faults;
-    if (const char *env = std::getenv("MCSCOPE_FAULT_INJECT")) {
-        std::optional<std::vector<FaultSpec>> parsed =
-            parseFaultPlan(env, &error);
-        if (!parsed) {
-            warn("worker: bad MCSCOPE_FAULT_INJECT: ", error);
-            return 2;
-        }
-        faults = *parsed;
-    }
-
-    std::unique_ptr<ResultCache> cache;
-    if (!cache_dir.empty())
-        cache = std::make_unique<ResultCache>(cache_dir);
-
-    uint64_t cache_hits = 0;
     for (const JsonValue &p : points->items()) {
         const JsonValue *idx = p.find("index");
         const JsonValue *spec_doc = p.find("spec");
         if (!idx || !idx->isNumber() || !spec_doc) {
-            warn("worker: malformed manifest point");
-            return 2;
+            *error = "malformed manifest point";
+            return std::nullopt;
         }
-        const uint64_t index = static_cast<uint64_t>(idx->asNumber());
+        ManifestPoint pt;
+        pt.index = static_cast<uint64_t>(idx->asNumber());
+        std::string spec_error;
         std::optional<ScenarioSpec> spec =
-            parseScenarioSpec(*spec_doc, &error);
+            parseScenarioSpec(*spec_doc, &spec_error);
         if (!spec) {
-            warn("worker: bad spec for point ", index, ": ", error);
-            return 2;
+            *error = "bad spec for point " +
+                     std::to_string(pt.index) + ": " + spec_error;
+            return std::nullopt;
         }
+        pt.spec = std::move(*spec);
+        m.points.push_back(std::move(pt));
+    }
+    return m;
+}
 
+/**
+ * Worker-process execution state shared across manifests: the fault
+ * plan (parsed once) and the disk cache (recreated only when a
+ * manifest names a different directory, so a long-lived framed worker
+ * keeps its warm in-memory tier between manifests).
+ */
+class ShardWorkerContext
+{
+  public:
+    bool loadFaults(std::string *error)
+    {
+        if (const char *env = std::getenv("MCSCOPE_FAULT_INJECT")) {
+            std::optional<std::vector<FaultSpec>> parsed =
+                parseFaultPlan(env, error);
+            if (!parsed)
+                return false;
+            faults_ = *parsed;
+        }
+        return true;
+    }
+
+    void setCacheDir(const std::string &dir)
+    {
+        if (dir == cacheDir_)
+            return;
+        cacheDir_ = dir;
+        cache_ = dir.empty() ? nullptr
+                             : std::make_unique<ResultCache>(dir);
+    }
+
+    /**
+     * Execute one point (fault hooks first, cache in front unless
+     * auditing) and build its record document.  May not return at all
+     * when a crash/hang fault matches -- that is the point.
+     */
+    JsonValue executePoint(const ManifestPoint &pt, bool audit)
+    {
         // Deterministic fault injection: die or stall exactly when
         // told to, *before* the point's record exists, so the
         // supervisor's recovery path sees a genuinely lost point.
-        for (const FaultSpec &f : faults) {
-            if (f.point != index)
+        for (const FaultSpec &f : faults_) {
+            if (f.point != pt.index)
                 continue;
             if (f.kind == FaultSpec::Kind::Crash) {
                 ::raise(SIGKILL);
@@ -575,137 +630,279 @@ runShardWorker(std::istream &in, std::ostream &out)
         }
 
         std::unique_ptr<Workload> workload =
-            makeWorkload(spec->workload);
-        std::optional<uint64_t> digest = spec->digestWith(*workload);
+            makeWorkload(pt.spec.workload);
+        std::optional<uint64_t> digest =
+            pt.spec.digestWith(*workload);
         const Clock::time_point start = Clock::now();
         RunResult result;
         bool hit = false;
         // Audit mode always simulates (the auditor must see the run);
         // plain mode may serve the point from the shared disk cache.
-        if (cache && digest && !audit) {
+        if (cache_ && digest && !audit) {
             if (std::optional<ResultCache::Hit> h =
-                    cache->lookup(*digest)) {
+                    cache_->lookup(*digest)) {
                 result = h->result;
                 hit = true;
-                ++cache_hits;
+                ++cacheHits_;
             }
         }
         if (!hit) {
-            ExperimentConfig cfg = spec->toExperiment();
+            ExperimentConfig cfg = pt.spec.toExperiment();
             cfg.audit = audit;
             result = runExperiment(cfg, *workload);
-            if (cache && digest)
-                cache->store(*digest, result);
+            if (cache_ && digest)
+                cache_->store(*digest, result);
         }
 
         JsonValue rec = JsonValue::object();
         rec.set("index",
-                JsonValue::number(static_cast<double>(index)));
+                JsonValue::number(static_cast<double>(pt.index)));
         rec.set("wall_seconds",
                 JsonValue::number(secondsSince(start)));
         rec.set("result",
                 runResultToJson(digest ? *digest : 0, result));
-        out << rec.dump() << "\n";
-        out.flush();
+        return rec;
     }
+
+    /** Per-manifest cache-hit counter (reset on read). */
+    uint64_t takeCacheHits()
+    {
+        uint64_t n = cacheHits_;
+        cacheHits_ = 0;
+        return n;
+    }
+
+  private:
+    std::vector<FaultSpec> faults_;
+    std::unique_ptr<ResultCache> cache_;
+    std::string cacheDir_;
+    uint64_t cacheHits_ = 0;
+};
+
+/** The per-manifest trailer record. */
+JsonValue
+doneRecord(uint64_t cache_hits)
+{
     JsonValue done = JsonValue::object();
     done.set("done", JsonValue::boolean(true));
     done.set("cache_hits",
              JsonValue::number(static_cast<double>(cache_hits)));
-    out << done.dump() << "\n";
+    return done;
+}
+
+} // namespace
+
+int
+runShardWorker(std::istream &in, std::ostream &out)
+{
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    std::optional<JsonValue> doc = parseJson(text, &error);
+    std::optional<ShardManifest> manifest;
+    if (doc)
+        manifest = parseShardManifest(*doc, &error);
+    if (!manifest) {
+        warn("worker: malformed shard manifest: ", error);
+        return 2;
+    }
+    ShardWorkerContext ctx;
+    if (!ctx.loadFaults(&error)) {
+        warn("worker: bad MCSCOPE_FAULT_INJECT: ", error);
+        return 2;
+    }
+    ctx.setCacheDir(manifest->cacheDir);
+    for (const ManifestPoint &pt : manifest->points) {
+        out << ctx.executePoint(pt, manifest->audit).dump() << "\n";
+        out.flush();
+    }
+    out << doneRecord(ctx.takeCacheHits()).dump() << "\n";
     out.flush();
     return 0;
 }
 
-namespace {
-
-/** One worker slot of the sharded supervisor. */
-struct ShardSlot
+int
+runFramedShardWorker(int in_fd, int out_fd)
 {
-    std::deque<size_t> queue; ///< spec indices still owed, in order
-    std::unique_ptr<Subprocess> proc;
-    std::string buf; ///< partial stdout line
-    Clock::time_point lastProgress;
-    Clock::time_point respawnAt = Clock::time_point::min();
-    uint64_t points = 0;
-    double busySeconds = 0.0;
-    uint64_t respawns = 0;
-    uint64_t launches = 0;
-};
-
-} // namespace
-
-PlanResults
-runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
-               SweepTelemetry *telemetry)
-{
-    const size_t n = plan.specs().size();
-    const int shard_count = std::max(1, sopts.shards);
-
-    PlanResults out;
-    out.bySpec.assign(n, RunResult{});
-    out.specWallSeconds.assign(n, 0.0);
-    out.stats.points = plan.pointCount();
-    out.stats.uniqueSpecs = n;
-
-    // Content digests drive both the journal and resume matching.  A
-    // spec without one (non-content-addressable workload) is always
-    // executed and never journaled.
-    std::vector<std::optional<uint64_t>> digests(n);
-    for (size_t i = 0; i < n; ++i) {
-        std::unique_ptr<Workload> w =
-            makeWorkload(plan.specs()[i].workload);
-        digests[i] = plan.specs()[i].digestWith(*w);
+    ignoreSigpipeOnce();
+    std::string error;
+    ShardWorkerContext ctx;
+    if (!ctx.loadFaults(&error)) {
+        warn("worker: bad MCSCOPE_FAULT_INJECT: ", error);
+        return 2;
     }
+    for (;;) {
+        bool eof = false;
+        std::optional<std::string> frame = readFrame(in_fd, &eof);
+        if (!frame) {
+            if (eof)
+                return 0; // orderly shutdown at a frame boundary
+            warn("worker: torn or malformed manifest stream");
+            return 2;
+        }
+        std::optional<JsonValue> doc = parseJson(*frame, &error);
+        std::optional<ShardManifest> manifest;
+        if (doc)
+            manifest = parseShardManifest(*doc, &error);
+        if (!manifest) {
+            warn("worker: malformed shard manifest: ", error);
+            return 2;
+        }
+        ctx.setCacheDir(manifest->cacheDir);
+        for (const ManifestPoint &pt : manifest->points) {
+            if (!writeFrame(
+                    out_fd,
+                    ctx.executePoint(pt, manifest->audit).dump()))
+                return 2; // supervisor hung up
+        }
+        if (!writeFrame(out_fd,
+                        doneRecord(ctx.takeCacheHits()).dump()))
+            return 2;
+    }
+}
 
-    std::vector<bool> done(n, false);
-    if (!sopts.resumeFrom.empty()) {
-        JournalLoadStats jstats;
-        std::unordered_map<uint64_t, RunResult> journaled =
-            loadJournal(sopts.resumeFrom, &jstats);
+/**
+ * One worker channel of the sharded supervisor: either a local
+ * fork/exec subprocess (proc set) or a remote TCP worker (fd set).
+ * Both speak the framed manifest/record protocol, so everything past
+ * the byte-moving layer is channel-agnostic.
+ */
+struct ShardExecutor::Impl
+{
+    struct Channel
+    {
+        std::unique_ptr<Subprocess> proc; ///< local worker, else null
+        int fd = -1;      ///< remote socket (owned), else -1
+        bool isRemote = false;
+        std::string peer; ///< "local#N" or the remote peer label
+        FrameBuffer frames;
+        std::deque<size_t> owed; ///< spec indices assigned, in order
+        bool busy = false; ///< manifest sent, done frame not yet seen
+        bool dead = false; ///< marked for the death protocol
+        bool timedOut = false;
+        Clock::time_point lastProgress;
+        uint64_t points = 0;
+        double busySeconds = 0.0;
+        uint64_t respawns = 0;
+        uint64_t launches = 0;
+
+        int readFd() const
+        {
+            return proc ? proc->outFd() : fd;
+        }
+        int writeFd() const
+        {
+            return proc ? proc->inFd() : fd;
+        }
+        bool live() const
+        {
+            return !dead && (proc || (isRemote && fd >= 0));
+        }
+    };
+
+    const SweepPlan &plan;
+    ShardOptions opts;
+    size_t n = 0;
+    size_t doneCount = 0;
+    PlanResults out;
+    std::vector<std::optional<uint64_t>> digests;
+    std::vector<bool> done;
+    std::vector<int> retries;
+    std::vector<Clock::time_point> notBefore; ///< per-point backoff gate
+    std::deque<size_t> pending; ///< not done, not assigned
+    std::string exe;
+    Clock::time_point planStart;
+    std::unique_ptr<SweepJournal> ownedJournal;
+    SweepJournal *journal = nullptr;
+    std::vector<Completion> completions;
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::vector<ShardSample> retiredRemotes; ///< samples of gone remotes
+    size_t localCount = 0;
+    size_t remoteSeq = 0;
+    bool taken = false;
+
+    Impl(const SweepPlan &p, const ShardOptions &o,
+         SweepJournal *shared_journal,
+         const std::unordered_map<uint64_t, RunResult> *known)
+        : plan(p), opts(o)
+    {
+        n = plan.specs().size();
+        out.bySpec.assign(n, RunResult{});
+        out.specWallSeconds.assign(n, 0.0);
+        out.stats.points = plan.pointCount();
+        out.stats.uniqueSpecs = n;
+        done.assign(n, false);
+        retries.assign(n, 0);
+        notBefore.assign(n, Clock::time_point::min());
+
+        // Content digests drive both the journal and resume matching.
+        // A spec without one (non-content-addressable workload) is
+        // always executed and never journaled.
+        digests.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            std::unique_ptr<Workload> w =
+                makeWorkload(plan.specs()[i].workload);
+            digests[i] = plan.specs()[i].digestWith(*w);
+        }
+
+        // Points the journal already vouches for complete instantly:
+        // either from the caller-shared known map (serve, where it
+        // spans clients and batches) or from a --resume load.
+        std::unordered_map<uint64_t, RunResult> resumed;
+        if (!known && !opts.resumeFrom.empty())
+            resumed = loadJournal(opts.resumeFrom);
+        const std::unordered_map<uint64_t, RunResult> *hits =
+            known ? known : &resumed;
         for (size_t i = 0; i < n; ++i) {
             if (!digests[i])
                 continue;
-            auto it = journaled.find(*digests[i]);
-            if (it == journaled.end())
+            auto it = hits->find(*digests[i]);
+            if (it == hits->end())
                 continue;
             out.bySpec[i] = it->second;
             done[i] = true;
+            ++doneCount;
             ++out.shard.journaled;
+            completions.push_back({i, 0.0, true});
         }
-    }
 
-    // The journal is opened (and the lock taken) after the resume
-    // load so resuming into the same file appends behind the records
-    // just read.
-    std::unique_ptr<SweepJournal> journal;
-    if (!sopts.journalPath.empty())
-        journal = std::make_unique<SweepJournal>(sopts.journalPath);
+        // The journal is opened (and the lock taken) after the resume
+        // load so resuming into the same file appends behind the
+        // records just read.  A shared journal is already open and
+        // stays the caller's.
+        if (shared_journal) {
+            journal = shared_journal;
+        } else if (!opts.journalPath.empty()) {
+            ownedJournal =
+                std::make_unique<SweepJournal>(opts.journalPath);
+            journal = ownedJournal.get();
+        }
 
-    std::vector<ShardSlot> slots(
-        static_cast<size_t>(shard_count));
-    {
-        // Round-robin keeps neighboring (often similarly sized)
-        // points spread across workers.
-        size_t next = 0;
         for (size_t i = 0; i < n; ++i) {
             if (!done[i])
-                slots[next++ % slots.size()].queue.push_back(i);
+                pending.push_back(i);
         }
+
+        exe = opts.workerExe.empty() ? selfExecutablePath()
+                                     : opts.workerExe;
+        localCount = opts.shards < 0
+                         ? 0
+                         : static_cast<size_t>(opts.shards);
+        for (size_t s = 0; s < localCount; ++s) {
+            auto ch = std::make_unique<Channel>();
+            ch->peer = "local#" + std::to_string(s);
+            channels.push_back(std::move(ch));
+        }
+        planStart = Clock::now();
     }
 
-    std::vector<int> retries(n, 0);
-    const std::string exe = sopts.workerExe.empty()
-                                ? selfExecutablePath()
-                                : sopts.workerExe;
-    const Clock::time_point plan_start = Clock::now();
-
-    auto buildManifest = [&](const std::deque<size_t> &queue) {
+    std::string buildManifest(const std::deque<size_t> &queue) const
+    {
         JsonValue doc = JsonValue::object();
         doc.set("format", JsonValue::str(kShardManifestFormat));
-        doc.set("audit", JsonValue::boolean(sopts.audit));
-        if (!sopts.cacheDir.empty())
-            doc.set("cache_dir", JsonValue::str(sopts.cacheDir));
+        doc.set("audit", JsonValue::boolean(opts.audit));
+        if (!opts.cacheDir.empty())
+            doc.set("cache_dir", JsonValue::str(opts.cacheDir));
         JsonValue pts = JsonValue::array();
         for (size_t i : queue) {
             JsonValue p = JsonValue::object();
@@ -716,33 +913,105 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
         }
         doc.set("points", std::move(pts));
         return doc.dump();
-    };
+    }
 
-    auto spawnSlot = [&](ShardSlot &slot) {
-        slot.proc = std::make_unique<Subprocess>(
-            std::vector<std::string>{exe, "worker"},
-            buildManifest(slot.queue));
-        slot.buf.clear();
-        slot.lastProgress = Clock::now();
-        if (slot.launches++ > 0)
-            ++slot.respawns;
-    };
+    void spawnLocal(Channel &ch)
+    {
+        ch.proc = std::make_unique<Subprocess>(
+            std::vector<std::string>{exe, "worker", "--framed"},
+            /*stdin_data=*/std::string(),
+            /*extra_env=*/std::vector<std::string>(),
+            Subprocess::Stdin::Keep);
+        ch.frames = FrameBuffer();
+        ch.busy = false;
+        ch.dead = false;
+        ch.timedOut = false;
+        ch.lastProgress = Clock::now();
+        if (ch.launches++ > 0)
+            ++ch.respawns;
+    }
 
-    auto handleLine = [&](ShardSlot &slot, const std::string &line) {
-        std::optional<JsonValue> doc = parseJson(line);
-        if (!doc || !doc->isObject()) {
-            warn("supervisor: unparseable worker record ignored");
-            return;
+    /**
+     * Pull up to `want` backoff-eligible points off the pending
+     * queue, preserving order; gated points rotate to the back so an
+     * idle channel never stalls behind a cooling-down suspect.
+     */
+    std::deque<size_t> takeEligible(size_t want,
+                                    Clock::time_point now)
+    {
+        std::deque<size_t> got;
+        size_t scanned = 0;
+        const size_t limit = pending.size();
+        while (got.size() < want && scanned < limit &&
+               !pending.empty()) {
+            ++scanned;
+            size_t i = pending.front();
+            pending.pop_front();
+            if (notBefore[i] > now)
+                pending.push_back(i); // still cooling down
+            else
+                got.push_back(i);
         }
-        if (doc->find("done")) {
-            if (const JsonValue *h = doc->find("cache_hits");
-                h && h->isNumber())
-                out.shard.workerCacheHits +=
-                    static_cast<uint64_t>(h->asNumber());
-            return;
+        return got;
+    }
+
+    /** Hand a manifest to an idle live channel; false = send failed. */
+    bool sendManifest(Channel &ch, std::deque<size_t> points)
+    {
+        const std::string manifest = buildManifest(points);
+        ch.owed = std::move(points);
+        ch.busy = true;
+        ch.lastProgress = Clock::now();
+        if (!writeFrame(ch.writeFd(), manifest)) {
+            warn("supervisor: cannot send manifest to ", ch.peer,
+                 ": ", std::strerror(errno));
+            ch.dead = true;
+            return false;
         }
-        const JsonValue *idx = doc->find("index");
-        const JsonValue *res = doc->find("result");
+        return true;
+    }
+
+    /** Spawn/assign work to every idle channel that can take it. */
+    void dispatch(Clock::time_point now)
+    {
+        if (pending.empty())
+            return;
+        // Local slots without a live process respawn on demand --
+        // only when eligible work exists, so per-point backoff is
+        // honored no matter which channel picks the suspect up.
+        std::vector<Channel *> idle;
+        for (auto &ch : channels) {
+            if (!ch->isRemote && !ch->proc && !pending.empty() &&
+                haveEligible(now))
+                spawnLocal(*ch);
+            if (ch->live() && !ch->busy)
+                idle.push_back(ch.get());
+        }
+        for (size_t k = 0; k < idle.size() && !pending.empty();
+             ++k) {
+            const size_t share = idle.size() - k;
+            const size_t want =
+                (pending.size() + share - 1) / share;
+            std::deque<size_t> points = takeEligible(want, now);
+            if (points.empty())
+                break; // everything left is cooling down
+            sendManifest(*idle[k], std::move(points));
+        }
+    }
+
+    bool haveEligible(Clock::time_point now) const
+    {
+        for (size_t i : pending) {
+            if (notBefore[i] <= now)
+                return true;
+        }
+        return false;
+    }
+
+    void handleRecordFrame(Channel &ch, const JsonValue &doc)
+    {
+        const JsonValue *idx = doc.find("index");
+        const JsonValue *res = doc.find("result");
         if (!idx || !idx->isNumber() || !res) {
             warn("supervisor: malformed worker record ignored");
             return;
@@ -755,119 +1024,223 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
         std::optional<RunResult> r =
             parseRunResult(*res, digests[i] ? *digests[i] : 0);
         if (!r) {
-            // Ignored, so the point stays owed; the worker's exit
+            // Ignored, so the point stays owed; the channel's death
             // will trigger the retry path.
             warn("supervisor: corrupt record for spec ", i,
                  "; the point will be retried");
             return;
         }
-        auto it =
-            std::find(slot.queue.begin(), slot.queue.end(), i);
-        if (it == slot.queue.end()) {
+        auto it = std::find(ch.owed.begin(), ch.owed.end(), i);
+        if (it == ch.owed.end()) {
             warn("supervisor: record for spec ", i,
-                 " from the wrong shard ignored");
+                 " from the wrong worker ignored");
             return;
         }
-        slot.queue.erase(it);
+        ch.owed.erase(it);
         done[i] = true;
+        ++doneCount;
         out.bySpec[i] = *r;
         double wall = 0.0;
-        if (const JsonValue *w = doc->find("wall_seconds");
+        if (const JsonValue *w = doc.find("wall_seconds");
             w && w->isNumber())
             wall = w->asNumber();
         out.specWallSeconds[i] = wall;
-        slot.busySeconds += wall;
-        ++slot.points;
-        slot.lastProgress = Clock::now();
+        ch.busySeconds += wall;
+        ++ch.points;
+        ch.lastProgress = Clock::now();
         ++out.shard.executed;
         // Write-ahead guarantee: the record is durable before the
         // sweep counts the point as complete.
         if (journal && digests[i])
             journal->append(*digests[i], *r);
-    };
+        completions.push_back({i, wall, false});
+    }
 
-    auto processBuffer = [&](ShardSlot &slot) {
-        size_t pos;
-        while ((pos = slot.buf.find('\n')) != std::string::npos) {
-            std::string line = slot.buf.substr(0, pos);
-            slot.buf.erase(0, pos + 1);
-            if (!line.empty())
-                handleLine(slot, line);
+    void handleFrame(Channel &ch, const std::string &payload)
+    {
+        std::optional<JsonValue> doc = parseJson(payload);
+        if (!doc || !doc->isObject()) {
+            warn("supervisor: unparseable worker record ignored");
+            return;
         }
-    };
+        if (doc->find("done")) {
+            if (const JsonValue *h = doc->find("cache_hits");
+                h && h->isNumber())
+                out.shard.workerCacheHits +=
+                    static_cast<uint64_t>(h->asNumber());
+            if (!ch.owed.empty()) {
+                // A done frame with points still owed means the
+                // worker skipped work; treat it like a death so the
+                // points are requeued with retry accounting.
+                warn("supervisor: worker ", ch.peer,
+                     " finished a manifest with ", ch.owed.size(),
+                     " point(s) still owed");
+                ch.dead = true;
+                return;
+            }
+            ch.busy = false;
+            return;
+        }
+        handleRecordFrame(ch, *doc);
+    }
 
-    // A worker died (or was killed): decide between finished, retry,
-    // and gap.  The worker emits records strictly in manifest order,
-    // so the first still-owed point is the one that took it down.
-    auto handleDeath = [&](ShardSlot &slot, bool timed_out) {
-        slot.proc->kill();
-        slot.proc->wait();
-        const bool clean =
-            !timed_out && slot.proc->exitCode() == 0;
-        slot.proc.reset();
-        slot.buf.clear();
+    /** Drain readable bytes; false once the channel reached EOF. */
+    bool drainChannel(Channel &ch)
+    {
+        if (ch.proc) {
+            std::string bytes;
+            const bool open = ch.proc->readAvailable(bytes);
+            ch.frames.append(bytes);
+            return open;
+        }
+        if (ch.fd < 0)
+            return false;
+        char chunk[4096];
+        for (;;) {
+            ssize_t r = ::read(ch.fd, chunk, sizeof(chunk));
+            if (r > 0) {
+                ch.frames.append(chunk, static_cast<size_t>(r));
+                continue;
+            }
+            if (r == 0)
+                return false;
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return true;
+            return false; // dead socket
+        }
+    }
+
+    void processFrames(Channel &ch)
+    {
+        while (std::optional<std::string> f = ch.frames.next()) {
+            handleFrame(ch, *f);
+            if (ch.dead)
+                return;
+        }
+        if (ch.frames.malformed()) {
+            warn("supervisor: malformed frame stream from ", ch.peer);
+            ch.dead = true;
+        }
+    }
+
+    /**
+     * A channel died (or was killed): decide between finished, retry,
+     * and gap.  Workers emit records strictly in manifest order, so
+     * the first still-owed point is the one that took it down.
+     */
+    void handleDeath(Channel &ch, Clock::time_point now)
+    {
+        bool clean;
+        if (ch.proc) {
+            ch.proc->kill();
+            ch.proc->wait();
+            clean = !ch.timedOut && ch.proc->exitCode() == 0;
+            ch.proc.reset();
+        } else {
+            if (ch.fd >= 0) {
+                ::close(ch.fd);
+                ch.fd = -1;
+            }
+            // A remote that disconnects while idle is an orderly
+            // departure (a worker being re-pointed elsewhere), not a
+            // crash.
+            clean = !ch.timedOut && ch.owed.empty();
+        }
+        ch.frames = FrameBuffer();
+        ch.busy = false;
+        ch.dead = true;
         // A worker can die uncleanly after delivering its last record
         // (e.g. SIGKILL between the final write and exit, or a
         // post-timeout salvage read draining the pipe); with no point
         // still owed there is nothing to retry.
-        if (slot.queue.empty()) {
+        if (ch.owed.empty()) {
             if (!clean)
                 ++out.shard.crashes;
             return;
         }
         ++out.shard.crashes;
-        if (timed_out)
+        if (ch.timedOut)
             ++out.shard.timeouts;
-        const size_t suspect = slot.queue.front();
+        const size_t suspect = ch.owed.front();
         ++retries[suspect];
         const double delay =
-            sopts.backoffSeconds *
+            opts.backoffSeconds *
             static_cast<double>(
                 1u << std::min(retries[suspect] - 1, 6));
-        if (retries[suspect] > sopts.maxRetries) {
+        if (retries[suspect] > opts.maxRetries) {
             warn("point ", suspect, " (",
                  plan.specs()[suspect].canonicalText(), ") ",
-                 timed_out ? "hung" : "crashed", " its worker ",
+                 ch.timedOut ? "hung" : "crashed", " its worker ",
                  retries[suspect],
                  " time(s); recording a gap and moving on");
-            slot.queue.pop_front();
+            ch.owed.pop_front();
             done[suspect] = true; // stays an invalid RunResult
+            ++doneCount;
             ++out.shard.gaps;
         } else {
             ++out.shard.retries;
+            notBefore[suspect] =
+                now + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(delay));
         }
-        if (!slot.queue.empty()) {
-            slot.respawnAt =
-                Clock::now() +
-                std::chrono::duration_cast<Clock::duration>(
-                    std::chrono::duration<double>(delay));
-        }
-    };
+        // Requeue in front, preserving manifest order, so the suspect
+        // (if retried) and its followers run next.
+        for (auto it = ch.owed.rbegin(); it != ch.owed.rend(); ++it)
+            pending.push_front(*it);
+        ch.owed.clear();
+    }
 
-    for (;;) {
-        Clock::time_point now = Clock::now();
-        bool active = false;
-        for (ShardSlot &slot : slots) {
-            if (!slot.proc && !slot.queue.empty() &&
-                slot.respawnAt <= now)
-                spawnSlot(slot);
-            if (slot.proc || !slot.queue.empty())
-                active = true;
-        }
-        if (!active)
-            break;
-
-        std::vector<struct pollfd> fds;
-        std::vector<size_t> fd_slot;
-        for (size_t s = 0; s < slots.size(); ++s) {
-            if (slots[s].proc && slots[s].proc->outFd() >= 0) {
-                fds.push_back({slots[s].proc->outFd(), POLLIN, 0});
-                fd_slot.push_back(s);
+    /** Drop dead remote channels, keeping their telemetry samples. */
+    void reapChannels()
+    {
+        for (auto it = channels.begin(); it != channels.end();) {
+            Channel &ch = **it;
+            if (ch.isRemote && ch.dead) {
+                retireRemote(ch);
+                it = channels.erase(it);
+            } else {
+                if (!ch.isRemote && ch.dead) {
+                    // Local slots are reused: the next dispatch with
+                    // eligible work respawns the subprocess.
+                    ch.dead = false;
+                    ch.timedOut = false;
+                }
+                ++it;
             }
         }
-        // Wake early enough for the nearest watchdog deadline or
-        // pending respawn; 200 ms bounds the idle re-check either way.
-        int timeout_ms = 200;
+    }
+
+    void retireRemote(const Channel &ch)
+    {
+        ShardSample sample;
+        sample.shard = static_cast<int>(localCount +
+                                        retiredRemotes.size());
+        sample.peer = ch.peer;
+        sample.remote = true;
+        sample.points = ch.points;
+        sample.busySeconds = ch.busySeconds;
+        sample.respawns = ch.respawns;
+        retiredRemotes.push_back(sample);
+    }
+
+    void pollOnce(int max_wait_ms)
+    {
+        Clock::time_point now = Clock::now();
+        dispatch(now);
+
+        std::vector<struct pollfd> fds;
+        std::vector<Channel *> fd_channel;
+        for (auto &ch : channels) {
+            if (ch->live() && ch->readFd() >= 0) {
+                fds.push_back({ch->readFd(), POLLIN, 0});
+                fd_channel.push_back(ch.get());
+            }
+        }
+        // Wake early enough for the nearest watchdog or backoff
+        // deadline; max_wait_ms bounds the idle re-check either way.
+        int timeout_ms = std::max(1, max_wait_ms);
         auto considerDeadline = [&](Clock::time_point when) {
             double ms = std::chrono::duration<double, std::milli>(
                             when - now)
@@ -875,67 +1248,98 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
             timeout_ms = std::max(
                 1, std::min(timeout_ms, static_cast<int>(ms) + 1));
         };
-        for (ShardSlot &slot : slots) {
-            if (slot.proc && sopts.pointTimeoutSeconds > 0.0) {
+        for (auto &ch : channels) {
+            if (ch->live() && ch->busy &&
+                opts.pointTimeoutSeconds > 0.0) {
                 considerDeadline(
-                    slot.lastProgress +
+                    ch->lastProgress +
                     std::chrono::duration_cast<Clock::duration>(
                         std::chrono::duration<double>(
-                            sopts.pointTimeoutSeconds)));
+                            opts.pointTimeoutSeconds)));
             }
-            if (!slot.proc && !slot.queue.empty())
-                considerDeadline(slot.respawnAt);
+        }
+        if (!pending.empty()) {
+            for (size_t i : pending) {
+                if (notBefore[i] > now)
+                    considerDeadline(notBefore[i]);
+            }
         }
         ::poll(fds.empty() ? nullptr : fds.data(), fds.size(),
                timeout_ms);
 
         now = Clock::now();
-        for (size_t s = 0; s < slots.size(); ++s) {
-            ShardSlot &slot = slots[s];
-            if (!slot.proc)
+        for (auto &chp : channels) {
+            Channel &ch = *chp;
+            if (!ch.live())
                 continue;
-            const bool open = slot.proc->readAvailable(slot.buf);
-            processBuffer(slot);
-            if (!open) {
-                handleDeath(slot, false);
+            const bool open = drainChannel(ch);
+            processFrames(ch);
+            if (ch.dead || !open) {
+                handleDeath(ch, now);
                 continue;
             }
-            if (sopts.pointTimeoutSeconds > 0.0 &&
-                std::chrono::duration<double>(now -
-                                              slot.lastProgress)
-                        .count() > sopts.pointTimeoutSeconds) {
-                // Hung: kill, salvage already-piped records, then
-                // run the normal death protocol.
-                slot.proc->kill();
-                slot.proc->readAvailable(slot.buf);
-                processBuffer(slot);
-                handleDeath(slot, true);
+            if (ch.busy && opts.pointTimeoutSeconds > 0.0 &&
+                std::chrono::duration<double>(now - ch.lastProgress)
+                        .count() > opts.pointTimeoutSeconds) {
+                // Hung: kill, salvage already-sent records, then run
+                // the normal death protocol.
+                ch.timedOut = true;
+                if (ch.proc)
+                    ch.proc->kill();
+                drainChannel(ch);
+                processFrames(ch);
+                handleDeath(ch, now);
             }
         }
+        reapChannels();
     }
-    out.wallSeconds = secondsSince(plan_start);
 
-    for (size_t i = 0; i < n; ++i)
-        MCSCOPE_ASSERT(done[i], "sharded run left spec ", i,
-                       " unresolved");
+    PlanResults take(SweepTelemetry *telemetry)
+    {
+        MCSCOPE_ASSERT(!taken, "ShardExecutor results already taken");
+        taken = true;
+        // Orderly shutdown: close stdin so local workers exit 0, then
+        // reap; remote channels just close.
+        for (auto &ch : channels) {
+            if (ch->proc) {
+                ch->proc->closeStdin();
+                ch->proc->wait();
+                ch->proc.reset();
+            } else if (ch->fd >= 0) {
+                ::close(ch->fd);
+                ch->fd = -1;
+            }
+        }
+        out.wallSeconds = secondsSince(planStart);
 
-    out.stats.misses = out.shard.executed;
-    out.stats.simulations =
-        out.shard.executed -
-        std::min(out.shard.executed, out.shard.workerCacheHits);
+        for (size_t i = 0; i < n; ++i)
+            MCSCOPE_ASSERT(done[i], "sharded run left spec ", i,
+                           " unresolved");
 
-    if (telemetry) {
-        telemetry->jobs = shard_count;
-        telemetry->wallSeconds = out.wallSeconds;
-        telemetry->journaled = out.shard.journaled;
-        telemetry->retries = out.shard.retries;
-        telemetry->gaps = out.shard.gaps;
-        telemetry->points.assign(plan.pointCount(), {});
+        out.stats.misses = out.shard.executed;
+        out.stats.simulations =
+            out.shard.executed -
+            std::min(out.shard.executed, out.shard.workerCacheHits);
+
+        if (telemetry)
+            fillTelemetry(*telemetry);
+        return std::move(out);
+    }
+
+    void fillTelemetry(SweepTelemetry &telemetry)
+    {
+        telemetry.jobs = static_cast<int>(
+            std::max<size_t>(1, localCount));
+        telemetry.wallSeconds = out.wallSeconds;
+        telemetry.journaled = out.shard.journaled;
+        telemetry.retries = out.shard.retries;
+        telemetry.gaps = out.shard.gaps;
+        telemetry.points.assign(plan.pointCount(), {});
         for (size_t p = 0; p < plan.pointCount(); ++p) {
             const size_t si = plan.specIndex(p);
             const ScenarioSpec &spec = plan.specs()[si];
             const RunResult &r = out.bySpec[si];
-            GridPointSample &sample = telemetry->points[p];
+            GridPointSample &sample = telemetry.points[p];
             sample.ranks = spec.ranks;
             sample.label = spec.option.label;
             sample.valid = r.valid;
@@ -947,17 +1351,145 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
             sample.calqueueOps = r.calqueueOps;
             sample.calqueueResizes = r.calqueueResizes;
         }
-        telemetry->shards.clear();
-        for (size_t s = 0; s < slots.size(); ++s) {
+        telemetry.shards.clear();
+        size_t shard_index = 0;
+        for (auto &ch : channels) {
+            if (ch->isRemote)
+                continue;
             ShardSample sample;
-            sample.shard = static_cast<int>(s);
-            sample.points = slots[s].points;
-            sample.busySeconds = slots[s].busySeconds;
-            sample.respawns = slots[s].respawns;
-            telemetry->shards.push_back(sample);
+            sample.shard = static_cast<int>(shard_index++);
+            sample.peer = ch->peer;
+            sample.points = ch->points;
+            sample.busySeconds = ch->busySeconds;
+            sample.respawns = ch->respawns;
+            telemetry.shards.push_back(sample);
+        }
+        for (const ShardSample &s : retiredRemotes)
+            telemetry.shards.push_back(s);
+        for (auto &ch : channels) {
+            if (!ch->isRemote)
+                continue;
+            ShardSample sample;
+            sample.shard =
+                static_cast<int>(telemetry.shards.size());
+            sample.peer = ch->peer;
+            sample.remote = true;
+            sample.points = ch->points;
+            sample.busySeconds = ch->busySeconds;
+            sample.respawns = ch->respawns;
+            telemetry.shards.push_back(sample);
         }
     }
+};
+
+ShardExecutor::ShardExecutor(
+    const SweepPlan &plan, const ShardOptions &opts,
+    SweepJournal *shared_journal,
+    const std::unordered_map<uint64_t, RunResult> *known)
+    : impl_(std::make_unique<Impl>(plan, opts, shared_journal, known))
+{
+    ignoreSigpipeOnce();
+}
+
+ShardExecutor::~ShardExecutor() = default;
+
+void
+ShardExecutor::attachRemote(int fd, const std::string &peer)
+{
+    int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    auto ch = std::make_unique<Impl::Channel>();
+    ch->fd = fd;
+    ch->isRemote = true;
+    ch->peer = peer.empty()
+                   ? "remote#" + std::to_string(impl_->remoteSeq)
+                   : peer;
+    ++impl_->remoteSeq;
+    ch->lastProgress = Clock::now();
+    impl_->channels.push_back(std::move(ch));
+}
+
+bool
+ShardExecutor::finished() const
+{
+    return impl_->doneCount == impl_->n;
+}
+
+void
+ShardExecutor::pollOnce(int max_wait_ms)
+{
+    impl_->pollOnce(max_wait_ms);
+}
+
+std::vector<ShardExecutor::Completion>
+ShardExecutor::drainCompletions()
+{
+    std::vector<Completion> out;
+    out.swap(impl_->completions);
     return out;
+}
+
+const std::vector<std::optional<uint64_t>> &
+ShardExecutor::digests() const
+{
+    return impl_->digests;
+}
+
+const RunResult &
+ShardExecutor::resultFor(size_t spec) const
+{
+    MCSCOPE_ASSERT(spec < impl_->n, "resultFor(", spec,
+                   ") out of range");
+    return impl_->out.bySpec[spec];
+}
+
+size_t
+ShardExecutor::remoteWorkers() const
+{
+    size_t count = 0;
+    for (const auto &ch : impl_->channels) {
+        if (ch->isRemote && ch->live())
+            ++count;
+    }
+    return count;
+}
+
+std::vector<std::pair<int, std::string>>
+ShardExecutor::releaseRemotes()
+{
+    std::vector<std::pair<int, std::string>> released;
+    for (auto it = impl_->channels.begin();
+         it != impl_->channels.end();) {
+        Impl::Channel &ch = **it;
+        if (ch.isRemote && ch.live() && !ch.busy) {
+            impl_->retireRemote(ch);
+            released.emplace_back(ch.fd, ch.peer);
+            ch.fd = -1; // ownership moves to the caller
+            it = impl_->channels.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return released;
+}
+
+PlanResults
+ShardExecutor::take(SweepTelemetry *telemetry)
+{
+    return impl_->take(telemetry);
+}
+
+PlanResults
+runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
+               SweepTelemetry *telemetry)
+{
+    ShardOptions opts = sopts;
+    opts.shards = std::max(1, sopts.shards);
+    ShardExecutor executor(plan, opts);
+    while (!executor.finished())
+        executor.pollOnce(200);
+    return executor.take(telemetry);
 }
 
 OptionSweepResult

@@ -41,10 +41,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/plan.hh"
@@ -322,6 +324,117 @@ PlanResults runPlanSharded(const SweepPlan &plan,
  * Honors MCSCOPE_FAULT_INJECT.  Returns a process exit code.
  */
 int runShardWorker(std::istream &in, std::ostream &out);
+
+/**
+ * Framed worker loop (`mcscope worker --framed`, and the body of
+ * `worker --connect` once the socket is up): read length-prefixed
+ * manifest frames (util/transport.hh) from `in_fd`, execute each
+ * manifest's points in order, and answer with one record frame per
+ * point plus a done frame per manifest.  Unlike the line-oriented
+ * runShardWorker(), the loop serves many manifests per connection and
+ * exits 0 only on a clean EOF at a frame boundary.  Honors
+ * MCSCOPE_FAULT_INJECT.  Returns a process exit code.
+ */
+int runFramedShardWorker(int in_fd, int out_fd);
+
+class SweepJournal;
+
+/**
+ * Incremental supervisor behind runPlanSharded() and `mcscope serve`
+ * (DESIGN.md §14).  Owns a work queue of not-yet-done plan points and
+ * a set of worker channels -- local fork/exec subprocesses and/or
+ * remote TCP workers attached with attachRemote() -- all speaking the
+ * same framed manifest/record protocol.  Callers drive it one poll
+ * iteration at a time, which lets the serve daemon multiplex its own
+ * listening socket and client connections between iterations:
+ *
+ *   ShardExecutor ex(plan, opts);
+ *   while (!ex.finished())
+ *       ex.pollOnce(200);
+ *   PlanResults results = ex.take(telemetry);
+ *
+ * Crash recovery is channel-agnostic: a dead TCP worker degrades
+ * exactly like a dead subprocess (its owed points are requeued, the
+ * first still-owed point is the suspect, retries are bounded and
+ * backoff-gated per point, and a point that keeps killing workers
+ * becomes a gap).  The plan must outlive the executor.
+ */
+class ShardExecutor
+{
+  public:
+    /**
+     * Prepare a run.  `shared_journal`/`known` are for the serve
+     * daemon: a journal owned by the caller that outlives this batch,
+     * and the digest -> result map of everything it already vouches
+     * for (those points complete instantly as journal hits).  When
+     * both are null the executor manages its own journal per
+     * opts.journalPath/opts.resumeFrom, exactly like runPlanSharded().
+     */
+    ShardExecutor(
+        const SweepPlan &plan, const ShardOptions &opts,
+        SweepJournal *shared_journal = nullptr,
+        const std::unordered_map<uint64_t, RunResult> *known = nullptr);
+    ~ShardExecutor();
+
+    ShardExecutor(const ShardExecutor &) = delete;
+    ShardExecutor &operator=(const ShardExecutor &) = delete;
+
+    /**
+     * Adopt a connected framed-worker socket (takes ownership of
+     * `fd`).  The worker joins the dispatch pool next pollOnce().
+     */
+    void attachRemote(int fd, const std::string &peer);
+
+    /** True once every plan point is done (journal hit, record, or gap). */
+    bool finished() const;
+
+    /**
+     * One supervisor iteration: dispatch manifests to idle channels,
+     * poll channel fds (bounded by `max_wait_ms` and the nearest
+     * watchdog/backoff deadline), consume records, and run the
+     * death/retry protocol for dead channels.
+     */
+    void pollOnce(int max_wait_ms);
+
+    /** One point that completed since the last drain. */
+    struct Completion
+    {
+        size_t spec = 0;          ///< plan spec index
+        double wallSeconds = 0.0; ///< worker-side wall time (0 for hits)
+        bool fromJournal = false; ///< satisfied by the journal, not run
+    };
+
+    /** Completions since the last call (journal hits included). */
+    std::vector<Completion> drainCompletions();
+
+    /** Per-spec content digests (nullopt = not content-addressable). */
+    const std::vector<std::optional<uint64_t>> &digests() const;
+
+    /** Result for a completed spec (invalid RunResult for gaps). */
+    const RunResult &resultFor(size_t spec) const;
+
+    /** Live remote worker channels currently attached. */
+    size_t remoteWorkers() const;
+
+    /**
+     * Detach every idle remote worker channel and return (fd, peer)
+     * pairs, ownership included -- the serve daemon parks them
+     * between batches.  Call when finished(); busy channels are never
+     * released.
+     */
+    std::vector<std::pair<int, std::string>> releaseRemotes();
+
+    /**
+     * Finalize: close local workers, assert every point is resolved,
+     * and return the results (fills `telemetry` when non-null).  The
+     * executor is spent afterwards.
+     */
+    PlanResults take(SweepTelemetry *telemetry = nullptr);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
 
 } // namespace mcscope
 

@@ -1,0 +1,612 @@
+#include "core/serve.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include "core/journal.hh"
+#include "core/registry.hh"
+#include "core/report.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/transport.hh"
+
+namespace mcscope {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/**
+ * Drain and discard readable bytes (used for fds whose peer should
+ * not be talking: parked workers, submit clients past their hello).
+ * Returns false once the peer hung up or the socket died.
+ */
+bool
+drainIgnore(int fd)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t r = ::read(fd, buf, sizeof(buf));
+        if (r > 0)
+            continue;
+        if (r == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        return false;
+    }
+}
+
+/** Drain readable bytes into a FrameBuffer; false on EOF/error. */
+bool
+drainInto(int fd, FrameBuffer &frames)
+{
+    char buf[4096];
+    for (;;) {
+        ssize_t r = ::read(fd, buf, sizeof(buf));
+        if (r > 0) {
+            frames.append(buf, static_cast<size_t>(r));
+            continue;
+        }
+        if (r == 0)
+            return false;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        return false;
+    }
+}
+
+/** Per-spec content digests, the same way ShardExecutor derives them. */
+std::vector<std::optional<uint64_t>>
+planDigests(const SweepPlan &plan)
+{
+    std::vector<std::optional<uint64_t>> digests(plan.specs().size());
+    for (size_t i = 0; i < plan.specs().size(); ++i) {
+        std::unique_ptr<Workload> w =
+            makeWorkload(plan.specs()[i].workload);
+        digests[i] = plan.specs()[i].digestWith(*w);
+    }
+    return digests;
+}
+
+JsonValue
+errorFrame(const std::string &message)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("format", JsonValue::str(kServeFormat));
+    doc.set("type", JsonValue::str("error"));
+    doc.set("message", JsonValue::str(message));
+    return doc;
+}
+
+/** A freshly accepted connection whose hello has not arrived yet. */
+struct PendingPeer
+{
+    int fd = -1;
+    FrameBuffer frames;
+};
+
+/** An idle connected worker waiting for the next batch. */
+struct ParkedWorker
+{
+    int fd = -1;
+    std::string peer;
+};
+
+/** One spec document queued behind the currently running batch. */
+struct QueuedBatch
+{
+    int clientFd = -1;
+    std::unique_ptr<SweepPlan> plan;
+};
+
+/** The batch currently executing. */
+struct ActiveBatch
+{
+    std::unique_ptr<SweepPlan> plan; ///< must outlive the executor
+    std::unique_ptr<ShardExecutor> ex;
+    int clientFd = -1; ///< -1 once the submitter went away
+    std::vector<bool> streamed;
+};
+
+} // namespace
+
+int
+runServe(const ServeOptions &opts, std::ostream &out)
+{
+    ignoreSigpipeOnce();
+    std::string error;
+    std::optional<TcpListener> listener =
+        tcpListen(opts.host, opts.port, &error);
+    if (!listener) {
+        out << "serve: cannot listen on " << opts.host << ":"
+            << opts.port << ": " << error << "\n";
+        return 2;
+    }
+
+    // The journal doubles as the cross-restart dedup store: everything
+    // it vouches for is preloaded so a resubmitted batch costs nothing.
+    std::unordered_map<uint64_t, RunResult> known;
+    std::unique_ptr<SweepJournal> journal;
+    if (!opts.journalPath.empty()) {
+        known = loadJournal(opts.journalPath);
+        journal = std::make_unique<SweepJournal>(opts.journalPath);
+    }
+
+    out << "mcscope serve: listening on " << opts.host << ":"
+        << listener->port << "\n";
+    out.flush();
+
+    ShardOptions shard_opts;
+    shard_opts.shards = opts.shards;
+    shard_opts.pointTimeoutSeconds = opts.pointTimeoutSeconds;
+    shard_opts.maxRetries = opts.maxRetries;
+    shard_opts.backoffSeconds = opts.backoffSeconds;
+    shard_opts.audit = opts.audit;
+    shard_opts.cacheDir = opts.cacheDir;
+
+    std::vector<PendingPeer> pending;
+    std::vector<ParkedWorker> parked;
+    std::deque<QueuedBatch> queue;
+    std::unique_ptr<ActiveBatch> active;
+    uint64_t served = 0;
+    uint64_t peer_seq = 0;
+
+    auto closeClient = [&](int &fd) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    };
+
+    auto startNextBatch = [&]() {
+        if (active || queue.empty())
+            return;
+        QueuedBatch next = std::move(queue.front());
+        queue.pop_front();
+        auto batch = std::make_unique<ActiveBatch>();
+        batch->plan = std::move(next.plan);
+        batch->clientFd = next.clientFd;
+        batch->streamed.assign(batch->plan->specs().size(), false);
+        batch->ex = std::make_unique<ShardExecutor>(
+            *batch->plan, shard_opts, journal.get(), &known);
+        // Every parked worker joins the new batch's pool.
+        for (ParkedWorker &w : parked)
+            batch->ex->attachRemote(w.fd, w.peer);
+        parked.clear();
+        active = std::move(batch);
+    };
+
+    auto finishBatch = [&]() {
+        // Idle remotes outlive the batch: park them for the next one.
+        for (auto &[fd, peer] : active->ex->releaseRemotes())
+            parked.push_back({fd, peer});
+        PlanResults results = active->ex->take();
+        if (active->clientFd >= 0) {
+            // Gaps never produced a record frame; tell the client
+            // explicitly so it can render the "-" cells.
+            for (size_t i = 0; i < results.bySpec.size(); ++i) {
+                if (active->streamed[i])
+                    continue;
+                JsonValue gap = JsonValue::object();
+                gap.set("type", JsonValue::str("gap"));
+                gap.set("point", JsonValue::number(
+                                     static_cast<double>(i)));
+                if (!writeFrame(active->clientFd, gap.dump()))
+                    closeClient(active->clientFd);
+            }
+        }
+        if (active->clientFd >= 0) {
+            JsonValue stats = JsonValue::object();
+            stats.set("journaled", JsonValue::number(static_cast<double>(
+                                       results.shard.journaled)));
+            stats.set("executed", JsonValue::number(static_cast<double>(
+                                      results.shard.executed)));
+            stats.set("retries", JsonValue::number(static_cast<double>(
+                                     results.shard.retries)));
+            stats.set("crashes", JsonValue::number(static_cast<double>(
+                                     results.shard.crashes)));
+            stats.set("timeouts", JsonValue::number(static_cast<double>(
+                                      results.shard.timeouts)));
+            stats.set("gaps", JsonValue::number(
+                                  static_cast<double>(results.shard.gaps)));
+            stats.set("worker_cache_hits",
+                      JsonValue::number(static_cast<double>(
+                          results.shard.workerCacheHits)));
+            JsonValue done = JsonValue::object();
+            done.set("type", JsonValue::str("done"));
+            done.set("stats", std::move(stats));
+            done.set("wall_seconds",
+                     JsonValue::number(results.wallSeconds));
+            if (!writeFrame(active->clientFd, done.dump()))
+                warn("serve: client went away before the done frame");
+            closeClient(active->clientFd);
+        }
+        ++served;
+        out << "serve: batch " << served << ": "
+            << results.shard.summary() << "\n";
+        out.flush();
+        active.reset();
+    };
+
+    auto classifyPeer = [&](PendingPeer &peer,
+                            const std::string &payload) {
+        std::optional<JsonValue> doc = parseJson(payload);
+        const JsonValue *fmt =
+            doc && doc->isObject() ? doc->find("format") : nullptr;
+        const JsonValue *role =
+            doc && doc->isObject() ? doc->find("role") : nullptr;
+        if (!fmt || !fmt->isString() ||
+            fmt->asString() != kServeFormat || !role ||
+            !role->isString()) {
+            writeFrame(peer.fd, errorFrame("bad hello").dump());
+            ::close(peer.fd);
+            peer.fd = -1;
+            return;
+        }
+        if (role->asString() == "worker") {
+            const std::string label =
+                "worker#" + std::to_string(peer_seq++);
+            if (active) {
+                active->ex->attachRemote(peer.fd, label);
+            } else {
+                parked.push_back({peer.fd, label});
+            }
+            peer.fd = -1; // ownership handed off
+            return;
+        }
+        if (role->asString() == "submit") {
+            const JsonValue *spec = doc->find("spec");
+            std::string parse_error;
+            std::optional<SweepPlan> plan;
+            if (spec)
+                plan = SweepPlan::fromJson(*spec, &parse_error);
+            else
+                parse_error = "hello carries no spec";
+            if (!plan) {
+                writeFrame(peer.fd,
+                           errorFrame(parse_error).dump());
+                ::close(peer.fd);
+                peer.fd = -1;
+                return;
+            }
+            QueuedBatch q;
+            q.clientFd = peer.fd;
+            q.plan = std::make_unique<SweepPlan>(std::move(*plan));
+            queue.push_back(std::move(q));
+            peer.fd = -1; // ownership handed off
+            return;
+        }
+        writeFrame(peer.fd,
+                   errorFrame("unknown role '" + role->asString() +
+                              "'")
+                       .dump());
+        ::close(peer.fd);
+        peer.fd = -1;
+    };
+
+    enum class Kind { Listener, Pending, Parked, Client };
+    struct PollRef
+    {
+        Kind kind;
+        size_t index;
+    };
+
+    for (;;) {
+        if (opts.maxBatches > 0 && served >= opts.maxBatches &&
+            !active)
+            break;
+        startNextBatch();
+
+        std::vector<struct pollfd> fds;
+        std::vector<PollRef> refs;
+        fds.push_back({listener->fd, POLLIN, 0});
+        refs.push_back({Kind::Listener, 0});
+        for (size_t i = 0; i < pending.size(); ++i) {
+            fds.push_back({pending[i].fd, POLLIN, 0});
+            refs.push_back({Kind::Pending, i});
+        }
+        for (size_t i = 0; i < parked.size(); ++i) {
+            fds.push_back({parked[i].fd, POLLIN, 0});
+            refs.push_back({Kind::Parked, i});
+        }
+        if (active && active->clientFd >= 0) {
+            fds.push_back({active->clientFd, POLLIN, 0});
+            refs.push_back({Kind::Client, 0});
+        }
+        // With a batch running the executor's own poll provides the
+        // pacing; without one this poll is the only sleep.
+        ::poll(fds.data(), fds.size(), active ? 10 : 200);
+
+        for (size_t k = 0; k < fds.size(); ++k) {
+            if (!(fds[k].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            switch (refs[k].kind) {
+              case Kind::Listener: {
+                int fd = tcpAccept(listener->fd);
+                if (fd >= 0) {
+                    setNonBlocking(fd);
+                    PendingPeer peer;
+                    peer.fd = fd;
+                    pending.push_back(std::move(peer));
+                }
+                break;
+              }
+              case Kind::Pending: {
+                PendingPeer &peer = pending[refs[k].index];
+                const bool open = drainInto(peer.fd, peer.frames);
+                if (std::optional<std::string> hello =
+                        peer.frames.next()) {
+                    classifyPeer(peer, *hello);
+                } else if (!open || peer.frames.malformed()) {
+                    ::close(peer.fd);
+                    peer.fd = -1;
+                }
+                break;
+              }
+              case Kind::Parked: {
+                ParkedWorker &w = parked[refs[k].index];
+                if (!drainIgnore(w.fd)) {
+                    ::close(w.fd);
+                    w.fd = -1;
+                }
+                break;
+              }
+              case Kind::Client: {
+                // The submitter sends nothing after its hello; bytes
+                // are discarded, EOF means it lost interest.  The
+                // batch keeps running either way -- its results feed
+                // the shared journal.
+                if (!drainIgnore(active->clientFd))
+                    closeClient(active->clientFd);
+                break;
+              }
+            }
+        }
+        pending.erase(std::remove_if(pending.begin(), pending.end(),
+                                     [](const PendingPeer &p) {
+                                         return p.fd < 0;
+                                     }),
+                      pending.end());
+        parked.erase(std::remove_if(parked.begin(), parked.end(),
+                                    [](const ParkedWorker &w) {
+                                        return w.fd < 0;
+                                    }),
+                     parked.end());
+
+        if (!active)
+            continue;
+        active->ex->pollOnce(20);
+        for (const ShardExecutor::Completion &c :
+             active->ex->drainCompletions()) {
+            const RunResult &r = active->ex->resultFor(c.spec);
+            const std::optional<uint64_t> digest =
+                active->ex->digests()[c.spec];
+            // Infeasible cells (valid=false) dedup like any other
+            // completed point -- the journal stores them, --resume
+            // serves them, and the service must agree.
+            if (digest)
+                known[*digest] = r;
+            if (active->clientFd < 0)
+                continue;
+            JsonValue record = JsonValue::object();
+            record.set("type", JsonValue::str("record"));
+            record.set("point", JsonValue::number(
+                                    static_cast<double>(c.spec)));
+            record.set("journal_hit",
+                       JsonValue::boolean(c.fromJournal));
+            record.set("wall_seconds",
+                       JsonValue::number(c.wallSeconds));
+            record.set("result",
+                       runResultToJson(digest ? *digest : 0, r));
+            if (writeFrame(active->clientFd, record.dump()))
+                active->streamed[c.spec] = true;
+            else
+                closeClient(active->clientFd);
+        }
+        if (active->ex->finished())
+            finishBatch();
+    }
+
+    for (ParkedWorker &w : parked)
+        ::close(w.fd);
+    for (PendingPeer &p : pending)
+        ::close(p.fd);
+    for (QueuedBatch &q : queue) {
+        writeFrame(q.clientFd,
+                   errorFrame("server shutting down").dump());
+        ::close(q.clientFd);
+    }
+    ::close(listener->fd);
+    return 0;
+}
+
+int
+runSubmit(const SubmitOptions &opts, std::ostream &out)
+{
+    ignoreSigpipeOnce();
+    std::ifstream in(opts.specPath);
+    if (!in) {
+        out << "submit: cannot read '" << opts.specPath << "'\n";
+        return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string error;
+    std::optional<JsonValue> doc = parseJson(text, &error);
+    if (!doc) {
+        out << "submit: " << opts.specPath << ": " << error << "\n";
+        return 2;
+    }
+    std::optional<SweepPlan> plan = SweepPlan::fromJson(*doc, &error);
+    if (!plan) {
+        out << "submit: " << opts.specPath << ": " << error << "\n";
+        return 2;
+    }
+    const size_t n = plan->specs().size();
+    // The client verifies every record against its own digest of the
+    // spec -- a daemon serving a different model version contributes
+    // nothing silently wrong, exactly like a stale journal.
+    const std::vector<std::optional<uint64_t>> digests =
+        planDigests(*plan);
+
+    int fd = tcpConnect(opts.host, opts.port, &error);
+    if (fd < 0) {
+        out << "submit: cannot connect to " << opts.host << ":"
+            << opts.port << ": " << error << "\n";
+        return 2;
+    }
+    JsonValue hello = JsonValue::object();
+    hello.set("format", JsonValue::str(kServeFormat));
+    hello.set("role", JsonValue::str("submit"));
+    hello.set("spec", std::move(*doc));
+    if (!writeFrame(fd, hello.dump())) {
+        out << "submit: cannot send spec: " << std::strerror(errno)
+            << "\n";
+        ::close(fd);
+        return 2;
+    }
+
+    PlanResults results;
+    results.bySpec.assign(n, RunResult{});
+    results.specWallSeconds.assign(n, 0.0);
+    results.stats.points = plan->pointCount();
+    results.stats.uniqueSpecs = n;
+    bool done = false;
+    while (!done) {
+        bool eof = false;
+        std::optional<std::string> frame = readFrame(fd, &eof);
+        if (!frame) {
+            out << "submit: server closed the connection "
+                << (eof ? "before the done frame" : "mid-frame")
+                << "\n";
+            ::close(fd);
+            return 1;
+        }
+        std::optional<JsonValue> msg = parseJson(*frame);
+        if (!msg || !msg->isObject()) {
+            out << "submit: unparseable frame from server\n";
+            ::close(fd);
+            return 1;
+        }
+        const JsonValue *type = msg->find("type");
+        const std::string kind =
+            type && type->isString() ? type->asString() : "";
+        if (kind == "error") {
+            const JsonValue *m = msg->find("message");
+            out << "submit: server: "
+                << (m && m->isString() ? m->asString()
+                                       : "unknown error")
+                << "\n";
+            ::close(fd);
+            return 2;
+        }
+        if (kind == "record") {
+            const JsonValue *point = msg->find("point");
+            const JsonValue *result = msg->find("result");
+            if (!point || !point->isNumber() || !result) {
+                warn("submit: malformed record frame ignored");
+                continue;
+            }
+            const size_t i = static_cast<size_t>(point->asNumber());
+            if (i >= n) {
+                warn("submit: record for unknown point ", i);
+                continue;
+            }
+            std::optional<RunResult> r =
+                parseRunResult(*result, digests[i] ? *digests[i] : 0);
+            if (!r) {
+                warn("submit: record for point ", i,
+                     " failed digest validation; leaving a gap");
+                continue;
+            }
+            results.bySpec[i] = *r;
+            if (const JsonValue *w = msg->find("wall_seconds");
+                w && w->isNumber())
+                results.specWallSeconds[i] = w->asNumber();
+            continue;
+        }
+        if (kind == "gap")
+            continue; // the cell stays an invalid RunResult
+        if (kind == "done") {
+            if (const JsonValue *stats = msg->find("stats");
+                stats && stats->isObject()) {
+                auto num = [&](const char *key) -> uint64_t {
+                    const JsonValue *v = stats->find(key);
+                    return v && v->isNumber()
+                               ? static_cast<uint64_t>(v->asNumber())
+                               : 0;
+                };
+                results.shard.journaled = num("journaled");
+                results.shard.executed = num("executed");
+                results.shard.retries = num("retries");
+                results.shard.crashes = num("crashes");
+                results.shard.timeouts = num("timeouts");
+                results.shard.gaps = num("gaps");
+                results.shard.workerCacheHits =
+                    num("worker_cache_hits");
+            }
+            if (const JsonValue *w = msg->find("wall_seconds");
+                w && w->isNumber())
+                results.wallSeconds = w->asNumber();
+            done = true;
+            continue;
+        }
+        warn("submit: unknown frame type '", kind, "' ignored");
+    }
+    ::close(fd);
+
+    renderBatchResults(*plan, results, opts.csv, out);
+    if (opts.cacheStats)
+        out << "journal: " << results.shard.summary() << "\n";
+    return 0;
+}
+
+int
+runConnectedWorker(const std::string &host, int port)
+{
+    ignoreSigpipeOnce();
+    std::string error;
+    int fd = tcpConnect(host, port, &error);
+    if (fd < 0) {
+        warn("worker: cannot connect to ", host, ":", port, ": ",
+             error);
+        return 2;
+    }
+    JsonValue hello = JsonValue::object();
+    hello.set("format", JsonValue::str(kServeFormat));
+    hello.set("role", JsonValue::str("worker"));
+    if (!writeFrame(fd, hello.dump())) {
+        warn("worker: cannot send hello: ", std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+    const int rc = runFramedShardWorker(fd, fd);
+    ::close(fd);
+    return rc;
+}
+
+} // namespace mcscope

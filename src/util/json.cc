@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
@@ -400,11 +401,23 @@ class Parser
             return std::nullopt;
         }
         std::string token = text_.substr(start, pos_ - start);
+        errno = 0;
         char *end = nullptr;
         double v = std::strtod(token.c_str(), &end);
         if (end != token.c_str() + token.size()) {
             pos_ = start;
             fail("malformed number '" + token + "'");
+            return std::nullopt;
+        }
+        // Overflow check: strtod("1e999") "succeeds" with HUGE_VAL
+        // and ERANGE, and an infinity here would flow straight into
+        // result digests and the max-min solver.  Underflow (ERANGE
+        // with a denormal-or-zero result, e.g. "1e-999") stays
+        // accepted -- rounding tiny literals toward zero is what
+        // every producer of our JSON expects.
+        if (errno == ERANGE && !std::isfinite(v)) {
+            pos_ = start;
+            fail("number '" + token + "' is out of double range");
             return std::nullopt;
         }
         return JsonValue::number(v);

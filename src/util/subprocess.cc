@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "util/logging.hh"
+#include "util/transport.hh"
 
 namespace mcscope {
 
@@ -46,9 +47,19 @@ writeAll(int fd, const std::string &data)
 
 Subprocess::Subprocess(const std::vector<std::string> &argv,
                        const std::string &stdin_data,
-                       const std::vector<std::string> &extra_env)
+                       const std::vector<std::string> &extra_env,
+                       Stdin stdin_mode)
 {
     MCSCOPE_ASSERT(!argv.empty(), "subprocess needs an argv[0]");
+
+    // Dead-child writes must surface as EPIPE, not SIGPIPE.  This
+    // used to be a per-write sigaction save/restore around the
+    // manifest write below, which raced: two threads spawning workers
+    // concurrently could interleave so one thread's restore re-armed
+    // SIGPIPE in the middle of the other's write.  The process-wide
+    // ignore is set exactly once and never restored (nothing in
+    // mcscope wants SIGPIPE's kill-me default).
+    ignoreSigpipeOnce();
 
     int in_pipe[2];  // parent writes -> child stdin
     int out_pipe[2]; // child stdout -> parent reads
@@ -101,18 +112,16 @@ Subprocess::Subprocess(const std::vector<std::string> &argv,
     out_fd_ = out_pipe[0];
     setNonBlocking(out_fd_);
 
-    // Writing the whole manifest before reading anything is safe
+    // Writing the whole payload before reading anything is safe
     // because workers consume all of stdin before emitting output
-    // (see the file comment); ignore SIGPIPE for the write so an
-    // early-crashing child surfaces as a reaped status, not a signal
-    // in the supervisor.
-    struct sigaction ignore = {};
-    struct sigaction saved = {};
-    ignore.sa_handler = SIG_IGN;
-    ::sigaction(SIGPIPE, &ignore, &saved);
+    // (see the file comment); SIGPIPE is already ignored process-wide
+    // (ctor), so an early-crashing child surfaces as a reaped status,
+    // not a signal in the supervisor.
     writeAll(in_pipe[1], stdin_data);
-    ::close(in_pipe[1]);
-    ::sigaction(SIGPIPE, &saved, nullptr);
+    if (stdin_mode == Stdin::Keep)
+        in_fd_ = in_pipe[1];
+    else
+        ::close(in_pipe[1]);
 }
 
 Subprocess::~Subprocess()
@@ -123,6 +132,16 @@ Subprocess::~Subprocess()
     }
     if (out_fd_ >= 0)
         ::close(out_fd_);
+    closeStdin();
+}
+
+void
+Subprocess::closeStdin()
+{
+    if (in_fd_ >= 0) {
+        ::close(in_fd_);
+        in_fd_ = -1;
+    }
 }
 
 bool

@@ -175,6 +175,42 @@ TEST(Journal, ParseRecordRejectsHeadersAndGarbage)
     EXPECT_DOUBLE_EQ(rec->second.seconds, 3.0);
 }
 
+TEST(Journal, PoisonedTaggedKeyReadsAsCorruptNotCrash)
+{
+    // Regression: a tagged-seconds key too large for int used to go
+    // through std::stoi, which throws std::out_of_range straight
+    // through --resume.  A poisoned entry must read as "not a
+    // record" (the point is re-executed), never as a crash.
+    RunResult sample = sampleResult(3.0, 9);
+    std::string record = runResultToJson(0x99, sample).dump();
+    const std::string needle = "\"1\":";
+    const size_t pos = record.find(needle);
+    ASSERT_NE(pos, std::string::npos) << record;
+    record.replace(pos, needle.size(),
+                   "\"99999999999999999999\":");
+
+    EXPECT_FALSE(parseJournalRecord(record));
+
+    // The same line inside a journal counts as corruption and the
+    // well-formed neighbors still load.
+    TempDir dir("journal_poisoned_tag");
+    const std::string path = dir.file("sweep.journal");
+    {
+        SweepJournal journal(path);
+        journal.append(0xaaaa, sampleResult(1.0, 5));
+    }
+    {
+        std::ofstream out(path, std::ios::app);
+        out << record << "\n";
+    }
+    JournalLoadStats stats;
+    auto loaded = loadJournal(path, &stats);
+    EXPECT_EQ(stats.records, 1u);
+    EXPECT_EQ(stats.corrupt, 1u);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_TRUE(loaded.count(0xaaaa));
+}
+
 TEST(JournalDeathTest, SecondSupervisorRefusesLiveJournal)
 {
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";

@@ -28,6 +28,7 @@
 #include "core/plan.hh"
 #include "core/runner.hh"
 #include "machine/config.hh"
+#include "util/subprocess.hh"
 
 namespace mcscope {
 namespace {
@@ -207,6 +208,44 @@ TEST(RaceStress, TwoCacheInstancesShareOneDirectory)
         EXPECT_TRUE(hit->fromDisk) << i;
     }
     EXPECT_EQ(later.stats().corrupt, 0u);
+}
+
+TEST(RaceStress, ConcurrentSpawnsToDeadChildrenSurviveEpipe)
+{
+    // Regression for the per-write SIGPIPE save/restore race: the old
+    // Subprocess code wrapped each manifest write in a sigaction
+    // save/restore pair, so two threads spawning workers concurrently
+    // could interleave as [A saves, B saves, A restores(default),
+    // A... gets killed by SIGPIPE mid-write].  The fix ignores
+    // SIGPIPE process-wide, exactly once.
+    //
+    // Each child is /bin/true: it exits before draining stdin, and
+    // the payload exceeds any pipe buffer, so every spawn drives
+    // writeAll() into EPIPE territory.  Under TSan this also checks
+    // the once-flag itself; under any build, surviving to the end
+    // proves no thread reverted the disposition mid-write.
+    const std::string payload(4u << 20, 'x'); // >> 64 KiB pipe buffer
+    constexpr int kThreads = 8;
+    constexpr int kSpawnsPerThread = 16;
+    std::atomic<int> reaped{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < kSpawnsPerThread; ++i) {
+                Subprocess child({"/bin/true"}, payload);
+                child.wait();
+                if (child.exitCode() == 0)
+                    reaped.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    // Reaching this line at all is the real assertion (SIGPIPE's
+    // default disposition kills the whole process); the count checks
+    // that no spawn was lost or mis-reaped along the way.
+    EXPECT_EQ(reaped.load(), kThreads * kSpawnsPerThread);
 }
 
 TEST(RaceStress, ShardedSupervisorRunsUnderCacheContention)

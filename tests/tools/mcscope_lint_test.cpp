@@ -315,6 +315,43 @@ int spawn() { return fork(); }
     EXPECT_EQ(run.exit, 0) << run.out;
 }
 
+TEST(Lint, Fd1FlagsSocketsWithoutCloexec)
+{
+    TempTree t("fd1sock");
+    t.write("src/util/net.cc", R"lint(
+#include <sys/socket.h>
+int listener() { return socket(AF_INET, SOCK_STREAM, 0); }
+int peer(int fd) { return accept4(fd, nullptr, nullptr, 0); }
+int legacy(int fd) { return accept(fd, nullptr, nullptr); }
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 1) << run.out;
+    // socket() and accept4() lack SOCK_CLOEXEC; accept() can never
+    // set it atomically, so it is flagged unconditionally.
+    EXPECT_EQ(countOccurrences(run.out, "FD-1"), 3u) << run.out;
+    EXPECT_NE(run.out.find("SOCK_CLOEXEC"), std::string::npos)
+        << run.out;
+    EXPECT_NE(run.out.find("accept4"), std::string::npos) << run.out;
+}
+
+TEST(Lint, Fd1AcceptsCloexecSockets)
+{
+    TempTree t("fd1sockok");
+    t.write("src/util/net.cc", R"lint(
+#include <sys/socket.h>
+int listener()
+{
+    return socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+int peer(int fd)
+{
+    return accept4(fd, nullptr, nullptr, SOCK_CLOEXEC);
+}
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 0) << run.out;
+}
+
 TEST(Lint, Parse1FlagsUncheckedStrtol)
 {
     TempTree t("parse1");

@@ -67,6 +67,29 @@ TEST(Json, RejectsMalformed)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(Json, RejectsOutOfRangeNumbers)
+{
+    // strtod turns "1e999" into HUGE_VAL and only reports it via
+    // errno; without the check the infinity flowed straight into
+    // result digests.  Overflow is rejected...
+    std::string err;
+    EXPECT_FALSE(parseJson("1e999", &err).has_value());
+    EXPECT_NE(err.find("out of double range"), std::string::npos)
+        << err;
+    EXPECT_FALSE(parseJson("-1e999").has_value());
+    EXPECT_FALSE(parseJson("1e309").has_value());
+    EXPECT_FALSE(parseJson("{\"seconds\": 2e308}").has_value());
+
+    // ...but gradual underflow is not an error: "1e-999" reads as a
+    // (de)normalized ~0, which is a representable, honest value.
+    auto tiny = parseJson("1e-999");
+    ASSERT_TRUE(tiny.has_value());
+    EXPECT_EQ(tiny->asNumber(), 0.0);
+    auto large = parseJson("1e308");
+    ASSERT_TRUE(large.has_value());
+    EXPECT_DOUBLE_EQ(large->asNumber(), 1e308);
+}
+
 TEST(Json, RejectsTrailingGarbage)
 {
     // A truncated-then-concatenated cache file must not parse.

@@ -32,9 +32,11 @@
  *           the engine's actual hot loop.
  *   FD-1    every open/openat/creat/mkstemp call site carries
  *           O_CLOEXEC (mkstemp cannot, so it is always flagged toward
- *           mkostemp), and fork/exec* appear only in
- *           src/util/subprocess.cc -- child processes must not inherit
- *           journal, lock, or cache descriptors.
+ *           mkostemp); socket/accept4 call sites carry SOCK_CLOEXEC
+ *           and bare accept is always flagged toward accept4; and
+ *           fork/exec* appear only in src/util/subprocess.cc -- child
+ *           processes must not inherit journal, lock, cache, or
+ *           listening-socket descriptors.
  *   PARSE-1 strtol/strtoul/strtod family call sites check errno or the
  *           end pointer; silently accepting trailing garbage or
  *           overflow has bitten the CLI before.
@@ -99,7 +101,8 @@ constexpr RuleDoc kRuleCatalog[] = {
               "markers"},
     {"HOT-2", "designated steady-state units must contain hot "
               "markers (src/sim/engine.cc, src/sim/calqueue.hh)"},
-    {"FD-1", "open/openat/creat need O_CLOEXEC; mkstemp is "
+    {"FD-1", "open/openat/creat need O_CLOEXEC and socket/accept4 "
+             "need SOCK_CLOEXEC; mkstemp and bare accept are "
              "forbidden; fork/exec only in src/util/subprocess.cc"},
     {"PARSE-1", "strto* call sites must check errno or the end "
                 "pointer"},
@@ -169,6 +172,13 @@ const std::set<std::string> kParseCalls = {
 /** Calls FD-1 requires O_CLOEXEC on. */
 const std::set<std::string> kFdOpenCalls = {"open", "openat", "creat",
                                             "mkostemp"};
+
+/**
+ * Calls FD-1 requires SOCK_CLOEXEC on (the serve daemon's listener
+ * and per-peer sockets must not leak into forked workers any more
+ * than the journal descriptor may).
+ */
+const std::set<std::string> kFdSocketCalls = {"socket", "accept4"};
 
 /** Process-spawning calls FD-1 confines to src/util/subprocess.cc. */
 const std::set<std::string> kFdSpawnCalls = {
@@ -834,6 +844,35 @@ checkFd1(const std::string &path, const std::vector<Tok> &toks,
                     {path, t.line, "FD-1",
                      "'" + t.text +
                          "' without O_CLOEXEC leaks the descriptor "
+                         "into fork/exec'd workers"});
+            }
+            continue;
+        }
+        if (t.text == "accept") {
+            out.push_back(
+                {path, t.line, "FD-1",
+                 "accept cannot set SOCK_CLOEXEC atomically; use "
+                 "accept4(fd, addr, len, SOCK_CLOEXEC) so the peer "
+                 "socket does not leak into worker processes"});
+            continue;
+        }
+        if (kFdSocketCalls.count(t.text) != 0) {
+            size_t close = matchParen(toks, i + 1);
+            bool cloexec = false;
+            if (close != std::string::npos) {
+                for (size_t j = i + 2; j < close; ++j) {
+                    if (toks[j].ident &&
+                        toks[j].text == "SOCK_CLOEXEC") {
+                        cloexec = true;
+                        break;
+                    }
+                }
+            }
+            if (!cloexec) {
+                out.push_back(
+                    {path, t.line, "FD-1",
+                     "'" + t.text +
+                         "' without SOCK_CLOEXEC leaks the socket "
                          "into fork/exec'd workers"});
             }
             continue;
