@@ -285,6 +285,48 @@ BM_StreamExperiment(benchmark::State &state)
 BENCHMARK(BM_StreamExperiment)->Arg(1)->Arg(16);
 
 void
+BM_CoherenceProbe(benchmark::State &state)
+{
+    // Per-slice probe pricing on the memoryWorks hot path: a snoopy
+    // broadcast on a Longs-sized machine.  memoryWorks calls this for
+    // every memory slice when a modeled mode is on, so emission must
+    // stay cheap (and allocation-free once `flows` has warmed up).
+    MachineConfig cfg = longsConfig();
+    cfg.coherence.mode = CoherenceMode::Snoopy;
+    CoherenceModel model(cfg.coherence, cfg.sockets);
+    std::vector<CoherenceFlow> flows;
+    for (auto _ : state) {
+        flows.clear();
+        model.priceAccess(0, 3, 1.0e6,
+                          SharingDescriptor::privateData(), flows);
+        benchmark::DoNotOptimize(flows.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceProbe);
+
+void
+BM_StreamExperimentSnoopy(benchmark::State &state)
+{
+    // The Longs STREAM shape with modeled snoopy probe traffic: every
+    // memory slice also emits HT probe flows, so this is the
+    // end-to-end cost of the emergent-coherence path.  Compare
+    // against BM_StreamExperiment (legacy-alpha, no flows) to see the
+    // modeling overhead.
+    StreamWorkload stream(4u << 20, 10);
+    ExperimentConfig cfg;
+    cfg.machine = longsConfig();
+    cfg.machine.coherence.mode = CoherenceMode::Snoopy;
+    cfg.option = table5Options()[0];
+    cfg.ranks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        RunResult r = runExperiment(cfg, stream);
+        benchmark::DoNotOptimize(r.seconds);
+    }
+}
+BENCHMARK(BM_StreamExperimentSnoopy)->Arg(16);
+
+void
 BM_NasCgExperiment(benchmark::State &state)
 {
     NasCgWorkload cg(nasCgClassB());

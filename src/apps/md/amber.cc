@@ -64,7 +64,7 @@ AmberWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const int p = rt.ranks();
     const double atoms = bench_.atoms;
     const double l2 = machine.config().l2Bytes;
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     if (bench_.technique == MdTechnique::Pme) {
         // --- Direct space: ~450 neighbors within the 9 A cutoff. ---

@@ -67,6 +67,15 @@ class AmberWorkload : public LoopWorkload
 
     const AmberBenchmark &benchmark() const { return bench_; }
 
+    /**
+     * Replicated-data MD: every rank reads the full coordinate set
+     * each step, so the arrays are read-shared by all ranks.
+     */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        return SharingDescriptor::readShared(ranks);
+    }
   private:
     AmberBenchmark bench_;
 };

@@ -50,7 +50,7 @@ LammpsWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const double atoms = bench_.atoms;
     const double local = atoms / p;
     const double l2 = machine.config().l2Bytes;
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     double flops = 0.0;
     double bytes = 0.0;

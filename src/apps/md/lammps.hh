@@ -57,6 +57,13 @@ class LammpsWorkload : public LoopWorkload
 
     const LammpsBenchmark &benchmark() const { return bench_; }
 
+    /** Spatial decomposition: each rank owns its box of atoms. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     LammpsBenchmark bench_;
 };

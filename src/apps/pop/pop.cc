@@ -38,7 +38,7 @@ PopWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const double pts2d = dec.localPoints();
     const double pts3d = pts2d * cfg_.levels;
     const double l2 = machine.config().l2Bytes;
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     // ------------------------- Baroclinic --------------------------
     // ~500 flops and ~20 variable sweeps per 3-D point per step.

@@ -62,6 +62,13 @@ class PopWorkload : public LoopWorkload
 
     const PopConfig &config() const { return cfg_; }
 
+    /** Ocean blocks are decomposed per rank. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     PopConfig cfg_;
 };

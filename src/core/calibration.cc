@@ -26,7 +26,21 @@ calibrationTable()
          "second one would typically expect from an Opteron'"},
         {"machine.coherenceAlpha", dmz.coherenceAlpha, "",
          "Longs single-core STREAM < half of 4 GB/s (paper 3.3); "
-         "1/(1+0.165*7) = 0.46"},
+         "1/(1+0.165*7) = 0.46 (legacy-alpha mode only)"},
+        {"coherence.probeBytes", dmz.coherence.probeBytes, "B",
+         "coherent HT probe/response control packet payload; with "
+         "64 B lines the modeled snoopy Longs single-stream lands at "
+         "~40% of raw (paper 3.3: 'less than half')"},
+        {"coherence.lineBytes", dmz.coherence.lineBytes, "B",
+         "K8 cache line / coherence granule"},
+        {"coherence.directoryEntries", dmz.coherence.directoryEntries,
+         "", "sparse-directory entries per home socket (directory "
+             "mode sweeps override per point)"},
+        {"coherence.directoryWays", dmz.coherence.directoryWays, "",
+         "sparse-directory associativity; one way of conflict loss"},
+        {"coherence.sharedWriteFraction", kSharedWriteFraction, "",
+         "fraction of read-shared lines dirtied per pass (directory "
+         "invalidation fan-out)"},
         {"machine.memLatency", dmz.memLatency, "s",
          "Opteron DDR-400 local load-to-use (~92 ns, AMD opt. guide)"},
         {"machine.htHopLatency", dmz.htHopLatency, "s",

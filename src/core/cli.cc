@@ -53,6 +53,9 @@ const char *kUsage =
     "  worker --connect HOST:PORT   join a serve daemon's worker pool\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
+    "       --coherence snoopy|directory|legacy-alpha\n"
+    "                override the machine's coherence mode (default:\n"
+    "                legacy-alpha scalar tax; see DESIGN.md §15)\n"
     "       --audit  run under the simulation invariant auditor\n"
     "                (run/batch; batch also validates cache hits)\n"
     "       --jobs N run sweep/scaling/batch grid points on N threads\n"
@@ -116,6 +119,8 @@ struct CliFlags
     std::string option = "0";
     MpiImpl impl = MpiImpl::OpenMpi;
     SubLayer sublayer = SubLayer::USysV;
+    /** --coherence override; unset when nullopt. */
+    std::optional<CoherenceMode> coherence;
     bool detail = false;
     bool csv = false;
     bool audit = false;
@@ -193,6 +198,15 @@ parseFlags(const std::vector<std::string> &args, size_t start)
                 f.error = "unknown --sublayer '" + v + "'";
                 return f;
             }
+        } else if (a == "--coherence") {
+            std::string v = toLower(next());
+            CoherenceMode mode;
+            if (!parseCoherenceMode(v, &mode)) {
+                f.error = "unknown --coherence '" + v +
+                          "' (have: legacy-alpha, snoopy, directory)";
+                return f;
+            }
+            f.coherence = mode;
         } else if (a == "--jobs") {
             std::string v = next();
             int jobs = parseDigits(v);
@@ -397,6 +411,20 @@ cmdList(const std::vector<std::string> &args, std::ostream &out)
     return 0;
 }
 
+/**
+ * Apply a --coherence override to a resolved machine.  Returns true
+ * when an override was given, i.e. the machine may no longer match
+ * its preset and callers must treat it as an inline config.
+ */
+bool
+applyCoherence(const CliFlags &f, MachineConfig *machine)
+{
+    if (!f.coherence)
+        return false;
+    machine->coherence.mode = *f.coherence;
+    return true;
+}
+
 int
 cmdRun(const std::vector<std::string> &args, std::ostream &out)
 {
@@ -419,6 +447,7 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
         return 2;
     }
     MachineConfig machine = configByName(f.machine);
+    applyCoherence(f, &machine);
     int ranks = f.ranks.empty() ? machine.totalCores() : f.ranks[0];
 
     auto workload = makeWorkload(args[1]);
@@ -543,6 +572,10 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
     axes.rankCounts = ranks;
     axes.impls = {f.impl};
     axes.sublayers = {f.sublayer};
+    if (applyCoherence(f, &machine)) {
+        axes.machinePreset.clear();
+        axes.machine = machine;
+    }
     SweepPlan plan = SweepPlan::expand(axes);
     SweepTelemetry telemetry;
     RunnerOptions opts;
@@ -611,6 +644,10 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
     axes.workloads = {canonicalWorkloadName(args[1])};
     axes.rankCounts = ranks;
     axes.options = {table5Options().front()}; // Default
+    if (applyCoherence(f, &machine)) {
+        axes.machinePreset.clear();
+        axes.machine = machine;
+    }
     SweepPlan plan = SweepPlan::expand(axes);
     SweepTelemetry telemetry;
     RunnerOptions opts;
@@ -677,6 +714,17 @@ cmdBatch(const std::vector<std::string> &args, std::ostream &out)
     if (!plan) {
         out << "batch: " << args[1] << ": " << error << "\n";
         return 2;
+    }
+    if (f.coherence) {
+        // Re-expand the spec's axes with the override folded into the
+        // machine, so one spec file can drive legacy-alpha and modeled
+        // runs (the CI coherence smoke relies on this).
+        SweepAxes axes = plan->axes();
+        MachineConfig machine = axes.resolvedMachine();
+        applyCoherence(f, &machine);
+        axes.machinePreset.clear();
+        axes.machine = machine;
+        plan = SweepPlan::expand(axes);
     }
 
     SweepTelemetry telemetry;

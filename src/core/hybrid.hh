@@ -46,6 +46,18 @@ class HybridWorkload : public Workload
     void buildTasks(Machine &machine,
                     const MpiRuntime &rt) const override;
 
+    /**
+     * The task's arrays are swept by all of its OpenMP threads:
+     * read-shared by the thread team (regardless of how the base
+     * workload shares across MPI ranks).
+     */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::readShared(threads_);
+    }
+
     int threadsPerTask() const { return threads_; }
 
   private:

@@ -51,6 +51,19 @@ SweepAxes::resolvedMachine() const
     return machine;
 }
 
+MachineConfig
+SweepAxes::variantMachine(size_t m) const
+{
+    MCSCOPE_ASSERT(m < machineVariants(), "machine variant ", m,
+                   " out of range");
+    MachineConfig cfg = resolvedMachine();
+    if (!directoryEntries.empty()) {
+        cfg.coherence.mode = CoherenceMode::Directory;
+        cfg.coherence.directoryEntries = directoryEntries[m];
+    }
+    return cfg;
+}
+
 size_t
 SweepPlan::specIndex(size_t point) const
 {
@@ -67,7 +80,7 @@ SweepPlan::pointSpec(size_t point) const
 
 size_t
 SweepPlan::pointIndex(size_t w, size_t i, size_t s, size_t r,
-                      size_t o) const
+                      size_t o, size_t m) const
 {
     MCSCOPE_ASSERT(hasAxes_, "pointIndex needs an axes-based plan");
     const size_t I = axes_.impls.size();
@@ -75,9 +88,10 @@ SweepPlan::pointIndex(size_t w, size_t i, size_t s, size_t r,
     const size_t R = axes_.rankCounts.size();
     const size_t O = axes_.options.size();
     MCSCOPE_ASSERT(w < axes_.workloads.size() && i < I && s < S &&
-                       r < R && o < O,
+                       r < R && o < O && m < axes_.machineVariants(),
                    "grid coordinate out of range");
-    return ((((w * I + i) * S + s) * R + r) * O + o);
+    return (((((m * axes_.workloads.size() + w) * I + i) * S + s) * R +
+             r) * O + o);
 }
 
 SweepPlan
@@ -112,24 +126,33 @@ SweepPlan::expand(const SweepAxes &axes)
     // (fromJson, the CLI) validate before expanding.
 
     std::vector<ScenarioSpec> specs;
-    specs.reserve(full.workloads.size() * full.impls.size() *
-                  full.sublayers.size() * full.rankCounts.size() *
-                  full.options.size());
-    for (const std::string &workload : full.workloads) {
-        for (MpiImpl impl : full.impls) {
-            for (SubLayer sublayer : full.sublayers) {
-                for (int ranks : full.rankCounts) {
-                    for (const NumactlOption &option : full.options) {
-                        ScenarioSpec s;
-                        s.workload = workload;
-                        s.machinePreset = full.machinePreset;
-                        s.machine = full.machine;
-                        s.option = option;
-                        s.ranks = ranks;
-                        s.impl = impl;
-                        s.sublayer = sublayer;
-                        s.latencyNoise = full.latencyNoise;
-                        specs.push_back(std::move(s));
+    specs.reserve(full.machineVariants() * full.workloads.size() *
+                  full.impls.size() * full.sublayers.size() *
+                  full.rankCounts.size() * full.options.size());
+    for (size_t m = 0; m < full.machineVariants(); ++m) {
+        // Directory variants are inline machines: their coherence
+        // block differs from the preset's, so canonicalize() keeps
+        // them distinct (and distinctly digested).
+        const bool variant = !full.directoryEntries.empty();
+        const MachineConfig machine = full.variantMachine(m);
+        for (const std::string &workload : full.workloads) {
+            for (MpiImpl impl : full.impls) {
+                for (SubLayer sublayer : full.sublayers) {
+                    for (int ranks : full.rankCounts) {
+                        for (const NumactlOption &option :
+                             full.options) {
+                            ScenarioSpec s;
+                            s.workload = workload;
+                            s.machinePreset =
+                                variant ? "" : full.machinePreset;
+                            s.machine = machine;
+                            s.option = option;
+                            s.ranks = ranks;
+                            s.impl = impl;
+                            s.sublayer = sublayer;
+                            s.latencyNoise = full.latencyNoise;
+                            specs.push_back(std::move(s));
+                        }
                     }
                 }
             }
@@ -264,6 +287,20 @@ SweepPlan::fromJson(const JsonValue &doc, std::string *error)
                                         "' (have: sysv, usysv)");
                     return std::nullopt;
                 }
+            }
+        } else if (key == "directory_entries") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error,
+                         "directory_entries must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &e : v.items()) {
+                if (!e.isNumber() || e.asNumber() < 1.0) {
+                    setError(error, "directory_entries entries must "
+                                    "be numbers >= 1");
+                    return std::nullopt;
+                }
+                axes.directoryEntries.push_back(e.asNumber());
             }
         } else if (key == "latency_noise") {
             if (!v.isNumber() || v.asNumber() <= 0.0) {

@@ -51,10 +51,29 @@ struct SweepAxes
     /** Default: {USysV}. */
     std::vector<SubLayer> sublayers;
 
+    /**
+     * Directory-size sweep axis: each entry expands the whole grid
+     * once more on a machine variant with coherence mode forced to
+     * Directory and `coherence.directoryEntries` set to the entry.
+     * Empty (the default) means a single variant: the base machine as
+     * configured.  Variants are the outermost grid dimension.
+     */
+    std::vector<double> directoryEntries;
+
     double latencyNoise = 1.0;
 
     /** The machine config the axes describe (preset resolved). */
     MachineConfig resolvedMachine() const;
+
+    /** Number of machine variants the grid expands over (>= 1). */
+    size_t
+    machineVariants() const
+    {
+        return directoryEntries.empty() ? 1 : directoryEntries.size();
+    }
+
+    /** Machine for variant `m` (directory override applied). */
+    MachineConfig variantMachine(size_t m) const;
 };
 
 /** A deduplicated, executable expansion of a sweep. */
@@ -110,10 +129,12 @@ class SweepPlan
 
     /**
      * Flat index of grid coordinate (workload w, impl i, sublayer s,
-     * rank r, option o) for an axes-based plan.
+     * rank r, option o) for an axes-based plan.  `m` selects the
+     * machine variant (directory-size sweeps); plans without a
+     * variant axis have exactly one, m = 0.
      */
     size_t pointIndex(size_t w, size_t i, size_t s, size_t r,
-                      size_t o) const;
+                      size_t o, size_t m = 0) const;
 
   private:
     std::vector<ScenarioSpec> specs_;

@@ -26,12 +26,19 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
 {
     const SweepAxes &axes = plan.axes();
     const MachineConfig machine = axes.resolvedMachine();
+    const size_t variants = axes.machineVariants();
     // One row label per (workload, impl, sublayer) combo; the
     // impl/sublayer suffix appears only when that axis actually
-    // varies, so the common one-impl case reads like Table 2.
+    // varies, so the common one-impl case reads like Table 2.  A
+    // directory-size sweep tags every row with its variant's entry
+    // count.
     const bool tag_impl = axes.impls.size() > 1;
     const bool tag_sublayer = axes.sublayers.size() > 1;
-    auto rowLabel = [&](size_t w, size_t i, size_t s) {
+    const bool tag_variant = !axes.directoryEntries.empty();
+    auto variantTag = [&](size_t m) {
+        return "dir=" + formatFixed(axes.directoryEntries[m], 0);
+    };
+    auto rowLabel = [&](size_t w, size_t i, size_t s, size_t m) {
         std::string label = axes.workloads[w];
         if (tag_impl)
             label += " [" + implToken(axes.impls[i]) + "]";
@@ -41,6 +48,8 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
                                      ? "sysv"
                                      : "usysv") +
                      "]";
+        if (tag_variant)
+            label += " [" + variantTag(m) + "]";
         return label;
     };
 
@@ -49,14 +58,17 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
         std::vector<std::string> header = {"machine", "workload",
                                            "impl", "sublayer",
                                            "ranks"};
+        if (tag_variant)
+            header.insert(header.begin() + 1, "directory_entries");
         for (const NumactlOption &o : axes.options)
             header.push_back(o.label);
         writer.writeRow(header);
-        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+        for (size_t m = 0; m < variants; ++m) {
+          for (size_t w = 0; w < axes.workloads.size(); ++w) {
             for (size_t i = 0; i < axes.impls.size(); ++i) {
                 for (size_t s = 0; s < axes.sublayers.size(); ++s) {
                     OptionSweepResult slice =
-                        optionSweepSlice(plan, results, w, i, s);
+                        optionSweepSlice(plan, results, w, i, s, -1, m);
                     for (size_t r = 0; r < slice.rankCounts.size();
                          ++r) {
                         std::vector<std::string> row = {
@@ -66,6 +78,12 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
                                 ? "sysv"
                                 : "usysv",
                             std::to_string(slice.rankCounts[r])};
+                        if (tag_variant) {
+                            row.insert(
+                                row.begin() + 1,
+                                formatFixed(axes.directoryEntries[m],
+                                            0));
+                        }
                         for (double v : slice.seconds[r])
                             row.push_back(std::isnan(v)
                                               ? ""
@@ -74,23 +92,27 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
                     }
                 }
             }
+          }
         }
     } else {
         out << "machine: " << machine.name << " (" << machine.sockets
             << " sockets x " << machine.coresPerSocket << " cores)\n";
         TextTable t(optionSweepHeader("Workload"));
         bool first = true;
-        for (size_t w = 0; w < axes.workloads.size(); ++w) {
+        for (size_t m = 0; m < variants; ++m) {
+          for (size_t w = 0; w < axes.workloads.size(); ++w) {
             for (size_t i = 0; i < axes.impls.size(); ++i) {
                 for (size_t s = 0; s < axes.sublayers.size(); ++s) {
                     if (!first)
                         t.addSeparator();
                     first = false;
                     appendOptionSweepRows(
-                        t, optionSweepSlice(plan, results, w, i, s),
-                        rowLabel(w, i, s));
+                        t,
+                        optionSweepSlice(plan, results, w, i, s, -1, m),
+                        rowLabel(w, i, s, m));
                 }
             }
+          }
         }
         t.print(out);
     }

@@ -1494,7 +1494,7 @@ runPlanSharded(const SweepPlan &plan, const ShardOptions &sopts,
 
 OptionSweepResult
 optionSweepSlice(const SweepPlan &plan, const PlanResults &results,
-                 size_t w, size_t i, size_t s, int tag)
+                 size_t w, size_t i, size_t s, int tag, size_t m)
 {
     MCSCOPE_ASSERT(plan.hasAxes(),
                    "optionSweepSlice needs an axes-based plan");
@@ -1508,7 +1508,7 @@ optionSweepSlice(const SweepPlan &plan, const PlanResults &results,
     for (size_t r = 0; r < axes.rankCounts.size(); ++r) {
         for (size_t o = 0; o < axes.options.size(); ++o) {
             const RunResult &res =
-                results.at(plan, plan.pointIndex(w, i, s, r, o));
+                results.at(plan, plan.pointIndex(w, i, s, r, o, m));
             if (!res.valid) {
                 out.seconds[r][o] =
                     std::numeric_limits<double>::quiet_NaN();

@@ -255,10 +255,13 @@ PlanResults runPlan(const SweepPlan &plan, const RunnerOptions &opts);
  * (w, i, s) -- the Tables 2/3/7/9/11/13/14 shape.
  *
  * @param tag  -1 reports makespan, otherwise the tagged phase time.
+ * @param m    machine variant (directory-size sweep point), 0 for
+ *             plans without a variant axis.
  */
 OptionSweepResult optionSweepSlice(const SweepPlan &plan,
                                    const PlanResults &results, size_t w,
-                                   size_t i, size_t s, int tag = -1);
+                                   size_t i, size_t s, int tag = -1,
+                                   size_t m = 0);
 
 /** How to execute a plan across worker subprocesses (DESIGN.md §10). */
 struct ShardOptions

@@ -1,6 +1,7 @@
 #include "core/scenario.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstring>
 
 #include "core/calibration.hh"
@@ -154,6 +155,52 @@ setError(std::string *err, const std::string &msg)
     return false;
 }
 
+/** Parse a machine.coherence block; false + *error on bad input. */
+bool
+parseCoherenceConfig(const JsonValue &doc, CoherenceConfig *out,
+                     std::string *error)
+{
+    if (!doc.isObject())
+        return setError(error, "machine.coherence must be an object");
+    for (const auto &[key, v] : doc.members()) {
+        auto positive = [&](double &field, double min) {
+            if (!v.isNumber() || v.asNumber() < min) {
+                setError(error, "machine.coherence." + key +
+                                    " must be a number >= " +
+                                    JsonValue::number(min).dump());
+                return false;
+            }
+            field = v.asNumber();
+            return true;
+        };
+        bool ok = true;
+        if (key == "mode") {
+            if (!v.isString() ||
+                !parseCoherenceMode(v.asString(), &out->mode)) {
+                return setError(
+                    error,
+                    "machine.coherence.mode must be one of "
+                    "legacy-alpha, snoopy, directory");
+            }
+        } else if (key == "probe_bytes") {
+            ok = positive(out->probeBytes, 0.0);
+        } else if (key == "line_bytes") {
+            ok = positive(out->lineBytes, 1.0);
+        } else if (key == "directory_entries") {
+            ok = positive(out->directoryEntries, 1.0);
+        } else if (key == "directory_ways") {
+            ok = positive(out->directoryWays, 1.0);
+        } else {
+            return setError(error,
+                            "unknown machine.coherence key '" + key +
+                                "'");
+        }
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 JsonValue
@@ -178,6 +225,17 @@ machineConfigToJson(const MachineConfig &config)
           JsonValue::number(config.htLinkBandwidth));
     m.set("ht_hop_latency", JsonValue::number(config.htHopLatency));
     m.set("coherence_alpha", JsonValue::number(config.coherenceAlpha));
+    JsonValue coh = JsonValue::object();
+    coh.set("mode",
+            JsonValue::str(coherenceModeName(config.coherence.mode)));
+    coh.set("probe_bytes",
+            JsonValue::number(config.coherence.probeBytes));
+    coh.set("line_bytes", JsonValue::number(config.coherence.lineBytes));
+    coh.set("directory_entries",
+            JsonValue::number(config.coherence.directoryEntries));
+    coh.set("directory_ways",
+            JsonValue::number(config.coherence.directoryWays));
+    m.set("coherence", std::move(coh));
     m.set("stream_concurrency_bytes",
           JsonValue::number(config.streamConcurrencyBytes));
     m.set("same_die_bandwidth_boost",
@@ -218,7 +276,16 @@ parseMachineConfig(const JsonValue &doc, std::string *error)
                 setError(error, "machine." + key + " must be a number");
                 return false;
             }
-            field = static_cast<int>(v.asNumber());
+            double d = v.asNumber();
+            // Truncating here would silently simulate a different
+            // machine than the one the user wrote (and digest it).
+            if (d != std::floor(d) || d < -1.0e9 || d > 1.0e9) {
+                setError(error, "machine." + key +
+                                    " must be an integer, got " +
+                                    JsonValue::number(d).dump());
+                return false;
+            }
+            field = static_cast<int>(d);
             return true;
         };
         bool ok = true;
@@ -270,10 +337,31 @@ parseMachineConfig(const JsonValue &doc, std::string *error)
                              "[socket, socket] pairs");
                     return std::nullopt;
                 }
-                c.htLinks.emplace_back(
-                    static_cast<int>(link.items()[0].asNumber()),
-                    static_cast<int>(link.items()[1].asNumber()));
+                int a = static_cast<int>(link.items()[0].asNumber());
+                int b = static_cast<int>(link.items()[1].asNumber());
+                if (a == b) {
+                    setError(error,
+                             "machine.ht_links has self-link " +
+                                 std::to_string(a) + "-" +
+                                 std::to_string(b));
+                    return std::nullopt;
+                }
+                for (const auto &[pa, pb] : c.htLinks) {
+                    if ((pa == a && pb == b) ||
+                        (pa == b && pb == a)) {
+                        setError(error,
+                                 "machine.ht_links has duplicate "
+                                 "link " +
+                                     std::to_string(a) + "-" +
+                                     std::to_string(b));
+                        return std::nullopt;
+                    }
+                }
+                c.htLinks.emplace_back(a, b);
             }
+        } else if (key == "coherence") {
+            if (!parseCoherenceConfig(v, &c.coherence, error))
+                return std::nullopt;
         } else {
             setError(error, "unknown machine key '" + key + "'");
             return std::nullopt;

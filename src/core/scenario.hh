@@ -53,7 +53,7 @@ namespace mcscope {
  * changes behavior: old cache entries become unreachable instead of
  * silently wrong.
  */
-constexpr const char *kScenarioModelVersion = "mcscope-model-1";
+constexpr const char *kScenarioModelVersion = "mcscope-model-2";
 
 /** Declarative description of one experiment point. */
 struct ScenarioSpec

@@ -63,12 +63,12 @@ DaxpyWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const double miss = cacheMissFraction(working_set, l2);
     const double traffic = 24.0 * static_cast<double>(n_) * miss;
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     prog.compute(flopsPerIteration(), flop_eff);
     // Scale the stream's latency cap for the prefetch quality by
     // emitting the memory phase and shrinking each work's cap.
     std::vector<Prim> prims = prog.take();
-    RankProgram mem(machine, rt, rank);
+    RankProgram mem(machine, rt, rank, sharingSignature(rt.ranks()));
     mem.memory(traffic);
     for (Prim &p : mem.prims()) {
         if (auto *w = std::get_if<Work>(&p)) {

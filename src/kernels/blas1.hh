@@ -62,6 +62,13 @@ class DaxpyWorkload : public LoopWorkload
      */
     double aggregateGflops(const Machine &machine, int ranks) const;
 
+    /** Vectors are partitioned; each rank owns its slice. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     size_t n_;
     uint64_t iterations_;

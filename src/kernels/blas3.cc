@@ -100,7 +100,7 @@ DgemmWorkload::body(const Machine &machine, const MpiRuntime &rt,
         traffic = n * n * n * 8.0 * miss + 3.0 * 8.0 * n * n;
     }
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     prog.compute(flopsPerIteration(), flop_eff);
     prog.memory(traffic);
     return prog.take();

@@ -62,6 +62,13 @@ class DgemmWorkload : public LoopWorkload
     /** Aggregate GFlop/s of a finished run. */
     double aggregateGflops(const Machine &machine, int ranks) const;
 
+    /** Blocked matrices are rank-private. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     size_t n_;
     uint64_t iterations_;

@@ -151,7 +151,7 @@ FftWorkload::body(const Machine &machine, const MpiRuntime &rt,
     // regardless of depth; out-of-cache working sets pay ~4 passes.
     const double passes = 1.0 + 3.0 * cacheMissFraction(bytes, l2);
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     prog.compute(flopsPerIteration(), 0.55, tags::kFft);
     prog.memory(bytes * passes, tags::kFft);
     return prog.take();

@@ -62,6 +62,13 @@ class FftWorkload : public LoopWorkload
     /** Aggregate GFlop/s of a finished run. */
     double aggregateGflops(const Machine &machine, int ranks) const;
 
+    /** The per-rank vector is private. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     size_t n_;
     uint64_t iterations_;

@@ -111,7 +111,7 @@ HplWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const double dgemm_block = std::sqrt(l2 / (3.0 * 8.0));
     const double traffic = flops_step / dgemm_block * 8.0;
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     if (p > 1) {
         // Pivot selection: one small allreduce per column within the

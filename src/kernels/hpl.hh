@@ -54,6 +54,13 @@ class HplWorkload : public LoopWorkload
     /** Aggregate GFlop/s of a finished run. */
     double aggregateGflops(const Machine &machine) const;
 
+    /** Trailing-update traffic on the rank's own panel dominates. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     size_t n_;
     size_t block_;

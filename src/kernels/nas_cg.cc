@@ -64,7 +64,7 @@ NasCgWorkload::body(const Machine &machine, const MpiRuntime &rt,
             ? 1.0 + 0.15 * (machine.config().sockets - 1)
             : 1.0;
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     prog.compute(inner * (spmv_flops + vec_flops), 0.45);
     prog.memory(inner * stream_bytes);
     prog.memoryCapped(inner * gather_bytes * gather_penalty, gather_cap);

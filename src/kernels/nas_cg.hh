@@ -61,6 +61,13 @@ class NasCgWorkload : public LoopWorkload
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
 
+    /** The sparse-matrix partition is rank-private. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     NasCgClass klass_;
 };

@@ -50,7 +50,7 @@ NasEpWorkload::body(const Machine &machine, const MpiRuntime &rt,
                     int rank) const
 {
     const int p = rt.ranks();
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     // ~40 flops per pair (two uniforms, the polar test, log/sqrt on
     // the ~pi/4 accepted fraction); the working set is a few scalars,
     // so no memory phase at all.

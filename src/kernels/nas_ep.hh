@@ -66,6 +66,13 @@ class NasEpWorkload : public LoopWorkload
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
 
+    /** Embarrassingly parallel: nothing is shared. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     NasEpClass klass_;
 };

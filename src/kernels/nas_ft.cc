@@ -51,7 +51,7 @@ NasFtWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const double bank_penalty =
         socketSharers(machine, rt, rank) > 1 ? 1.12 : 1.0;
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     prog.compute(flops, 0.50, tags::kFft);
     prog.memory(bytes * bank_penalty, tags::kFft);
 

@@ -55,6 +55,13 @@ class NasFtWorkload : public LoopWorkload
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
 
+    /** Pencil-decomposed grids are rank-private. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     NasFtClass klass_;
 };

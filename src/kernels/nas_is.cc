@@ -72,7 +72,7 @@ NasIsWorkload::body(const Machine &machine, const MpiRuntime &rt,
 {
     const int p = rt.ranks();
     const double local_keys = klass_.keys / p;
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     // Local bucket counting: one integer pass with scattered
     // increments into the count array (latency-limited like a

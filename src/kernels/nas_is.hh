@@ -64,6 +64,13 @@ class NasIsWorkload : public LoopWorkload
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
 
+    /** Bucket slices are rank-owned after the key exchange. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     NasIsClass klass_;
 };

@@ -170,7 +170,7 @@ NasMgWorkload::body(const Machine &machine, const MpiRuntime &rt,
                     int rank) const
 {
     const int p = rt.ranks();
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     // Walk the grid pyramid: each level does smoothing sweeps
     // (stencil flops + streaming traffic) and a 6-face halo exchange

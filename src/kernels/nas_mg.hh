@@ -98,6 +98,13 @@ class NasMgWorkload : public LoopWorkload
     std::vector<Prim> body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const override;
 
+    /** Grid hierarchy is block-decomposed per rank. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     NasMgClass klass_;
 };

@@ -39,7 +39,7 @@ PtransWorkload::body(const Machine &machine, const MpiRuntime &rt,
     const int p = rt.ranks();
     const double local_bytes = matrixBytes() / p;
 
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     if (p > 1) {
         // Off-diagonal blocks move to their transposed owner; all but
         // 1/p of the local panel crosses ranks.  LAM's shared-memory

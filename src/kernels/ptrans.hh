@@ -48,6 +48,16 @@ class PtransWorkload : public LoopWorkload
     /** Aggregate transpose bandwidth (bytes/s) of a finished run. */
     double aggregateBandwidth(const Machine &machine) const;
 
+    /**
+     * Transpose exchange buffers are touched by exactly two ranks
+     * (block owner writes, transpose partner reads).
+     */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::readShared(2);
+    }
   private:
     size_t n_;
     uint64_t iterations_;

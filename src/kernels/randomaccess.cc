@@ -59,11 +59,11 @@ std::vector<Prim>
 RandomAccessWorkload::body(const Machine &machine, const MpiRuntime &rt,
                            int rank) const
 {
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     // Dependent random updates: the stream's rate cap is set by
     // latency and a tiny miss concurrency, not by link bandwidth.
     std::vector<Prim> prims;
-    RankProgram mem(machine, rt, rank);
+    RankProgram mem(machine, rt, rank, sharingSignature(rt.ranks()));
     mem.memory(updates_ * kBytesPerUpdate);
     double conc_bytes = kUpdateConcurrencyLines * 64.0 * 2.0;
     double stream_bytes = machine.config().streamConcurrencyBytes;
@@ -104,7 +104,7 @@ MpiRandomAccessWorkload::body(const Machine &machine, const MpiRuntime &rt,
                               int rank) const
 {
     const int p = rt.ranks();
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
 
     if (p > 1) {
         // Updates are bucketed per destination and shipped in small
@@ -127,7 +127,7 @@ MpiRandomAccessWorkload::body(const Machine &machine, const MpiRuntime &rt,
     }
 
     // Apply all updates destined for this rank's table slice.
-    RankProgram mem(machine, rt, rank);
+    RankProgram mem(machine, rt, rank, sharingSignature(rt.ranks()));
     mem.memory(updates_ * kBytesPerUpdate);
     double conc_bytes = kUpdateConcurrencyLines * 64.0 * 2.0;
     double stream_bytes = machine.config().streamConcurrencyBytes;

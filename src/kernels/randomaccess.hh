@@ -66,6 +66,13 @@ class RandomAccessWorkload : public LoopWorkload
     /** Aggregate GUPS (giga-updates/s) of a finished run. */
     double aggregateGups(const Machine &machine, int ranks) const;
 
+    /** The update table is rank-local: private. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     double tableBytes_;
     double updates_;
@@ -97,6 +104,16 @@ class MpiRandomAccessWorkload : public LoopWorkload
     /** Aggregate GUPS of a finished run. */
     double aggregateGups(const Machine &machine, int ranks) const;
 
+    /**
+     * Global-table updates land in ever-changing remote slices:
+     * line ownership migrates access to access.
+     */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::migratory();
+    }
   private:
     double tableBytes_;
     double updates_;

@@ -107,7 +107,7 @@ std::vector<Prim>
 StreamWorkload::body(const Machine &machine, const MpiRuntime &rt,
                      int rank) const
 {
-    RankProgram prog(machine, rt, rank);
+    RankProgram prog(machine, rt, rank, sharingSignature(rt.ranks()));
     // Triad's arithmetic is free relative to its traffic; the sweep is
     // one memory phase.  Working sets in the figures are far beyond
     // cache, so all logical bytes reach memory.  Two concurrent triad

@@ -93,6 +93,13 @@ class StreamWorkload : public LoopWorkload
      */
     double aggregateBandwidth(const Machine &machine, int ranks) const;
 
+    /** Each rank sweeps its own disjoint arrays: no true sharing. */
+    SharingDescriptor
+    sharingSignature(int ranks) const override
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
   private:
     size_t elementsPerRank_;
     uint64_t iterations_;

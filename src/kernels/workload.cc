@@ -8,10 +8,11 @@
 namespace mcscope {
 
 RankProgram::RankProgram(const Machine &machine, const MpiRuntime &rt,
-                         int rank)
+                         int rank, const SharingDescriptor &sharing)
     : machine_(&machine),
       rt_(&rt),
       rank_(rank),
+      sharing_(sharing),
       spread_(rt.placement().memorySpread(rank))
 {
 }
@@ -36,7 +37,7 @@ RankProgram::memory(double bytes, int tag)
     if (bytes <= 0.0)
         return;
     for (Work &w : machine_->memoryWorks(rt_->coreOf(rank_), spread_,
-                                         bytes, tag)) {
+                                         bytes, tag, sharing_)) {
         prims_.push_back(std::move(w));
     }
 }
@@ -48,8 +49,10 @@ RankProgram::memoryCapped(double bytes, double cap_factor, int tag)
         return;
     MCSCOPE_ASSERT(cap_factor > 0.0, "cap factor must be positive");
     for (Work &w : machine_->memoryWorks(rt_->coreOf(rank_), spread_,
-                                         bytes, tag)) {
-        if (w.rateCap > 0.0)
+                                         bytes, tag, sharing_)) {
+        // Low-concurrency access patterns throttle the data stream,
+        // not the protocol traffic it generates.
+        if (w.rateCap > 0.0 && w.tag != tags::kCoherence)
             w.rateCap *= cap_factor;
         prims_.push_back(std::move(w));
     }
@@ -61,7 +64,7 @@ RankProgram::memoryAt(int node, double bytes, int tag)
     if (bytes <= 0.0)
         return;
     for (Work &w : machine_->memoryWorks(rt_->coreOf(rank_), node,
-                                         bytes, tag)) {
+                                         bytes, tag, sharing_)) {
         prims_.push_back(std::move(w));
     }
 }

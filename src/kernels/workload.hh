@@ -35,6 +35,8 @@ constexpr int kComm = 3;
 constexpr int kFft = 4;
 constexpr int kBaroclinic = 5;
 constexpr int kBarotropic = 6;
+/** Coherence protocol flows emitted by Machine (machine/coherence.hh). */
+constexpr int kCoherence = kCoherenceWorkTag;
 
 } // namespace tags
 
@@ -48,7 +50,14 @@ constexpr int kBarotropic = 6;
 class RankProgram
 {
   public:
-    RankProgram(const Machine &machine, const MpiRuntime &rt, int rank);
+    /**
+     * `sharing` describes how this rank's memory regions are shared
+     * across ranks (Workload::sharingSignature()); it is forwarded to
+     * Machine::memoryWorks so the coherence model can price
+     * invalidation traffic in the modeled modes.
+     */
+    RankProgram(const Machine &machine, const MpiRuntime &rt, int rank,
+                const SharingDescriptor &sharing = {});
 
     /** The rank this program belongs to. */
     int rank() const { return rank_; }
@@ -87,6 +96,7 @@ class RankProgram
     const Machine *machine_;
     const MpiRuntime *rt_;
     int rank_;
+    SharingDescriptor sharing_;
     std::vector<NodeFraction> spread_;
     std::vector<Prim> prims_;
 };
@@ -118,6 +128,21 @@ class Workload
      * bumping kScenarioModelVersion is a cache-poisoning bug.
      */
     virtual std::string signature() const { return ""; }
+
+    /**
+     * How this workload's per-rank memory regions are shared across
+     * `ranks` ranks.  Consumed by the coherence model (DESIGN.md §15):
+     * Directory mode prices invalidation/ownership traffic from it,
+     * Snoopy broadcasts regardless.  The honest default for MPI codes
+     * is private (each rank owns its partition); workloads whose access
+     * pattern is read-shared or migratory override this.
+     */
+    virtual SharingDescriptor
+    sharingSignature(int ranks) const
+    {
+        (void)ranks;
+        return SharingDescriptor::privateData();
+    }
 
     /**
      * Add one task per rank to machine.engine().  `rt` supplies the

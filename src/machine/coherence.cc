@@ -1,0 +1,185 @@
+#include "machine/coherence.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace mcscope {
+
+const char *
+coherenceModeName(CoherenceMode mode)
+{
+    switch (mode) {
+      case CoherenceMode::LegacyAlpha:
+        return "legacy-alpha";
+      case CoherenceMode::Snoopy:
+        return "snoopy";
+      case CoherenceMode::Directory:
+        return "directory";
+    }
+    fatal("unreachable coherence mode ", static_cast<int>(mode));
+}
+
+bool
+parseCoherenceMode(const std::string &text, CoherenceMode *out)
+{
+    if (text == "legacy-alpha") {
+        *out = CoherenceMode::LegacyAlpha;
+        return true;
+    }
+    if (text == "snoopy") {
+        *out = CoherenceMode::Snoopy;
+        return true;
+    }
+    if (text == "directory") {
+        *out = CoherenceMode::Directory;
+        return true;
+    }
+    return false;
+}
+
+void
+CoherenceConfig::validate(const std::string &machine_name) const
+{
+    if (probeBytes < 0.0)
+        fatal("machine '", machine_name,
+              "': coherence probe bytes must be >= 0");
+    if (lineBytes <= 0.0)
+        fatal("machine '", machine_name,
+              "': coherence line bytes must be positive");
+    if (directoryEntries < 1.0)
+        fatal("machine '", machine_name,
+              "': directory entries must be >= 1");
+    if (directoryWays < 1.0)
+        fatal("machine '", machine_name,
+              "': directory ways must be >= 1");
+}
+
+CoherenceModel::CoherenceModel(const CoherenceConfig &cfg, int sockets)
+    : cfg_(cfg), sockets_(sockets)
+{
+    MCSCOPE_ASSERT(sockets >= 1, "coherence model needs >= 1 socket");
+}
+
+double
+CoherenceModel::transferTax() const
+{
+    // Copy loops touch every line once; each miss costs control
+    // traffic proportional to probeBytes / lineBytes.  Snoopy pays it
+    // per remote socket (broadcast); a directory resolves it with one
+    // home lookup.
+    double per_line = cfg_.probeBytes / cfg_.lineBytes;
+    switch (cfg_.mode) {
+      case CoherenceMode::LegacyAlpha:
+        return 1.0;
+      case CoherenceMode::Snoopy:
+        return 1.0 + per_line * (sockets_ - 1);
+      case CoherenceMode::Directory:
+        return 1.0 + per_line;
+    }
+    fatal("unreachable coherence mode ", static_cast<int>(cfg_.mode));
+}
+
+double
+CoherenceModel::directoryEvictFraction(double bytes) const
+{
+    if (cfg_.mode != CoherenceMode::Directory || bytes <= 0.0)
+        return 0.0;
+    // A sparse directory of E entries with W ways holds slightly less
+    // than E hot lines under streaming conflict pressure; model the
+    // conflict loss as one way's worth (grphit's sparse directory
+    // shows the same first-order shape).
+    double eff_entries =
+        cfg_.directoryEntries * cfg_.directoryWays /
+        (cfg_.directoryWays + 1.0);
+    double lines = bytes / cfg_.lineBytes;
+    if (lines <= eff_entries)
+        return 0.0;
+    return 1.0 - eff_entries / lines;
+}
+
+void
+CoherenceModel::priceAccess(int requester_socket, int home_node,
+                            double bytes,
+                            const SharingDescriptor &sharing,
+                            std::vector<CoherenceFlow> &out) const
+{
+    MCSCOPE_ASSERT(requester_socket >= 0 && requester_socket < sockets_,
+                   "bad requester socket ", requester_socket);
+    MCSCOPE_ASSERT(home_node >= 0 && home_node < sockets_,
+                   "bad home node ", home_node);
+    if (!modelsTraffic() || sockets_ <= 1 || bytes <= 0.0)
+        return;
+
+    double lines = bytes / cfg_.lineBytes;
+    double control = lines * cfg_.probeBytes;
+    if (control <= 0.0)
+        return;
+
+    if (cfg_.mode == CoherenceMode::Snoopy) {
+        // Broadcast protocol: every access probes every remote socket,
+        // sharing or not.  Ascending socket order keeps Work paths and
+        // audit digests deterministic.
+        for (int s = 0; s < sockets_; ++s) {
+            if (s == requester_socket)
+                continue;
+            out.push_back({CoherenceFlow::Kind::Control,
+                           requester_socket, s, control});
+        }
+        return;
+    }
+
+    // Directory mode: the home directory filters probes, so private
+    // data only pays capacity pressure, and true sharing pays
+    // point-to-point traffic.
+    double evict = directoryEvictFraction(bytes);
+    if (evict > 0.0) {
+        // Back-invalidated lines are re-fetched from home memory...
+        out.push_back({CoherenceFlow::Kind::Refill, home_node,
+                       requester_socket, evict * bytes});
+        // ...after a recall notice from the home directory.
+        if (home_node != requester_socket)
+            out.push_back({CoherenceFlow::Kind::Control, home_node,
+                           requester_socket, evict * control});
+    }
+
+    switch (sharing.cls) {
+      case SharingClass::Private:
+        break;
+      case SharingClass::ReadShared: {
+        // A fraction of the shared lines is dirtied per pass; each
+        // write invalidates the other sharers point-to-point.  Pick
+        // the invalidation targets deterministically: ascending socket
+        // ids, skipping the writer.
+        int victims =
+            std::min(sharing.sharers, sockets_) - 1;
+        double inval = kSharedWriteFraction * control;
+        for (int s = 0; victims > 0 && s < sockets_; ++s) {
+            if (s == requester_socket)
+                continue;
+            out.push_back({CoherenceFlow::Kind::Control,
+                           requester_socket, s, inval});
+            --victims;
+        }
+        break;
+      }
+      case SharingClass::Migratory: {
+        // Each access finds the line dirty in the previous owner's
+        // cache: a request to the home directory plus a cache-to-cache
+        // transfer (control + full line) from the owner.  The owner is
+        // modeled as the requester's ring successor — deterministic
+        // and distance-1-ish on ladder topologies.
+        if (home_node != requester_socket)
+            out.push_back({CoherenceFlow::Kind::Control,
+                           requester_socket, home_node, control});
+        int owner = (requester_socket + 1) % sockets_;
+        if (owner != requester_socket)
+            out.push_back({CoherenceFlow::Kind::Control, owner,
+                           requester_socket,
+                           lines * (cfg_.probeBytes + cfg_.lineBytes)});
+        break;
+      }
+    }
+}
+
+} // namespace mcscope

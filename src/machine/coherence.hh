@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Cache-coherence traffic model (DESIGN.md §15).
+ *
+ * Historically the coherence cost of a multi-socket Opteron was a
+ * single calibration scalar (`MachineConfig::coherenceAlpha`) that
+ * divided per-socket memory bandwidth.  This layer replaces the scalar
+ * with priced protocol traffic: probe and invalidation flows routed on
+ * the HyperTransport link resources, so the Longs <50% STREAM shape
+ * (paper Section 3.3) emerges from first principles and new scenario
+ * families (directory-size sweeps, snoopy-vs-directory) become
+ * expressible.
+ *
+ * Three modes:
+ *  - LegacyAlpha: the original scalar tax, kept bit-identical for
+ *    reproducibility of all pre-model results.
+ *  - Snoopy: every streamed line broadcasts a probe to every remote
+ *    socket (the Opteron broadcast protocol); probes are latency-
+ *    limited flows on the HT fabric, independent of actual sharing.
+ *  - Directory: a sparse directory filters probes; only true sharing
+ *    (read-shared invalidations, migratory ownership transfers) and
+ *    directory capacity evictions generate traffic.
+ */
+
+#ifndef MCSCOPE_MACHINE_COHERENCE_HH
+#define MCSCOPE_MACHINE_COHERENCE_HH
+
+#include <string>
+#include <vector>
+
+namespace mcscope {
+
+/** Coherence protocol family used to price memory traffic. */
+enum class CoherenceMode
+{
+    /** Deprecated scalar tax: bandwidth / (1 + alpha*(sockets-1)). */
+    LegacyAlpha,
+    /** Broadcast probes to all remote sockets on every access. */
+    Snoopy,
+    /** Sparse directory: point-to-point invalidations + evictions. */
+    Directory,
+};
+
+/** Canonical lowercase name ("legacy-alpha", "snoopy", "directory"). */
+const char *coherenceModeName(CoherenceMode mode);
+
+/** Parse a mode name; returns false (and leaves *out alone) if unknown. */
+bool parseCoherenceMode(const std::string &text, CoherenceMode *out);
+
+/**
+ * Coherence model parameters.  Part of MachineConfig, serialized into
+ * scenario canonical JSON and folded into the scenario digest.
+ */
+struct CoherenceConfig
+{
+    CoherenceMode mode = CoherenceMode::LegacyAlpha;
+
+    /** Bytes per probe / invalidation control message on an HT link. */
+    double probeBytes = 4.0;
+
+    /** Coherence granule (cache line) in bytes. */
+    double lineBytes = 64.0;
+
+    /** Sparse-directory entries per home socket (Directory mode). */
+    double directoryEntries = 65536.0;
+
+    /** Sparse-directory associativity (Directory mode). */
+    double directoryWays = 4.0;
+
+    /** Validate invariants; fatal() naming `machine_name` on nonsense. */
+    void validate(const std::string &machine_name) const;
+};
+
+/** How a workload's ranks share a streamed memory region. */
+enum class SharingClass
+{
+    /** Each rank touches its own data; no true sharing. */
+    Private,
+    /** Read by `sharers` ranks, occasionally written (invalidations). */
+    ReadShared,
+    /** Ownership migrates access-to-access (cache-to-cache transfers). */
+    Migratory,
+};
+
+/**
+ * Sharing descriptor attached to a memory Work.  Derived from
+ * Workload::sharingSignature(); consumed by the Directory pricing
+ * (Snoopy probes are sharing-independent, which is exactly why private
+ * STREAM still pays the broadcast tax).
+ */
+struct SharingDescriptor
+{
+    SharingClass cls = SharingClass::Private;
+
+    /** Number of ranks reading the region (ReadShared only). */
+    int sharers = 1;
+
+    static SharingDescriptor
+    privateData()
+    {
+        return {};
+    }
+
+    static SharingDescriptor
+    readShared(int k)
+    {
+        return {SharingClass::ReadShared, k < 1 ? 1 : k};
+    }
+
+    static SharingDescriptor
+    migratory()
+    {
+        return {SharingClass::Migratory, 1};
+    }
+};
+
+/**
+ * One priced protocol flow between sockets.  The Machine maps it onto
+ * engine resources: Control flows occupy only the HT links along
+ * route(from, to) and are capped by the probe round-trip latency;
+ * Refill flows additionally occupy the home memory controller and are
+ * capped like a remote memory stream.
+ */
+struct CoherenceFlow
+{
+    enum class Kind
+    {
+        /** Probe / invalidation / ownership-transfer messages. */
+        Control,
+        /** Data re-fetched from home memory (capacity evictions). */
+        Refill,
+    };
+
+    Kind kind = Kind::Control;
+    int from = 0;
+    int to = 0;
+    double bytes = 0.0;
+};
+
+/**
+ * Engine Work tag for coherence protocol flows, so traces and
+ * timelines can attribute fabric time to the protocol.  Mirrored as
+ * tags::kCoherence in kernels/workload.hh (kernels already depend on
+ * machine, not vice versa).
+ */
+constexpr int kCoherenceWorkTag = 7;
+
+/**
+ * Fraction of read-shared lines that a sharer dirties per pass,
+ * triggering invalidations to the other sharers (Directory mode).
+ */
+constexpr double kSharedWriteFraction = 1.0 / 3.0;
+
+/**
+ * Prices coherence traffic for one machine.  Stateless after
+ * construction; all flow emission is deterministic (ascending socket
+ * order) because the flows feed Work paths and hence audit digests.
+ */
+class CoherenceModel
+{
+  public:
+    CoherenceModel() = default;
+    CoherenceModel(const CoherenceConfig &cfg, int sockets);
+
+    CoherenceMode mode() const { return cfg_.mode; }
+    const CoherenceConfig &config() const { return cfg_; }
+    int sockets() const { return sockets_; }
+
+    /** True when probe/invalidation flows are emitted (non-legacy). */
+    bool
+    modelsTraffic() const
+    {
+        return cfg_.mode != CoherenceMode::LegacyAlpha;
+    }
+
+    /**
+     * Divisor applied to the shared-memory copy bandwidth in
+     * transferWork for the modeled modes (>= 1).  Legacy mode never
+     * calls this; it keeps the exact effectiveMemBandwidth() formula.
+     */
+    double transferTax() const;
+
+    /**
+     * Sparse-directory capacity pressure: fraction of a `bytes`-sized
+     * streamed region whose directory entries are evicted (forcing
+     * back-invalidation and re-fetch).  Zero outside Directory mode
+     * and for regions that fit in the effective directory.
+     */
+    double directoryEvictFraction(double bytes) const;
+
+    /**
+     * Append protocol flows for `bytes` streamed from NUMA node
+     * `home_node` into `requester_socket` under `sharing`.  Emits
+     * nothing in LegacyAlpha mode and on single-socket machines.
+     */
+    void priceAccess(int requester_socket, int home_node, double bytes,
+                     const SharingDescriptor &sharing,
+                     std::vector<CoherenceFlow> &out) const;
+
+  private:
+    CoherenceConfig cfg_;
+    int sockets_ = 1;
+};
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_COHERENCE_HH

@@ -21,10 +21,20 @@ MachineConfig::validate() const
     if (sockets > 1 && htLinks.empty())
         fatal("machine '", name,
               "': multi-socket machine needs HT links");
-    for (const auto &[a, b] : htLinks) {
-        if (a < 0 || a >= sockets || b < 0 || b >= sockets || a == b)
+    for (size_t i = 0; i < htLinks.size(); ++i) {
+        auto [a, b] = htLinks[i];
+        if (a < 0 || a >= sockets || b < 0 || b >= sockets)
             fatal("machine '", name, "': bad HT link ", a, "-", b);
+        if (a == b)
+            fatal("machine '", name, "': HT self-link ", a, "-", b);
+        for (size_t j = 0; j < i; ++j) {
+            auto [c, d] = htLinks[j];
+            if ((c == a && d == b) || (c == b && d == a))
+                fatal("machine '", name, "': duplicate HT link ", a,
+                      "-", b);
+        }
     }
+    coherence.validate(name);
 }
 
 std::vector<std::pair<int, int>>

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/coherence.hh"
 #include "sim/time.hh"
 
 namespace mcscope {
@@ -63,13 +64,17 @@ struct MachineConfig
     SimTime htHopLatency = 69.0e-9;
 
     /**
-     * Cache-coherence probe tax: effective per-socket memory bandwidth
-     * is divided by (1 + coherenceAlpha * (sockets - 1)).  This models
-     * the broadcast probes that made the 8-socket Longs system achieve
-     * less than half the expected single-core STREAM bandwidth
-     * (Section 3.3 of the paper).
+     * Deprecated cache-coherence probe tax, used only when
+     * `coherence.mode == CoherenceMode::LegacyAlpha`: effective
+     * per-socket memory bandwidth is divided by
+     * (1 + coherenceAlpha * (sockets - 1)).  The modeled modes price
+     * the probe traffic as real flows instead (machine/coherence.hh);
+     * this scalar is kept so historical results stay bit-identical.
      */
     double coherenceAlpha = 0.165;
+
+    /** Coherence traffic model (DESIGN.md §15). */
+    CoherenceConfig coherence;
 
     /**
      * Outstanding bytes a single core keeps in flight (miss-level
@@ -105,7 +110,9 @@ struct MachineConfig
     double coreFlops() const { return coreGHz * 1.0e9 * flopsPerCycle; }
 
     /**
-     * Effective memory bandwidth per socket after the coherence tax.
+     * Effective memory bandwidth per socket after the legacy scalar
+     * coherence tax.  Only meaningful in LegacyAlpha mode; the modeled
+     * modes use the raw per-socket bandwidth and emit probe flows.
      */
     double
     effectiveMemBandwidth() const

@@ -8,17 +8,24 @@
 namespace mcscope {
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(std::move(cfg)), topo_(cfg_.sockets, cfg_.htLinks)
+    : cfg_(std::move(cfg)), topo_(cfg_.sockets, cfg_.htLinks),
+      coh_(cfg_.coherence, cfg_.sockets)
 {
     cfg_.validate();
 
+    // In the modeled modes the coherence cost rides on explicit probe
+    // flows, so the controllers run at raw bandwidth; legacy mode
+    // keeps the exact scalar-taxed rate for bit-identical results.
+    double mem_rate = coh_.modelsTraffic()
+                          ? cfg_.memBandwidthPerSocket
+                          : cfg_.effectiveMemBandwidth();
     for (int c = 0; c < cfg_.totalCores(); ++c) {
         coreRes_.push_back(engine_.addResource(
             "core" + std::to_string(c), cfg_.coreFlops()));
     }
     for (int s = 0; s < cfg_.sockets; ++s) {
         memRes_.push_back(engine_.addResource(
-            "mem" + std::to_string(s), cfg_.effectiveMemBandwidth()));
+            "mem" + std::to_string(s), mem_rate));
     }
     for (int l = 0; l < topo_.directedLinkCount(); ++l) {
         auto [from, to] = topo_.directedEndpoints(l);
@@ -107,9 +114,36 @@ Machine::streamRateCap(int socket, int node) const
     return cfg_.streamConcurrencyBytes / memoryLatency(socket, node);
 }
 
+Work
+Machine::flowWork(const CoherenceFlow &flow) const
+{
+    Work w;
+    w.amount = flow.bytes;
+    w.tag = kCoherenceWorkTag;
+    if (flow.kind == CoherenceFlow::Kind::Refill) {
+        // Re-fetch from home memory: priced like a remote stream.
+        w.path.push_back(memResource(flow.from));
+        for (int id : topo_.route(flow.from, flow.to))
+            w.path.push_back(linkResource(id));
+        w.rateCap = streamRateCap(flow.to, flow.from);
+        return w;
+    }
+    // Control messages occupy only the fabric; the rate cap encodes
+    // the probe round-trip limit on outstanding transactions.
+    MCSCOPE_ASSERT(flow.from != flow.to,
+                   "control flow needs distinct endpoints");
+    for (int id : topo_.route(flow.from, flow.to))
+        w.path.push_back(linkResource(id));
+    int hops = topo_.hopCount(flow.from, flow.to);
+    w.rateCap =
+        cfg_.streamConcurrencyBytes / (2.0 * hops * cfg_.htHopLatency);
+    return w;
+}
+
 std::vector<Work>
 Machine::memoryWorks(int core, const std::vector<NodeFraction> &spread,
-                     double bytes, int tag) const
+                     double bytes, int tag,
+                     const SharingDescriptor &sharing) const
 {
     int socket = socketOf(core);
     // A stream over a *uniform* multi-node spread (page-granular
@@ -143,13 +177,25 @@ Machine::memoryWorks(int core, const std::vector<NodeFraction> &spread,
         w.tag = tag;
         out.push_back(std::move(w));
     }
+    if (coh_.modelsTraffic()) {
+        std::vector<CoherenceFlow> flows;
+        for (const auto &nf : spread) {
+            if (nf.fraction <= 0.0)
+                continue;
+            coh_.priceAccess(socket, nf.node, bytes * nf.fraction,
+                             sharing, flows);
+        }
+        for (const auto &flow : flows)
+            out.push_back(flowWork(flow));
+    }
     return out;
 }
 
 std::vector<Work>
-Machine::memoryWorks(int core, int node, double bytes, int tag) const
+Machine::memoryWorks(int core, int node, double bytes, int tag,
+                     const SharingDescriptor &sharing) const
 {
-    return memoryWorks(core, {{node, 1.0}}, bytes, tag);
+    return memoryWorks(core, {{node, 1.0}}, bytes, tag, sharing);
 }
 
 Work
@@ -166,8 +212,14 @@ Machine::transferWork(int src_core, int dst_core, int buffer_node,
     for (int id : topo_.route(src, dst))
         w.path.push_back(linkResource(id));
     // Double copy through the shared buffer halves the effective copy
-    // bandwidth; the same-die fast path claws back ~12%.
-    double copy_bw = cfg_.effectiveMemBandwidth() / 2.0;
+    // bandwidth; the same-die fast path claws back ~12%.  Rendezvous
+    // keeps the transfer a single Work, so the modeled modes fold the
+    // per-line control traffic into the copy rate instead of emitting
+    // separate flows.
+    double copy_bw =
+        coh_.modelsTraffic()
+            ? cfg_.memBandwidthPerSocket / (2.0 * coh_.transferTax())
+            : cfg_.effectiveMemBandwidth() / 2.0;
     if (src == dst)
         copy_bw *= cfg_.sameDieBandwidthBoost;
     w.rateCap = copy_bw;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/coherence.hh"
 #include "machine/config.hh"
 #include "machine/topology.hh"
 #include "sim/engine.hh"
@@ -48,6 +49,9 @@ class Machine
 
     /** Interconnect routing. */
     const Topology &topology() const { return topo_; }
+
+    /** Coherence pricing model for this machine. */
+    const CoherenceModel &coherence() const { return coh_; }
 
     /** Total cores. */
     int totalCores() const { return cfg_.totalCores(); }
@@ -88,15 +92,21 @@ class Machine
      * `core`, spread over NUMA nodes per `spread` (fractions should
      * sum to ~1).  Each node's slice is a separate sequential flow
      * whose rate cap encodes the stream's latency limit at that
-     * node's distance.
+     * node's distance.  In the modeled coherence modes, protocol
+     * probe/invalidation flows (priced per `sharing`) are appended
+     * after the data flows, tagged kCoherenceWorkTag.
      */
     std::vector<Work> memoryWorks(int core,
                                   const std::vector<NodeFraction> &spread,
-                                  double bytes, int tag = 0) const;
+                                  double bytes, int tag = 0,
+                                  const SharingDescriptor &sharing =
+                                      {}) const;
 
     /** Single-node convenience overload. */
     std::vector<Work> memoryWorks(int core, int node, double bytes,
-                                  int tag = 0) const;
+                                  int tag = 0,
+                                  const SharingDescriptor &sharing =
+                                      {}) const;
 
     /**
      * Latency-limited single-stream bandwidth from `socket` to `node`
@@ -115,8 +125,12 @@ class Machine
                       double bytes, int tag = 0) const;
 
   private:
+    /** Translate a priced protocol flow into an engine Work. */
+    Work flowWork(const CoherenceFlow &flow) const;
+
     MachineConfig cfg_;
     Topology topo_;
+    CoherenceModel coh_;
     Engine engine_;
     std::vector<ResourceId> coreRes_;
     std::vector<ResourceId> memRes_;

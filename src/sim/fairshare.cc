@@ -7,178 +7,63 @@
 
 namespace mcscope {
 
-void
-fairShareRatesInto(const std::vector<double> &capacities,
-                   const std::vector<FairShareFlow> &flows,
-                   FairShareScratch &scratch)
+namespace {
+
+/** Union-find lookup with path halving (component discovery). */
+int
+ufFind(std::vector<int> &parent, int r)
 {
-    const size_t nr = capacities.size();
-    const size_t nf = flows.size();
-    const double inf = std::numeric_limits<double>::infinity();
-
-    scratch.rates.assign(nf, 0.0);
-    scratch.frozen.assign(nf, 0);
-    scratch.residual.assign(capacities.begin(), capacities.end());
-    scratch.users.assign(nr, 0);
-    scratch.saturated.assign(nr, 0);
-
-    std::vector<double> &rates = scratch.rates;
-    std::vector<char> &frozen = scratch.frozen;
-    std::vector<double> &residual = scratch.residual;
-    std::vector<int> &users = scratch.users;
-    std::vector<char> &saturated = scratch.saturated;
-
-    size_t unfrozen = 0;
-    for (size_t f = 0; f < nf; ++f) {
-        const auto &flow = flows[f];
-        if (flow.path.empty() && flow.rateCap <= 0.0) {
-            // No constraint at all: instantaneous.
-            rates[f] = inf;
-            frozen[f] = 1;
-            continue;
-        }
-        for (ResourceId r : flow.path) {
-            MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
-                           "flow references unknown resource ", r);
-            ++users[r];
-        }
-        ++unfrozen;
+    while (parent[r] != r) {
+        parent[r] = parent[parent[r]];
+        r = parent[r];
     }
-
-    // Progressive filling: all unfrozen flows rise at a common level;
-    // each round the binding constraint is the smallest of (a) a flow's
-    // cap and (b) a resource's residual fair share.  Freeze everything
-    // at that level and continue.
-    double level = 0.0;
-    while (unfrozen > 0) {
-        double next = inf;
-        for (size_t r = 0; r < nr; ++r) {
-            if (users[r] > 0) {
-                double share = residual[r] / users[r];
-                if (share < next)
-                    next = share;
-            }
-        }
-        for (size_t f = 0; f < nf; ++f) {
-            if (!frozen[f] && flows[f].rateCap > 0.0 &&
-                flows[f].rateCap < next) {
-                next = flows[f].rateCap;
-            }
-        }
-        MCSCOPE_ASSERT(std::isfinite(next),
-                       "progressive filling found no binding constraint");
-        // Guard against capacity exhaustion from earlier freezes.
-        if (next < level)
-            next = level;
-
-        const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
-
-        // Identify saturated resources at this level.
-        for (size_t r = 0; r < nr; ++r) {
-            saturated[r] =
-                users[r] > 0 && residual[r] / users[r] <= next + tol;
-        }
-
-        // Freeze flows that hit a cap or cross a saturated resource.
-        size_t frozen_this_round = 0;
-        for (size_t f = 0; f < nf; ++f) {
-            if (frozen[f])
-                continue;
-            bool freeze = flows[f].rateCap > 0.0 &&
-                          flows[f].rateCap <= next + tol;
-            if (!freeze) {
-                for (ResourceId r : flows[f].path) {
-                    if (saturated[r]) {
-                        freeze = true;
-                        break;
-                    }
-                }
-            }
-            if (freeze) {
-                double rate = next;
-                if (flows[f].rateCap > 0.0 && flows[f].rateCap < rate)
-                    rate = flows[f].rateCap;
-                rates[f] = rate;
-                frozen[f] = 1;
-                ++frozen_this_round;
-                for (ResourceId r : flows[f].path) {
-                    residual[r] -= rate;
-                    if (residual[r] < 0.0)
-                        residual[r] = 0.0;
-                    --users[r];
-                }
-                --unfrozen;
-            }
-        }
-        MCSCOPE_ASSERT(frozen_this_round > 0,
-                       "progressive filling made no progress");
-        level = next;
-    }
+    return r;
 }
 
+/**
+ * Progressive filling over one connected component.
+ *
+ * The arithmetic and iteration orders are the historical whole-set
+ * solve restricted to the component, so a component's rates are a
+ * function of that component alone.  That decomposability is what the
+ * dirty-set incremental engine relies on: rates of components no
+ * event touched are carried over bit-intact, and a later whole-set
+ * reference solve must reproduce them exactly.  A global level
+ * sequence would break this -- its per-round tolerance can merge
+ * near-equal constraints across unrelated components, leaking their
+ * bits into each other (DESIGN §13).
+ */
 void
-fairShareSolveSubset(const std::vector<double> &capacities,
-                     const std::vector<PathVec> &paths,
-                     const std::vector<double> &rateCaps,
-                     const int *flowSlots, size_t flowCount,
-                     const ResourceId *resources, size_t resourceCount,
-                     FairShareScratch &scratch)
+solveComponent(const std::vector<PathVec> &paths,
+               const std::vector<double> &rateCaps,
+               const int *flowSlots,
+               const std::vector<int> &compFlows,
+               const std::vector<ResourceId> &compRes,
+               FairShareScratch &scratch)
 {
-    const size_t nr = capacities.size();
     const double inf = std::numeric_limits<double>::infinity();
-
-    scratch.rates.assign(flowCount, 0.0);
-    scratch.frozen.assign(flowCount, 0);
-    // Full-size sparse arrays: only subset entries are (re)initialized,
-    // the rest hold stale junk that is never read.  resize() instead of
-    // assign() keeps the per-call cost proportional to the subset.
-    if (scratch.residual.size() < nr) {
-        scratch.residual.resize(nr, 0.0);
-        scratch.users.resize(nr, 0);
-        scratch.saturated.resize(nr, 0);
-    }
-
     std::vector<double> &rates = scratch.rates;
     std::vector<char> &frozen = scratch.frozen;
     std::vector<double> &residual = scratch.residual;
     std::vector<int> &users = scratch.users;
     std::vector<char> &saturated = scratch.saturated;
 
-    for (size_t i = 0; i < resourceCount; ++i) {
-        const ResourceId r = resources[i];
-        MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
-                       "subset references unknown resource ", r);
-        residual[r] = capacities[r];
-        users[r] = 0;
-        saturated[r] = 0;
-    }
-
-    size_t unfrozen = 0;
-    for (size_t k = 0; k < flowCount; ++k) {
-        const int s = flowSlots[k];
-        if (paths[s].empty() && rateCaps[s] <= 0.0) {
-            // No constraint at all: instantaneous.
-            rates[k] = inf;
-            frozen[k] = 1;
-            continue;
-        }
-        for (ResourceId r : paths[s])
-            ++users[r];
-        ++unfrozen;
-    }
-
+    // All unfrozen flows rise at a common level; each round the
+    // binding constraint is the smallest of (a) a flow's cap and (b) a
+    // resource's residual fair share.  Freeze everything at that level
+    // and continue.
+    size_t unfrozen = compFlows.size();
     double level = 0.0;
     while (unfrozen > 0) {
         double next = inf;
-        for (size_t i = 0; i < resourceCount; ++i) {
-            const ResourceId r = resources[i];
+        for (ResourceId r : compRes) {
             if (users[r] > 0) {
                 double share = residual[r] / users[r];
                 if (share < next)
                     next = share;
             }
         }
-        for (size_t k = 0; k < flowCount; ++k) {
+        for (int k : compFlows) {
             const int s = flowSlots[k];
             if (!frozen[k] && rateCaps[s] > 0.0 && rateCaps[s] < next)
                 next = rateCaps[s];
@@ -192,15 +77,14 @@ fairShareSolveSubset(const std::vector<double> &capacities,
         const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
 
         // Identify saturated resources at this level.
-        for (size_t i = 0; i < resourceCount; ++i) {
-            const ResourceId r = resources[i];
+        for (ResourceId r : compRes) {
             saturated[r] =
                 users[r] > 0 && residual[r] / users[r] <= next + tol;
         }
 
         // Freeze flows that hit a cap or cross a saturated resource.
         size_t frozen_this_round = 0;
-        for (size_t k = 0; k < flowCount; ++k) {
+        for (int k : compFlows) {
             if (frozen[k])
                 continue;
             const int s = flowSlots[k];
@@ -235,6 +119,128 @@ fairShareSolveSubset(const std::vector<double> &capacities,
     }
 }
 
+} // namespace
+
+void
+fairShareSolveSubset(const std::vector<double> &capacities,
+                     const std::vector<PathVec> &paths,
+                     const std::vector<double> &rateCaps,
+                     const int *flowSlots, size_t flowCount,
+                     const ResourceId *resources, size_t resourceCount,
+                     FairShareScratch &scratch)
+{
+    const size_t nr = capacities.size();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    scratch.rates.assign(flowCount, 0.0);
+    scratch.frozen.assign(flowCount, 0);
+    scratch.flowRoot.assign(flowCount, -1);
+    // Full-size sparse arrays: only subset entries are (re)initialized,
+    // the rest hold stale junk that is never read.  resize() instead of
+    // assign() keeps the per-call cost proportional to the subset.
+    if (scratch.residual.size() < nr) {
+        scratch.residual.resize(nr, 0.0);
+        scratch.users.resize(nr, 0);
+        scratch.saturated.resize(nr, 0);
+    }
+    if (scratch.parent.size() < nr)
+        scratch.parent.resize(nr, 0);
+
+    std::vector<double> &rates = scratch.rates;
+    std::vector<char> &frozen = scratch.frozen;
+    std::vector<double> &residual = scratch.residual;
+    std::vector<int> &users = scratch.users;
+    std::vector<char> &saturated = scratch.saturated;
+    std::vector<int> &parent = scratch.parent;
+    std::vector<int> &flowRoot = scratch.flowRoot;
+
+    for (size_t i = 0; i < resourceCount; ++i) {
+        const ResourceId r = resources[i];
+        MCSCOPE_ASSERT(r >= 0 && static_cast<size_t>(r) < nr,
+                       "subset references unknown resource ", r);
+        residual[r] = capacities[r];
+        users[r] = 0;
+        saturated[r] = 0;
+        parent[r] = r;
+    }
+
+    // Pass 1: freeze resource-free flows, count users, and union each
+    // path into one component.
+    for (size_t k = 0; k < flowCount; ++k) {
+        const int s = flowSlots[k];
+        const PathVec &p = paths[s];
+        if (p.empty()) {
+            // No resource contention: only the cap (if any) binds.
+            rates[k] = rateCaps[s] > 0.0 ? rateCaps[s] : inf;
+            frozen[k] = 1;
+            continue;
+        }
+        const int root = ufFind(parent, p[0]);
+        for (ResourceId r : p) {
+            ++users[r];
+            const int rr = ufFind(parent, r);
+            if (rr != root)
+                parent[rr] = root;
+        }
+    }
+    // Pass 2: resolve each flow's final root (unions after pass 1's
+    // visit may have re-rooted it).
+    for (size_t k = 0; k < flowCount; ++k) {
+        if (!frozen[k])
+            flowRoot[k] = ufFind(parent, paths[flowSlots[k]][0]);
+    }
+
+    // Solve each component independently, in resource-list order of
+    // the root.  Component order is irrelevant to the result: the
+    // solves touch disjoint flows and resources.
+    for (size_t i = 0; i < resourceCount; ++i) {
+        const ResourceId r = resources[i];
+        if (users[r] == 0 || ufFind(parent, r) != r)
+            continue;
+        scratch.compRes.clear();
+        for (size_t j = 0; j < resourceCount; ++j) {
+            const ResourceId q = resources[j];
+            if (users[q] > 0 && ufFind(parent, q) == r)
+                scratch.compRes.push_back(q);
+        }
+        scratch.compFlows.clear();
+        for (size_t k = 0; k < flowCount; ++k) {
+            if (flowRoot[k] == r)
+                scratch.compFlows.push_back(static_cast<int>(k));
+        }
+        solveComponent(paths, rateCaps, flowSlots, scratch.compFlows,
+                       scratch.compRes, scratch);
+    }
+}
+
+void
+fairShareRatesInto(const std::vector<double> &capacities,
+                   const std::vector<FairShareFlow> &flows,
+                   FairShareScratch &scratch)
+{
+    const size_t nr = capacities.size();
+    const size_t nf = flows.size();
+
+    // Adapt the struct-of-flows form onto the slot-indexed subset
+    // solver: identity slot list, all resources.  One code path keeps
+    // every entry point's arithmetic -- and hence its bits --
+    // identical.
+    scratch.specPaths.resize(nf);
+    scratch.specCaps.resize(nf);
+    scratch.specSlots.resize(nf);
+    for (size_t f = 0; f < nf; ++f) {
+        scratch.specPaths[f] = flows[f].path;
+        scratch.specCaps[f] = flows[f].rateCap;
+        scratch.specSlots[f] = static_cast<int>(f);
+    }
+    scratch.allRes.resize(nr);
+    for (size_t r = 0; r < nr; ++r)
+        scratch.allRes[r] = static_cast<ResourceId>(r);
+    fairShareSolveSubset(capacities, scratch.specPaths, scratch.specCaps,
+                         scratch.specSlots.data(), nf,
+                         scratch.allRes.data(), nr, scratch);
+}
+
 std::vector<double>
 fairShareRates(const std::vector<double> &capacities,
                const std::vector<FairShareFlow> &flows)
@@ -257,12 +263,11 @@ fairShareRatesReference(const std::vector<double> &capacities,
     std::vector<double> residual(capacities);
     std::vector<int> users(nr, 0);
 
-    size_t unfrozen = 0;
     for (size_t f = 0; f < nf; ++f) {
         const auto &flow = flows[f];
-        if (flow.path.empty() && flow.rateCap <= 0.0) {
-            // No constraint at all: instantaneous.
-            rates[f] = inf;
+        if (flow.path.empty()) {
+            // No resource contention: only the cap (if any) binds.
+            rates[f] = flow.rateCap > 0.0 ? flow.rateCap : inf;
             frozen[f] = true;
             continue;
         }
@@ -271,74 +276,135 @@ fairShareRatesReference(const std::vector<double> &capacities,
                            "flow references unknown resource ", r);
             ++users[r];
         }
-        ++unfrozen;
     }
 
-    double level = 0.0;
-    while (unfrozen > 0) {
-        double next = inf;
-        for (size_t r = 0; r < nr; ++r) {
-            if (users[r] > 0) {
-                double share = residual[r] / users[r];
-                if (share < next)
-                    next = share;
+    // Connected components of the flow/resource bipartite graph,
+    // found by breadth-first search over an explicit adjacency (an
+    // implementation independent of the optimized solver's
+    // union-find).
+    std::vector<std::vector<int>> resFlows(nr);
+    for (size_t f = 0; f < nf; ++f) {
+        if (frozen[f])
+            continue;
+        for (ResourceId r : flows[f].path)
+            resFlows[r].push_back(static_cast<int>(f));
+    }
+    std::vector<int> flowComp(nf, -1);
+    std::vector<int> resComp(nr, -1);
+    int ncomp = 0;
+    std::vector<ResourceId> work;
+    for (size_t f0 = 0; f0 < nf; ++f0) {
+        if (frozen[f0] || flowComp[f0] >= 0)
+            continue;
+        const int c = ncomp++;
+        flowComp[f0] = c;
+        for (ResourceId r : flows[f0].path) {
+            if (resComp[r] < 0) {
+                resComp[r] = c;
+                work.push_back(r);
             }
         }
-        for (size_t f = 0; f < nf; ++f) {
-            if (!frozen[f] && flows[f].rateCap > 0.0 &&
-                flows[f].rateCap < next) {
-                next = flows[f].rateCap;
-            }
-        }
-        MCSCOPE_ASSERT(std::isfinite(next),
-                       "progressive filling found no binding constraint");
-        // Guard against capacity exhaustion from earlier freezes.
-        if (next < level)
-            next = level;
-
-        const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
-
-        // Identify saturated resources at this level.
-        std::vector<bool> saturated(nr, false);
-        for (size_t r = 0; r < nr; ++r) {
-            if (users[r] > 0 && residual[r] / users[r] <= next + tol)
-                saturated[r] = true;
-        }
-
-        // Freeze flows that hit a cap or cross a saturated resource.
-        size_t frozen_this_round = 0;
-        for (size_t f = 0; f < nf; ++f) {
-            if (frozen[f])
-                continue;
-            bool freeze = flows[f].rateCap > 0.0 &&
-                          flows[f].rateCap <= next + tol;
-            if (!freeze) {
-                for (ResourceId r : flows[f].path) {
-                    if (saturated[r]) {
-                        freeze = true;
-                        break;
+        while (!work.empty()) {
+            const ResourceId r = work.back();
+            work.pop_back();
+            for (int f : resFlows[r]) {
+                if (flowComp[f] >= 0)
+                    continue;
+                flowComp[f] = c;
+                for (ResourceId rr : flows[f].path) {
+                    if (resComp[rr] < 0) {
+                        resComp[rr] = c;
+                        work.push_back(rr);
                     }
                 }
             }
-            if (freeze) {
-                double rate = next;
-                if (flows[f].rateCap > 0.0 && flows[f].rateCap < rate)
-                    rate = flows[f].rateCap;
-                rates[f] = rate;
-                frozen[f] = true;
-                ++frozen_this_round;
-                for (ResourceId r : flows[f].path) {
-                    residual[r] -= rate;
-                    if (residual[r] < 0.0)
-                        residual[r] = 0.0;
-                    --users[r];
-                }
-                --unfrozen;
-            }
         }
-        MCSCOPE_ASSERT(frozen_this_round > 0,
-                       "progressive filling made no progress");
-        level = next;
+    }
+
+    // Progressive filling per component: all of a component's unfrozen
+    // flows rise at a common level; each round the binding constraint
+    // is the smallest of (a) a flow's cap and (b) a resource's
+    // residual fair share.  Freeze everything at that level and
+    // continue.  Components never interact -- see solveComponent in
+    // the optimized solver for why that independence is load-bearing.
+    for (int c = 0; c < ncomp; ++c) {
+        size_t unfrozen = 0;
+        for (size_t f = 0; f < nf; ++f) {
+            if (!frozen[f] && flowComp[f] == c)
+                ++unfrozen;
+        }
+        double level = 0.0;
+        while (unfrozen > 0) {
+            double next = inf;
+            for (size_t r = 0; r < nr; ++r) {
+                if (resComp[r] == c && users[r] > 0) {
+                    double share = residual[r] / users[r];
+                    if (share < next)
+                        next = share;
+                }
+            }
+            for (size_t f = 0; f < nf; ++f) {
+                if (flowComp[f] == c && !frozen[f] &&
+                    flows[f].rateCap > 0.0 && flows[f].rateCap < next) {
+                    next = flows[f].rateCap;
+                }
+            }
+            MCSCOPE_ASSERT(std::isfinite(next),
+                           "progressive filling found no binding "
+                           "constraint");
+            // Guard against capacity exhaustion from earlier freezes.
+            if (next < level)
+                next = level;
+
+            const double tol = 1e-12 * (next > 1.0 ? next : 1.0);
+
+            // Identify saturated resources at this level.
+            std::vector<bool> saturated(nr, false);
+            for (size_t r = 0; r < nr; ++r) {
+                if (resComp[r] == c && users[r] > 0 &&
+                    residual[r] / users[r] <= next + tol) {
+                    saturated[r] = true;
+                }
+            }
+
+            // Freeze flows that hit a cap or cross a saturated
+            // resource.
+            size_t frozen_this_round = 0;
+            for (size_t f = 0; f < nf; ++f) {
+                if (frozen[f] || flowComp[f] != c)
+                    continue;
+                bool freeze = flows[f].rateCap > 0.0 &&
+                              flows[f].rateCap <= next + tol;
+                if (!freeze) {
+                    for (ResourceId r : flows[f].path) {
+                        if (saturated[r]) {
+                            freeze = true;
+                            break;
+                        }
+                    }
+                }
+                if (freeze) {
+                    double rate = next;
+                    if (flows[f].rateCap > 0.0 &&
+                        flows[f].rateCap < rate) {
+                        rate = flows[f].rateCap;
+                    }
+                    rates[f] = rate;
+                    frozen[f] = true;
+                    ++frozen_this_round;
+                    for (ResourceId r : flows[f].path) {
+                        residual[r] -= rate;
+                        if (residual[r] < 0.0)
+                            residual[r] = 0.0;
+                        --users[r];
+                    }
+                    --unfrozen;
+                }
+            }
+            MCSCOPE_ASSERT(frozen_this_round > 0,
+                           "progressive filling made no progress");
+            level = next;
+        }
     }
     return rates;
 }

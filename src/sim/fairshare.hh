@@ -55,6 +55,21 @@ struct FairShareScratch
     std::vector<double> residual;
     std::vector<int> users;
     std::vector<char> saturated;
+
+    // Component-decomposition machinery (fairShareSolveSubset):
+    // union-find over resources, per-flow root, and the gathered
+    // flow/resource lists of the component being solved.
+    std::vector<int> parent;
+    std::vector<int> flowRoot;
+    std::vector<int> compFlows;
+    std::vector<ResourceId> compRes;
+
+    // Adapter arrays used by fairShareRatesInto to present a
+    // struct-of-flows input to the slot-indexed subset solver.
+    std::vector<PathVec> specPaths;
+    std::vector<double> specCaps;
+    std::vector<int> specSlots;
+    std::vector<ResourceId> allRes;
 };
 
 /**
@@ -83,10 +98,17 @@ fairShareRates(const std::vector<double> &capacities,
                const std::vector<FairShareFlow> &flows);
 
 /**
- * The original allocation-per-call implementation, retained verbatim
- * as the differential-testing oracle: the optimized workspace variant
- * must match it bit for bit on every input (see
- * tests/sim/fairshare_diff_test.cpp and Engine::setAllocator).
+ * The allocation-per-call implementation, retained as the
+ * differential-testing oracle: the optimized workspace variant must
+ * match it bit for bit on every input (see
+ * tests/sim/fairshare_diff_test.cpp and Engine::setAllocator).  Like
+ * the optimized solver it fills each connected component of the
+ * flow/resource graph independently -- a component's rates are a
+ * function of that component alone, which is what lets the dirty-set
+ * incremental engine carry rates of untouched components across
+ * solves and still agree with a fresh whole-set solve bitwise.  Its
+ * component discovery (BFS over an explicit adjacency) and data
+ * layout are deliberately independent of the optimized solver's.
  */
 std::vector<double>
 fairShareRatesReference(const std::vector<double> &capacities,
@@ -111,10 +133,12 @@ fairShareRatesReference(const std::vector<double> &capacities,
  *  - `flowSlots` is sorted ascending, so the per-round residual
  *    subtraction order matches a full solve over all slots.
  *
- * The arithmetic is line-for-line the reference algorithm; only the
- * iteration domain shrinks.  scratch.residual/users/saturated are
- * used as full-size (one per resource id) arrays with only the subset
- * entries initialized, so no per-call O(total resources) work occurs.
+ * Internally the subset is split into connected components and each
+ * is filled independently with arithmetic line-for-line the reference
+ * algorithm's, so a component's rates never depend on flows outside
+ * it.  scratch.residual/users/saturated are used as full-size (one
+ * per resource id) arrays with only the subset entries initialized,
+ * so no per-call O(total resources) work occurs.
  */
 void fairShareSolveSubset(const std::vector<double> &capacities,
                           const std::vector<PathVec> &paths,

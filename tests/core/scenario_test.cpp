@@ -153,6 +153,132 @@ TEST(ScenarioSpec, DigestSeparatesDifferentExperiments)
     EXPECT_NE(base.digest(), workload.digest());
 }
 
+TEST(ScenarioSpec, CoherenceBlockRoundTripsAndSeparatesDigests)
+{
+    ScenarioSpec legacy;
+    legacy.workload = "stream";
+    legacy.machine = configByName("longs");
+    legacy.canonicalize();
+
+    // Coherence overrides must drop the preset token, or
+    // canonicalize() snaps the machine back to the preset definition
+    // (this is why the CLI clears machinePreset for --coherence).
+    ScenarioSpec snoopy = legacy;
+    snoopy.machinePreset.clear();
+    snoopy.machine.coherence.mode = CoherenceMode::Snoopy;
+    snoopy.canonicalize();
+    ScenarioSpec directory = legacy;
+    directory.machinePreset.clear();
+    directory.machine.coherence.mode = CoherenceMode::Directory;
+    directory.canonicalize();
+
+    // The coherence block survives the JSON round trip...
+    for (const ScenarioSpec *s : {&legacy, &snoopy, &directory}) {
+        auto doc = parseJson(s->toJson().dump(2));
+        ASSERT_TRUE(doc.has_value());
+        std::string error;
+        auto back = parseScenarioSpec(*doc, &error);
+        ASSERT_TRUE(back.has_value()) << error;
+        EXPECT_TRUE(*s == *back) << s->canonicalText();
+        EXPECT_EQ(s->digest(), back->digest());
+    }
+
+    // ...and names a different experiment per mode and per size.
+    EXPECT_NE(legacy.digest(), snoopy.digest());
+    EXPECT_NE(legacy.digest(), directory.digest());
+    EXPECT_NE(snoopy.digest(), directory.digest());
+
+    ScenarioSpec small_dir = directory;
+    small_dir.machinePreset.clear();
+    small_dir.machine.coherence.directoryEntries = 4096.0;
+    small_dir.canonicalize();
+    EXPECT_NE(directory.digest(), small_dir.digest());
+}
+
+TEST(ScenarioSpec, ParserRejectsNonIntegralCounts)
+{
+    std::string error;
+    auto bad = parseScenarioSpec(
+        *parseJson(R"({"workload": "stream",
+                       "machine": {"sockets": 2.7}})"),
+        &error);
+    EXPECT_FALSE(bad.has_value());
+    EXPECT_NE(error.find("must be an integer"), std::string::npos)
+        << error;
+}
+
+TEST(ScenarioSpec, ParserRejectsBadHtLinks)
+{
+    std::string error;
+    auto self = parseScenarioSpec(
+        *parseJson(R"({"workload": "stream", "machine":
+            {"sockets": 2, "ht_links": [[0, 0]]}})"),
+        &error);
+    EXPECT_FALSE(self.has_value());
+    EXPECT_NE(error.find("self-link"), std::string::npos) << error;
+
+    error.clear();
+    auto dup = parseScenarioSpec(
+        *parseJson(R"({"workload": "stream", "machine":
+            {"sockets": 2, "ht_links": [[0, 1], [1, 0]]}})"),
+        &error);
+    EXPECT_FALSE(dup.has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, ParserRejectsBadCoherenceBlocks)
+{
+    std::string error;
+    auto bad_key = parseScenarioSpec(
+        *parseJson(R"({"workload": "stream", "machine":
+            {"coherence": {"mode": "snoopy", "probes": 4}}})"),
+        &error);
+    EXPECT_FALSE(bad_key.has_value());
+    EXPECT_NE(error.find("machine.coherence"), std::string::npos)
+        << error;
+
+    error.clear();
+    auto bad_mode = parseScenarioSpec(
+        *parseJson(R"({"workload": "stream", "machine":
+            {"coherence": {"mode": "mesi"}}})"),
+        &error);
+    EXPECT_FALSE(bad_mode.has_value());
+    EXPECT_NE(error.find("must be one of"), std::string::npos) << error;
+}
+
+TEST(SweepPlan, FromJsonDirectoryEntriesAxis)
+{
+    auto doc = parseJson(R"({"machine": "longs",
+        "workloads": ["stream"], "ranks": [4],
+        "options": ["localalloc"],
+        "directory_entries": [4096, 65536]})");
+    ASSERT_TRUE(doc.has_value());
+    std::string error;
+    auto plan = SweepPlan::fromJson(*doc, &error);
+    ASSERT_TRUE(plan.has_value()) << error;
+    ASSERT_EQ(plan->specs().size(), 2u);
+    for (const ScenarioSpec &s : plan->specs()) {
+        // Variants are inline machines in Directory mode, distinctly
+        // digested by their directory size.
+        EXPECT_TRUE(s.machinePreset.empty());
+        EXPECT_EQ(s.machine.coherence.mode, CoherenceMode::Directory);
+    }
+    EXPECT_EQ(plan->specs()[0].machine.coherence.directoryEntries,
+              4096.0);
+    EXPECT_EQ(plan->specs()[1].machine.coherence.directoryEntries,
+              65536.0);
+    EXPECT_NE(plan->specs()[0].digest(), plan->specs()[1].digest());
+
+    error.clear();
+    auto bad = SweepPlan::fromJson(
+        *parseJson(R"({"workloads": ["stream"],
+                       "directory_entries": [0]})"),
+        &error);
+    EXPECT_FALSE(bad.has_value());
+    EXPECT_NE(error.find("directory_entries"), std::string::npos)
+        << error;
+}
+
 TEST(ScenarioSpec, ParserRejectsUnknownKeysAndWorkloads)
 {
     std::string error;

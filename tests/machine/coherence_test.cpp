@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Coherence-model tests (DESIGN.md §15): unit tests for the
+ * CoherenceModel pricing, the legacy-alpha bit-identity contract, the
+ * emergent snoopy STREAM shape on Longs, directory capacity
+ * monotonicity, and the transferWork / MachineConfig::validate
+ * contracts that ride along.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "kernels/stream.hh"
+#include "machine/coherence.hh"
+#include "machine/config.hh"
+#include "machine/machine.hh"
+#include "util/rng.hh"
+
+namespace mcscope {
+namespace {
+
+NumactlOption
+pinnedSpread()
+{
+    return {"spread", TaskScheme::Spread, MemPolicy::LocalAlloc};
+}
+
+ExperimentConfig
+auditedConfig(const MachineConfig &m, int ranks)
+{
+    ExperimentConfig c;
+    c.machine = m;
+    c.option = pinnedSpread();
+    c.ranks = ranks;
+    c.audit = true;
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// CoherenceModel unit tests.
+// ---------------------------------------------------------------------
+
+TEST(CoherenceModel, ModeNamesRoundTrip)
+{
+    for (CoherenceMode mode :
+         {CoherenceMode::LegacyAlpha, CoherenceMode::Snoopy,
+          CoherenceMode::Directory}) {
+        CoherenceMode back = CoherenceMode::LegacyAlpha;
+        ASSERT_TRUE(parseCoherenceMode(coherenceModeName(mode), &back));
+        EXPECT_EQ(back, mode);
+    }
+    CoherenceMode out = CoherenceMode::Directory;
+    EXPECT_FALSE(parseCoherenceMode("mesi", &out));
+    EXPECT_EQ(out, CoherenceMode::Directory) << "out must be untouched";
+}
+
+TEST(CoherenceModel, TransferTaxPerMode)
+{
+    CoherenceConfig cfg;
+    cfg.probeBytes = 4.0;
+    cfg.lineBytes = 64.0;
+
+    cfg.mode = CoherenceMode::LegacyAlpha;
+    EXPECT_EQ(CoherenceModel(cfg, 8).transferTax(), 1.0);
+
+    // Snoopy broadcasts: one probe per remote socket per line.
+    cfg.mode = CoherenceMode::Snoopy;
+    EXPECT_DOUBLE_EQ(CoherenceModel(cfg, 8).transferTax(),
+                     1.0 + 4.0 / 64.0 * 7.0);
+    EXPECT_EQ(CoherenceModel(cfg, 1).transferTax(), 1.0);
+
+    // Directory resolves with a single home lookup.
+    cfg.mode = CoherenceMode::Directory;
+    EXPECT_DOUBLE_EQ(CoherenceModel(cfg, 8).transferTax(),
+                     1.0 + 4.0 / 64.0);
+}
+
+TEST(CoherenceModel, DirectoryEvictFractionShape)
+{
+    CoherenceConfig cfg;
+    cfg.mode = CoherenceMode::Directory;
+    cfg.lineBytes = 64.0;
+    cfg.directoryEntries = 1024.0;
+    cfg.directoryWays = 4.0;
+    CoherenceModel model(cfg, 4);
+
+    // One way's worth of conflict loss: 1024 * 4/5 effective entries.
+    double eff = 1024.0 * 4.0 / 5.0;
+    EXPECT_EQ(model.directoryEvictFraction(0.0), 0.0);
+    EXPECT_EQ(model.directoryEvictFraction(eff * 64.0), 0.0);
+    double big = 4.0 * eff * 64.0;
+    EXPECT_DOUBLE_EQ(model.directoryEvictFraction(big), 0.75);
+
+    // Monotone: more bytes evict a larger fraction...
+    EXPECT_GT(model.directoryEvictFraction(2.0 * big),
+              model.directoryEvictFraction(big));
+    // ...and a larger directory evicts a smaller one.
+    cfg.directoryEntries = 4096.0;
+    EXPECT_LT(CoherenceModel(cfg, 4).directoryEvictFraction(big),
+              model.directoryEvictFraction(big));
+
+    // Other modes never report capacity pressure.
+    cfg.mode = CoherenceMode::Snoopy;
+    EXPECT_EQ(CoherenceModel(cfg, 4).directoryEvictFraction(big), 0.0);
+}
+
+TEST(CoherenceModel, SnoopyBroadcastsToAllRemoteSockets)
+{
+    CoherenceConfig cfg;
+    cfg.mode = CoherenceMode::Snoopy;
+    CoherenceModel model(cfg, 4);
+
+    std::vector<CoherenceFlow> flows;
+    double bytes = 64.0 * 1000.0;
+    model.priceAccess(1, 1, bytes, SharingDescriptor::privateData(),
+                      flows);
+    ASSERT_EQ(flows.size(), 3u);
+    int expect_to[] = {0, 2, 3}; // ascending, requester skipped
+    for (size_t i = 0; i < flows.size(); ++i) {
+        EXPECT_EQ(flows[i].kind, CoherenceFlow::Kind::Control);
+        EXPECT_EQ(flows[i].from, 1);
+        EXPECT_EQ(flows[i].to, expect_to[i]);
+        EXPECT_DOUBLE_EQ(flows[i].bytes, 1000.0 * cfg.probeBytes);
+    }
+
+    // The broadcast is sharing-independent: read-shared data prices
+    // exactly the same probes.
+    std::vector<CoherenceFlow> shared;
+    model.priceAccess(1, 1, bytes, SharingDescriptor::readShared(4),
+                      shared);
+    ASSERT_EQ(shared.size(), flows.size());
+    for (size_t i = 0; i < flows.size(); ++i)
+        EXPECT_EQ(shared[i].bytes, flows[i].bytes);
+}
+
+TEST(CoherenceModel, QuietCasesEmitNothing)
+{
+    std::vector<CoherenceFlow> flows;
+
+    CoherenceConfig cfg; // LegacyAlpha
+    CoherenceModel(cfg, 8).priceAccess(
+        0, 1, 1e6, SharingDescriptor::migratory(), flows);
+    EXPECT_TRUE(flows.empty()) << "legacy mode must not emit flows";
+
+    cfg.mode = CoherenceMode::Snoopy;
+    CoherenceModel(cfg, 1).priceAccess(
+        0, 0, 1e6, SharingDescriptor::privateData(), flows);
+    EXPECT_TRUE(flows.empty()) << "single socket has nobody to probe";
+
+    CoherenceModel(cfg, 8).priceAccess(
+        0, 1, 0.0, SharingDescriptor::privateData(), flows);
+    EXPECT_TRUE(flows.empty()) << "zero bytes price zero traffic";
+
+    cfg.probeBytes = 0.0;
+    CoherenceModel(cfg, 8).priceAccess(
+        0, 1, 1e6, SharingDescriptor::privateData(), flows);
+    EXPECT_TRUE(flows.empty()) << "free probes need no fabric time";
+
+    // Directory mode, private data, region fits the directory.
+    cfg = CoherenceConfig{};
+    cfg.mode = CoherenceMode::Directory;
+    CoherenceModel(cfg, 8).priceAccess(
+        0, 1, 1e4, SharingDescriptor::privateData(), flows);
+    EXPECT_TRUE(flows.empty())
+        << "filtered probes: private data fits the directory";
+}
+
+TEST(CoherenceModel, DirectoryReadSharedInvalidatesPointToPoint)
+{
+    CoherenceConfig cfg;
+    cfg.mode = CoherenceMode::Directory;
+    CoherenceModel model(cfg, 8);
+
+    std::vector<CoherenceFlow> flows;
+    double bytes = 64.0 * 100.0; // fits the directory: no evictions
+    model.priceAccess(2, 0, bytes, SharingDescriptor::readShared(3),
+                      flows);
+    // 3 sharers -> 2 victims, ascending socket ids, writer skipped.
+    ASSERT_EQ(flows.size(), 2u);
+    double inval = kSharedWriteFraction * 100.0 * cfg.probeBytes;
+    int expect_to[] = {0, 1};
+    for (size_t i = 0; i < flows.size(); ++i) {
+        EXPECT_EQ(flows[i].kind, CoherenceFlow::Kind::Control);
+        EXPECT_EQ(flows[i].from, 2);
+        EXPECT_EQ(flows[i].to, expect_to[i]);
+        EXPECT_DOUBLE_EQ(flows[i].bytes, inval);
+    }
+
+    // Sharer counts are clamped to the socket count.
+    std::vector<CoherenceFlow> many;
+    model.priceAccess(2, 0, bytes, SharingDescriptor::readShared(64),
+                      many);
+    EXPECT_EQ(many.size(), 7u);
+}
+
+TEST(CoherenceModel, DirectoryMigratoryTransfersOwnership)
+{
+    CoherenceConfig cfg;
+    cfg.mode = CoherenceMode::Directory;
+    CoherenceModel model(cfg, 4);
+
+    std::vector<CoherenceFlow> flows;
+    double lines = 100.0;
+    model.priceAccess(1, 3, 64.0 * lines,
+                      SharingDescriptor::migratory(), flows);
+    ASSERT_EQ(flows.size(), 2u);
+    // Request to the home directory...
+    EXPECT_EQ(flows[0].kind, CoherenceFlow::Kind::Control);
+    EXPECT_EQ(flows[0].from, 1);
+    EXPECT_EQ(flows[0].to, 3);
+    EXPECT_DOUBLE_EQ(flows[0].bytes, lines * cfg.probeBytes);
+    // ...then a cache-to-cache transfer from the ring-successor owner.
+    EXPECT_EQ(flows[1].kind, CoherenceFlow::Kind::Control);
+    EXPECT_EQ(flows[1].from, 2);
+    EXPECT_EQ(flows[1].to, 1);
+    EXPECT_DOUBLE_EQ(flows[1].bytes,
+                     lines * (cfg.probeBytes + cfg.lineBytes));
+}
+
+TEST(CoherenceModel, DirectoryCapacityEvictionsRefillFromHome)
+{
+    CoherenceConfig cfg;
+    cfg.mode = CoherenceMode::Directory;
+    cfg.directoryEntries = 1024.0;
+    cfg.directoryWays = 4.0;
+    CoherenceModel model(cfg, 4);
+
+    double bytes = 4.0 * 1024.0 * 64.0; // 4x the directory: evictions
+    double evict = model.directoryEvictFraction(bytes);
+    ASSERT_GT(evict, 0.0);
+
+    std::vector<CoherenceFlow> flows;
+    model.priceAccess(2, 0, bytes, SharingDescriptor::privateData(),
+                      flows);
+    ASSERT_EQ(flows.size(), 2u);
+    // Re-fetch of the back-invalidated lines from home memory...
+    EXPECT_EQ(flows[0].kind, CoherenceFlow::Kind::Refill);
+    EXPECT_EQ(flows[0].from, 0);
+    EXPECT_EQ(flows[0].to, 2);
+    EXPECT_DOUBLE_EQ(flows[0].bytes, evict * bytes);
+    // ...after a recall notice from the home directory.
+    EXPECT_EQ(flows[1].kind, CoherenceFlow::Kind::Control);
+    EXPECT_EQ(flows[1].from, 0);
+    EXPECT_EQ(flows[1].to, 2);
+
+    // Local accesses skip the recall message but still refill.
+    std::vector<CoherenceFlow> local;
+    model.priceAccess(0, 0, bytes, SharingDescriptor::privateData(),
+                      local);
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local[0].kind, CoherenceFlow::Kind::Refill);
+}
+
+// ---------------------------------------------------------------------
+// Legacy bit-identity: the alpha scalar must still price exactly the
+// historical formulas, and folding it into the raw bandwidth must not
+// change a single bit of the simulation.
+// ---------------------------------------------------------------------
+
+TEST(CoherenceLegacy, PricingMatchesHistoricalFormulas)
+{
+    Rng rng(0xC0DEC0DE);
+    for (int i = 0; i < 120; ++i) {
+        MachineConfig cfg;
+        switch (rng.below(3)) {
+          case 0:
+            cfg = tigerConfig();
+            break;
+          case 1:
+            cfg = dmzConfig();
+            break;
+          default:
+            cfg = longsConfig();
+        }
+        cfg.memBandwidthPerSocket = rng.uniform(1.0e9, 8.0e9);
+        cfg.coherenceAlpha = rng.uniform(0.0, 0.5);
+        cfg.sameDieBandwidthBoost = rng.uniform(1.0, 1.3);
+        Machine m(cfg);
+
+        int core = static_cast<int>(rng.below(cfg.totalCores()));
+        int node = static_cast<int>(rng.below(cfg.sockets));
+        double bytes = rng.uniform(1.0e4, 1.0e8);
+
+        // memoryWorks: one plain stream flow, no protocol traffic.
+        auto works = m.memoryWorks(core, node, bytes, 3);
+        ASSERT_EQ(works.size(), 1u);
+        EXPECT_EQ(works[0].amount, bytes);
+        EXPECT_EQ(works[0].tag, 3);
+        EXPECT_EQ(works[0].rateCap,
+                  cfg.streamConcurrencyBytes /
+                      m.memoryLatency(m.socketOf(core), node));
+
+        // transferWork: the exact scalar-taxed double-copy bandwidth.
+        int peer = static_cast<int>(rng.below(cfg.totalCores()));
+        Work t = m.transferWork(core, peer, node, bytes);
+        double expect = cfg.effectiveMemBandwidth() / 2.0;
+        if (m.socketOf(core) == m.socketOf(peer))
+            expect *= cfg.sameDieBandwidthBoost;
+        EXPECT_EQ(t.rateCap, expect);
+    }
+}
+
+TEST(CoherenceLegacy, AlphaFoldsIntoBandwidthBitIdentically)
+{
+    // The legacy tax is one scalar on the per-socket bandwidth, so a
+    // machine with (alpha, B) and one with (0, B / (1 + alpha*(s-1)))
+    // must run every experiment identically -- same simulated seconds,
+    // same audited event stream.  This is the regression harness for
+    // "the coherence refactor did not perturb legacy results".
+    std::vector<NumactlOption> options = table5Options();
+    Rng rng(0xA11CE);
+    int compared = 0;
+    for (int i = 0; i < 170; ++i) {
+        MachineConfig base = rng.below(2) ? dmzConfig() : longsConfig();
+        base.coherenceAlpha = rng.uniform(0.0, 0.6);
+        MachineConfig folded = base;
+        folded.memBandwidthPerSocket = base.effectiveMemBandwidth();
+        folded.coherenceAlpha = 0.0;
+
+        StreamWorkload stream(1u << (14 + rng.below(5)),
+                              1 + rng.below(4));
+        int ranks = 1 << rng.below(4);
+        NumactlOption opt = options[rng.below(options.size())];
+
+        ExperimentConfig ca = auditedConfig(base, ranks);
+        ca.option = opt;
+        ca.impl = rng.below(2) ? MpiImpl::Lam : MpiImpl::OpenMpi;
+        ca.sublayer = rng.below(2) ? SubLayer::SysV : SubLayer::USysV;
+        ExperimentConfig cb = ca;
+        cb.machine = folded;
+
+        RunResult ra = runExperiment(ca, stream);
+        RunResult rb = runExperiment(cb, stream);
+        ASSERT_EQ(ra.valid, rb.valid);
+        if (!ra.valid)
+            continue;
+        ++compared;
+        EXPECT_EQ(ra.seconds, rb.seconds) << "scenario " << i;
+        EXPECT_EQ(ra.events, rb.events) << "scenario " << i;
+        ASSERT_TRUE(ra.audited && rb.audited);
+        EXPECT_EQ(ra.auditDigest, rb.auditDigest) << "scenario " << i;
+    }
+    EXPECT_GE(compared, 100) << "differential needs >= 100 scenarios";
+}
+
+TEST(CoherenceLegacy, SnoopyChangesTheEventStream)
+{
+    // Sanity for the differential above: the digest is sensitive
+    // enough to notice when probe traffic actually appears.
+    StreamWorkload stream(1u << 16, 2);
+    MachineConfig legacy = longsConfig();
+    MachineConfig snoopy = legacy;
+    snoopy.coherence.mode = CoherenceMode::Snoopy;
+    RunResult rl = runExperiment(auditedConfig(legacy, 4), stream);
+    RunResult rs = runExperiment(auditedConfig(snoopy, 4), stream);
+    ASSERT_TRUE(rl.valid && rs.valid);
+    EXPECT_NE(rl.auditDigest, rs.auditDigest);
+    EXPECT_NE(rl.seconds, rs.seconds);
+}
+
+// ---------------------------------------------------------------------
+// Emergent behavior: the paper's Longs STREAM shape from modeled
+// probes, with no alpha scalar anywhere in the pricing path.
+// ---------------------------------------------------------------------
+
+TEST(CoherenceEmergent, SnoopyLongsStreamBelowHalfExpected)
+{
+    StreamWorkload stream(4u << 20, 8);
+    MachineConfig longs = longsConfig();
+    longs.coherence.mode = CoherenceMode::Snoopy;
+
+    ExperimentConfig cfg = auditedConfig(longs, 16);
+    cfg.audit = false;
+    RunResult r = runExperiment(cfg, stream);
+    ASSERT_TRUE(r.valid);
+    double delivered =
+        stream.bytesPerIteration() * 8.0 * 16.0 / r.seconds;
+    // Paper Section 3.3: Longs delivers well under half the expected
+    // aggregate (8 sockets x 4.1 GB/s); the broadcast probes must
+    // reproduce that emergently.
+    EXPECT_LT(delivered, 0.55 * 8.0 * 4.1e9);
+    EXPECT_GT(delivered, 0.15 * 8.0 * 4.1e9)
+        << "tax should throttle, not strangle";
+}
+
+TEST(CoherenceEmergent, ModeledPricingIgnoresTheAlphaScalar)
+{
+    StreamWorkload stream(1u << 18, 3);
+    for (CoherenceMode mode :
+         {CoherenceMode::Snoopy, CoherenceMode::Directory}) {
+        MachineConfig a = longsConfig();
+        a.coherence.mode = mode;
+        MachineConfig b = a;
+        a.coherenceAlpha = 0.0;
+        b.coherenceAlpha = 0.9;
+        RunResult ra = runExperiment(auditedConfig(a, 8), stream);
+        RunResult rb = runExperiment(auditedConfig(b, 8), stream);
+        ASSERT_TRUE(ra.valid && rb.valid);
+        EXPECT_EQ(ra.seconds, rb.seconds);
+        EXPECT_EQ(ra.auditDigest, rb.auditDigest)
+            << "alpha must be dead in "
+            << coherenceModeName(mode) << " mode";
+    }
+}
+
+TEST(CoherenceEmergent, FreeProbesMatchUntaxedLegacyBitwise)
+{
+    // Snoopy with zero-byte probes prices no traffic, and legacy with
+    // alpha = 0 applies no tax: the two engines must be identical to
+    // the last bit.  This pins the modeled modes to the same raw
+    // machine as legacy, so the *only* difference is the protocol.
+    StreamWorkload stream(1u << 18, 3);
+    MachineConfig free_probes = longsConfig();
+    free_probes.coherence.mode = CoherenceMode::Snoopy;
+    free_probes.coherence.probeBytes = 0.0;
+    MachineConfig untaxed = longsConfig();
+    untaxed.coherenceAlpha = 0.0;
+    RunResult rs = runExperiment(auditedConfig(free_probes, 8), stream);
+    RunResult rl = runExperiment(auditedConfig(untaxed, 8), stream);
+    ASSERT_TRUE(rs.valid && rl.valid);
+    EXPECT_EQ(rs.seconds, rl.seconds);
+    EXPECT_EQ(rs.auditDigest, rl.auditDigest);
+}
+
+TEST(CoherenceEmergent, DirectorySizeIsMonotoneAndBeatsSnoopy)
+{
+    StreamWorkload stream(4u << 20, 4);
+    auto seconds = [&](CoherenceMode mode, double entries) {
+        MachineConfig longs = longsConfig();
+        longs.coherence.mode = mode;
+        longs.coherence.directoryEntries = entries;
+        ExperimentConfig cfg = auditedConfig(longs, 16);
+        cfg.audit = false;
+        RunResult r = runExperiment(cfg, stream);
+        EXPECT_TRUE(r.valid);
+        return r.seconds;
+    };
+
+    double small = seconds(CoherenceMode::Directory, 4096.0);
+    double mid = seconds(CoherenceMode::Directory, 65536.0);
+    double large = seconds(CoherenceMode::Directory, 1048576.0);
+    // Starved directories thrash: strictly slower at 4k entries than
+    // at 1M, monotone through the middle.
+    EXPECT_GT(small, mid);
+    EXPECT_GE(mid, large);
+
+    // A directory big enough to hold the working set filters the
+    // broadcast entirely; private STREAM then outruns snoopy.
+    double snoopy = seconds(CoherenceMode::Snoopy, 65536.0);
+    EXPECT_LT(large, snoopy);
+}
+
+TEST(CoherenceEmergent, DirectoryInterleaveRunsAuditClean)
+{
+    // Regression: directory-mode refill flows share HT links across
+    // otherwise-unrelated flow components, which exposed a bitwise
+    // component-coupling bug in the fair-share solver (DESIGN.md §13).
+    // The auditor's fresh oracle diverged from the engine's carried
+    // rates on exactly this scenario; a clean audited run pins the
+    // fix.
+    NumactlOption interleave;
+    bool found = false;
+    for (const NumactlOption &opt : table5Options()) {
+        if (opt.policy == MemPolicy::Interleave) {
+            interleave = opt;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    StreamWorkload stream(4u << 20, 10);
+    MachineConfig longs = longsConfig();
+    longs.coherence.mode = CoherenceMode::Directory;
+    ExperimentConfig cfg = auditedConfig(longs, 16);
+    cfg.option = interleave;
+    RunResult r = runExperiment(cfg, stream);
+    ASSERT_TRUE(r.valid);
+    EXPECT_TRUE(r.audited);
+    EXPECT_GT(r.auditChecks, 0u);
+}
+
+// ---------------------------------------------------------------------
+// transferWork contract (satellite of the coherence refactor: the
+// copy rate is where the tax lands for rendezvous transfers).
+// ---------------------------------------------------------------------
+
+TEST(MachineTransfer, SameDieBoostAppliedExactlyOnce)
+{
+    MachineConfig dmz = dmzConfig();
+    Machine m(dmz);
+    // Cores 0,1 share socket 0; core 2 lives on socket 1.
+    Work same = m.transferWork(0, 1, 0, 1.0e6);
+    Work cross = m.transferWork(0, 2, 0, 1.0e6);
+    EXPECT_EQ(cross.rateCap, dmz.effectiveMemBandwidth() / 2.0);
+    EXPECT_EQ(same.rateCap,
+              dmz.effectiveMemBandwidth() / 2.0 *
+                  dmz.sameDieBandwidthBoost);
+
+    // The modeled modes divide the raw bandwidth by the transfer tax
+    // instead; the same-die boost still applies exactly once.
+    dmz.coherence.mode = CoherenceMode::Snoopy;
+    Machine ms(dmz);
+    double tax = ms.coherence().transferTax();
+    EXPECT_EQ(ms.transferWork(0, 2, 0, 1.0e6).rateCap,
+              dmz.memBandwidthPerSocket / (2.0 * tax));
+    EXPECT_EQ(ms.transferWork(0, 1, 0, 1.0e6).rateCap,
+              dmz.memBandwidthPerSocket / (2.0 * tax) *
+                  dmz.sameDieBandwidthBoost);
+}
+
+TEST(MachineTransfer, PathCoversBufferAndRouteLinks)
+{
+    MachineConfig longs = longsConfig();
+    Machine m(longs);
+    int src = 0;                          // socket 0
+    int dst = 3 * longs.coresPerSocket;   // first core of socket 3
+    Work w = m.transferWork(src, dst, 1, 2.5e5, 9);
+    EXPECT_EQ(w.amount, 2.5e5);
+    EXPECT_EQ(w.tag, 9);
+
+    const auto route = m.topology().route(0, 3);
+    ASSERT_FALSE(route.empty());
+    ASSERT_EQ(w.path.size(), route.size() + 1);
+    EXPECT_EQ(w.path[0], m.memResource(1));
+    for (size_t i = 0; i < route.size(); ++i)
+        EXPECT_EQ(w.path[i + 1], m.linkResource(route[i]));
+
+    // Same-socket transfers stay off the fabric entirely.
+    Work local = m.transferWork(0, 1, 0, 1.0e3);
+    ASSERT_EQ(local.path.size(), 1u);
+    EXPECT_EQ(local.path[0], m.memResource(0));
+}
+
+TEST(MachineTransferDeathTest, RejectsBadBufferNode)
+{
+    Machine m(dmzConfig());
+    ASSERT_DEATH(m.transferWork(0, 2, 7, 1.0e3), "bad buffer node");
+}
+
+// ---------------------------------------------------------------------
+// MachineConfig / CoherenceConfig validation.
+// ---------------------------------------------------------------------
+
+TEST(ConfigValidateDeathTest, RejectsSelfAndDuplicateLinks)
+{
+    MachineConfig self = dmzConfig();
+    self.htLinks.push_back({1, 1});
+    ASSERT_DEATH(self.validate(), "HT self-link 1-1");
+
+    MachineConfig dup = dmzConfig();
+    dup.htLinks.push_back({1, 0}); // reverse of the existing 0-1
+    ASSERT_DEATH(dup.validate(), "duplicate HT link 1-0");
+}
+
+TEST(ConfigValidateDeathTest, RejectsNonsenseCoherenceParameters)
+{
+    MachineConfig bad = dmzConfig();
+    bad.coherence.probeBytes = -1.0;
+    ASSERT_DEATH(bad.validate(), "probe bytes");
+
+    bad = dmzConfig();
+    bad.coherence.lineBytes = 0.0;
+    ASSERT_DEATH(bad.validate(), "line bytes");
+
+    bad = dmzConfig();
+    bad.coherence.directoryEntries = 0.0;
+    ASSERT_DEATH(bad.validate(), "directory entries");
+
+    bad = dmzConfig();
+    bad.coherence.directoryWays = 0.0;
+    ASSERT_DEATH(bad.validate(), "directory ways");
+}
+
+} // namespace
+} // namespace mcscope

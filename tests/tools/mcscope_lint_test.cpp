@@ -155,6 +155,27 @@ int sum()
     EXPECT_EQ(countOccurrences(run.out, "DET-2"), 2u) << run.out;
 }
 
+TEST(Lint, Det2CoversCoherenceUnit)
+{
+    // Coherence flow emission feeds audit digests, so the coherence
+    // unit is on the DET-2 ordered-output list.
+    TempTree t("det2coh");
+    t.write("src/machine/coherence_fixture.cc", R"lint(
+#include <unordered_map>
+int sum()
+{
+    std::unordered_map<int, int> m;
+    int s = 0;
+    for (const auto &kv : m)
+        s += kv.second;
+    return s;
+}
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 1) << run.out;
+    EXPECT_EQ(countOccurrences(run.out, "DET-2"), 1u) << run.out;
+}
+
 TEST(Lint, Det2AllowsLookupOnlyUse)
 {
     TempTree t("det2ok");

@@ -46,6 +46,7 @@ HOT_PATH_BENCHES = {
     "BM_CalQueueChurn",
     "BM_FairShareSubsetSolve",
     "BM_EngineManyComponents",
+    "BM_CoherenceProbe",
 }
 
 # (variant, reference, allowed fractional slowdown) triples checked

@@ -96,7 +96,7 @@ constexpr RuleDoc kRuleCatalog[] = {
               "src/sim, src/core, src/kernels"},
     {"DET-2", "no unordered_map/unordered_set iteration in "
               "ordered-output units (journal, runner, scenario, "
-              "plan, json)"},
+              "plan, json, coherence)"},
     {"HOT-1", "no heap allocation between MCSCOPE_HOT_BEGIN/END "
               "markers"},
     {"HOT-2", "designated steady-state units must contain hot "
@@ -120,8 +120,11 @@ const char *const kDet1Paths[] = {"src/sim/", "src/core/",
 
 /** Path fragments naming the ordered-output units for DET-2. */
 const char *const kDet2Paths[] = {
-    "src/core/journal", "src/core/runner", "src/core/scenario",
-    "src/core/plan",    "src/util/json",
+    "src/core/journal",     "src/core/runner", "src/core/scenario",
+    "src/core/plan",        "src/util/json",
+    // Probe/invalidation flows feed Work lists and hence audit
+    // digests; their emission order must be deterministic.
+    "src/machine/coherence",
 };
 
 /** Heap-allocating type names banned in hot regions (HOT-1). */
