@@ -42,6 +42,17 @@ table5Options()
     };
 }
 
+std::vector<NumactlOption>
+namedOptions()
+{
+    std::vector<NumactlOption> options = table5Options();
+    options.push_back(
+        {"First Touch", TaskScheme::Spread, MemPolicy::FirstTouch});
+    options.push_back(
+        {"Serial Bound", TaskScheme::Spread, MemPolicy::BindAll});
+    return options;
+}
+
 std::vector<int>
 preferredSocketOrder(const Topology &topo)
 {
@@ -149,16 +160,22 @@ Placement::create(const MachineConfig &cfg, const Topology &topo,
             local = r / cfg.sockets;
             break;
           case TaskScheme::Packed:
-            socket = p.socketOrder_[r / cfg.coresPerSocket];
-            local = r % cfg.coresPerSocket;
+            socket = p.socketOrder_[r / cfg.contextsPerSocket()];
+            local = r % cfg.contextsPerSocket();
             break;
           case TaskScheme::OsDefault:
             MCSCOPE_PANIC("OsDefault not resolved");
         }
-        MCSCOPE_ASSERT(local < cfg.coresPerSocket,
+        MCSCOPE_ASSERT(local < cfg.contextsPerSocket(),
                        "placement overflow: rank ", r, " local core ",
                        local);
-        b.core = socket * cfg.coresPerSocket + local;
+        // Slots fill physical cores before SMT siblings (what both
+        // Linux and Solaris schedulers do), except Packed, which
+        // deliberately saturates a socket context by context.
+        int context = effective == TaskScheme::Packed
+                          ? local
+                          : cfg.smtContextIndex(local);
+        b.core = socket * cfg.contextsPerSocket() + context;
 
         // Membind mis-binding: the paper's explicit --membind node
         // lists diverge from where tasks actually run as the job
@@ -169,15 +186,23 @@ Placement::create(const MachineConfig &cfg, const Topology &topo,
         // (calibrated to the ~2.1x membind/localalloc ratio of
         // Table 2).
         if (option.policy == MemPolicy::Membind) {
-            int want = std::min({std::max(0, r - 1), 2,
-                                 topo.diameter()});
+            // numactl binds within one OS image, so the candidate node
+            // list stops at the cluster-node boundary.
+            const int span = cfg.socketsPerNode();
+            const int base = (socket / span) * span;
+            int node_diam = 0;
+            for (int n = base; n < base + span; ++n) {
+                node_diam =
+                    std::max(node_diam, topo.hopCount(socket, n));
+            }
+            int want = std::min({std::max(0, r - 1), 2, node_diam});
             // Among nodes at the wanted distance, pick the least-
             // loaded one (numactl node lists cycle rather than pile
             // onto one node); fall back to the farthest node when no
             // node sits at exactly that distance.
             int chosen = -1;
             int chosen_dist = -1;
-            for (int n = 0; n < cfg.sockets; ++n) {
+            for (int n = base; n < base + span; ++n) {
                 int d = topo.hopCount(socket, n);
                 if (d == want &&
                     (chosen < 0 ||
@@ -188,7 +213,7 @@ Placement::create(const MachineConfig &cfg, const Topology &topo,
                     chosen_dist = d;
             }
             if (chosen < 0) {
-                for (int n = 0; n < cfg.sockets; ++n) {
+                for (int n = base; n < base + span; ++n) {
                     int d = topo.hopCount(socket, n);
                     if (d == chosen_dist &&
                         (chosen < 0 ||
@@ -221,12 +246,21 @@ std::vector<NodeFraction>
 Placement::memorySpread(int rank) const
 {
     const RankBinding &b = binding(rank);
-    const int sockets = cfg_.sockets;
-    const int home = b.core / cfg_.coresPerSocket;
+    const int home = b.core / cfg_.contextsPerSocket();
+    // Page placement happens inside one OS image: all the numactl
+    // machinery rotates over the home cluster node's sockets, never
+    // across the fabric.  On single-node machines span == sockets and
+    // base == 0, reproducing the original whole-box behavior.
+    const int span = cfg_.socketsPerNode();
+    const int base = (home / span) * span;
 
     switch (b.policy) {
       case MemPolicy::LocalAlloc:
+      case MemPolicy::FirstTouch:
         return {{home, 1.0}};
+      case MemPolicy::BindAll:
+        // Serial init touched everything from the node's first socket.
+        return {{base, 1.0}};
       case MemPolicy::Membind:
         if (b.membindNode == home)
             return {{home, 1.0}};
@@ -234,7 +268,7 @@ Placement::memorySpread(int rank) const
         // wrong, which is why "the DMZ system is minimally affected"
         // by the NUMA options; on bigger topologies the binding is
         // fully displaced.
-        if (sockets <= 2)
+        if (span <= 2)
             return {{home, 0.5}, {b.membindNode, 0.5}};
         return {{b.membindNode, 1.0}};
       case MemPolicy::Interleave: {
@@ -242,17 +276,18 @@ Placement::memorySpread(int rank) const
         // controllers instead of convoying on node 0 (page-granular
         // interleave has no such global order in reality).
         std::vector<NodeFraction> out;
-        for (int s = 0; s < sockets; ++s)
-            out.push_back({(home + s) % sockets, 1.0 / sockets});
+        for (int s = 0; s < span; ++s)
+            out.push_back({base + (home - base + s) % span,
+                           1.0 / span});
         return out;
       }
       case MemPolicy::Default: {
-        if (sockets == 1 || driftFraction_ <= 0.0)
+        if (span == 1 || driftFraction_ <= 0.0)
             return {{home, 1.0}};
         // First-touch local, minus the drift slice: when the
         // scheduler rebalances, it moves the task one socket over,
         // so the stranded pages sit one hop away.
-        int neighbor = (home + 1) % sockets;
+        int neighbor = base + (home - base + 1) % span;
         return {{home, 1.0 - driftFraction_},
                 {neighbor, driftFraction_}};
       }
@@ -264,16 +299,20 @@ int
 Placement::commBufferNode(int rank) const
 {
     const RankBinding &b = binding(rank);
-    const int home = b.core / cfg_.coresPerSocket;
+    const int home = b.core / cfg_.contextsPerSocket();
+    const int span = cfg_.socketsPerNode();
+    const int base = (home / span) * span;
     switch (b.policy) {
       case MemPolicy::Default:
       case MemPolicy::LocalAlloc:
+      case MemPolicy::FirstTouch:
         return home;
       case MemPolicy::Membind:
+      case MemPolicy::BindAll:
         // Shared segments land on the first node of the bind list.
-        return 0;
+        return base;
       case MemPolicy::Interleave:
-        return rank % cfg_.sockets;
+        return base + rank % span;
     }
     MCSCOPE_PANIC("bad MemPolicy");
 }
@@ -282,7 +321,7 @@ SimTime
 Placement::averageMemoryLatency(const Machine &m, int rank) const
 {
     const RankBinding &b = binding(rank);
-    int socket = b.core / cfg_.coresPerSocket;
+    int socket = b.core / cfg_.contextsPerSocket();
     SimTime total = 0.0;
     for (const auto &nf : memorySpread(rank))
         total += nf.fraction * m.memoryLatency(socket, nf.node);

@@ -70,6 +70,15 @@ struct NumactlOption
 std::vector<NumactlOption> table5Options();
 
 /**
+ * Every selectable option: the six Table 5 rows first (numeric option
+ * indices keep meaning exactly what they meant in 2006), then the
+ * modern-topology placements selectable by label only -- "First Touch"
+ * (pinned spread, parallel first-touch init) and "Serial Bound"
+ * (pinned spread, all pages on the cluster node's first socket).
+ */
+std::vector<NumactlOption> namedOptions();
+
+/**
  * Hop-minimizing socket enumeration: greedy selection that starts at
  * a most-central socket and repeatedly adds the socket closest to the
  * chosen set.  This is the order in which experimenters (and sane MPI

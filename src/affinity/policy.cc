@@ -18,6 +18,10 @@ memPolicyName(MemPolicy policy)
         return "membind";
       case MemPolicy::Interleave:
         return "interleave";
+      case MemPolicy::FirstTouch:
+        return "first-touch";
+      case MemPolicy::BindAll:
+        return "bound";
     }
     MCSCOPE_PANIC("bad MemPolicy");
 }

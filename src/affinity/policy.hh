@@ -23,6 +23,12 @@ namespace mcscope {
  *               actually runs (the pathology the paper observed).
  * - Interleave: numactl --interleave=all; pages round-robin across
  *               every node.
+ * - FirstTouch: parallel first-touch initialization with the task
+ *               pinned: every page lands local, no drift.  The clean
+ *               NUMA baseline of later STREAM studies.
+ * - BindAll:    serial initialization (or an explicit single-node
+ *               bind): every task's pages sit on the first node of
+ *               its cluster node, congesting that one controller.
  */
 enum class MemPolicy
 {
@@ -30,6 +36,8 @@ enum class MemPolicy
     LocalAlloc,
     Membind,
     Interleave,
+    FirstTouch,
+    BindAll,
 };
 
 /** Human-readable policy name. */

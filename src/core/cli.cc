@@ -26,6 +26,7 @@
 #include "core/serve.hh"
 #include "machine/config.hh"
 #include "machine/machine.hh"
+#include "machine/registry.hh"
 #include "sim/trace_export.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -39,6 +40,8 @@ namespace {
 const char *kUsage =
     "usage: mcscope <command> [args]\n"
     "  list [--json]                workloads, machines, options\n"
+    "  zoo [--json]                 machine registry (builtins + any\n"
+    "                               loaded definition directories)\n"
     "  calibration                  calibrated model constants\n"
     "  run <workload> [flags]       one experiment\n"
     "  sweep <workload> [flags]     numactl option x rank sweep\n"
@@ -52,6 +55,9 @@ const char *kUsage =
     "  worker --framed              framed worker loop on stdin/stdout\n"
     "  worker --connect HOST:PORT   join a serve daemon's worker pool\n"
     "flags: --machine M --ranks N[,N..] --option I|label\n"
+    "       --machine-dir D  load machine definitions from D/*.json\n"
+    "                into the registry before running any command\n"
+    "                (also: MCSCOPE_MACHINE_DIR; repeatable)\n"
     "       --impl mpich2|lam|openmpi --sublayer sysv|usysv --detail\n"
     "       --coherence snoopy|directory|legacy-alpha\n"
     "                override the machine's coherence mode (default:\n"
@@ -345,7 +351,30 @@ printAuditSummary(std::ostream &out, const ExperimentConfig &cfg,
         << first.auditDigest << std::dec << ", replay identical)\n";
 }
 
-/** Machine-readable `list --json` document. */
+/** One registry machine as a `list`/`zoo` JSON entry. */
+JsonValue
+machineJson(const std::string &name)
+{
+    const MachineConfig *c = MachineRegistry::instance().find(name);
+    MCSCOPE_ASSERT(c != nullptr, "registry listed unknown machine '",
+                   name, "'");
+    JsonValue machine = JsonValue::object();
+    machine.set("name", JsonValue::str(toLower(name)));
+    machine.set("builtin",
+                JsonValue::boolean(
+                    MachineRegistry::instance().isBuiltin(name)));
+    machine.set("sockets", JsonValue::number(c->sockets));
+    machine.set("cores_per_socket",
+                JsonValue::number(c->coresPerSocket));
+    machine.set("threads_per_core",
+                JsonValue::number(c->threadsPerCore));
+    machine.set("nodes", JsonValue::number(c->nodes));
+    machine.set("total_cores", JsonValue::number(c->totalCores()));
+    machine.set("opteron_model", JsonValue::str(c->opteronModel));
+    return machine;
+}
+
+/** Machine-readable `list --json` document (registry-sourced). */
 JsonValue
 listJson()
 {
@@ -355,17 +384,8 @@ listJson()
         workloads.append(JsonValue::str(w));
     doc.set("workloads", std::move(workloads));
     JsonValue machines = JsonValue::array();
-    for (const std::string &m : presetNames()) {
-        MachineConfig c = configByName(m);
-        JsonValue machine = JsonValue::object();
-        machine.set("name", JsonValue::str(toLower(m)));
-        machine.set("sockets", JsonValue::number(c.sockets));
-        machine.set("cores_per_socket",
-                    JsonValue::number(c.coresPerSocket));
-        machine.set("total_cores", JsonValue::number(c.totalCores()));
-        machine.set("opteron_model", JsonValue::str(c.opteronModel));
-        machines.append(std::move(machine));
-    }
+    for (const std::string &m : MachineRegistry::instance().names())
+        machines.append(machineJson(m));
     doc.set("machines", std::move(machines));
     JsonValue options = JsonValue::array();
     auto table5 = table5Options();
@@ -398,17 +418,86 @@ cmdList(const std::vector<std::string> &args, std::ostream &out)
     for (const std::string &w : registeredWorkloads())
         out << "  " << w << "\n";
     out << "machines:\n";
-    for (const std::string &m : presetNames()) {
-        MachineConfig c = configByName(m);
-        out << "  " << toLower(m) << " (" << c.sockets << " sockets x "
-            << c.coresPerSocket << " cores, Opteron " << c.opteronModel
-            << ")\n";
+    for (const std::string &m : MachineRegistry::instance().names()) {
+        const MachineConfig *c = MachineRegistry::instance().find(m);
+        out << "  " << toLower(m) << " (" << c->sockets
+            << " sockets x " << c->coresPerSocket << " cores";
+        if (c->threadsPerCore > 1)
+            out << " x " << c->threadsPerCore << " threads";
+        if (c->nodes > 1)
+            out << ", " << c->nodes << " nodes";
+        if (!c->opteronModel.empty())
+            out << ", Opteron " << c->opteronModel;
+        out << ")\n";
     }
     out << "options:\n";
     auto options = table5Options();
     for (size_t i = 0; i < options.size(); ++i)
         out << "  " << i << ": " << options[i].label << "\n";
     return 0;
+}
+
+/**
+ * Registry inventory: every machine the process can simulate, with
+ * enough topology detail to tell a zoo definition took.  Validation is
+ * implicit -- a malformed definition directory already failed to load
+ * (exit 2 from --machine-dir, fatal from MCSCOPE_MACHINE_DIR).
+ */
+int
+cmdZoo(const std::vector<std::string> &args, std::ostream &out)
+{
+    if (args.size() > 1 && args[1] != "--json") {
+        out << "zoo: unknown flag '" << args[1] << "'\n" << kUsage;
+        return 2;
+    }
+    MachineRegistry &reg = MachineRegistry::instance();
+    if (args.size() > 1) {
+        JsonValue doc = JsonValue::object();
+        JsonValue machines = JsonValue::array();
+        for (const std::string &m : reg.names())
+            machines.append(machineJson(m));
+        doc.set("machines", std::move(machines));
+        out << doc.dump(2) << "\n";
+        return 0;
+    }
+    out << "machine zoo: " << reg.names().size() << " machines ("
+        << reg.builtinNames().size() << " builtin, "
+        << reg.zooNames().size() << " from definition files)\n";
+    for (const std::string &m : reg.names()) {
+        const MachineConfig *c = reg.find(m);
+        out << "  " << toLower(m) << ": " << c->sockets
+            << " sockets x " << c->coresPerSocket << " cores";
+        if (c->threadsPerCore > 1)
+            out << " x " << c->threadsPerCore << " threads";
+        out << " @ " << formatFixed(c->coreGHz, 2) << " GHz";
+        if (c->nodes > 1) {
+            out << ", " << c->nodes
+                << " nodes on a shared fabric switch";
+        }
+        out << " [" << (reg.isBuiltin(m) ? "builtin" : "zoo")
+            << "]\n";
+    }
+    return 0;
+}
+
+/**
+ * Resolve a --machine name through the registry.  Prints a
+ * nearest-name suggestion and returns nullopt on unknown names.
+ */
+std::optional<MachineConfig>
+resolveMachineFlag(const std::string &name, const char *cmd,
+                   std::ostream &out)
+{
+    const MachineConfig *cfg =
+        MachineRegistry::instance().find(toLower(name));
+    if (cfg)
+        return *cfg;
+    std::string hint = MachineRegistry::instance().suggest(name);
+    out << cmd << ": unknown --machine '" << name << "'";
+    if (!hint.empty())
+        out << " (did you mean '" << toLower(hint) << "'?)";
+    out << "\n";
+    return std::nullopt;
 }
 
 /**
@@ -446,7 +535,10 @@ cmdRun(const std::vector<std::string> &args, std::ostream &out)
         out << "run: unknown --option '" << f.option << "'\n";
         return 2;
     }
-    MachineConfig machine = configByName(f.machine);
+    auto resolved = resolveMachineFlag(f.machine, "run", out);
+    if (!resolved)
+        return 2;
+    MachineConfig machine = *resolved;
     applyCoherence(f, &machine);
     int ranks = f.ranks.empty() ? machine.totalCores() : f.ranks[0];
 
@@ -560,7 +652,10 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
         out << "sweep: " << f.error << "\n";
         return 2;
     }
-    MachineConfig machine = configByName(f.machine);
+    auto resolved = resolveMachineFlag(f.machine, "sweep", out);
+    if (!resolved)
+        return 2;
+    MachineConfig machine = *resolved;
     std::vector<int> ranks = f.ranks;
     if (ranks.empty()) {
         for (int r = 2; r <= machine.totalCores(); r *= 2)
@@ -572,7 +667,10 @@ cmdSweep(const std::vector<std::string> &args, std::ostream &out)
     axes.rankCounts = ranks;
     axes.impls = {f.impl};
     axes.sublayers = {f.sublayer};
-    if (applyCoherence(f, &machine)) {
+    const bool inline_machine =
+        applyCoherence(f, &machine) ||
+        !MachineRegistry::instance().isBuiltin(f.machine);
+    if (inline_machine) {
         axes.machinePreset.clear();
         axes.machine = machine;
     }
@@ -632,7 +730,10 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
         out << "scaling: " << f.error << "\n";
         return 2;
     }
-    MachineConfig machine = configByName(f.machine);
+    auto resolved = resolveMachineFlag(f.machine, "scaling", out);
+    if (!resolved)
+        return 2;
+    MachineConfig machine = *resolved;
     std::vector<int> ranks = f.ranks;
     if (ranks.empty()) {
         ranks.push_back(1);
@@ -644,7 +745,10 @@ cmdScaling(const std::vector<std::string> &args, std::ostream &out)
     axes.workloads = {canonicalWorkloadName(args[1])};
     axes.rankCounts = ranks;
     axes.options = {table5Options().front()}; // Default
-    if (applyCoherence(f, &machine)) {
+    const bool inline_machine =
+        applyCoherence(f, &machine) ||
+        !MachineRegistry::instance().isBuiltin(f.machine);
+    if (inline_machine) {
         axes.machinePreset.clear();
         axes.machine = machine;
     }
@@ -969,31 +1073,56 @@ parseRankList(const std::string &arg)
 int
 runCli(const std::vector<std::string> &args, std::ostream &out)
 {
-    if (args.empty()) {
+    // --machine-dir loads definitions before any command dispatch so
+    // every subcommand (run, batch, zoo, serve, ...) sees the same
+    // registry.  Repeatable; a malformed file is a user error, not a
+    // crash.
+    std::vector<std::string> rest;
+    rest.reserve(args.size());
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--machine-dir") {
+            if (i + 1 >= args.size()) {
+                out << "--machine-dir needs a directory\n";
+                return 2;
+            }
+            std::string problem =
+                MachineRegistry::instance().loadDirectory(args[++i]);
+            if (!problem.empty()) {
+                out << "--machine-dir: " << problem << "\n";
+                return 2;
+            }
+            continue;
+        }
+        rest.push_back(args[i]);
+    }
+    if (rest.empty()) {
         out << kUsage;
         return 2;
     }
-    const std::string &cmd = args[0];
+    const std::string &cmd = rest[0];
+    const std::vector<std::string> &args2 = rest;
     if (cmd == "list")
-        return cmdList(args, out);
+        return cmdList(args2, out);
+    if (cmd == "zoo")
+        return cmdZoo(args2, out);
     if (cmd == "calibration") {
         out << calibrationReport();
         return 0;
     }
     if (cmd == "run")
-        return cmdRun(args, out);
+        return cmdRun(args2, out);
     if (cmd == "sweep")
-        return cmdSweep(args, out);
+        return cmdSweep(args2, out);
     if (cmd == "scaling")
-        return cmdScaling(args, out);
+        return cmdScaling(args2, out);
     if (cmd == "batch")
-        return cmdBatch(args, out);
+        return cmdBatch(args2, out);
     if (cmd == "serve")
-        return cmdServe(args, out);
+        return cmdServe(args2, out);
     if (cmd == "submit")
-        return cmdSubmit(args, out);
+        return cmdSubmit(args2, out);
     if (cmd == "worker")
-        return cmdWorker(args, out);
+        return cmdWorker(args2, out);
     out << "unknown command '" << cmd << "'\n" << kUsage;
     return 2;
 }

@@ -31,9 +31,10 @@ void
 HybridWorkload::buildTasks(Machine &machine, const MpiRuntime &rt) const
 {
     const MachineConfig &cfg = machine.config();
-    if (threads_ > cfg.coresPerSocket) {
+    if (threads_ > cfg.contextsPerSocket()) {
         fatal("hybrid: ", threads_, " threads per task exceed ",
-              cfg.coresPerSocket, " cores per socket on ", cfg.name);
+              cfg.contextsPerSocket(), " contexts per socket on ",
+              cfg.name);
     }
     const int total = rt.ranks();
     if (total % threads_ != 0) {
@@ -59,23 +60,32 @@ HybridWorkload::buildTasks(Machine &machine, const MpiRuntime &rt) const
     for (int t = 0; t < ntasks; ++t) {
         const int leader_core = leader_rt.coreOf(t);
         const int socket = machine.socketOf(leader_core);
+        // Compute works built for the leader carry exactly this path
+        // (computeWork uses computePath); match on it so SMT compute
+        // paths (context + shared issue port) are recognized too.
+        const std::vector<ResourceId> leader_compute =
+            machine.computePath(leader_core);
         std::vector<Prim> base_body =
             base_->body(machine, leader_rt, t);
         std::vector<Prim> base_pro =
             base_->prologue(machine, leader_rt, t);
 
         for (int th = 0; th < threads_; ++th) {
-            const int core = socket * cfg.coresPerSocket + th;
+            // Spread threads across physical cores before doubling up
+            // on SMT siblings (identity on non-SMT machines).
+            const int core = socket * cfg.contextsPerSocket() +
+                             cfg.smtContextIndex(th);
             std::vector<Prim> body;
             for (const Prim &p : base_body) {
                 if (const auto *w = std::get_if<Work>(&p)) {
-                    if (w->path.size() == 1 &&
-                        machine.isCoreResource(w->path[0])) {
+                    if (w->path == leader_compute ||
+                        (w->path.size() == 1 &&
+                         machine.isCoreResource(w->path[0]))) {
                         // Parallel region: the flop work splits
                         // across the socket's threads.
                         Work tw = *w;
                         tw.amount /= threads_;
-                        tw.path = {machine.coreResource(core)};
+                        tw.path = machine.computePath(core);
                         body.push_back(tw);
                     } else {
                         // Memory phase: each thread streams its

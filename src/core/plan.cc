@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/registry.hh"
+#include "machine/registry.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -29,7 +30,15 @@ withDefaults(SweepAxes axes)
     if (axes.options.empty())
         axes.options = table5Options();
     if (axes.rankCounts.empty()) {
-        for (int r = 2; r <= axes.machine.totalCores(); r *= 2)
+        // Up to the largest machine in the sweep; smaller machines
+        // simply render "-" for the rank counts they cannot host.
+        int max_cores = axes.machine.totalCores();
+        if (!axes.machines.empty()) {
+            max_cores = 0;
+            for (const auto &[token, cfg] : axes.machines)
+                max_cores = std::max(max_cores, cfg.totalCores());
+        }
+        for (int r = 2; r <= max_cores; r *= 2)
             axes.rankCounts.push_back(r);
         if (axes.rankCounts.empty())
             axes.rankCounts.push_back(1);
@@ -46,6 +55,8 @@ withDefaults(SweepAxes axes)
 MachineConfig
 SweepAxes::resolvedMachine() const
 {
+    if (!machines.empty())
+        return machines.front().second;
     if (!machinePreset.empty())
         return configByName(machinePreset);
     return machine;
@@ -56,12 +67,24 @@ SweepAxes::variantMachine(size_t m) const
 {
     MCSCOPE_ASSERT(m < machineVariants(), "machine variant ", m,
                    " out of range");
+    if (!machines.empty())
+        return machines[m].second;
     MachineConfig cfg = resolvedMachine();
     if (!directoryEntries.empty()) {
         cfg.coherence.mode = CoherenceMode::Directory;
         cfg.coherence.directoryEntries = directoryEntries[m];
     }
     return cfg;
+}
+
+std::string
+SweepAxes::variantPreset(size_t m) const
+{
+    MCSCOPE_ASSERT(m < machineVariants(), "machine variant ", m,
+                   " out of range");
+    if (!machines.empty())
+        return machines[m].first;
+    return directoryEntries.empty() ? machinePreset : "";
 }
 
 size_t
@@ -130,10 +153,10 @@ SweepPlan::expand(const SweepAxes &axes)
                   full.impls.size() * full.sublayers.size() *
                   full.rankCounts.size() * full.options.size());
     for (size_t m = 0; m < full.machineVariants(); ++m) {
-        // Directory variants are inline machines: their coherence
-        // block differs from the preset's, so canonicalize() keeps
-        // them distinct (and distinctly digested).
-        const bool variant = !full.directoryEntries.empty();
+        // Directory variants and zoo machines are inline machines
+        // (variantPreset "" -> canonicalize() keeps them distinct and
+        // distinctly digested); builtin machines keep their token.
+        const std::string preset = full.variantPreset(m);
         const MachineConfig machine = full.variantMachine(m);
         for (const std::string &workload : full.workloads) {
             for (MpiImpl impl : full.impls) {
@@ -143,8 +166,7 @@ SweepPlan::expand(const SweepAxes &axes)
                              full.options) {
                             ScenarioSpec s;
                             s.workload = workload;
-                            s.machinePreset =
-                                variant ? "" : full.machinePreset;
+                            s.machinePreset = preset;
                             s.machine = machine;
                             s.option = option;
                             s.ranks = ranks;
@@ -172,25 +194,66 @@ SweepPlan::fromJson(const JsonValue &doc, std::string *error)
         return std::nullopt;
     }
     SweepAxes axes;
+    bool have_machine = false;
+    // Resolve a machine *name* through the registry: builtin presets
+    // keep their token (digest-preserving collapse), zoo machines
+    // come back inline, unknown names get a nearest-name hint.
+    auto resolveName = [&](const std::string &raw, std::string *token,
+                           MachineConfig *cfg) {
+        std::string name = toLower(raw);
+        const MachineConfig *found =
+            MachineRegistry::instance().find(name);
+        if (!found) {
+            std::string hint =
+                MachineRegistry::instance().suggest(name);
+            setError(error,
+                     "unknown machine '" + raw + "'" +
+                         (hint.empty() ? ""
+                                       : " (did you mean '" +
+                                             toLower(hint) + "'?)"));
+            return false;
+        }
+        *token =
+            MachineRegistry::instance().isBuiltin(name) ? name : "";
+        *cfg = *found;
+        return true;
+    };
     for (const auto &[key, v] : doc.members()) {
         if (key == "machine") {
+            have_machine = true;
             if (v.isString()) {
-                std::string preset = toLower(v.asString());
-                bool known = false;
-                for (const std::string &p : presetNames())
-                    known = known || toLower(p) == preset;
-                if (!known) {
-                    setError(error, "unknown machine preset '" +
-                                        v.asString() + "'");
+                std::string token;
+                MachineConfig cfg;
+                if (!resolveName(v.asString(), &token, &cfg))
                     return std::nullopt;
-                }
-                axes.machinePreset = preset;
+                axes.machinePreset = token;
+                axes.machine = cfg;
             } else {
                 auto m = parseMachineConfig(v, error);
                 if (!m)
                     return std::nullopt;
                 axes.machinePreset.clear();
                 axes.machine = *m;
+            }
+        } else if (key == "machines") {
+            if (!v.isArray() || v.items().empty()) {
+                setError(error, "machines must be a non-empty array");
+                return std::nullopt;
+            }
+            for (const JsonValue &entry : v.items()) {
+                std::string token;
+                MachineConfig cfg;
+                if (entry.isString()) {
+                    if (!resolveName(entry.asString(), &token, &cfg))
+                        return std::nullopt;
+                } else {
+                    auto m = parseMachineConfig(entry, error);
+                    if (!m)
+                        return std::nullopt;
+                    cfg = *m;
+                }
+                axes.machines.emplace_back(std::move(token),
+                                           std::move(cfg));
             }
         } else if (key == "workloads") {
             if (!v.isArray() || v.items().empty()) {
@@ -316,6 +379,17 @@ SweepPlan::fromJson(const JsonValue &doc, std::string *error)
     }
     if (axes.workloads.empty()) {
         setError(error, "batch spec needs a \"workloads\" array");
+        return std::nullopt;
+    }
+    if (!axes.machines.empty() && have_machine) {
+        setError(error,
+                 "\"machine\" and \"machines\" are mutually exclusive");
+        return std::nullopt;
+    }
+    if (!axes.machines.empty() && !axes.directoryEntries.empty()) {
+        setError(error, "\"machines\" and \"directory_entries\" are "
+                        "mutually exclusive (sweep one outermost axis "
+                        "at a time)");
         return std::nullopt;
     }
     return expand(axes);

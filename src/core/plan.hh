@@ -60,20 +60,43 @@ struct SweepAxes
      */
     std::vector<double> directoryEntries;
 
+    /**
+     * Machine sweep axis (the zoo): each entry is a (preset token,
+     * config) pair.  The token is non-empty only for builtin presets,
+     * so builtin entries keep the digest-preserving preset collapse
+     * while registry/inline machines travel fully expanded.  Empty
+     * means one machine, taken from machinePreset/machine.  Mutually
+     * exclusive with directoryEntries; like it, the outermost grid
+     * dimension.
+     */
+    std::vector<std::pair<std::string, MachineConfig>> machines;
+
     double latencyNoise = 1.0;
 
-    /** The machine config the axes describe (preset resolved). */
+    /**
+     * The machine config the axes describe (preset resolved).  With a
+     * machines axis this is the first entry; per-variant configs come
+     * from variantMachine().
+     */
     MachineConfig resolvedMachine() const;
 
     /** Number of machine variants the grid expands over (>= 1). */
     size_t
     machineVariants() const
     {
+        if (!machines.empty())
+            return machines.size();
         return directoryEntries.empty() ? 1 : directoryEntries.size();
     }
 
-    /** Machine for variant `m` (directory override applied). */
+    /** Machine for variant `m` (machines entry / directory override). */
     MachineConfig variantMachine(size_t m) const;
+
+    /**
+     * Preset token behind variant `m`, or "" when the variant must be
+     * spelled inline in specs (zoo machines, directory variants).
+     */
+    std::string variantPreset(size_t m) const;
 };
 
 /** A deduplicated, executable expansion of a sweep. */

@@ -35,6 +35,7 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
     const bool tag_impl = axes.impls.size() > 1;
     const bool tag_sublayer = axes.sublayers.size() > 1;
     const bool tag_variant = !axes.directoryEntries.empty();
+    const bool tag_machine = !axes.machines.empty();
     auto variantTag = [&](size_t m) {
         return "dir=" + formatFixed(axes.directoryEntries[m], 0);
     };
@@ -50,6 +51,8 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
                      "]";
         if (tag_variant)
             label += " [" + variantTag(m) + "]";
+        if (tag_machine)
+            label += " [" + axes.variantMachine(m).name + "]";
         return label;
     };
 
@@ -69,10 +72,15 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
                 for (size_t s = 0; s < axes.sublayers.size(); ++s) {
                     OptionSweepResult slice =
                         optionSweepSlice(plan, results, w, i, s, -1, m);
+                    // Per-variant machine name: a zoo sweep carries
+                    // its machine in the first column.
+                    const std::string machine_name =
+                        tag_machine ? axes.variantMachine(m).name
+                                    : machine.name;
                     for (size_t r = 0; r < slice.rankCounts.size();
                          ++r) {
                         std::vector<std::string> row = {
-                            machine.name, axes.workloads[w],
+                            machine_name, axes.workloads[w],
                             implToken(axes.impls[i]),
                             axes.sublayers[s] == SubLayer::SysV
                                 ? "sysv"
@@ -95,8 +103,16 @@ renderBatchResults(const SweepPlan &plan, const PlanResults &results,
           }
         }
     } else {
-        out << "machine: " << machine.name << " (" << machine.sockets
-            << " sockets x " << machine.coresPerSocket << " cores)\n";
+        if (tag_machine) {
+            out << "machines:";
+            for (const auto &[token, cfg] : axes.machines)
+                out << " " << cfg.name;
+            out << "\n";
+        } else {
+            out << "machine: " << machine.name << " ("
+                << machine.sockets << " sockets x "
+                << machine.coresPerSocket << " cores)\n";
+        }
         TextTable t(optionSweepHeader("Workload"));
         bool first = true;
         for (size_t m = 0; m < variants; ++m) {

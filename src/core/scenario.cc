@@ -6,6 +6,7 @@
 
 #include "core/calibration.hh"
 #include "core/registry.hh"
+#include "machine/registry.hh"
 #include "util/logging.hh"
 #include "util/str.hh"
 
@@ -99,7 +100,8 @@ parseMemPolicyToken(const std::string &s)
 {
     for (MemPolicy policy :
          {MemPolicy::Default, MemPolicy::LocalAlloc, MemPolicy::Membind,
-          MemPolicy::Interleave}) {
+          MemPolicy::Interleave, MemPolicy::FirstTouch,
+          MemPolicy::BindAll}) {
         if (memPolicyName(policy) == s)
             return policy;
     }
@@ -155,232 +157,7 @@ setError(std::string *err, const std::string &msg)
     return false;
 }
 
-/** Parse a machine.coherence block; false + *error on bad input. */
-bool
-parseCoherenceConfig(const JsonValue &doc, CoherenceConfig *out,
-                     std::string *error)
-{
-    if (!doc.isObject())
-        return setError(error, "machine.coherence must be an object");
-    for (const auto &[key, v] : doc.members()) {
-        auto positive = [&](double &field, double min) {
-            if (!v.isNumber() || v.asNumber() < min) {
-                setError(error, "machine.coherence." + key +
-                                    " must be a number >= " +
-                                    JsonValue::number(min).dump());
-                return false;
-            }
-            field = v.asNumber();
-            return true;
-        };
-        bool ok = true;
-        if (key == "mode") {
-            if (!v.isString() ||
-                !parseCoherenceMode(v.asString(), &out->mode)) {
-                return setError(
-                    error,
-                    "machine.coherence.mode must be one of "
-                    "legacy-alpha, snoopy, directory");
-            }
-        } else if (key == "probe_bytes") {
-            ok = positive(out->probeBytes, 0.0);
-        } else if (key == "line_bytes") {
-            ok = positive(out->lineBytes, 1.0);
-        } else if (key == "directory_entries") {
-            ok = positive(out->directoryEntries, 1.0);
-        } else if (key == "directory_ways") {
-            ok = positive(out->directoryWays, 1.0);
-        } else {
-            return setError(error,
-                            "unknown machine.coherence key '" + key +
-                                "'");
-        }
-        if (!ok)
-            return false;
-    }
-    return true;
-}
-
 } // namespace
-
-JsonValue
-machineConfigToJson(const MachineConfig &config)
-{
-    // Simulation-relevant fields only: the Table 1 metadata strings
-    // (Opteron model, memory type, OS name) document the real
-    // hardware and cannot change a simulated number, so they stay out
-    // of the serialization and therefore out of the digest.
-    JsonValue m = JsonValue::object();
-    m.set("name", JsonValue::str(config.name));
-    m.set("sockets", JsonValue::number(config.sockets));
-    m.set("cores_per_socket", JsonValue::number(config.coresPerSocket));
-    m.set("core_ghz", JsonValue::number(config.coreGHz));
-    m.set("flops_per_cycle", JsonValue::number(config.flopsPerCycle));
-    m.set("l1_bytes", JsonValue::number(config.l1Bytes));
-    m.set("l2_bytes", JsonValue::number(config.l2Bytes));
-    m.set("mem_bandwidth_per_socket",
-          JsonValue::number(config.memBandwidthPerSocket));
-    m.set("mem_latency", JsonValue::number(config.memLatency));
-    m.set("ht_link_bandwidth",
-          JsonValue::number(config.htLinkBandwidth));
-    m.set("ht_hop_latency", JsonValue::number(config.htHopLatency));
-    m.set("coherence_alpha", JsonValue::number(config.coherenceAlpha));
-    JsonValue coh = JsonValue::object();
-    coh.set("mode",
-            JsonValue::str(coherenceModeName(config.coherence.mode)));
-    coh.set("probe_bytes",
-            JsonValue::number(config.coherence.probeBytes));
-    coh.set("line_bytes", JsonValue::number(config.coherence.lineBytes));
-    coh.set("directory_entries",
-            JsonValue::number(config.coherence.directoryEntries));
-    coh.set("directory_ways",
-            JsonValue::number(config.coherence.directoryWays));
-    m.set("coherence", std::move(coh));
-    m.set("stream_concurrency_bytes",
-          JsonValue::number(config.streamConcurrencyBytes));
-    m.set("same_die_bandwidth_boost",
-          JsonValue::number(config.sameDieBandwidthBoost));
-    m.set("same_die_latency_factor",
-          JsonValue::number(config.sameDieLatencyFactor));
-    JsonValue links = JsonValue::array();
-    for (const auto &[a, b] : config.htLinks) {
-        JsonValue link = JsonValue::array();
-        link.append(JsonValue::number(a));
-        link.append(JsonValue::number(b));
-        links.append(std::move(link));
-    }
-    m.set("ht_links", std::move(links));
-    return m;
-}
-
-std::optional<MachineConfig>
-parseMachineConfig(const JsonValue &doc, std::string *error)
-{
-    if (!doc.isObject()) {
-        setError(error, "machine must be a preset name or an object");
-        return std::nullopt;
-    }
-    MachineConfig c;
-    c.name = "custom";
-    for (const auto &[key, v] : doc.members()) {
-        auto num = [&](double &field) {
-            if (!v.isNumber()) {
-                setError(error, "machine." + key + " must be a number");
-                return false;
-            }
-            field = v.asNumber();
-            return true;
-        };
-        auto integer = [&](int &field) {
-            if (!v.isNumber()) {
-                setError(error, "machine." + key + " must be a number");
-                return false;
-            }
-            double d = v.asNumber();
-            // Truncating here would silently simulate a different
-            // machine than the one the user wrote (and digest it).
-            if (d != std::floor(d) || d < -1.0e9 || d > 1.0e9) {
-                setError(error, "machine." + key +
-                                    " must be an integer, got " +
-                                    JsonValue::number(d).dump());
-                return false;
-            }
-            field = static_cast<int>(d);
-            return true;
-        };
-        bool ok = true;
-        if (key == "name") {
-            if (!v.isString()) {
-                setError(error, "machine.name must be a string");
-                return std::nullopt;
-            }
-            c.name = v.asString();
-        } else if (key == "sockets") {
-            ok = integer(c.sockets);
-        } else if (key == "cores_per_socket") {
-            ok = integer(c.coresPerSocket);
-        } else if (key == "core_ghz") {
-            ok = num(c.coreGHz);
-        } else if (key == "flops_per_cycle") {
-            ok = num(c.flopsPerCycle);
-        } else if (key == "l1_bytes") {
-            ok = num(c.l1Bytes);
-        } else if (key == "l2_bytes") {
-            ok = num(c.l2Bytes);
-        } else if (key == "mem_bandwidth_per_socket") {
-            ok = num(c.memBandwidthPerSocket);
-        } else if (key == "mem_latency") {
-            ok = num(c.memLatency);
-        } else if (key == "ht_link_bandwidth") {
-            ok = num(c.htLinkBandwidth);
-        } else if (key == "ht_hop_latency") {
-            ok = num(c.htHopLatency);
-        } else if (key == "coherence_alpha") {
-            ok = num(c.coherenceAlpha);
-        } else if (key == "stream_concurrency_bytes") {
-            ok = num(c.streamConcurrencyBytes);
-        } else if (key == "same_die_bandwidth_boost") {
-            ok = num(c.sameDieBandwidthBoost);
-        } else if (key == "same_die_latency_factor") {
-            ok = num(c.sameDieLatencyFactor);
-        } else if (key == "ht_links") {
-            if (!v.isArray()) {
-                setError(error, "machine.ht_links must be an array");
-                return std::nullopt;
-            }
-            for (const JsonValue &link : v.items()) {
-                if (!link.isArray() || link.items().size() != 2 ||
-                    !link.items()[0].isNumber() ||
-                    !link.items()[1].isNumber()) {
-                    setError(error,
-                             "machine.ht_links entries must be "
-                             "[socket, socket] pairs");
-                    return std::nullopt;
-                }
-                int a = static_cast<int>(link.items()[0].asNumber());
-                int b = static_cast<int>(link.items()[1].asNumber());
-                if (a == b) {
-                    setError(error,
-                             "machine.ht_links has self-link " +
-                                 std::to_string(a) + "-" +
-                                 std::to_string(b));
-                    return std::nullopt;
-                }
-                for (const auto &[pa, pb] : c.htLinks) {
-                    if ((pa == a && pb == b) ||
-                        (pa == b && pb == a)) {
-                        setError(error,
-                                 "machine.ht_links has duplicate "
-                                 "link " +
-                                     std::to_string(a) + "-" +
-                                     std::to_string(b));
-                        return std::nullopt;
-                    }
-                }
-                c.htLinks.emplace_back(a, b);
-            }
-        } else if (key == "coherence") {
-            if (!parseCoherenceConfig(v, &c.coherence, error))
-                return std::nullopt;
-        } else {
-            setError(error, "unknown machine key '" + key + "'");
-            return std::nullopt;
-        }
-        if (!ok)
-            return std::nullopt;
-    }
-    if (c.sockets < 1 || c.coresPerSocket < 1) {
-        setError(error, "machine needs sockets >= 1 and "
-                        "cores_per_socket >= 1");
-        return std::nullopt;
-    }
-    if (c.sockets > 1 && c.htLinks.empty()) {
-        setError(error,
-                 "multi-socket machine needs ht_links (e.g. [[0,1]])");
-        return std::nullopt;
-    }
-    return c;
-}
 
 JsonValue
 numactlOptionToJson(const NumactlOption &option)
@@ -422,7 +199,7 @@ parseNumactlOption(const JsonValue &doc, std::string *error)
     if (!p) {
         setError(error, "unknown option policy '" + policy->asString() +
                             "' (have: default, localalloc, membind, "
-                            "interleave)");
+                            "interleave, first-touch, bound)");
         return std::nullopt;
     }
     option.policy = *p;
@@ -432,19 +209,22 @@ parseNumactlOption(const JsonValue &doc, std::string *error)
 std::optional<NumactlOption>
 resolveOptionSpec(const std::string &spec)
 {
-    auto options = table5Options();
+    // Labels resolve over the full named set; numeric indices stay
+    // table5-only, so "0".."5" mean exactly the paper columns forever.
+    auto options = namedOptions();
     if (spec.empty())
         return std::nullopt;
     bool numeric = true;
     for (char c : spec)
         numeric = numeric && std::isdigit(static_cast<unsigned char>(c));
     if (numeric) {
+        auto table5 = table5Options();
         // Reject absurd digit strings without std::stoul's throw.
         if (spec.size() > 6)
             return std::nullopt;
         size_t idx = static_cast<size_t>(std::stoul(spec));
-        if (idx < options.size())
-            return options[idx];
+        if (idx < table5.size())
+            return table5[idx];
         return std::nullopt;
     }
     // Case-insensitive label substring, ignoring spaces and '+' so
@@ -621,14 +401,32 @@ parseScenarioSpec(const JsonValue &doc, std::string *error)
                 bool known = false;
                 for (const std::string &p : presetTokens())
                     known = known || p == preset;
-                if (!known) {
-                    setError(error, "unknown machine preset '" +
-                                        v.asString() + "' (have: " +
-                                        join(presetTokens(), ", ") +
-                                        ")");
+                if (known) {
+                    s.machinePreset = preset;
+                } else if (const MachineConfig *zoo =
+                               MachineRegistry::instance().find(
+                                   preset)) {
+                    // Zoo machines travel inline: the spec stays
+                    // self-contained when shipped to a shard worker
+                    // or serve daemon that lacks the machine dir.
+                    s.machinePreset.clear();
+                    s.machine = *zoo;
+                } else {
+                    std::vector<std::string> have;
+                    for (const std::string &n :
+                         MachineRegistry::instance().names())
+                        have.push_back(toLower(n));
+                    std::string hint =
+                        MachineRegistry::instance().suggest(preset);
+                    setError(error,
+                             "unknown machine '" + v.asString() +
+                                 "' (have: " + join(have, ", ") + ")" +
+                                 (hint.empty()
+                                      ? ""
+                                      : "; did you mean '" +
+                                            toLower(hint) + "'?"));
                     return std::nullopt;
                 }
-                s.machinePreset = preset;
             } else {
                 auto m = parseMachineConfig(v, error);
                 if (!m)

@@ -43,6 +43,7 @@
 #include <string>
 
 #include "core/experiment.hh"
+#include "machine/serialize.hh"
 #include "util/json.hh"
 
 namespace mcscope {
@@ -140,11 +141,6 @@ bool operator!=(const ScenarioSpec &a, const ScenarioSpec &b);
  */
 std::optional<ScenarioSpec> parseScenarioSpec(const JsonValue &doc,
                                               std::string *error);
-
-/** Serialize / parse a MachineConfig (inline form). */
-JsonValue machineConfigToJson(const MachineConfig &config);
-std::optional<MachineConfig> parseMachineConfig(const JsonValue &doc,
-                                                std::string *error);
 
 /** Serialize / parse a NumactlOption object form. */
 JsonValue numactlOptionToJson(const NumactlOption &option);

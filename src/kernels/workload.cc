@@ -90,7 +90,7 @@ RankProgram::append(std::vector<Prim> prims)
 int
 socketSharers(const Machine &machine, const MpiRuntime &rt, int rank)
 {
-    int cps = machine.config().coresPerSocket;
+    int cps = machine.config().contextsPerSocket();
     int my_socket = rt.coreOf(rank) / cps;
     int sharers = 0;
     for (int r = 0; r < rt.ranks(); ++r) {

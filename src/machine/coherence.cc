@@ -38,27 +38,40 @@ parseCoherenceMode(const std::string &text, CoherenceMode *out)
     return false;
 }
 
+std::string
+CoherenceConfig::check(const std::string &machine_name) const
+{
+    auto bad = [&](const char *what) {
+        return "machine '" + machine_name + "': " + what;
+    };
+    if (probeBytes < 0.0)
+        return bad("coherence probe bytes must be >= 0");
+    if (lineBytes <= 0.0)
+        return bad("coherence line bytes must be positive");
+    if (directoryEntries < 1.0)
+        return bad("directory entries must be >= 1");
+    if (directoryWays < 1.0)
+        return bad("directory ways must be >= 1");
+    return "";
+}
+
 void
 CoherenceConfig::validate(const std::string &machine_name) const
 {
-    if (probeBytes < 0.0)
-        fatal("machine '", machine_name,
-              "': coherence probe bytes must be >= 0");
-    if (lineBytes <= 0.0)
-        fatal("machine '", machine_name,
-              "': coherence line bytes must be positive");
-    if (directoryEntries < 1.0)
-        fatal("machine '", machine_name,
-              "': directory entries must be >= 1");
-    if (directoryWays < 1.0)
-        fatal("machine '", machine_name,
-              "': directory ways must be >= 1");
+    std::string problem = check(machine_name);
+    if (!problem.empty())
+        fatal(problem);
 }
 
-CoherenceModel::CoherenceModel(const CoherenceConfig &cfg, int sockets)
-    : cfg_(cfg), sockets_(sockets)
+CoherenceModel::CoherenceModel(const CoherenceConfig &cfg, int sockets,
+                               int sockets_per_node)
+    : cfg_(cfg), sockets_(sockets),
+      domain_(sockets_per_node > 0 ? sockets_per_node : sockets)
 {
     MCSCOPE_ASSERT(sockets >= 1, "coherence model needs >= 1 socket");
+    MCSCOPE_ASSERT(domain_ >= 1 && sockets_ % domain_ == 0,
+                   "coherence domain ", domain_,
+                   " must evenly divide ", sockets_, " sockets");
 }
 
 double
@@ -66,14 +79,14 @@ CoherenceModel::transferTax() const
 {
     // Copy loops touch every line once; each miss costs control
     // traffic proportional to probeBytes / lineBytes.  Snoopy pays it
-    // per remote socket (broadcast); a directory resolves it with one
-    // home lookup.
+    // per remote socket in the coherence domain (broadcast); a
+    // directory resolves it with one home lookup.
     double per_line = cfg_.probeBytes / cfg_.lineBytes;
     switch (cfg_.mode) {
       case CoherenceMode::LegacyAlpha:
         return 1.0;
       case CoherenceMode::Snoopy:
-        return 1.0 + per_line * (sockets_ - 1);
+        return 1.0 + per_line * (domain_ - 1);
       case CoherenceMode::Directory:
         return 1.0 + per_line;
     }
@@ -108,7 +121,13 @@ CoherenceModel::priceAccess(int requester_socket, int home_node,
                    "bad requester socket ", requester_socket);
     MCSCOPE_ASSERT(home_node >= 0 && home_node < sockets_,
                    "bad home node ", home_node);
-    if (!modelsTraffic() || sockets_ <= 1 || bytes <= 0.0)
+    if (!modelsTraffic() || domain_ <= 1 || bytes <= 0.0)
+        return;
+    // Coherence stops at the node boundary: cross-node accesses are
+    // explicit network transfers, not cache misses, so a home on
+    // another cluster node generates no protocol traffic here.
+    const int base = (requester_socket / domain_) * domain_;
+    if (home_node < base || home_node >= base + domain_)
         return;
 
     double lines = bytes / cfg_.lineBytes;
@@ -117,10 +136,10 @@ CoherenceModel::priceAccess(int requester_socket, int home_node,
         return;
 
     if (cfg_.mode == CoherenceMode::Snoopy) {
-        // Broadcast protocol: every access probes every remote socket,
-        // sharing or not.  Ascending socket order keeps Work paths and
-        // audit digests deterministic.
-        for (int s = 0; s < sockets_; ++s) {
+        // Broadcast protocol: every access probes every remote socket
+        // in the domain, sharing or not.  Ascending socket order keeps
+        // Work paths and audit digests deterministic.
+        for (int s = base; s < base + domain_; ++s) {
             if (s == requester_socket)
                 continue;
             out.push_back({CoherenceFlow::Kind::Control,
@@ -150,11 +169,11 @@ CoherenceModel::priceAccess(int requester_socket, int home_node,
         // A fraction of the shared lines is dirtied per pass; each
         // write invalidates the other sharers point-to-point.  Pick
         // the invalidation targets deterministically: ascending socket
-        // ids, skipping the writer.
+        // ids within the domain, skipping the writer.
         int victims =
-            std::min(sharing.sharers, sockets_) - 1;
+            std::min(sharing.sharers, domain_) - 1;
         double inval = kSharedWriteFraction * control;
-        for (int s = 0; victims > 0 && s < sockets_; ++s) {
+        for (int s = base; victims > 0 && s < base + domain_; ++s) {
             if (s == requester_socket)
                 continue;
             out.push_back({CoherenceFlow::Kind::Control,
@@ -167,12 +186,12 @@ CoherenceModel::priceAccess(int requester_socket, int home_node,
         // Each access finds the line dirty in the previous owner's
         // cache: a request to the home directory plus a cache-to-cache
         // transfer (control + full line) from the owner.  The owner is
-        // modeled as the requester's ring successor — deterministic
-        // and distance-1-ish on ladder topologies.
+        // modeled as the requester's ring successor within the domain
+        // — deterministic and distance-1-ish on ladder topologies.
         if (home_node != requester_socket)
             out.push_back({CoherenceFlow::Kind::Control,
                            requester_socket, home_node, control});
-        int owner = (requester_socket + 1) % sockets_;
+        int owner = base + (requester_socket - base + 1) % domain_;
         if (owner != requester_socket)
             out.push_back({CoherenceFlow::Kind::Control, owner,
                            requester_socket,

@@ -69,6 +69,9 @@ struct CoherenceConfig
 
     /** Validate invariants; fatal() naming `machine_name` on nonsense. */
     void validate(const std::string &machine_name) const;
+
+    /** Non-fatal validation: empty when sound, else the problem. */
+    std::string check(const std::string &machine_name) const;
 };
 
 /** How a workload's ranks share a streamed memory region. */
@@ -159,12 +162,22 @@ constexpr double kSharedWriteFraction = 1.0 / 3.0;
 class CoherenceModel
 {
   public:
+    /**
+     * @param sockets          total sockets in the machine.
+     * @param sockets_per_node coherence-domain size: sockets that
+     *                         share one protocol (a cluster node).
+     *                         0 means all of them (single-node box).
+     */
     CoherenceModel() = default;
-    CoherenceModel(const CoherenceConfig &cfg, int sockets);
+    CoherenceModel(const CoherenceConfig &cfg, int sockets,
+                   int sockets_per_node = 0);
 
     CoherenceMode mode() const { return cfg_.mode; }
     const CoherenceConfig &config() const { return cfg_; }
     int sockets() const { return sockets_; }
+
+    /** Sockets per coherence domain (== sockets() on one-node boxes). */
+    int domainSockets() const { return domain_; }
 
     /** True when probe/invalidation flows are emitted (non-legacy). */
     bool
@@ -200,6 +213,7 @@ class CoherenceModel
   private:
     CoherenceConfig cfg_;
     int sockets_ = 1;
+    int domain_ = 1;
 };
 
 } // namespace mcscope

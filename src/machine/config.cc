@@ -5,36 +5,110 @@
 
 namespace mcscope {
 
-void
-MachineConfig::validate() const
+std::string
+MachineConfig::check() const
 {
+    auto bad = [&](const std::string &what) {
+        return "machine '" + name + "': " + what;
+    };
     if (sockets < 1)
-        fatal("machine '", name, "': sockets must be >= 1");
+        return bad("sockets must be >= 1");
     if (coresPerSocket < 1)
-        fatal("machine '", name, "': coresPerSocket must be >= 1");
+        return bad("coresPerSocket must be >= 1");
+    if (threadsPerCore < 1)
+        return bad("threads_per_core must be >= 1");
+    if (smtThreadThroughput <= 0.0 || smtThreadThroughput > 1.0)
+        return bad("smt_thread_throughput must be in (0, 1]");
     if (coreGHz <= 0.0 || flopsPerCycle <= 0.0)
-        fatal("machine '", name, "': core rate must be positive");
+        return bad("core rate must be positive");
     if (memBandwidthPerSocket <= 0.0)
-        fatal("machine '", name, "': memory bandwidth must be positive");
+        return bad("memory bandwidth must be positive");
     if (memLatency <= 0.0 || htHopLatency < 0.0)
-        fatal("machine '", name, "': latencies must be positive");
-    if (sockets > 1 && htLinks.empty())
-        fatal("machine '", name,
-              "': multi-socket machine needs HT links");
+        return bad("latencies must be positive");
+    if (nodes < 1)
+        return bad("nodes must be >= 1");
+    if (sockets % nodes != 0)
+        return bad("sockets (" + std::to_string(sockets) +
+                   ") must divide evenly into nodes (" +
+                   std::to_string(nodes) + ")");
+    if (nodes > 1 && fabricBandwidth <= 0.0)
+        return bad("cluster machine needs fabric_bandwidth > 0");
+    if (nodes > 1 && fabricLinkLatency < 0.0)
+        return bad("fabric_link_latency must be >= 0");
+    if (nodes == 1 && (fabricBandwidth != 0.0 ||
+                       fabricLinkLatency != 0.0))
+        return bad("fabric parameters need nodes > 1 (orphan fabric)");
+    // For clusters, htLinks describes one node; endpoints live in
+    // [0, socketsPerNode()).
+    const int link_span = socketsPerNode();
+    if (link_span > 1 && htLinks.empty())
+        return bad("multi-socket machine needs HT links");
+    if (link_span == 1 && !htLinks.empty())
+        return bad("single-socket " +
+                   std::string(nodes > 1 ? "nodes" : "machine") +
+                   " cannot have HT links");
     for (size_t i = 0; i < htLinks.size(); ++i) {
         auto [a, b] = htLinks[i];
-        if (a < 0 || a >= sockets || b < 0 || b >= sockets)
-            fatal("machine '", name, "': bad HT link ", a, "-", b);
+        if (a < 0 || a >= link_span || b < 0 || b >= link_span) {
+            return bad("bad HT link " + std::to_string(a) + "-" +
+                       std::to_string(b) +
+                       (nodes > 1 ? " (cluster links are node-local)"
+                                  : ""));
+        }
         if (a == b)
-            fatal("machine '", name, "': HT self-link ", a, "-", b);
+            return bad("HT self-link " + std::to_string(a) + "-" +
+                       std::to_string(b));
         for (size_t j = 0; j < i; ++j) {
             auto [c, d] = htLinks[j];
             if ((c == a && d == b) || (c == b && d == a))
-                fatal("machine '", name, "': duplicate HT link ", a,
-                      "-", b);
+                return bad("duplicate HT link " + std::to_string(a) +
+                           "-" + std::to_string(b));
         }
     }
-    coherence.validate(name);
+    // The intra-node socket graph must be connected, or routing has
+    // no path; checking here lets registry loaders reject the file
+    // instead of asserting deep inside Topology.
+    if (link_span > 1) {
+        std::vector<int> reach(static_cast<size_t>(link_span), 0);
+        reach[0] = 1;
+        for (int pass = 1; pass < link_span; ++pass) {
+            for (const auto &[a, b] : htLinks) {
+                if (reach[static_cast<size_t>(a)] ||
+                    reach[static_cast<size_t>(b)])
+                    reach[static_cast<size_t>(a)] =
+                        reach[static_cast<size_t>(b)] = 1;
+            }
+        }
+        for (int s = 0; s < link_span; ++s) {
+            if (!reach[static_cast<size_t>(s)])
+                return bad("HT links leave socket " +
+                           std::to_string(s) + " disconnected");
+        }
+    }
+    return coherence.check(name);
+}
+
+void
+MachineConfig::validate() const
+{
+    std::string problem = check();
+    if (!problem.empty())
+        fatal(problem);
+}
+
+std::vector<std::pair<int, int>>
+MachineConfig::expandedHtLinks() const
+{
+    if (nodes <= 1)
+        return htLinks;
+    std::vector<std::pair<int, int>> out;
+    out.reserve(htLinks.size() * static_cast<size_t>(nodes));
+    const int span = socketsPerNode();
+    for (int n = 0; n < nodes; ++n) {
+        for (const auto &[a, b] : htLinks)
+            out.emplace_back(n * span + a, n * span + b);
+    }
+    return out;
 }
 
 std::vector<std::pair<int, int>>

@@ -30,11 +30,44 @@ struct MachineConfig
     /** Display name ("Tiger", "DMZ", "Longs", or user-defined). */
     std::string name;
 
-    /** Number of sockets. */
+    /** Number of sockets (total, across every cluster node). */
     int sockets = 1;
 
     /** Cores per socket (1 = single-core, 2 = dual-core Opteron). */
     int coresPerSocket = 1;
+
+    /**
+     * Hardware threads per physical core (SMT width; SPARC T3: 8).
+     * Each thread is a schedulable context, but all of a core's
+     * threads share one issue-bandwidth resource, so N busy siblings
+     * split the core's peak rate instead of multiplying it.
+     */
+    int threadsPerCore = 1;
+
+    /**
+     * Fraction of a core's issue bandwidth a *single* hardware thread
+     * can sustain when its siblings are idle (SMT single-thread
+     * throughput; 1.0 for non-SMT cores, well below 1 for barrel-style
+     * designs like the T3 whose pipeline interleaves 8 threads).
+     */
+    double smtThreadThroughput = 1.0;
+
+    /**
+     * Cluster nodes.  1 means one shared-memory box (the 2006
+     * machines).  N > 1 partitions `sockets` into N equal groups;
+     * sockets within a group share memory over HT links, groups talk
+     * only through the network fabric (a star: every node's socket 0
+     * attaches to one switch).  `htLinks` then describes ONE node's
+     * intra-node links (endpoints < sockets/nodes) and is replicated
+     * per node.
+     */
+    int nodes = 1;
+
+    /** Network fabric link bandwidth, bytes/s per direction (nodes > 1). */
+    double fabricBandwidth = 0.0;
+
+    /** One-way latency per fabric link; node-to-node crosses two. */
+    SimTime fabricLinkLatency = 0.0;
 
     /** Core frequency in GHz. */
     double coreGHz = 2.2;
@@ -103,11 +136,62 @@ struct MachineConfig
     std::string memoryType = "DDR-400";
     std::string osName;
 
-    /** Total number of cores. */
-    int totalCores() const { return sockets * coresPerSocket; }
+    /**
+     * Schedulable hardware contexts per socket.  Placement and rank
+     * capacity count contexts; non-SMT machines have one per core.
+     */
+    int contextsPerSocket() const { return coresPerSocket * threadsPerCore; }
+
+    /** Total schedulable contexts ("cores" to the placement layer). */
+    int totalCores() const { return sockets * contextsPerSocket(); }
+
+    /** Physical cores, ignoring SMT. */
+    int totalPhysicalCores() const { return sockets * coresPerSocket; }
 
     /** Peak flops per core, flops/s. */
     double coreFlops() const { return coreGHz * 1.0e9 * flopsPerCycle; }
+
+    /** True when an explicit network fabric joins cluster nodes. */
+    bool hasFabric() const { return nodes > 1; }
+
+    /** Sockets per cluster node (sockets when nodes == 1). */
+    int socketsPerNode() const { return sockets / nodes; }
+
+    /** Cluster node that owns `socket`. */
+    int nodeOfSocket(int socket) const { return socket / socketsPerNode(); }
+
+    /** Socket that owns context id `context` (socket-major layout). */
+    int socketOfContext(int context) const
+    {
+        return context / contextsPerSocket();
+    }
+
+    /**
+     * Map a socket-local placement slot onto a socket-local context
+     * id, spreading slots across physical cores before doubling onto
+     * SMT siblings (what the Linux and Solaris schedulers both do).
+     * Context c of physical core p is socket-local id
+     * p * threadsPerCore + c; identity for non-SMT machines.
+     */
+    int smtContextIndex(int slot) const
+    {
+        return (slot % coresPerSocket) * threadsPerCore +
+               slot / coresPerSocket;
+    }
+
+    /**
+     * The machine-wide HT link list: `htLinks` as written for
+     * single-node machines, or one copy per cluster node (endpoints
+     * shifted by the node's socket base) for clusters.
+     */
+    std::vector<std::pair<int, int>> expandedHtLinks() const;
+
+    /**
+     * Validate invariants; empty string when sound, otherwise the
+     * first problem found (non-fatal form, for registry loaders that
+     * must reject bad definitions with an error message).
+     */
+    std::string check() const;
 
     /**
      * Effective memory bandwidth per socket after the legacy scalar

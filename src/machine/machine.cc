@@ -8,8 +8,9 @@
 namespace mcscope {
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(std::move(cfg)), topo_(cfg_.sockets, cfg_.htLinks),
-      coh_(cfg_.coherence, cfg_.sockets)
+    : cfg_(std::move(cfg)),
+      topo_(cfg_.sockets, cfg_.expandedHtLinks(), cfg_.nodes),
+      coh_(cfg_.coherence, cfg_.sockets, cfg_.socketsPerNode())
 {
     cfg_.validate();
 
@@ -19,9 +20,14 @@ Machine::Machine(MachineConfig cfg)
     double mem_rate = coh_.modelsTraffic()
                           ? cfg_.memBandwidthPerSocket
                           : cfg_.effectiveMemBandwidth();
+    // Resource order is part of the audit surface: contexts, then
+    // memory controllers, then directed links (HT before fabric), and
+    // only then any SMT issue resources, so resource ids on the 2006
+    // presets are untouched by the newer machine kinds.
     for (int c = 0; c < cfg_.totalCores(); ++c) {
         coreRes_.push_back(engine_.addResource(
-            "core" + std::to_string(c), cfg_.coreFlops()));
+            "core" + std::to_string(c),
+            cfg_.coreFlops() * cfg_.smtThreadThroughput));
     }
     for (int s = 0; s < cfg_.sockets; ++s) {
         memRes_.push_back(engine_.addResource(
@@ -29,9 +35,17 @@ Machine::Machine(MachineConfig cfg)
     }
     for (int l = 0; l < topo_.directedLinkCount(); ++l) {
         auto [from, to] = topo_.directedEndpoints(l);
+        bool fabric = topo_.isFabricLink(l);
         linkRes_.push_back(engine_.addResource(
-            "ht" + std::to_string(from) + ">" + std::to_string(to),
-            cfg_.htLinkBandwidth));
+            std::string(fabric ? "net" : "ht") + std::to_string(from) +
+                ">" + std::to_string(to),
+            fabric ? cfg_.fabricBandwidth : cfg_.htLinkBandwidth));
+    }
+    if (cfg_.threadsPerCore > 1) {
+        for (int p = 0; p < cfg_.totalPhysicalCores(); ++p) {
+            issueRes_.push_back(engine_.addResource(
+                "issue" + std::to_string(p), cfg_.coreFlops()));
+        }
     }
 }
 
@@ -39,7 +53,7 @@ int
 Machine::socketOf(int core) const
 {
     MCSCOPE_ASSERT(core >= 0 && core < totalCores(), "bad core ", core);
-    return core / cfg_.coresPerSocket;
+    return core / cfg_.contextsPerSocket();
 }
 
 ResourceId
@@ -73,23 +87,54 @@ Machine::linkResource(int directed_id) const
 }
 
 SimTime
+Machine::routeLatency(int a, int b) const
+{
+    if (!cfg_.hasFabric())
+        return topo_.hopCount(a, b) * cfg_.htHopLatency;
+    int ht = 0;
+    int fabric = 0;
+    for (int id : topo_.route(a, b)) {
+        if (topo_.isFabricLink(id))
+            ++fabric;
+        else
+            ++ht;
+    }
+    return ht * cfg_.htHopLatency + fabric * cfg_.fabricLinkLatency;
+}
+
+SimTime
 Machine::memoryLatency(int socket, int node) const
 {
-    int hops = topo_.hopCount(socket, node);
     // Request out, data back: two traversals per hop.
-    return cfg_.memLatency + 2.0 * hops * cfg_.htHopLatency;
+    return cfg_.memLatency + 2.0 * routeLatency(socket, node);
 }
 
 SimTime
 Machine::pathLatency(int socket_a, int socket_b) const
 {
-    return topo_.hopCount(socket_a, socket_b) * cfg_.htHopLatency;
+    return routeLatency(socket_a, socket_b);
 }
 
 int
 Machine::hopsBetweenCores(int core_a, int core_b) const
 {
     return topo_.hopCount(socketOf(core_a), socketOf(core_b));
+}
+
+std::vector<ResourceId>
+Machine::computePath(int core) const
+{
+    std::vector<ResourceId> path = {coreResource(core)};
+    if (cfg_.threadsPerCore > 1) {
+        // Contexts are socket-major with SMT siblings adjacent, so the
+        // physical core is the context index with the thread stripped.
+        int socket = core / cfg_.contextsPerSocket();
+        int local = core % cfg_.contextsPerSocket();
+        int phys = socket * cfg_.coresPerSocket +
+                   local / cfg_.threadsPerCore;
+        path.push_back(issueRes_[static_cast<size_t>(phys)]);
+    }
+    return path;
 }
 
 Work
@@ -103,7 +148,7 @@ Machine::computeWork(int core, double flops, double efficiency,
     // flops / (peak * efficiency) seconds; the core resource is still
     // shared fairly if oversubscribed.
     w.amount = flops / efficiency;
-    w.path = {coreResource(core)};
+    w.path = computePath(core);
     w.tag = tag;
     return w;
 }
@@ -134,9 +179,8 @@ Machine::flowWork(const CoherenceFlow &flow) const
                    "control flow needs distinct endpoints");
     for (int id : topo_.route(flow.from, flow.to))
         w.path.push_back(linkResource(id));
-    int hops = topo_.hopCount(flow.from, flow.to);
-    w.rateCap =
-        cfg_.streamConcurrencyBytes / (2.0 * hops * cfg_.htHopLatency);
+    w.rateCap = cfg_.streamConcurrencyBytes /
+                (2.0 * routeLatency(flow.from, flow.to));
     return w;
 }
 
@@ -208,6 +252,19 @@ Machine::transferWork(int src_core, int dst_core, int buffer_node,
                    "bad buffer node ", buffer_node);
     Work w;
     w.amount = bytes;
+    w.tag = tag;
+    if (nodeOf(src) != nodeOf(dst)) {
+        // Cross-node message: out of the sender's memory, over the
+        // fabric, into the receiver's memory.  No shared buffer — the
+        // NIC injection rate caps the stream, and the two fabric links
+        // on the route contend with every other cross-node flow.
+        w.path.push_back(memResource(src));
+        for (int id : topo_.route(src, dst))
+            w.path.push_back(linkResource(id));
+        w.path.push_back(memResource(dst));
+        w.rateCap = cfg_.fabricBandwidth;
+        return w;
+    }
     w.path.push_back(memResource(buffer_node));
     for (int id : topo_.route(src, dst))
         w.path.push_back(linkResource(id));
@@ -223,7 +280,6 @@ Machine::transferWork(int src_core, int dst_core, int buffer_node,
     if (src == dst)
         copy_bw *= cfg_.sameDieBandwidthBoost;
     w.rateCap = copy_bw;
-    w.tag = tag;
     return w;
 }
 

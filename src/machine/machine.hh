@@ -32,8 +32,10 @@ struct NodeFraction
  * One simulated machine instance bound to one simulation Engine.
  *
  * A Machine is single-use: build it, add tasks to engine(), run, read
- * results.  Core ids are socket-major: core = socket * coresPerSocket
- * + localIndex.
+ * results.  Core ids name hardware *contexts* (schedulable units) and
+ * are socket-major: core = socket * contextsPerSocket + localIndex,
+ * with SMT siblings adjacent (local = physCore * threadsPerCore +
+ * thread).  On non-SMT machines contexts and physical cores coincide.
  */
 class Machine
 {
@@ -53,17 +55,27 @@ class Machine
     /** Coherence pricing model for this machine. */
     const CoherenceModel &coherence() const { return coh_; }
 
-    /** Total cores. */
+    /** Total hardware contexts (schedulable cores). */
     int totalCores() const { return cfg_.totalCores(); }
 
-    /** Socket that owns `core`. */
+    /** Socket that owns context `core`. */
     int socketOf(int core) const;
 
-    /** Engine resource for `core`'s execution units. */
+    /** Cluster node that owns `socket` (0 on single-node boxes). */
+    int nodeOf(int socket) const { return cfg_.nodeOfSocket(socket); }
+
+    /** Engine resource for context `core`'s execution units. */
     ResourceId coreResource(int core) const;
 
-    /** True when `id` is some core's execution resource. */
+    /** True when `id` is some context's execution resource. */
     bool isCoreResource(ResourceId id) const;
+
+    /**
+     * Engine path for compute on context `core`: the context resource
+     * alone on non-SMT machines, plus the physical core's shared issue
+     * resource when threadsPerCore > 1 (siblings contend for it).
+     */
+    std::vector<ResourceId> computePath(int core) const;
 
     /** Engine resource for socket `s`'s memory controller. */
     ResourceId memResource(int socket) const;
@@ -74,7 +86,11 @@ class Machine
     /** Round-trip memory latency from `socket` to NUMA node `node`. */
     SimTime memoryLatency(int socket, int node) const;
 
-    /** One-way message latency between sockets (hop latency sum). */
+    /**
+     * One-way message latency between sockets: hop latency summed per
+     * link class (HT hops at htHopLatency, fabric hops at
+     * fabricLinkLatency on cluster machines).
+     */
     SimTime pathLatency(int socket_a, int socket_b) const;
 
     /** Hop count between the sockets of two cores. */
@@ -115,11 +131,14 @@ class Machine
     double streamRateCap(int socket, int node) const;
 
     /**
-     * Shared-memory transfer Work for an intra-node message: `bytes`
-     * copied through a buffer on `buffer_node` and across the HT path
-     * from the sender's socket to the receiver's socket.  The rate cap
-     * models the double-copy cost, with the same-die fast path applied
-     * when both cores share a socket.
+     * Transfer Work for a message between ranks: `bytes` copied
+     * through a buffer on `buffer_node` and across the link path from
+     * the sender's socket to the receiver's socket.  Within a cluster
+     * node the rate cap models the shared-memory double-copy cost,
+     * with the same-die fast path applied when both cores share a
+     * socket.  Across cluster nodes the path rides the network fabric
+     * (both endpoint memory controllers plus every link on the route)
+     * and the cap is the fabric injection bandwidth.
      */
     Work transferWork(int src_core, int dst_core, int buffer_node,
                       double bytes, int tag = 0) const;
@@ -128,6 +147,13 @@ class Machine
     /** Translate a priced protocol flow into an engine Work. */
     Work flowWork(const CoherenceFlow &flow) const;
 
+    /**
+     * One-way latency along route(a, b), priced per link class.  Kept
+     * in the exact legacy hopCount * htHopLatency form on fabric-less
+     * machines so preset results stay bit-identical.
+     */
+    SimTime routeLatency(int a, int b) const;
+
     MachineConfig cfg_;
     Topology topo_;
     CoherenceModel coh_;
@@ -135,6 +161,8 @@ class Machine
     std::vector<ResourceId> coreRes_;
     std::vector<ResourceId> memRes_;
     std::vector<ResourceId> linkRes_;
+    /** Per-physical-core shared issue resources (SMT machines only). */
+    std::vector<ResourceId> issueRes_;
 };
 
 } // namespace mcscope

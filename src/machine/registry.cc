@@ -1,0 +1,149 @@
+#include "machine/registry.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <dirent.h>
+
+#include "machine/serialize.hh"
+#include "util/fdio.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/str.hh"
+
+namespace mcscope {
+
+MachineRegistry::MachineRegistry()
+{
+    for (const std::string &name : presetNames()) {
+        std::string problem = registerMachine(configByName(name));
+        MCSCOPE_ASSERT(problem.empty(), "builtin machine rejected: ",
+                       problem);
+    }
+}
+
+MachineRegistry &
+MachineRegistry::instance()
+{
+    static MachineRegistry reg = [] {
+        MachineRegistry r;
+        if (const char *dir = std::getenv(kMachineDirEnv)) {
+            if (*dir != '\0') {
+                std::string problem = r.loadDirectory(dir);
+                if (!problem.empty())
+                    fatal(kMachineDirEnv, ": ", problem);
+            }
+        }
+        return r;
+    }();
+    return reg;
+}
+
+std::string
+MachineRegistry::registerMachine(const MachineConfig &cfg)
+{
+    if (cfg.name.empty())
+        return "machine definition needs a name";
+    std::string problem = cfg.check();
+    if (!problem.empty())
+        return problem;
+    std::string key = toLower(cfg.name);
+    auto [it, inserted] = machines_.emplace(key, cfg);
+    if (!inserted) {
+        return "duplicate machine name '" + cfg.name + "'" +
+               (isBuiltin(cfg.name) ? " (collides with a builtin preset)"
+                                    : "");
+    }
+    return "";
+}
+
+std::string
+MachineRegistry::loadDirectory(const std::string &dir)
+{
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return dir + ": cannot open machine directory";
+    std::vector<std::string> files;
+    while (const dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            files.push_back(name);
+    }
+    closedir(d);
+    // readdir order is filesystem-dependent; sorted load order makes
+    // "duplicate machine name" errors point at the same file on every
+    // host (DET-2).
+    std::sort(files.begin(), files.end());
+    for (const std::string &file : files) {
+        std::string path = dir + "/" + file;
+        std::string text;
+        if (!readWholeFile(path, text))
+            return path + ": cannot read file";
+        std::string error;
+        auto doc = parseJson(text, &error);
+        if (!doc)
+            return path + ": " + error;
+        auto cfg = parseMachineConfig(*doc, &error);
+        if (!cfg)
+            return path + ": " + error;
+        std::string problem = registerMachine(*cfg);
+        if (!problem.empty())
+            return path + ": " + problem;
+    }
+    return "";
+}
+
+const MachineConfig *
+MachineRegistry::find(const std::string &name) const
+{
+    auto it = machines_.find(toLower(name));
+    return it == machines_.end() ? nullptr : &it->second;
+}
+
+bool
+MachineRegistry::isBuiltin(const std::string &name) const
+{
+    std::string key = toLower(name);
+    for (const std::string &preset : presetNames()) {
+        if (toLower(preset) == key)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+MachineRegistry::names() const
+{
+    std::vector<std::string> out = builtinNames();
+    for (const std::string &zoo : zooNames())
+        out.push_back(zoo);
+    return out;
+}
+
+std::vector<std::string>
+MachineRegistry::builtinNames() const
+{
+    return presetNames();
+}
+
+std::vector<std::string>
+MachineRegistry::zooNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, cfg] : machines_) {
+        if (!isBuiltin(key))
+            out.push_back(cfg.name);
+    }
+    return out;
+}
+
+std::string
+MachineRegistry::suggest(const std::string &name) const
+{
+    std::vector<std::string> candidates;
+    for (const auto &[key, cfg] : machines_)
+        candidates.push_back(cfg.name);
+    return closestMatch(name, candidates);
+}
+
+} // namespace mcscope

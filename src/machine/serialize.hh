@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MachineConfig <-> JSON: the inline-machine wire form shared by
+ * scenario specs, sweep plans, and the machine registry's *.json
+ * definition files.  Lives in the machine layer (not core/scenario)
+ * so the registry can parse definitions without a dependency cycle.
+ */
+
+#ifndef MCSCOPE_MACHINE_SERIALIZE_HH
+#define MCSCOPE_MACHINE_SERIALIZE_HH
+
+#include <optional>
+#include <string>
+
+#include "machine/config.hh"
+#include "util/json.hh"
+
+namespace mcscope {
+
+/**
+ * Serialize the simulation-relevant fields of a MachineConfig.  The
+ * Table 1 metadata strings (Opteron model, memory type, OS name) are
+ * documentation and stay out, so they stay out of scenario digests
+ * too.  Post-2006 topology fields (threads_per_core, nodes, fabric_*)
+ * are emitted only away from their defaults: canonical texts of the
+ * original presets are frozen by existing digests.
+ */
+JsonValue machineConfigToJson(const MachineConfig &config);
+
+/**
+ * Parse an inline MachineConfig object.  Unknown keys are an error;
+ * integer-valued fields reject non-integral numbers (a truncated
+ * value would silently simulate -- and digest -- a different machine
+ * than the one written).  Ends with MachineConfig::check(), so a
+ * definition rejected by the registry loader is rejected identically
+ * here.  Returns nullopt and sets `error` on malformed input.
+ */
+std::optional<MachineConfig> parseMachineConfig(const JsonValue &doc,
+                                                std::string *error);
+
+} // namespace mcscope
+
+#endif // MCSCOPE_MACHINE_SERIALIZE_HH

@@ -7,10 +7,14 @@
 
 namespace mcscope {
 
-Topology::Topology(int sockets, std::vector<std::pair<int, int>> links)
+Topology::Topology(int sockets, std::vector<std::pair<int, int>> links,
+                   int fabric_nodes)
     : sockets_(sockets), links_(std::move(links))
 {
     MCSCOPE_ASSERT(sockets_ >= 1, "topology needs at least one socket");
+    MCSCOPE_ASSERT(fabric_nodes >= 1 && sockets_ % fabric_nodes == 0,
+                   "fabric nodes ", fabric_nodes,
+                   " must evenly divide ", sockets_, " sockets");
     for (auto &[a, b] : links_) {
         MCSCOPE_ASSERT(a >= 0 && a < sockets_ && b >= 0 && b < sockets_ &&
                            a != b,
@@ -18,9 +22,23 @@ Topology::Topology(int sockets, std::vector<std::pair<int, int>> links)
         if (a > b)
             std::swap(a, b);
     }
+    ht_links_ = static_cast<int>(links_.size());
+
+    // A fabric is a star: one switch vertex (id sockets_) behind the
+    // HT graph, one uplink per cluster node from the node's first
+    // socket.  Appending the fabric links after every HT link keeps
+    // HT directed ids identical with and without a fabric.
+    const bool fabric = fabric_nodes > 1;
+    const int kSwitch = sockets_;
+    const int vertices = sockets_ + (fabric ? 1 : 0);
+    if (fabric) {
+        const int span = sockets_ / fabric_nodes;
+        for (int n = 0; n < fabric_nodes; ++n)
+            links_.emplace_back(n * span, kSwitch);
+    }
 
     // Adjacency with deterministic neighbor order.
-    std::vector<std::vector<int>> adj(sockets_);
+    std::vector<std::vector<int>> adj(vertices);
     for (const auto &[a, b] : links_) {
         adj[a].push_back(b);
         adj[b].push_back(a);
@@ -32,9 +50,11 @@ Topology::Topology(int sockets, std::vector<std::pair<int, int>> links)
     hops_.assign(static_cast<size_t>(sockets_) * sockets_, -1);
 
     // BFS from every source with lowest-numbered-parent tie-breaking.
+    // The switch vertex participates in the search but is never an
+    // endpoint, so all published routes remain socket-to-socket.
     for (int src = 0; src < sockets_; ++src) {
-        std::vector<int> parent(sockets_, -1);
-        std::vector<int> dist(sockets_, -1);
+        std::vector<int> parent(vertices, -1);
+        std::vector<int> dist(vertices, -1);
         std::queue<int> q;
         dist[src] = 0;
         q.push(src);
@@ -67,6 +87,14 @@ Topology::Topology(int sockets, std::vector<std::pair<int, int>> links)
             routes_[src * sockets_ + dst] = std::move(ids);
         }
     }
+}
+
+bool
+Topology::isFabricLink(int id) const
+{
+    MCSCOPE_ASSERT(id >= 0 && id < directedLinkCount(), "bad link id ",
+                   id);
+    return id / 2 >= ht_links_;
 }
 
 int

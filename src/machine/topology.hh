@@ -26,20 +26,36 @@ class Topology
 {
   public:
     /**
-     * @param sockets number of sockets (graph vertices).
-     * @param links   undirected edges; must leave the graph connected
-     *                when sockets > 1.
+     * @param sockets      number of sockets (graph vertices).
+     * @param links        undirected edges; must leave each cluster
+     *                     node's socket group connected.
+     * @param fabric_nodes cluster nodes joined by a network fabric.
+     *                     1 (the default) is a single shared-memory
+     *                     box and adds nothing.  N > 1 appends one
+     *                     switch vertex plus one fabric link per node
+     *                     (from the node's first socket), so
+     *                     cross-node routes traverse exactly two
+     *                     fabric links.  Fabric links get directed
+     *                     ids after all HT ids, so HT numbering is
+     *                     unchanged by the fabric.
      */
-    Topology(int sockets, std::vector<std::pair<int, int>> links);
+    Topology(int sockets, std::vector<std::pair<int, int>> links,
+             int fabric_nodes = 1);
 
     /** Number of sockets. */
     int socketCount() const { return sockets_; }
 
-    /** Number of undirected links. */
+    /** Number of undirected links (HT + fabric). */
     int linkCount() const { return static_cast<int>(links_.size()); }
+
+    /** Number of undirected HT (intra-node) links. */
+    int htLinkCount() const { return ht_links_; }
 
     /** Number of directed link ids (2 * linkCount()). */
     int directedLinkCount() const { return 2 * linkCount(); }
+
+    /** True when directed link `id` is a network-fabric link. */
+    bool isFabricLink(int id) const;
 
     /** Endpoints of directed link `id` as (from, to). */
     std::pair<int, int> directedEndpoints(int id) const;
@@ -57,6 +73,7 @@ class Topology
     int directedId(int from, int to) const;
 
     int sockets_;
+    int ht_links_ = 0;
     std::vector<std::pair<int, int>> links_;
     /** routes_[a * sockets + b] = directed link ids a -> b. */
     std::vector<std::vector<int>> routes_;

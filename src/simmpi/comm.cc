@@ -41,7 +41,10 @@ MpiRuntime::messageOverhead(int src_rank, int dst_rank,
         // Same-die fast path: cache-to-cache, no HT traversal.
         sw *= machine_->config().sameDieLatencyFactor;
     }
-    SimTime lat = sw + hops * machine_->config().htHopLatency;
+    // Wire latency priced per link class (HT vs cluster fabric);
+    // identical to hops * htHopLatency on fabric-less machines.
+    SimTime lat = sw + machine_->pathLatency(machine_->socketOf(src_core),
+                                             machine_->socketOf(dst_core));
     return lat * latencyNoise_;
 }
 

@@ -176,6 +176,72 @@ int sum()
     EXPECT_EQ(countOccurrences(run.out, "DET-2"), 1u) << run.out;
 }
 
+TEST(Lint, Det2CoversMachineRegistryUnits)
+{
+    // Registry listings feed sweep expansions and CLI output, so the
+    // registry and serialization units are DET-2 ordered-output code.
+    TempTree t("det2reg");
+    t.write("src/machine/registry_fixture.cc", R"lint(
+#include <unordered_map>
+int sum()
+{
+    std::unordered_map<int, int> m;
+    int s = 0;
+    for (const auto &kv : m)
+        s += kv.second;
+    return s;
+}
+)lint");
+    t.write("src/machine/serialize_fixture.cc", R"lint(
+#include <unordered_set>
+int count()
+{
+    std::unordered_set<int> keys;
+    int n = 0;
+    for (int k : keys)
+        n += k;
+    return n;
+}
+)lint");
+    LintRun run = runLint({t.root()});
+    EXPECT_EQ(run.exit, 1) << run.out;
+    EXPECT_EQ(countOccurrences(run.out, "DET-2"), 2u) << run.out;
+}
+
+TEST(Lint, Parse1CoversRegistryNumericParsing)
+{
+    // A registry-style numeric field parser that drops errno/endptr
+    // checking must be flagged; the checked form must pass.  This
+    // pins PARSE-1 coverage over src/machine numeric parsing.
+    TempTree t("parse1reg");
+    t.write("src/machine/registry_parse.cc", R"lint(
+#include <cstdlib>
+double field(const char *s)
+{
+    return strtod(s, nullptr);
+}
+)lint");
+    LintRun bad = runLint({t.root()});
+    EXPECT_EQ(bad.exit, 1) << bad.out;
+    EXPECT_EQ(countOccurrences(bad.out, "PARSE-1"), 1u) << bad.out;
+
+    TempTree ok("parse1regok");
+    ok.write("src/machine/registry_parse.cc", R"lint(
+#include <cerrno>
+#include <cstdlib>
+double field(const char *s, bool *valid)
+{
+    errno = 0;
+    char *end = nullptr;
+    double v = strtod(s, &end);
+    *valid = errno != ERANGE && end != s && *end == '\0';
+    return v;
+}
+)lint");
+    LintRun good = runLint({ok.root()});
+    EXPECT_EQ(good.exit, 0) << good.out;
+}
+
 TEST(Lint, Det2AllowsLookupOnlyUse)
 {
     TempTree t("det2ok");

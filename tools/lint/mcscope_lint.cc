@@ -125,6 +125,10 @@ const char *const kDet2Paths[] = {
     // Probe/invalidation flows feed Work lists and hence audit
     // digests; their emission order must be deterministic.
     "src/machine/coherence",
+    // Registry listings feed sweep expansions, digests, and CLI
+    // output; machine iteration order must not depend on hashing.
+    "src/machine/registry",
+    "src/machine/serialize",
 };
 
 /** Heap-allocating type names banned in hot regions (HOT-1). */
